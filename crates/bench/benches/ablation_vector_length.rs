@@ -1,0 +1,26 @@
+//! Ablation: vector length (elements per vector register).
+//!
+//! The paper chooses 4 elements because the average vectorizable run length is
+//! short (§4.1); the bench sweeps 2/4/8 elements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdv_bench::bench_run_config;
+use sdv_core::DvConfig;
+use sdv_sim::{run_workload, PortKind, ProcessorConfig, Workload};
+
+fn bench(c: &mut Criterion) {
+    let rc = bench_run_config();
+    let mut group = c.benchmark_group("ablation_vector_length");
+    group.sample_size(10);
+    for vl in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(vl), &vl, |b, &vl| {
+            let dv = DvConfig { vector_length: vl, ..DvConfig::default() };
+            let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_dv_config(dv);
+            b.iter(|| run_workload(Workload::Applu, &cfg, &rc))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

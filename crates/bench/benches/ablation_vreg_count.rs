@@ -1,0 +1,26 @@
+//! Ablation: how the number of vector registers affects the vectorized IPC.
+//!
+//! DESIGN.md calls this out as the mechanism's most critical resource (§3.3);
+//! the bench sweeps the register-file size on a fixed workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdv_bench::bench_run_config;
+use sdv_core::DvConfig;
+use sdv_sim::{run_workload, PortKind, ProcessorConfig, Workload};
+
+fn bench(c: &mut Criterion) {
+    let rc = bench_run_config();
+    let mut group = c.benchmark_group("ablation_vreg_count");
+    group.sample_size(10);
+    for regs in [16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(regs), &regs, |b, &regs| {
+            let dv = DvConfig { vector_registers: regs, ..DvConfig::default() };
+            let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_dv_config(dv);
+            b.iter(|| run_workload(Workload::Swim, &cfg, &rc))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: regenerates Figure 1 (stride distribution) on a reduced workload subset.
+//!
+//! The purpose of the bench is twofold: it tracks the simulator's own
+//! performance over time, and `cargo bench` doubles as a smoke test that the
+//! figure can be regenerated end to end.  The `repro` binary prints the full
+//! figure for comparison with the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdv_bench::{bench_run_config, bench_workloads};
+use sdv_sim::fig1;
+
+fn bench(c: &mut Criterion) {
+    let rc = bench_run_config();
+    let workloads = bench_workloads();
+    c.bench_function("fig01_stride_distribution", |b| {
+        b.iter(|| fig1(&rc, &workloads))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: regenerates Figure 11 (IPC across ports and variants) on a reduced workload subset.
+//!
+//! The purpose of the bench is twofold: it tracks the simulator's own
+//! performance over time, and `cargo bench` doubles as a smoke test that the
+//! figure can be regenerated end to end.  The `repro` binary prints the full
+//! figure for comparison with the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdv_bench::{bench_run_config, bench_workloads};
+use sdv_sim::{port_sweep, Fig11, MachineWidth};
+
+fn bench(c: &mut Criterion) {
+    let rc = bench_run_config();
+    let workloads = bench_workloads();
+    c.bench_function("fig11_ipc_sweep", |b| {
+        b.iter(|| {
+            let sweep = port_sweep(&rc, &workloads, &[MachineWidth::FourWay], &[1, 4]);
+            format!("{}", Fig11(&sweep))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+);
+criterion_main!(benches);

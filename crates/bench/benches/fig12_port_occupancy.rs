@@ -1,0 +1,28 @@
+//! Criterion bench: regenerates Figure 12 (memory-port occupancy) on a reduced workload subset.
+//!
+//! The purpose of the bench is twofold: it tracks the simulator's own
+//! performance over time, and `cargo bench` doubles as a smoke test that the
+//! figure can be regenerated end to end.  The `repro` binary prints the full
+//! figure for comparison with the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdv_bench::{bench_run_config, bench_workloads};
+use sdv_sim::{port_sweep, Fig12, MachineWidth};
+
+fn bench(c: &mut Criterion) {
+    let rc = bench_run_config();
+    let workloads = bench_workloads();
+    c.bench_function("fig12_port_occupancy", |b| {
+        b.iter(|| {
+            let sweep = port_sweep(&rc, &workloads, &[MachineWidth::EightWay], &[1]);
+            format!("{}", Fig12(&sweep))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Regenerates the paper's tables and figures and prints them as text.
+//!
+//! ```text
+//! repro [--quick|--standard|--thorough] [--table1] [--fig N]... [--headline] [--all]
+//! ```
+//!
+//! With no selection arguments everything is regenerated.  The output rows
+//! mirror the series plotted in the paper; `EXPERIMENTS.md` records a
+//! paper-vs-measured comparison produced with `--standard`.
+
+use sdv_sim::{
+    fig1, fig10, fig13, fig14, fig15, fig3, fig7, fig9, headline, port_sweep, Fig11, Fig12,
+    MachineWidth, PortKind, RunConfig, Table1, Workload,
+};
+
+#[derive(Debug)]
+struct Options {
+    run: RunConfig,
+    table1: bool,
+    figures: Vec<u32>,
+    headline: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        run: sdv_bench::repro_run_config(),
+        table1: false,
+        figures: Vec::new(),
+        headline: false,
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    let mut any_selection = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.run = RunConfig::quick(),
+            "--standard" => opts.run = RunConfig::standard(),
+            "--thorough" => opts.run = RunConfig::thorough(),
+            "--table1" => {
+                opts.table1 = true;
+                any_selection = true;
+            }
+            "--headline" => {
+                opts.headline = true;
+                any_selection = true;
+            }
+            "--fig" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--fig requires a figure number"));
+                opts.figures.push(n);
+                any_selection = true;
+            }
+            "--all" => any_selection = false,
+            other => panic!("unknown argument `{other}` (try --all, --fig N, --table1, --headline)"),
+        }
+    }
+    if !any_selection {
+        opts.table1 = true;
+        opts.headline = true;
+        opts.figures = vec![1, 3, 7, 9, 10, 11, 12, 13, 14, 15];
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let all: Vec<Workload> = Workload::all().to_vec();
+    let rc = opts.run;
+    println!(
+        "# Speculative Dynamic Vectorization — reproduction run (scale {}, {} insts/workload)\n",
+        rc.scale, rc.max_insts
+    );
+
+    if opts.table1 {
+        println!("{}", Table1::four_way(1, PortKind::Wide));
+        println!("{}", Table1::eight_way(1, PortKind::Wide));
+    }
+
+    let mut sweep = None;
+    for fig in &opts.figures {
+        match fig {
+            1 => println!("{}", fig1(&rc, &all)),
+            3 => println!("{}", fig3(&rc, &all)),
+            7 => println!("{}", fig7(&rc, &all)),
+            9 => println!("{}", fig9(&rc, &all)),
+            10 => println!("{}", fig10(&rc, &all)),
+            11 | 12 => {
+                if sweep.is_none() {
+                    sweep = Some(port_sweep(
+                        &rc,
+                        &all,
+                        &MachineWidth::all(),
+                        &[1, 2, 4],
+                    ));
+                }
+                let sweep = sweep.as_ref().expect("just created");
+                if *fig == 11 {
+                    println!("{}", Fig11(sweep));
+                } else {
+                    println!("{}", Fig12(sweep));
+                }
+            }
+            13 => println!("{}", fig13(&rc, &all)),
+            14 => println!("{}", fig14(&rc, &all)),
+            15 => println!("{}", fig15(&rc, &all)),
+            other => eprintln!("figure {other} is not a measured figure (2, 4, 5, 6 and 8 are block diagrams)"),
+        }
+    }
+
+    if opts.headline {
+        println!("{}", headline(&rc, &all));
+    }
+}

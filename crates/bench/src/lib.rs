@@ -1,0 +1,46 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! The Criterion benches (one per figure of the paper) and the `repro` binary
+//! both go through this crate: the benches measure how long regenerating a
+//! figure takes on a reduced workload set, while `repro` prints the actual
+//! rows/series so they can be compared against the paper (see
+//! `EXPERIMENTS.md`).
+
+use sdv_sim::{RunConfig, Workload};
+
+/// The workload subset used by the Criterion benches.
+///
+/// Using a representative subset (two integer benchmarks, one FP benchmark)
+/// keeps `cargo bench` fast while still exercising every code path; the
+/// `repro` binary always uses the full suite.
+#[must_use]
+pub fn bench_workloads() -> Vec<Workload> {
+    vec![Workload::Compress, Workload::Vortex, Workload::Swim]
+}
+
+/// The run budget used by the Criterion benches.
+#[must_use]
+pub fn bench_run_config() -> RunConfig {
+    RunConfig { scale: 1, max_insts: 15_000 }
+}
+
+/// The run budget used by the `repro` binary (unless overridden on the
+/// command line).
+#[must_use]
+pub fn repro_run_config() -> RunConfig {
+    RunConfig::standard()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_setup_is_small_but_mixed() {
+        let ws = bench_workloads();
+        assert!(ws.len() >= 3);
+        assert!(ws.iter().any(|w| w.is_fp()));
+        assert!(ws.iter().any(|w| !w.is_fp()));
+        assert!(bench_run_config().max_insts < repro_run_config().max_insts);
+    }
+}

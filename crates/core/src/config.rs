@@ -1,0 +1,110 @@
+//! Configuration of the dynamic-vectorization hardware.
+
+/// Sizing of the structures the mechanism adds to the processor.
+///
+/// The defaults reproduce Table 1 and the storage accounting of §4.1:
+/// 128 vector registers of 4 × 64-bit elements, a 4-way × 512-set Table of
+/// Loads and a 4-way × 64-set VRMT, for a total of ~56 KB of extra storage
+/// (4 KB + 4608 B + 48 KB = 57 856 B, which the paper rounds to 56 KB).
+///
+/// ```
+/// use sdv_core::DvConfig;
+///
+/// let cfg = DvConfig::default();
+/// assert_eq!(cfg.extra_storage_bytes(), 57_856);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DvConfig {
+    /// Number of vector registers (paper: 128).
+    pub vector_registers: usize,
+    /// Elements per vector register (paper: 4).
+    pub vector_length: usize,
+    /// Bytes per vector element (paper: 8).
+    pub element_bytes: usize,
+    /// Sets in the Table of Loads (paper: 512).
+    pub tl_sets: usize,
+    /// Associativity of the Table of Loads (paper: 4).
+    pub tl_ways: usize,
+    /// Confidence needed before a load is vectorized (paper: 2).
+    pub confidence_threshold: u8,
+    /// Sets in the Vector Register Map Table (paper: 64).
+    pub vrmt_sets: usize,
+    /// Associativity of the VRMT (paper: 4).
+    pub vrmt_ways: usize,
+    /// When `true`, vector registers, TL and VRMT capacities are treated as
+    /// unlimited.  Used for the "unbounded resources" measurement of Figure 3.
+    pub unbounded: bool,
+}
+
+impl Default for DvConfig {
+    fn default() -> Self {
+        DvConfig {
+            vector_registers: 128,
+            vector_length: 4,
+            element_bytes: 8,
+            tl_sets: 512,
+            tl_ways: 4,
+            confidence_threshold: 2,
+            vrmt_sets: 64,
+            vrmt_ways: 4,
+            unbounded: false,
+        }
+    }
+}
+
+impl DvConfig {
+    /// The configuration used for Figure 3: unlimited vector registers, TL and VRMT.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        DvConfig { unbounded: true, ..DvConfig::default() }
+    }
+
+    /// Bytes of storage used by the vector register file
+    /// (paper: 4 elements × 8 bytes × 128 registers = 4 KB).
+    #[must_use]
+    pub fn vector_file_bytes(&self) -> usize {
+        self.vector_registers * self.vector_length * self.element_bytes
+    }
+
+    /// Bytes of storage used by the VRMT, at the paper's 18 bytes per entry.
+    #[must_use]
+    pub fn vrmt_bytes(&self) -> usize {
+        self.vrmt_sets * self.vrmt_ways * 18
+    }
+
+    /// Bytes of storage used by the Table of Loads, at the paper's 24 bytes per entry.
+    #[must_use]
+    pub fn tl_bytes(&self) -> usize {
+        self.tl_sets * self.tl_ways * 24
+    }
+
+    /// Total extra storage required by the mechanism (§4.1 quotes ~56 KB).
+    #[must_use]
+    pub fn extra_storage_bytes(&self) -> usize {
+        self.vector_file_bytes() + self.vrmt_bytes() + self.tl_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_matches_the_paper() {
+        let cfg = DvConfig::default();
+        assert_eq!(cfg.vector_file_bytes(), 4 * 1024);
+        assert_eq!(cfg.vrmt_bytes(), 4608);
+        assert_eq!(cfg.tl_bytes(), 49152);
+        // 57 856 bytes, which §4.1 rounds down to "56 Kbytes".
+        assert_eq!(cfg.extra_storage_bytes(), 57_856);
+        assert!(cfg.extra_storage_bytes() >= 56 * 1024);
+    }
+
+    #[test]
+    fn unbounded_preset() {
+        let cfg = DvConfig::unbounded();
+        assert!(cfg.unbounded);
+        assert_eq!(cfg.vector_length, 4);
+        assert!(!DvConfig::default().unbounded);
+    }
+}

@@ -1,0 +1,568 @@
+//! The vector register file with per-element V/R/U/F flags (Figure 8) and the
+//! allocation / freeing rules of §3.3.
+
+/// Identifier of a vector register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VregId(u32);
+
+impl VregId {
+    /// The register's index within the file.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VregId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Per-element state: the four flags of Figure 8 plus a poison bit used to
+/// propagate load mis-speculations to dependent elements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElementState {
+    /// V: the element holds committed (validated) data.
+    pub valid: bool,
+    /// R: the element has been computed by a vector functional unit or loaded
+    /// from memory.
+    pub ready: bool,
+    /// U: a validation of this element has been dispatched but not committed.
+    pub used: bool,
+    /// F: the element is no longer needed.
+    pub free: bool,
+    /// The element is known to be wrong (its producing speculation failed) and
+    /// must never be validated.
+    pub poisoned: bool,
+}
+
+/// One vector register: owner PC, MRBB tag, per-element state and, for loads,
+/// the range of memory addresses the elements were fetched from (§3.6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorRegister {
+    allocated: bool,
+    pc: u64,
+    mrbb: u64,
+    generation: u64,
+    elements: Vec<ElementState>,
+    addr_range: Option<(u64, u64)>,
+}
+
+impl VectorRegister {
+    fn new(vector_length: usize) -> Self {
+        VectorRegister {
+            allocated: false,
+            pc: 0,
+            mrbb: 0,
+            generation: 0,
+            elements: vec![ElementState::default(); vector_length],
+            addr_range: None,
+        }
+    }
+
+    /// Allocation generation: incremented every time the register is
+    /// (re-)allocated, so external bookkeeping can detect reallocation.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the register is currently allocated.
+    #[must_use]
+    pub fn is_allocated(&self) -> bool {
+        self.allocated
+    }
+
+    /// PC of the instruction the register was allocated to.
+    #[must_use]
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// The MRBB tag recorded at allocation time.
+    #[must_use]
+    pub fn mrbb(&self) -> u64 {
+        self.mrbb
+    }
+
+    /// The per-element state.
+    #[must_use]
+    pub fn elements(&self) -> &[ElementState] {
+        &self.elements
+    }
+
+    /// The memory address range covered by a vectorized load, if set.
+    #[must_use]
+    pub fn addr_range(&self) -> Option<(u64, u64)> {
+        self.addr_range
+    }
+
+    /// Rule 1 of §3.3: every element has been computed and freed.
+    fn all_ready_and_free(&self) -> bool {
+        self.elements.iter().all(|e| e.ready && e.free)
+    }
+
+    /// Rule 2 of §3.3: every validated element is freed, all elements are
+    /// computed, none is in use, and the owning loop has terminated
+    /// (MRBB differs from the global MRBB).
+    fn releasable_after_loop(&self, gmrbb: u64) -> bool {
+        self.elements.iter().all(|e| (!e.valid || e.free) && e.ready && !e.used)
+            && self.mrbb != gmrbb
+    }
+}
+
+/// Element-usage accounting for released registers (Figure 15).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElementUsage {
+    /// Elements that were computed and validated ("comp. used").
+    pub computed_used: u64,
+    /// Elements that were computed but never validated ("comp. not used").
+    pub computed_not_used: u64,
+    /// Elements that were never computed ("not comp.").
+    pub not_computed: u64,
+    /// Number of registers released (the denominator of the averages).
+    pub registers_released: u64,
+}
+
+impl ElementUsage {
+    /// Average validated elements per released register.
+    #[must_use]
+    pub fn avg_computed_used(&self) -> f64 {
+        self.avg(self.computed_used)
+    }
+
+    /// Average computed-but-unused elements per released register.
+    #[must_use]
+    pub fn avg_computed_not_used(&self) -> f64 {
+        self.avg(self.computed_not_used)
+    }
+
+    /// Average never-computed elements per released register.
+    #[must_use]
+    pub fn avg_not_computed(&self) -> f64 {
+        self.avg(self.not_computed)
+    }
+
+    fn avg(&self, n: u64) -> f64 {
+        if self.registers_released == 0 {
+            0.0
+        } else {
+            n as f64 / self.registers_released as f64
+        }
+    }
+
+    /// Merges counts from another collector.
+    pub fn merge(&mut self, other: &ElementUsage) {
+        self.computed_used += other.computed_used;
+        self.computed_not_used += other.computed_not_used;
+        self.not_computed += other.not_computed;
+        self.registers_released += other.registers_released;
+    }
+}
+
+/// The vector register file.
+///
+/// ```
+/// use sdv_core::VectorRegisterFile;
+///
+/// let mut vrf = VectorRegisterFile::new(4, 4, false);
+/// let id = vrf.allocate(0x1000, 0).expect("register available");
+/// vrf.set_ready(id, 0);
+/// vrf.mark_used(id, 0);
+/// vrf.validate(id, 0);
+/// assert!(vrf.get(id).elements()[0].valid);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VectorRegisterFile {
+    regs: Vec<VectorRegister>,
+    vector_length: usize,
+    unbounded: bool,
+    usage: ElementUsage,
+    allocation_failures: u64,
+}
+
+impl VectorRegisterFile {
+    /// Creates a file of `count` registers of `vector_length` elements each.
+    /// With `unbounded`, allocation never fails (the file grows on demand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` or `vector_length` is zero.
+    #[must_use]
+    pub fn new(count: usize, vector_length: usize, unbounded: bool) -> Self {
+        assert!(count > 0, "vector register file must have at least one register");
+        assert!(vector_length > 0, "vector length must be at least one element");
+        VectorRegisterFile {
+            regs: (0..count).map(|_| VectorRegister::new(vector_length)).collect(),
+            vector_length,
+            unbounded,
+            usage: ElementUsage::default(),
+            allocation_failures: 0,
+        }
+    }
+
+    /// The configured vector length.
+    #[must_use]
+    pub fn vector_length(&self) -> usize {
+        self.vector_length
+    }
+
+    /// Number of registers currently allocated.
+    #[must_use]
+    pub fn allocated_count(&self) -> usize {
+        self.regs.iter().filter(|r| r.allocated).count()
+    }
+
+    /// Number of registers currently free.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.regs.len() - self.allocated_count()
+    }
+
+    /// Number of allocation requests that failed for lack of a free register.
+    #[must_use]
+    pub fn allocation_failures(&self) -> u64 {
+        self.allocation_failures
+    }
+
+    /// Element-usage statistics accumulated over released registers.
+    #[must_use]
+    pub fn usage(&self) -> &ElementUsage {
+        &self.usage
+    }
+
+    /// Allocates a register for the instruction at `pc`, tagging it with the
+    /// current MRBB.  Returns `None` when no register is free (§3.3: the
+    /// instruction then continues in scalar mode).
+    pub fn allocate(&mut self, pc: u64, mrbb: u64) -> Option<VregId> {
+        let slot = self.regs.iter().position(|r| !r.allocated);
+        let idx = match slot {
+            Some(i) => i,
+            None if self.unbounded => {
+                self.regs.push(VectorRegister::new(self.vector_length));
+                self.regs.len() - 1
+            }
+            None => {
+                self.allocation_failures += 1;
+                return None;
+            }
+        };
+        let vl = self.vector_length;
+        let reg = &mut self.regs[idx];
+        let generation = reg.generation + 1;
+        *reg = VectorRegister::new(vl);
+        reg.allocated = true;
+        reg.pc = pc;
+        reg.mrbb = mrbb;
+        reg.generation = generation;
+        Some(VregId(idx as u32))
+    }
+
+    /// The current allocation generation of `id` (see [`VectorRegister::generation`]).
+    #[must_use]
+    pub fn generation(&self, id: VregId) -> u64 {
+        self.get(id).generation()
+    }
+
+    /// Borrows a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn get(&self, id: VregId) -> &VectorRegister {
+        &self.regs[id.index()]
+    }
+
+    fn get_mut(&mut self, id: VregId) -> &mut VectorRegister {
+        &mut self.regs[id.index()]
+    }
+
+    /// Records the address range covered by a vectorized load.
+    pub fn set_addr_range(&mut self, id: VregId, first: u64, last: u64) {
+        self.get_mut(id).addr_range = Some((first.min(last), first.max(last)));
+    }
+
+    /// Marks element `offset` as computed (R flag).
+    pub fn set_ready(&mut self, id: VregId, offset: usize) {
+        self.get_mut(id).elements[offset].ready = true;
+    }
+
+    /// Whether element `offset` has been computed.
+    #[must_use]
+    pub fn is_ready(&self, id: VregId, offset: usize) -> bool {
+        self.get(id).elements[offset].ready
+    }
+
+    /// Marks element `offset` as having a dispatched, uncommitted validation (U flag).
+    pub fn mark_used(&mut self, id: VregId, offset: usize) {
+        self.get_mut(id).elements[offset].used = true;
+    }
+
+    /// Commits a validation of element `offset`: sets V and clears U.
+    pub fn validate(&mut self, id: VregId, offset: usize) {
+        let e = &mut self.get_mut(id).elements[offset];
+        e.valid = true;
+        e.used = false;
+    }
+
+    /// Marks element `offset` as no longer needed (F flag).
+    pub fn set_free_flag(&mut self, id: VregId, offset: usize) {
+        self.get_mut(id).elements[offset].free = true;
+    }
+
+    /// Poisons elements `from..` of a register after a failed validation, so
+    /// they are never validated or reused.
+    pub fn poison_from(&mut self, id: VregId, from: usize) {
+        for e in self.get_mut(id).elements[from..].iter_mut() {
+            e.poisoned = true;
+            e.used = false;
+        }
+    }
+
+    /// Whether element `offset` has been poisoned by a mis-speculation.
+    #[must_use]
+    pub fn is_poisoned(&self, id: VregId, offset: usize) -> bool {
+        self.get(id).elements[offset].poisoned
+    }
+
+    /// Releases `id` unconditionally, recording its element usage (used when a
+    /// register is invalidated by a store conflict or at the end of a run).
+    pub fn force_release(&mut self, id: VregId) {
+        if self.regs[id.index()].allocated {
+            self.record_usage(id);
+            self.get_mut(id).allocated = false;
+        }
+    }
+
+    /// Applies the two freeing rules of §3.3 to `id`; releases it and returns
+    /// `true` if either rule holds.
+    pub fn try_release(&mut self, id: VregId, gmrbb: u64) -> bool {
+        let reg = &self.regs[id.index()];
+        if !reg.allocated {
+            return false;
+        }
+        if reg.all_ready_and_free() || reg.releasable_after_loop(gmrbb) {
+            self.record_usage(id);
+            self.get_mut(id).allocated = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Applies the freeing rules to every allocated register; returns the
+    /// registers released.
+    pub fn release_eligible(&mut self, gmrbb: u64) -> Vec<VregId> {
+        let ids: Vec<VregId> =
+            (0..self.regs.len() as u32).map(VregId).filter(|&id| self.regs[id.index()].allocated).collect();
+        ids.into_iter().filter(|&id| self.try_release(id, gmrbb)).collect()
+    }
+
+    /// Registers (allocated, with an address range) whose range overlaps the
+    /// store `[addr, addr + width)` — the §3.6 coherence check.
+    #[must_use]
+    pub fn conflicting_registers(&self, addr: u64, width: u64) -> Vec<VregId> {
+        let end = addr + width.max(1) - 1;
+        self.regs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.allocated)
+            .filter_map(|(i, r)| {
+                r.addr_range.and_then(|(first, last)| {
+                    (addr <= last && end >= first).then_some(VregId(i as u32))
+                })
+            })
+            .collect()
+    }
+
+    /// All currently allocated registers.
+    pub fn allocated_ids(&self) -> impl Iterator<Item = VregId> + '_ {
+        self.regs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.allocated)
+            .map(|(i, _)| VregId(i as u32))
+    }
+
+    /// Releases every allocated register, recording usage (end of simulation).
+    pub fn release_all(&mut self) {
+        let ids: Vec<VregId> = self.allocated_ids().collect();
+        for id in ids {
+            self.force_release(id);
+        }
+    }
+
+    fn record_usage(&mut self, id: VregId) {
+        let reg = &self.regs[id.index()];
+        for e in &reg.elements {
+            if e.ready && e.valid {
+                self.usage.computed_used += 1;
+            } else if e.ready {
+                self.usage.computed_not_used += 1;
+            } else {
+                self.usage.not_computed += 1;
+            }
+        }
+        self.usage.registers_released += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file() -> VectorRegisterFile {
+        VectorRegisterFile::new(4, 4, false)
+    }
+
+    #[test]
+    fn allocation_and_exhaustion() {
+        let mut vrf = file();
+        let ids: Vec<_> = (0..4).map(|i| vrf.allocate(0x1000 + i, 0).unwrap()).collect();
+        assert_eq!(vrf.allocated_count(), 4);
+        assert_eq!(vrf.free_count(), 0);
+        assert!(vrf.allocate(0x2000, 0).is_none());
+        assert_eq!(vrf.allocation_failures(), 1);
+        vrf.force_release(ids[2]);
+        assert_eq!(vrf.free_count(), 1);
+        assert!(vrf.allocate(0x2000, 0).is_some());
+    }
+
+    #[test]
+    fn unbounded_file_grows() {
+        let mut vrf = VectorRegisterFile::new(1, 4, true);
+        for pc in 0..10u64 {
+            assert!(vrf.allocate(pc, 0).is_some());
+        }
+        assert_eq!(vrf.allocated_count(), 10);
+        assert_eq!(vrf.allocation_failures(), 0);
+    }
+
+    #[test]
+    fn freeing_rule_one_all_ready_and_free() {
+        let mut vrf = file();
+        let id = vrf.allocate(0x1000, 0xaaaa).unwrap();
+        for i in 0..4 {
+            vrf.set_ready(id, i);
+            vrf.set_free_flag(id, i);
+        }
+        assert!(vrf.try_release(id, 0xaaaa), "rule 1 ignores the MRBB");
+        assert_eq!(vrf.usage().registers_released, 1);
+    }
+
+    #[test]
+    fn freeing_rule_one_requires_all_elements() {
+        let mut vrf = file();
+        let id = vrf.allocate(0x1000, 0).unwrap();
+        for i in 0..3 {
+            vrf.set_ready(id, i);
+            vrf.set_free_flag(id, i);
+        }
+        vrf.set_ready(id, 3); // last element computed but not freed
+        assert!(!vrf.try_release(id, 0));
+    }
+
+    #[test]
+    fn freeing_rule_two_needs_loop_exit() {
+        let mut vrf = file();
+        let id = vrf.allocate(0x1000, 0x4000).unwrap();
+        // Validate and free the first two elements, compute the rest.
+        for i in 0..4 {
+            vrf.set_ready(id, i);
+        }
+        for i in 0..2 {
+            vrf.mark_used(id, i);
+            vrf.validate(id, i);
+            vrf.set_free_flag(id, i);
+        }
+        // GMRBB still equals the register's MRBB: the loop may still be running.
+        assert!(!vrf.try_release(id, 0x4000));
+        // Once another backward branch commits the loop is assumed finished.
+        assert!(vrf.try_release(id, 0x5000));
+    }
+
+    #[test]
+    fn freeing_rule_two_blocked_by_in_flight_validation() {
+        let mut vrf = file();
+        let id = vrf.allocate(0x1000, 0x4000).unwrap();
+        for i in 0..4 {
+            vrf.set_ready(id, i);
+        }
+        vrf.mark_used(id, 0); // validation dispatched but not committed
+        assert!(!vrf.try_release(id, 0x9999));
+        vrf.validate(id, 0);
+        vrf.set_free_flag(id, 0);
+        assert!(vrf.try_release(id, 0x9999));
+    }
+
+    #[test]
+    fn usage_statistics_classify_elements() {
+        let mut vrf = file();
+        let id = vrf.allocate(0x1000, 0).unwrap();
+        vrf.set_ready(id, 0);
+        vrf.validate(id, 0); // computed + used
+        vrf.set_ready(id, 1); // computed, not used
+        vrf.set_ready(id, 2); // computed, not used
+        // element 3 never computed
+        vrf.force_release(id);
+        let u = vrf.usage();
+        assert_eq!(u.computed_used, 1);
+        assert_eq!(u.computed_not_used, 2);
+        assert_eq!(u.not_computed, 1);
+        assert!((u.avg_computed_used() - 1.0).abs() < 1e-12);
+        assert!((u.avg_not_computed() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn store_conflict_detection() {
+        let mut vrf = file();
+        let a = vrf.allocate(0x1000, 0).unwrap();
+        let b = vrf.allocate(0x1004, 0).unwrap();
+        vrf.set_addr_range(a, 0x8000, 0x8018);
+        vrf.set_addr_range(b, 0x9000, 0x9018);
+        assert_eq!(vrf.conflicting_registers(0x8010, 8), vec![a]);
+        assert_eq!(vrf.conflicting_registers(0x8fff, 8), vec![b], "touches first byte of b");
+        assert!(vrf.conflicting_registers(0x7000, 8).is_empty());
+        let both = vrf.conflicting_registers(0x8018, 0x1000);
+        assert_eq!(both, vec![a, b]);
+    }
+
+    #[test]
+    fn poisoning_marks_trailing_elements() {
+        let mut vrf = file();
+        let id = vrf.allocate(0x1000, 0).unwrap();
+        vrf.mark_used(id, 3);
+        vrf.poison_from(id, 2);
+        assert!(!vrf.is_poisoned(id, 1));
+        assert!(vrf.is_poisoned(id, 2));
+        assert!(vrf.is_poisoned(id, 3));
+        assert!(!vrf.get(id).elements()[3].used, "poisoning clears U");
+    }
+
+    #[test]
+    fn release_all_and_eligible() {
+        let mut vrf = file();
+        let a = vrf.allocate(0x1, 0).unwrap();
+        let _b = vrf.allocate(0x2, 0).unwrap();
+        for i in 0..4 {
+            vrf.set_ready(a, i);
+            vrf.set_free_flag(a, i);
+        }
+        let released = vrf.release_eligible(0);
+        assert_eq!(released, vec![a]);
+        vrf.release_all();
+        assert_eq!(vrf.allocated_count(), 0);
+        assert_eq!(vrf.usage().registers_released, 2);
+    }
+
+    #[test]
+    fn double_force_release_counts_once() {
+        let mut vrf = file();
+        let id = vrf.allocate(0x1, 0).unwrap();
+        vrf.force_release(id);
+        vrf.force_release(id);
+        assert_eq!(vrf.usage().registers_released, 1);
+    }
+}

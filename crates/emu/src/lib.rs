@@ -1,0 +1,40 @@
+//! Functional emulator for the SDV ISA.
+//!
+//! The timing model in `sdv-uarch` is *execution driven*: at fetch time it
+//! asks this emulator for the next dynamic instruction on the correct path,
+//! together with everything the timing model needs to know about it (effective
+//! address, branch outcome, next PC).  The emulator is also used on its own to
+//! collect ISA-level statistics such as the stride distribution of Figure 1.
+//!
+//! ```
+//! use sdv_emu::Emulator;
+//! use sdv_isa::{ArchReg, Asm};
+//!
+//! let mut a = Asm::new();
+//! let xs = a.data_u64(&[5, 10, 15]);
+//! let (p, acc, x, n) = (ArchReg::int(1), ArchReg::int(2), ArchReg::int(3), ArchReg::int(4));
+//! a.li(p, xs as i64);
+//! a.li(acc, 0);
+//! a.li(n, 3);
+//! a.label("l");
+//! a.ld(x, p, 0);
+//! a.add(acc, acc, x);
+//! a.addi(p, p, 8);
+//! a.addi(n, n, -1);
+//! a.bne(n, ArchReg::ZERO, "l");
+//! a.halt();
+//!
+//! let mut emu = Emulator::new(&a.finish());
+//! let retired = emu.run(1_000);
+//! assert!(emu.halted());
+//! assert_eq!(emu.int_reg(acc), 30);
+//! assert_eq!(retired.len() as u64, emu.retired_count());
+//! ```
+
+pub mod cpu;
+pub mod memory;
+pub mod trace;
+
+pub use cpu::{EmuError, Emulator};
+pub use memory::SparseMemory;
+pub use trace::{MemAccess, Retired, StrideProfiler, StrideStats};

@@ -1,0 +1,230 @@
+//! Sparse byte-addressable memory.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse, byte-addressable 64-bit memory.
+///
+/// Pages are allocated lazily on first touch; untouched memory reads as zero.
+/// All multi-byte accesses are little-endian and may straddle page boundaries.
+///
+/// ```
+/// use sdv_emu::SparseMemory;
+///
+/// let mut m = SparseMemory::new();
+/// m.write_u64(0x1000, 0xdead_beef_cafe_f00d);
+/// assert_eq!(m.read_u64(0x1000), 0xdead_beef_cafe_f00d);
+/// assert_eq!(m.read_u32(0x1004), 0xdead_beef);
+/// assert_eq!(m.read_u8(0x2000), 0, "untouched memory reads as zero");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        SparseMemory::default()
+    }
+
+    /// Number of pages that have been touched.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.page(addr).map_or(0, |p| p[(addr & PAGE_MASK) as usize])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr`.
+    fn read_bytes<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let mut out = [0u8; N];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = self.read_u8(addr + i as u64);
+        }
+        out
+    }
+
+    /// Writes `N` little-endian bytes starting at `addr`.
+    fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    #[must_use]
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        u16::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32`.
+    #[must_use]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads an `f64` stored as its IEEE-754 bit pattern.
+    #[must_use]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Reads a value of `width` bytes (1, 2, 4 or 8), zero-extended to 64 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    #[must_use]
+    pub fn read_uint(&self, addr: u64, width: u64) -> u64 {
+        match width {
+            1 => u64::from(self.read_u8(addr)),
+            2 => u64::from(self.read_u16(addr)),
+            4 => u64::from(self.read_u32(addr)),
+            8 => self.read_u64(addr),
+            _ => panic!("unsupported access width {width}"),
+        }
+    }
+
+    /// Writes the low `width` bytes (1, 2, 4 or 8) of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn write_uint(&mut self, addr: u64, width: u64, value: u64) {
+        match width {
+            1 => self.write_u8(addr, value as u8),
+            2 => self.write_u16(addr, value as u16),
+            4 => self.write_u32(addr, value as u32),
+            8 => self.write_u64(addr, value),
+            _ => panic!("unsupported access width {width}"),
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn load_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        self.write_bytes(addr, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_u64(0), 0);
+        assert_eq!(m.read_u8(u64::MAX - 8), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn read_write_round_trip_all_widths() {
+        let mut m = SparseMemory::new();
+        m.write_u8(10, 0xab);
+        m.write_u16(20, 0xbeef);
+        m.write_u32(30, 0xdead_beef);
+        m.write_u64(40, 0x0123_4567_89ab_cdef);
+        m.write_f64(50, -1234.5678);
+        assert_eq!(m.read_u8(10), 0xab);
+        assert_eq!(m.read_u16(20), 0xbeef);
+        assert_eq!(m.read_u32(30), 0xdead_beef);
+        assert_eq!(m.read_u64(40), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_f64(50), -1234.5678);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = SparseMemory::new();
+        m.write_u32(0x100, 0x0403_0201);
+        assert_eq!(m.read_u8(0x100), 1);
+        assert_eq!(m.read_u8(0x101), 2);
+        assert_eq!(m.read_u8(0x102), 3);
+        assert_eq!(m.read_u8(0x103), 4);
+    }
+
+    #[test]
+    fn accesses_straddle_page_boundaries() {
+        let mut m = SparseMemory::new();
+        let addr = (1 << 12) - 3; // crosses into the second page
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn generic_width_accessors() {
+        let mut m = SparseMemory::new();
+        for width in [1u64, 2, 4, 8] {
+            let value = 0xf0f0_f0f0_f0f0_f0f0u64;
+            m.write_uint(width * 100, width, value);
+            let mask = if width == 8 { u64::MAX } else { (1u64 << (8 * width)) - 1 };
+            assert_eq!(m.read_uint(width * 100, width), value & mask);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access width")]
+    fn bad_width_panics() {
+        let m = SparseMemory::new();
+        let _ = m.read_uint(0, 3);
+    }
+
+    #[test]
+    fn load_bytes_bulk() {
+        let mut m = SparseMemory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.load_bytes(0x5000, &data);
+        for (i, &b) in data.iter().enumerate() {
+            assert_eq!(m.read_u8(0x5000 + i as u64), b);
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! An embedded assembler for building SDV programs from Rust code.
+//!
+//! The synthetic workloads of `sdv-workloads` and the unit tests of the rest
+//! of the workspace construct programs with [`Asm`]: each method appends one
+//! instruction, labels may be referenced before they are defined, and data can
+//! be laid out in the data segment with the `data_*`/`alloc` helpers.
+
+use crate::inst::Inst;
+use crate::op::Opcode;
+use crate::program::{DataSegment, Program, DATA_BASE};
+use crate::reg::ArchReg;
+use std::collections::HashMap;
+
+/// Builder for [`Program`]s.
+///
+/// # Examples
+///
+/// ```
+/// use sdv_isa::{Asm, ArchReg};
+///
+/// let mut a = Asm::new();
+/// let buf = a.alloc(64, 8);
+/// let (i, p) = (ArchReg::int(1), ArchReg::int(2));
+/// a.li(i, 8);
+/// a.li(p, buf as i64);
+/// a.label("fill");
+/// a.sd(i, p, 0);
+/// a.addi(p, p, 8);
+/// a.addi(i, i, -1);
+/// a.bne(i, ArchReg::ZERO, "fill");
+/// a.halt();
+/// let prog = a.finish();
+/// assert_eq!(prog.label_pc("fill"), Some(sdv_isa::TEXT_BASE + 8));
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    labels: HashMap<String, usize>,
+    /// (instruction index, label name) pairs whose `imm` still needs patching.
+    fixups: Vec<(usize, String)>,
+    data: Vec<DataSegment>,
+    next_data: u64,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Asm { next_data: DATA_BASE, ..Asm::default() }
+    }
+
+    /// The index of the next instruction to be emitted.
+    #[must_use]
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(&mut self, name: &str) {
+        let prev = self.labels.insert(name.to_string(), self.insts.len());
+        assert!(prev.is_none(), "label `{name}` defined twice");
+    }
+
+    /// Appends an arbitrary pre-built instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    // ----------------------------------------------------------------- data
+
+    /// Reserves `len` zero-initialised bytes aligned to `align` and returns the address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, len: usize, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.next_data + align - 1) & !(align - 1);
+        self.next_data = addr + len as u64;
+        self.data.push(DataSegment { addr, bytes: vec![0; len] });
+        addr
+    }
+
+    /// Lays out raw bytes in the data segment and returns their address.
+    pub fn data_bytes(&mut self, bytes: &[u8], align: u64) -> u64 {
+        let addr = self.alloc(bytes.len(), align);
+        let seg = self.data.last_mut().expect("alloc pushed a segment");
+        seg.bytes.copy_from_slice(bytes);
+        addr
+    }
+
+    /// Lays out an array of `u64` values and returns its address.
+    pub fn data_u64(&mut self, values: &[u64]) -> u64 {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.data_bytes(&bytes, 8)
+    }
+
+    /// Lays out an array of `f64` values and returns its address.
+    pub fn data_f64(&mut self, values: &[f64]) -> u64 {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.data_bytes(&bytes, 8)
+    }
+
+    /// Lays out an array of `u32` values and returns its address.
+    pub fn data_u32(&mut self, values: &[u32]) -> u64 {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.data_bytes(&bytes, 4)
+    }
+
+    // --------------------------------------------------------- integer alu
+
+    /// `dst = src1 + src2`
+    pub fn add(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Add, dst, src1, src2));
+    }
+    /// `dst = src1 - src2`
+    pub fn sub(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Sub, dst, src1, src2));
+    }
+    /// `dst = src1 & src2`
+    pub fn and(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::And, dst, src1, src2));
+    }
+    /// `dst = src1 | src2`
+    pub fn or(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Or, dst, src1, src2));
+    }
+    /// `dst = src1 ^ src2`
+    pub fn xor(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Xor, dst, src1, src2));
+    }
+    /// `dst = src1 << (src2 & 63)`
+    pub fn sll(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Sll, dst, src1, src2));
+    }
+    /// `dst = src1 >> (src2 & 63)` (logical)
+    pub fn srl(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Srl, dst, src1, src2));
+    }
+    /// `dst = src1 >> (src2 & 63)` (arithmetic)
+    pub fn sra(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Sra, dst, src1, src2));
+    }
+    /// `dst = (src1 as i64) < (src2 as i64)`
+    pub fn slt(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Slt, dst, src1, src2));
+    }
+    /// `dst = src1 < src2` (unsigned)
+    pub fn sltu(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Sltu, dst, src1, src2));
+    }
+    /// `dst = src1 + imm`
+    pub fn addi(&mut self, dst: ArchReg, src1: ArchReg, imm: i64) {
+        self.push(Inst::rri(Opcode::Addi, dst, src1, imm));
+    }
+    /// `dst = src1 & imm`
+    pub fn andi(&mut self, dst: ArchReg, src1: ArchReg, imm: i64) {
+        self.push(Inst::rri(Opcode::Andi, dst, src1, imm));
+    }
+    /// `dst = src1 | imm`
+    pub fn ori(&mut self, dst: ArchReg, src1: ArchReg, imm: i64) {
+        self.push(Inst::rri(Opcode::Ori, dst, src1, imm));
+    }
+    /// `dst = src1 ^ imm`
+    pub fn xori(&mut self, dst: ArchReg, src1: ArchReg, imm: i64) {
+        self.push(Inst::rri(Opcode::Xori, dst, src1, imm));
+    }
+    /// `dst = src1 << imm`
+    pub fn slli(&mut self, dst: ArchReg, src1: ArchReg, imm: i64) {
+        self.push(Inst::rri(Opcode::Slli, dst, src1, imm));
+    }
+    /// `dst = src1 >> imm` (logical)
+    pub fn srli(&mut self, dst: ArchReg, src1: ArchReg, imm: i64) {
+        self.push(Inst::rri(Opcode::Srli, dst, src1, imm));
+    }
+    /// `dst = src1 >> imm` (arithmetic)
+    pub fn srai(&mut self, dst: ArchReg, src1: ArchReg, imm: i64) {
+        self.push(Inst::rri(Opcode::Srai, dst, src1, imm));
+    }
+    /// `dst = (src1 as i64) < imm`
+    pub fn slti(&mut self, dst: ArchReg, src1: ArchReg, imm: i64) {
+        self.push(Inst::rri(Opcode::Slti, dst, src1, imm));
+    }
+    /// `dst = imm`
+    pub fn li(&mut self, dst: ArchReg, imm: i64) {
+        self.push(Inst::ri(Opcode::Li, dst, imm));
+    }
+    /// `dst = src` (encoded as `ori dst, src, 0`)
+    pub fn mv(&mut self, dst: ArchReg, src: ArchReg) {
+        self.push(Inst::rri(Opcode::Ori, dst, src, 0));
+    }
+    /// `dst = src1 * src2` (low 64 bits)
+    pub fn mul(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Mul, dst, src1, src2));
+    }
+    /// `dst = high 64 bits of src1 * src2`
+    pub fn mulh(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Mulh, dst, src1, src2));
+    }
+    /// `dst = src1 / src2` (signed; division by zero yields -1)
+    pub fn div(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Div, dst, src1, src2));
+    }
+    /// `dst = src1 % src2` (signed; modulo by zero yields src1)
+    pub fn rem(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Rem, dst, src1, src2));
+    }
+
+    // -------------------------------------------------------- floating point
+
+    /// `dst = src1 + src2`
+    pub fn fadd(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Fadd, dst, src1, src2));
+    }
+    /// `dst = src1 - src2`
+    pub fn fsub(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Fsub, dst, src1, src2));
+    }
+    /// `dst = src1 * src2`
+    pub fn fmul(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Fmul, dst, src1, src2));
+    }
+    /// `dst = src1 / src2`
+    pub fn fdiv(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Fdiv, dst, src1, src2));
+    }
+    /// `dst = sqrt(src1)`
+    pub fn fsqrt(&mut self, dst: ArchReg, src1: ArchReg) {
+        self.push(Inst::rr(Opcode::Fsqrt, dst, src1));
+    }
+    /// `dst = -src1`
+    pub fn fneg(&mut self, dst: ArchReg, src1: ArchReg) {
+        self.push(Inst::rr(Opcode::Fneg, dst, src1));
+    }
+    /// `dst = |src1|`
+    pub fn fabs(&mut self, dst: ArchReg, src1: ArchReg) {
+        self.push(Inst::rr(Opcode::Fabs, dst, src1));
+    }
+    /// `dst = min(src1, src2)`
+    pub fn fmin(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Fmin, dst, src1, src2));
+    }
+    /// `dst = max(src1, src2)`
+    pub fn fmax(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Fmax, dst, src1, src2));
+    }
+    /// `dst(fp) = src1(int) as f64`
+    pub fn fcvt_from_int(&mut self, dst: ArchReg, src1: ArchReg) {
+        self.push(Inst::rr(Opcode::Fcvtlf, dst, src1));
+    }
+    /// `dst(int) = src1(fp) as i64`
+    pub fn fcvt_to_int(&mut self, dst: ArchReg, src1: ArchReg) {
+        self.push(Inst::rr(Opcode::Fcvtfl, dst, src1));
+    }
+    /// `dst(int) = src1 == src2`
+    pub fn feq(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Feq, dst, src1, src2));
+    }
+    /// `dst(int) = src1 < src2`
+    pub fn flt(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Flt, dst, src1, src2));
+    }
+    /// `dst(int) = src1 <= src2`
+    pub fn fle(&mut self, dst: ArchReg, src1: ArchReg, src2: ArchReg) {
+        self.push(Inst::rrr(Opcode::Fle, dst, src1, src2));
+    }
+
+    // ---------------------------------------------------------------- memory
+
+    /// `dst = sign_extend(mem8[base + offset])`
+    pub fn lb(&mut self, dst: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::load(Opcode::Lb, dst, base, offset));
+    }
+    /// `dst = mem8[base + offset]`
+    pub fn lbu(&mut self, dst: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::load(Opcode::Lbu, dst, base, offset));
+    }
+    /// `dst = sign_extend(mem16[base + offset])`
+    pub fn lh(&mut self, dst: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::load(Opcode::Lh, dst, base, offset));
+    }
+    /// `dst = mem16[base + offset]`
+    pub fn lhu(&mut self, dst: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::load(Opcode::Lhu, dst, base, offset));
+    }
+    /// `dst = sign_extend(mem32[base + offset])`
+    pub fn lw(&mut self, dst: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::load(Opcode::Lw, dst, base, offset));
+    }
+    /// `dst = mem32[base + offset]`
+    pub fn lwu(&mut self, dst: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::load(Opcode::Lwu, dst, base, offset));
+    }
+    /// `dst = mem64[base + offset]`
+    pub fn ld(&mut self, dst: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::load(Opcode::Ld, dst, base, offset));
+    }
+    /// `dst(fp) = mem32[base + offset] as f32 as f64`
+    pub fn flw(&mut self, dst: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::load(Opcode::Flw, dst, base, offset));
+    }
+    /// `dst(fp) = mem64[base + offset] as f64`
+    pub fn fld(&mut self, dst: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::load(Opcode::Fld, dst, base, offset));
+    }
+    /// `mem8[base + offset] = data`
+    pub fn sb(&mut self, data: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::store(Opcode::Sb, data, base, offset));
+    }
+    /// `mem16[base + offset] = data`
+    pub fn sh(&mut self, data: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::store(Opcode::Sh, data, base, offset));
+    }
+    /// `mem32[base + offset] = data`
+    pub fn sw(&mut self, data: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::store(Opcode::Sw, data, base, offset));
+    }
+    /// `mem64[base + offset] = data`
+    pub fn sd(&mut self, data: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::store(Opcode::Sd, data, base, offset));
+    }
+    /// `mem32[base + offset] = data(fp) as f32`
+    pub fn fsw(&mut self, data: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::store(Opcode::Fsw, data, base, offset));
+    }
+    /// `mem64[base + offset] = data(fp)`
+    pub fn fsd(&mut self, data: ArchReg, base: ArchReg, offset: i64) {
+        self.push(Inst::store(Opcode::Fsd, data, base, offset));
+    }
+
+    // --------------------------------------------------------------- control
+
+    fn branch_to(&mut self, op: Opcode, src1: ArchReg, src2: ArchReg, target: &str) {
+        self.fixups.push((self.insts.len(), target.to_string()));
+        self.push(Inst::branch(op, src1, src2, 0));
+    }
+
+    /// Branch to `target` if `src1 == src2`.
+    pub fn beq(&mut self, src1: ArchReg, src2: ArchReg, target: &str) {
+        self.branch_to(Opcode::Beq, src1, src2, target);
+    }
+    /// Branch to `target` if `src1 != src2`.
+    pub fn bne(&mut self, src1: ArchReg, src2: ArchReg, target: &str) {
+        self.branch_to(Opcode::Bne, src1, src2, target);
+    }
+    /// Branch to `target` if `src1 < src2` (signed).
+    pub fn blt(&mut self, src1: ArchReg, src2: ArchReg, target: &str) {
+        self.branch_to(Opcode::Blt, src1, src2, target);
+    }
+    /// Branch to `target` if `src1 >= src2` (signed).
+    pub fn bge(&mut self, src1: ArchReg, src2: ArchReg, target: &str) {
+        self.branch_to(Opcode::Bge, src1, src2, target);
+    }
+    /// Branch to `target` if `src1 < src2` (unsigned).
+    pub fn bltu(&mut self, src1: ArchReg, src2: ArchReg, target: &str) {
+        self.branch_to(Opcode::Bltu, src1, src2, target);
+    }
+    /// Branch to `target` if `src1 >= src2` (unsigned).
+    pub fn bgeu(&mut self, src1: ArchReg, src2: ArchReg, target: &str) {
+        self.branch_to(Opcode::Bgeu, src1, src2, target);
+    }
+    /// Unconditional jump to `target`.
+    pub fn j(&mut self, target: &str) {
+        self.fixups.push((self.insts.len(), target.to_string()));
+        self.push(Inst::op_only(Opcode::J, 0));
+    }
+    /// Jump to `target`, writing the return address to `link`.
+    pub fn jal(&mut self, link: ArchReg, target: &str) {
+        self.fixups.push((self.insts.len(), target.to_string()));
+        self.push(Inst { op: Opcode::Jal, dst: Some(link), src1: None, src2: None, imm: 0 });
+    }
+    /// Indirect jump to the address in `src`.
+    pub fn jr(&mut self, src: ArchReg) {
+        self.push(Inst { op: Opcode::Jr, dst: None, src1: Some(src), src2: None, imm: 0 });
+    }
+    /// Indirect jump to `src + offset`, writing the return address to `link`.
+    pub fn jalr(&mut self, link: ArchReg, src: ArchReg, offset: i64) {
+        self.push(Inst { op: Opcode::Jalr, dst: Some(link), src1: Some(src), src2: None, imm: offset });
+    }
+    /// No operation.
+    pub fn nop(&mut self) {
+        self.push(Inst::nop());
+    }
+    /// Halt the program.
+    pub fn halt(&mut self) {
+        self.push(Inst::halt());
+    }
+
+    // ----------------------------------------------------------------- finish
+
+    /// Resolves all label references and produces the [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instruction references a label that was never defined.
+    #[must_use]
+    pub fn finish(mut self) -> Program {
+        for (idx, name) in &self.fixups {
+            let target = *self
+                .labels
+                .get(name)
+                .unwrap_or_else(|| panic!("undefined label `{name}` referenced at inst {idx}"));
+            self.insts[*idx].imm = Program::pc_of(target) as i64;
+        }
+        Program::new(self.insts, self.labels, self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::TEXT_BASE;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let r = ArchReg::int(1);
+        a.label("top");
+        a.addi(r, r, 1);
+        a.beq(r, ArchReg::ZERO, "bottom"); // forward reference
+        a.j("top"); // backward reference
+        a.label("bottom");
+        a.halt();
+        let p = a.finish();
+        assert_eq!(p.insts()[1].imm, (TEXT_BASE + 12) as i64);
+        assert_eq!(p.insts()[2].imm, TEXT_BASE as i64);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.label("x");
+    }
+
+    #[test]
+    fn data_layout_is_aligned_and_disjoint() {
+        let mut a = Asm::new();
+        let b0 = a.data_bytes(&[1, 2, 3], 1);
+        let b1 = a.data_u64(&[10, 20]);
+        let b2 = a.data_f64(&[1.5]);
+        let b3 = a.alloc(100, 64);
+        assert!(b1.is_multiple_of(8) && b2.is_multiple_of(8) && b3.is_multiple_of(64));
+        assert!(b0 < b1 && b1 < b2 && b2 < b3);
+        let p = a.finish();
+        assert_eq!(p.data_segments().len(), 4);
+        assert_eq!(p.data_segments()[1].bytes, 10u64.to_le_bytes().iter().chain(20u64.to_le_bytes().iter()).copied().collect::<Vec<u8>>());
+        // segments must not overlap
+        for w in p.data_segments().windows(2) {
+            assert!(w[0].end() <= w[1].addr);
+        }
+    }
+
+    #[test]
+    fn data_u32_layout() {
+        let mut a = Asm::new();
+        let addr = a.data_u32(&[0xdead_beef, 0x1234_5678]);
+        let p = a.finish();
+        let seg = &p.data_segments()[0];
+        assert_eq!(seg.addr, addr);
+        assert_eq!(seg.bytes.len(), 8);
+        assert_eq!(&seg.bytes[0..4], &0xdead_beefu32.to_le_bytes());
+    }
+
+    #[test]
+    fn every_helper_emits_one_instruction() {
+        let mut a = Asm::new();
+        let (x1, x2, x3) = (ArchReg::int(1), ArchReg::int(2), ArchReg::int(3));
+        let (f1, f2, f3) = (ArchReg::fp(1), ArchReg::fp(2), ArchReg::fp(3));
+        a.add(x1, x2, x3);
+        a.sub(x1, x2, x3);
+        a.and(x1, x2, x3);
+        a.or(x1, x2, x3);
+        a.xor(x1, x2, x3);
+        a.sll(x1, x2, x3);
+        a.srl(x1, x2, x3);
+        a.sra(x1, x2, x3);
+        a.slt(x1, x2, x3);
+        a.sltu(x1, x2, x3);
+        a.addi(x1, x2, 1);
+        a.andi(x1, x2, 1);
+        a.ori(x1, x2, 1);
+        a.xori(x1, x2, 1);
+        a.slli(x1, x2, 1);
+        a.srli(x1, x2, 1);
+        a.srai(x1, x2, 1);
+        a.slti(x1, x2, 1);
+        a.li(x1, 1);
+        a.mv(x1, x2);
+        a.mul(x1, x2, x3);
+        a.mulh(x1, x2, x3);
+        a.div(x1, x2, x3);
+        a.rem(x1, x2, x3);
+        a.fadd(f1, f2, f3);
+        a.fsub(f1, f2, f3);
+        a.fmul(f1, f2, f3);
+        a.fdiv(f1, f2, f3);
+        a.fsqrt(f1, f2);
+        a.fneg(f1, f2);
+        a.fabs(f1, f2);
+        a.fmin(f1, f2, f3);
+        a.fmax(f1, f2, f3);
+        a.fcvt_from_int(f1, x1);
+        a.fcvt_to_int(x1, f1);
+        a.feq(x1, f1, f2);
+        a.flt(x1, f1, f2);
+        a.fle(x1, f1, f2);
+        a.lb(x1, x2, 0);
+        a.lbu(x1, x2, 0);
+        a.lh(x1, x2, 0);
+        a.lhu(x1, x2, 0);
+        a.lw(x1, x2, 0);
+        a.lwu(x1, x2, 0);
+        a.ld(x1, x2, 0);
+        a.flw(f1, x2, 0);
+        a.fld(f1, x2, 0);
+        a.sb(x1, x2, 0);
+        a.sh(x1, x2, 0);
+        a.sw(x1, x2, 0);
+        a.sd(x1, x2, 0);
+        a.fsw(f1, x2, 0);
+        a.fsd(f1, x2, 0);
+        a.label("t");
+        a.beq(x1, x2, "t");
+        a.bne(x1, x2, "t");
+        a.blt(x1, x2, "t");
+        a.bge(x1, x2, "t");
+        a.bltu(x1, x2, "t");
+        a.bgeu(x1, x2, "t");
+        a.j("t");
+        a.jal(ArchReg::RA, "t");
+        a.jr(ArchReg::RA);
+        a.jalr(ArchReg::RA, x1, 0);
+        a.nop();
+        a.halt();
+        let n = a.here();
+        let p = a.finish();
+        assert_eq!(p.len(), n);
+        assert_eq!(p.len(), 65);
+    }
+}

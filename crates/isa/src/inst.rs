@@ -1,0 +1,250 @@
+//! Instruction words.
+
+use crate::op::{OpClass, Opcode};
+use crate::reg::ArchReg;
+use std::fmt;
+
+/// A decoded instruction.
+///
+/// All operand slots are optional; which ones are meaningful depends on the
+/// [`Opcode`] (see its documentation for the conventions).  Instructions are
+/// plain values: the assembler produces them, the emulator interprets them and
+/// the timing model copies them into pipeline structures.
+///
+/// ```
+/// use sdv_isa::{ArchReg, Inst, Opcode};
+///
+/// let add = Inst::rrr(Opcode::Add, ArchReg::int(1), ArchReg::int(2), ArchReg::int(3));
+/// assert_eq!(add.defs(), Some(ArchReg::int(1)));
+/// assert_eq!(add.uses(), vec![ArchReg::int(2), ArchReg::int(3)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register, if the instruction writes one.
+    pub dst: Option<ArchReg>,
+    /// First source register.
+    pub src1: Option<ArchReg>,
+    /// Second source register.
+    pub src2: Option<ArchReg>,
+    /// Immediate operand: displacement for memory operations, absolute target
+    /// for control transfers, literal for immediate ALU operations.
+    pub imm: i64,
+}
+
+impl Inst {
+    /// A register-register-register instruction (`dst = src1 op src2`).
+    #[must_use]
+    pub const fn rrr(op: Opcode, dst: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
+        Inst { op, dst: Some(dst), src1: Some(src1), src2: Some(src2), imm: 0 }
+    }
+
+    /// A register-register-immediate instruction (`dst = src1 op imm`).
+    #[must_use]
+    pub const fn rri(op: Opcode, dst: ArchReg, src1: ArchReg, imm: i64) -> Self {
+        Inst { op, dst: Some(dst), src1: Some(src1), src2: None, imm }
+    }
+
+    /// A register-immediate instruction (`dst = imm`), e.g. `li`.
+    #[must_use]
+    pub const fn ri(op: Opcode, dst: ArchReg, imm: i64) -> Self {
+        Inst { op, dst: Some(dst), src1: None, src2: None, imm }
+    }
+
+    /// A unary register-register instruction (`dst = op src1`).
+    #[must_use]
+    pub const fn rr(op: Opcode, dst: ArchReg, src1: ArchReg) -> Self {
+        Inst { op, dst: Some(dst), src1: Some(src1), src2: None, imm: 0 }
+    }
+
+    /// A load: `dst = mem[src1 + imm]`.
+    #[must_use]
+    pub const fn load(op: Opcode, dst: ArchReg, base: ArchReg, offset: i64) -> Self {
+        Inst { op, dst: Some(dst), src1: Some(base), src2: None, imm: offset }
+    }
+
+    /// A store: `mem[src1 + imm] = src2`.
+    #[must_use]
+    pub const fn store(op: Opcode, data: ArchReg, base: ArchReg, offset: i64) -> Self {
+        Inst { op, dst: None, src1: Some(base), src2: Some(data), imm: offset }
+    }
+
+    /// A conditional branch comparing `src1` and `src2`, targeting the
+    /// absolute PC `target`.
+    #[must_use]
+    pub const fn branch(op: Opcode, src1: ArchReg, src2: ArchReg, target: i64) -> Self {
+        Inst { op, dst: None, src1: Some(src1), src2: Some(src2), imm: target }
+    }
+
+    /// An instruction with no operands (`nop`, `halt`, `j target`).
+    #[must_use]
+    pub const fn op_only(op: Opcode, imm: i64) -> Self {
+        Inst { op, dst: None, src1: None, src2: None, imm }
+    }
+
+    /// The operation class (shorthand for `self.op.class()`).
+    #[must_use]
+    pub const fn class(&self) -> OpClass {
+        self.op.class()
+    }
+
+    /// The register defined (written) by this instruction.
+    ///
+    /// Writes to the hard-wired zero register are reported here unchanged; the
+    /// emulator and the rename stage ignore them.
+    #[must_use]
+    pub fn defs(&self) -> Option<ArchReg> {
+        self.dst
+    }
+
+    /// The registers used (read) by this instruction, in `src1`, `src2` order.
+    #[must_use]
+    pub fn uses(&self) -> Vec<ArchReg> {
+        self.src1.into_iter().chain(self.src2).collect()
+    }
+
+    /// Whether this instruction reads or writes memory.
+    #[must_use]
+    pub const fn is_mem(&self) -> bool {
+        self.op.class().is_mem()
+    }
+
+    /// Whether this instruction is a load.
+    #[must_use]
+    pub const fn is_load(&self) -> bool {
+        self.op.is_load()
+    }
+
+    /// Whether this instruction is a store.
+    #[must_use]
+    pub const fn is_store(&self) -> bool {
+        self.op.is_store()
+    }
+
+    /// Whether this instruction transfers control.
+    #[must_use]
+    pub const fn is_control(&self) -> bool {
+        self.op.is_control()
+    }
+
+    /// A `nop` instruction.
+    #[must_use]
+    pub const fn nop() -> Self {
+        Inst::op_only(Opcode::Nop, 0)
+    }
+
+    /// A `halt` instruction.
+    #[must_use]
+    pub const fn halt() -> Self {
+        Inst::op_only(Opcode::Halt, 0)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use OpClass::*;
+        match self.class() {
+            Load => write!(
+                f,
+                "{} {}, {}({})",
+                self.op,
+                self.dst.expect("load has dst"),
+                self.imm,
+                self.src1.expect("load has base"),
+            ),
+            Store => write!(
+                f,
+                "{} {}, {}({})",
+                self.op,
+                self.src2.expect("store has data"),
+                self.imm,
+                self.src1.expect("store has base"),
+            ),
+            Branch => write!(
+                f,
+                "{} {}, {}, {:#x}",
+                self.op,
+                self.src1.expect("branch has src1"),
+                self.src2.expect("branch has src2"),
+                self.imm,
+            ),
+            Jump => match (self.dst, self.src1) {
+                (Some(d), Some(s)) => write!(f, "{} {}, {}, {:#x}", self.op, d, s, self.imm),
+                (Some(d), None) => write!(f, "{} {}, {:#x}", self.op, d, self.imm),
+                (None, Some(s)) => write!(f, "{} {}", self.op, s),
+                (None, None) => write!(f, "{} {:#x}", self.op, self.imm),
+            },
+            Nop | Halt => write!(f, "{}", self.op),
+            _ => {
+                write!(f, "{}", self.op)?;
+                let mut sep = " ";
+                if let Some(d) = self.dst {
+                    write!(f, "{sep}{d}")?;
+                    sep = ", ";
+                }
+                if let Some(s) = self.src1 {
+                    write!(f, "{sep}{s}")?;
+                    sep = ", ";
+                }
+                if let Some(s) = self.src2 {
+                    write!(f, "{sep}{s}")?;
+                    sep = ", ";
+                }
+                if (self.src2.is_none() || self.imm != 0)
+                    && (matches!(self.op, Opcode::Li)
+                        || self.src2.is_none() && !matches!(self.op, Opcode::Fneg | Opcode::Fabs))
+                    {
+                        write!(f, "{sep}{}", self.imm)?;
+                    }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_operands() {
+        let ld = Inst::load(Opcode::Ld, ArchReg::int(1), ArchReg::int(2), 16);
+        assert_eq!(ld.defs(), Some(ArchReg::int(1)));
+        assert_eq!(ld.uses(), vec![ArchReg::int(2)]);
+        assert!(ld.is_load() && ld.is_mem() && !ld.is_store());
+
+        let st = Inst::store(Opcode::Sd, ArchReg::int(3), ArchReg::int(4), -8);
+        assert_eq!(st.defs(), None);
+        assert_eq!(st.uses(), vec![ArchReg::int(4), ArchReg::int(3)]);
+        assert!(st.is_store() && st.is_mem());
+
+        let br = Inst::branch(Opcode::Beq, ArchReg::int(1), ArchReg::int(2), 0x1040);
+        assert!(br.is_control());
+        assert_eq!(br.defs(), None);
+    }
+
+    #[test]
+    fn display_formats_common_shapes() {
+        let add = Inst::rrr(Opcode::Add, ArchReg::int(1), ArchReg::int(2), ArchReg::int(3));
+        assert_eq!(add.to_string(), "add x1, x2, x3");
+        let ld = Inst::load(Opcode::Fld, ArchReg::fp(1), ArchReg::int(2), 24);
+        assert_eq!(ld.to_string(), "fld f1, 24(x2)");
+        let st = Inst::store(Opcode::Sw, ArchReg::int(5), ArchReg::int(6), 4);
+        assert_eq!(st.to_string(), "sw x5, 4(x6)");
+        let li = Inst::ri(Opcode::Li, ArchReg::int(9), 1234);
+        assert_eq!(li.to_string(), "li x9, 1234");
+        let halt = Inst::halt();
+        assert_eq!(halt.to_string(), "halt");
+        let beq = Inst::branch(Opcode::Beq, ArchReg::int(1), ArchReg::ZERO, 0x1000);
+        assert_eq!(beq.to_string(), "beq x1, x0, 0x1000");
+    }
+
+    #[test]
+    fn nop_and_halt_helpers() {
+        assert_eq!(Inst::nop().op, Opcode::Nop);
+        assert_eq!(Inst::halt().op, Opcode::Halt);
+        assert!(Inst::nop().uses().is_empty());
+        assert_eq!(Inst::halt().defs(), None);
+    }
+}

@@ -1,0 +1,48 @@
+//! The SDV instruction set architecture.
+//!
+//! The paper evaluates speculative dynamic vectorization on Alpha binaries run
+//! under SimpleScalar.  The mechanism itself is ISA-agnostic: it only observes
+//! program counters, effective addresses and register dataflow.  This crate
+//! defines a compact 64-bit load/store ISA ("SDV ISA") that the rest of the
+//! workspace emulates and simulates:
+//!
+//! * 32 integer registers (`x0`‥`x31`, `x0` hard-wired to zero) and
+//!   32 floating-point registers (`f0`‥`f31`),
+//! * fixed 4-byte instruction slots starting at [`TEXT_BASE`],
+//! * the usual RISC repertoire: integer/FP arithmetic, sized loads and stores,
+//!   conditional branches, jumps and a `halt`.
+//!
+//! Programs are built with the embedded assembler [`Asm`], which resolves
+//! labels and lays out data segments, and are executed by `sdv-emu`.
+//!
+//! ```
+//! use sdv_isa::{Asm, ArchReg};
+//!
+//! let mut a = Asm::new();
+//! let xs = a.data_u64(&[1, 2, 3, 4]);
+//! let (n, sum, ptr, x) = (ArchReg::int(1), ArchReg::int(2), ArchReg::int(3), ArchReg::int(4));
+//! a.li(n, 4);
+//! a.li(sum, 0);
+//! a.li(ptr, xs as i64);
+//! a.label("loop");
+//! a.ld(x, ptr, 0);
+//! a.add(sum, sum, x);
+//! a.addi(ptr, ptr, 8);
+//! a.addi(n, n, -1);
+//! a.bne(n, ArchReg::ZERO, "loop");
+//! a.halt();
+//! let program = a.finish();
+//! assert_eq!(program.len(), 9);
+//! ```
+
+pub mod asm;
+pub mod inst;
+pub mod op;
+pub mod program;
+pub mod reg;
+
+pub use asm::Asm;
+pub use inst::Inst;
+pub use op::{MemWidth, OpClass, Opcode};
+pub use program::{DataSegment, Program, INST_BYTES, TEXT_BASE};
+pub use reg::{ArchReg, RegClass, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};

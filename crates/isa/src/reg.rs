@@ -1,0 +1,217 @@
+//! Architectural registers.
+//!
+//! The SDV ISA has 32 integer registers and 32 floating-point registers.  The
+//! whole set is addressed through a single flat index space (0‥63) so that the
+//! rename table of the timing model can be a plain array; [`ArchReg`] is a
+//! light new-type over that index.
+
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Total number of architectural registers (integer + floating point).
+pub const NUM_ARCH_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// The class (integer or floating point) of an architectural register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Integer register file (`x0`‥`x31`).
+    Int,
+    /// Floating-point register file (`f0`‥`f31`).
+    Fp,
+}
+
+/// An architectural register.
+///
+/// Integer registers occupy flat indices `0..32`, floating-point registers
+/// occupy `32..64`.  Register `x0` is hard-wired to zero by the emulator and
+/// the timing model.
+///
+/// ```
+/// use sdv_isa::{ArchReg, RegClass};
+///
+/// let a = ArchReg::int(5);
+/// let f = ArchReg::fp(5);
+/// assert_ne!(a, f);
+/// assert_eq!(a.class(), RegClass::Int);
+/// assert_eq!(f.class(), RegClass::Fp);
+/// assert_eq!(f.number(), 5);
+/// assert_eq!(f.flat_index(), 37);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// The integer register that always reads as zero.
+    pub const ZERO: ArchReg = ArchReg(0);
+
+    /// Conventional stack-pointer register (`x29`).
+    pub const SP: ArchReg = ArchReg(29);
+
+    /// Conventional link register written by `jal`/`jalr` (`x31`).
+    pub const RA: ArchReg = ArchReg(31);
+
+    /// Creates the integer register `x<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub const fn int(n: u8) -> Self {
+        assert!((n as usize) < NUM_INT_REGS, "integer register out of range");
+        ArchReg(n)
+    }
+
+    /// Creates the floating-point register `f<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub const fn fp(n: u8) -> Self {
+        assert!((n as usize) < NUM_FP_REGS, "fp register out of range");
+        ArchReg(n + NUM_INT_REGS as u8)
+    }
+
+    /// Reconstructs a register from its flat index (`0..64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_ARCH_REGS`.
+    #[must_use]
+    pub const fn from_flat_index(index: usize) -> Self {
+        assert!(index < NUM_ARCH_REGS, "flat register index out of range");
+        ArchReg(index as u8)
+    }
+
+    /// The flat index of this register in `0..64`.
+    #[must_use]
+    pub const fn flat_index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The register number within its own class (`0..32`).
+    #[must_use]
+    pub const fn number(self) -> u8 {
+        if self.0 < NUM_INT_REGS as u8 {
+            self.0
+        } else {
+            self.0 - NUM_INT_REGS as u8
+        }
+    }
+
+    /// The class of this register.
+    #[must_use]
+    pub const fn class(self) -> RegClass {
+        if self.0 < NUM_INT_REGS as u8 {
+            RegClass::Int
+        } else {
+            RegClass::Fp
+        }
+    }
+
+    /// Whether this is an integer register.
+    #[must_use]
+    pub const fn is_int(self) -> bool {
+        matches!(self.class(), RegClass::Int)
+    }
+
+    /// Whether this is a floating-point register.
+    #[must_use]
+    pub const fn is_fp(self) -> bool {
+        matches!(self.class(), RegClass::Fp)
+    }
+
+    /// Whether this register is the hard-wired zero register.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over every architectural register in flat-index order.
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..NUM_ARCH_REGS).map(ArchReg::from_flat_index)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            RegClass::Int => write!(f, "x{}", self.number()),
+            RegClass::Fp => write!(f, "f{}", self.number()),
+        }
+    }
+}
+
+impl From<ArchReg> for usize {
+    fn from(value: ArchReg) -> Self {
+        value.flat_index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_registers_do_not_alias() {
+        for n in 0..32u8 {
+            assert_ne!(ArchReg::int(n), ArchReg::fp(n));
+            assert_eq!(ArchReg::int(n).number(), n);
+            assert_eq!(ArchReg::fp(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn flat_index_round_trips() {
+        for r in ArchReg::all() {
+            assert_eq!(ArchReg::from_flat_index(r.flat_index()), r);
+        }
+        assert_eq!(ArchReg::all().count(), NUM_ARCH_REGS);
+    }
+
+    #[test]
+    fn classes_are_correct() {
+        assert!(ArchReg::int(3).is_int());
+        assert!(!ArchReg::int(3).is_fp());
+        assert!(ArchReg::fp(3).is_fp());
+        assert_eq!(ArchReg::int(31).flat_index(), 31);
+        assert_eq!(ArchReg::fp(0).flat_index(), 32);
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(ArchReg::ZERO.is_zero());
+        assert!(ArchReg::ZERO.is_int());
+        assert!(!ArchReg::fp(0).is_zero());
+        assert!(!ArchReg::int(1).is_zero());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ArchReg::int(7).to_string(), "x7");
+        assert_eq!(ArchReg::fp(21).to_string(), "f21");
+        assert_eq!(ArchReg::SP.to_string(), "x29");
+        assert_eq!(ArchReg::RA.to_string(), "x31");
+    }
+
+    #[test]
+    #[should_panic(expected = "integer register out of range")]
+    fn int_register_out_of_range_panics() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "fp register out of range")]
+    fn fp_register_out_of_range_panics() {
+        let _ = ArchReg::fp(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat register index out of range")]
+    fn flat_index_out_of_range_panics() {
+        let _ = ArchReg::from_flat_index(64);
+    }
+}

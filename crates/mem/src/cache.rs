@@ -1,0 +1,325 @@
+//! Set-associative cache state (tags only — the simulator is timing-directed,
+//! data values live in the functional emulator).
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// 64 KB, 2-way, 32-byte lines: the paper's L1 data cache.
+    #[must_use]
+    pub fn l1d_table1() -> Self {
+        CacheConfig { size_bytes: 64 * 1024, line_bytes: 32, ways: 2 }
+    }
+
+    /// 64 KB, 2-way, 64-byte lines: the paper's L1 instruction cache.
+    #[must_use]
+    pub fn l1i_table1() -> Self {
+        CacheConfig { size_bytes: 64 * 1024, line_bytes: 64, ways: 2 }
+    }
+
+    /// 256 KB, 4-way, 32-byte lines: the paper's unified L2.
+    #[must_use]
+    pub fn l2_table1() -> Self {
+        CacheConfig { size_bytes: 256 * 1024, line_bytes: 32, ways: 4 }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sized, or not divisible into sets).
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        assert!(self.size_bytes > 0 && self.line_bytes > 0 && self.ways > 0);
+        let sets = self.size_bytes / (self.line_bytes * self.ways);
+        assert!(sets > 0, "cache too small for its line size and associativity");
+        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        sets
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate over all accesses (0 if the cache was never accessed).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Address of a dirty line that had to be written back, if any.
+    pub writeback: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache with LRU replacement.
+///
+/// ```
+/// use sdv_mem::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 32, ways: 2 });
+/// assert!(!c.access(0x1000, false).hit);
+/// assert!(c.access(0x1000, false).hit);
+/// assert!(c.access(0x1008, false).hit, "same line");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    sets: usize,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            lines: vec![Line { tag: 0, valid: false, dirty: false, last_used: 0 }; sets * cfg.ways],
+            sets,
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry of this cache.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// The accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The line-aligned address containing `addr`.
+    #[must_use]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line_bytes as u64 - 1)
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line_bytes as u64) as usize) & (self.sets - 1)
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / (self.cfg.line_bytes as u64 * self.sets as u64)
+    }
+
+    /// Checks for a hit without changing any state (no LRU update, no fill).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.lines[set * self.cfg.ways..(set + 1) * self.cfg.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Performs one access: on a miss the line is allocated (write-allocate),
+    /// possibly evicting a victim whose writeback address is reported.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.stamp += 1;
+        self.stats.accesses += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let ways = self.cfg.ways;
+        let base = set * ways;
+
+        // Hit path.
+        for line in &mut self.lines[base..base + ways] {
+            if line.valid && line.tag == tag {
+                line.last_used = self.stamp;
+                line.dirty |= is_write;
+                self.stats.hits += 1;
+                return AccessOutcome { hit: true, writeback: None };
+            }
+        }
+
+        // Miss: pick an invalid way or the LRU way.
+        self.stats.misses += 1;
+        let victim_idx = {
+            let slice = &self.lines[base..base + ways];
+            slice
+                .iter()
+                .enumerate()
+                .find(|(_, l)| !l.valid)
+                .map(|(i, _)| i)
+                .unwrap_or_else(|| {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.last_used)
+                        .map(|(i, _)| i)
+                        .expect("ways > 0")
+                })
+        };
+        let victim = &mut self.lines[base + victim_idx];
+        let mut writeback = None;
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            // Reconstruct the victim's line address from its tag and set.
+            let line_bytes = self.cfg.line_bytes as u64;
+            writeback = Some((victim.tag * self.sets as u64 + set as u64) * line_bytes);
+        }
+        *victim = Line { tag, valid: true, dirty: is_write, last_used: self.stamp };
+        AccessOutcome { hit: false, writeback }
+    }
+
+    /// Invalidates every line (used on context-switch style resets in tests).
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig { size_bytes: 256, line_bytes: 32, ways: 2 })
+    }
+
+    #[test]
+    fn table1_geometries_are_valid() {
+        assert_eq!(CacheConfig::l1d_table1().sets(), 1024);
+        assert_eq!(CacheConfig::l1i_table1().sets(), 512);
+        assert_eq!(CacheConfig::l2_table1().sets(), 2048);
+    }
+
+    #[test]
+    fn cold_miss_then_hit_within_line() {
+        let mut c = small();
+        assert!(!c.access(0x100, false).hit);
+        assert!(c.access(0x100, false).hit);
+        assert!(c.access(0x11f, false).hit, "same 32-byte line");
+        assert!(!c.access(0x120, false).hit, "next line misses");
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_replacement_within_set() {
+        let mut c = small(); // 4 sets, 2 ways
+        // Three distinct lines mapping to the same set (stride = sets*line = 128).
+        c.access(0x000, false);
+        c.access(0x080, false);
+        c.access(0x000, false); // touch so 0x080 becomes LRU
+        c.access(0x100, false); // evicts 0x080
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+        assert!(c.probe(0x100));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = small();
+        c.access(0x000, true); // dirty
+        c.access(0x080, false);
+        let out = c.access(0x100, false); // evicts one of them (0x000 is LRU)
+        assert_eq!(out.writeback, Some(0x000));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small();
+        c.access(0x000, false);
+        c.access(0x080, false);
+        let out = c.access(0x100, false);
+        assert!(!out.hit);
+        assert_eq!(out.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_line_dirty() {
+        let mut c = small();
+        c.access(0x000, false);
+        c.access(0x000, true); // hit, now dirty
+        c.access(0x080, false);
+        let out = c.access(0x100, false);
+        assert_eq!(out.writeback, Some(0x000));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = small();
+        c.access(0x000, false);
+        c.access(0x080, false);
+        // Probing 0x000 must not make it MRU.
+        assert!(c.probe(0x000));
+        c.access(0x100, false); // should evict 0x000 (the true LRU)
+        assert!(!c.probe(0x000));
+        assert!(c.probe(0x080));
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut c = small();
+        c.access(0x0, true);
+        c.flush();
+        assert!(!c.probe(0x0));
+        assert!(!c.access(0x0, false).hit);
+        assert_eq!(c.access(0x80, false).writeback, None, "flushed lines are not written back");
+    }
+
+    #[test]
+    fn line_addr_masks_low_bits() {
+        let c = small();
+        assert_eq!(c.line_addr(0x10f), 0x100);
+        assert_eq!(c.line_addr(0x100), 0x100);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = small();
+        c.access(0x0, false);
+        c.access(0x0, false);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! The L1 → L2 → memory timing path for data and instruction accesses.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+
+/// Latency and capacity parameters of the whole hierarchy (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemHierarchyConfig {
+    /// Geometry of the L1 data cache.
+    pub l1d: CacheConfig,
+    /// Geometry of the L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Geometry of the unified L2 cache.
+    pub l2: CacheConfig,
+    /// L1 hit latency in cycles.
+    pub l1_hit_cycles: u64,
+    /// Total latency of an access served by the L2 (the paper's "6 cycle miss
+    /// time" for L1 / "6 cycles hit time" for L2).
+    pub l2_hit_cycles: u64,
+    /// Total latency of an access served by main memory (L2 hit time plus the
+    /// paper's "18 cycle miss time").
+    pub memory_cycles: u64,
+    /// Maximum number of outstanding L1 data misses (MSHRs).
+    pub max_outstanding_misses: usize,
+}
+
+impl MemHierarchyConfig {
+    /// The memory system of Table 1.
+    #[must_use]
+    pub fn table1() -> Self {
+        MemHierarchyConfig {
+            l1d: CacheConfig::l1d_table1(),
+            l1i: CacheConfig::l1i_table1(),
+            l2: CacheConfig::l2_table1(),
+            l1_hit_cycles: 1,
+            l2_hit_cycles: 6,
+            memory_cycles: 24,
+            max_outstanding_misses: 16,
+        }
+    }
+}
+
+impl Default for MemHierarchyConfig {
+    fn default() -> Self {
+        MemHierarchyConfig::table1()
+    }
+}
+
+/// An in-flight L1 miss.
+#[derive(Debug, Clone, Copy)]
+struct Miss {
+    line_addr: u64,
+    done_cycle: u64,
+}
+
+/// The data side of the memory hierarchy: L1-D backed by L2 backed by memory,
+/// with a bounded number of outstanding misses.
+///
+/// The component is *timing-directed*: it tracks tags and latencies, while the
+/// actual data values live in the functional emulator.  [`DataMemory::access`]
+/// returns the cycle at which the access completes, or `None` when all MSHRs
+/// are busy and the access must be retried later.
+#[derive(Debug, Clone)]
+pub struct DataMemory {
+    cfg: MemHierarchyConfig,
+    l1: Cache,
+    l2: Cache,
+    outstanding: Vec<Miss>,
+    mshr_full_events: u64,
+    accesses: u64,
+    line_accesses: u64,
+}
+
+impl DataMemory {
+    /// Creates an empty hierarchy.
+    #[must_use]
+    pub fn new(cfg: &MemHierarchyConfig) -> Self {
+        DataMemory {
+            cfg: *cfg,
+            l1: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            outstanding: Vec::new(),
+            mshr_full_events: 0,
+            accesses: 0,
+            line_accesses: 0,
+        }
+    }
+
+    /// The L1 data-cache line size in bytes.
+    #[must_use]
+    pub fn line_bytes(&self) -> u64 {
+        self.cfg.l1d.line_bytes as u64
+    }
+
+    /// The line-aligned address containing `addr`.
+    #[must_use]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        self.l1.line_addr(addr)
+    }
+
+    /// Removes completed misses from the MSHR file.
+    pub fn retire_misses(&mut self, now: u64) {
+        self.outstanding.retain(|m| m.done_cycle > now);
+    }
+
+    /// Performs one data access starting at cycle `now`.
+    ///
+    /// Returns the cycle at which the data is available (for loads) or the
+    /// write is accepted (for stores), or `None` if no MSHR is free.
+    pub fn access(&mut self, addr: u64, is_write: bool, now: u64) -> Option<u64> {
+        self.retire_misses(now);
+        self.accesses += 1;
+        self.line_accesses += 1;
+        let line = self.l1.line_addr(addr);
+
+        // A miss to a line that is already being fetched merges with it.
+        if let Some(m) = self.outstanding.iter().find(|m| m.line_addr == line) {
+            let done = m.done_cycle.max(now + self.cfg.l1_hit_cycles);
+            // The line will be present once the outstanding fill completes.
+            return Some(done);
+        }
+
+        if self.l1.probe(addr) {
+            let _ = self.l1.access(addr, is_write); // update LRU and dirty state
+            return Some(now + self.cfg.l1_hit_cycles);
+        }
+
+        // L1 miss: need an MSHR before the line may be allocated.
+        if self.outstanding.len() >= self.cfg.max_outstanding_misses {
+            self.mshr_full_events += 1;
+            return None;
+        }
+        let l1_out = self.l1.access(addr, is_write);
+
+        // Dirty victim is written back into L2 (no extra latency modelled for
+        // the writeback itself, it proceeds in the background).
+        if let Some(victim) = l1_out.writeback {
+            let _ = self.l2.access(victim, true);
+        }
+
+        let l2_out = self.l2.access(addr, is_write);
+        let done = if l2_out.hit {
+            now + self.cfg.l2_hit_cycles
+        } else {
+            now + self.cfg.memory_cycles
+        };
+        self.outstanding.push(Miss { line_addr: line, done_cycle: done });
+        Some(done)
+    }
+
+    /// Whether `addr` currently hits in the L1 without changing any state.
+    #[must_use]
+    pub fn probe_l1(&self, addr: u64) -> bool {
+        self.l1.probe(addr)
+    }
+
+    /// L1 data-cache statistics.
+    #[must_use]
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// L2 statistics (data side only; the instruction path keeps its own L2 model).
+    #[must_use]
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Number of accesses rejected because every MSHR was busy.
+    #[must_use]
+    pub fn mshr_full_events(&self) -> u64 {
+        self.mshr_full_events
+    }
+
+    /// Total number of accesses presented to the hierarchy.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Number of outstanding misses at `now`.
+    pub fn outstanding_misses(&mut self, now: u64) -> usize {
+        self.retire_misses(now);
+        self.outstanding.len()
+    }
+}
+
+/// The instruction-fetch side: L1-I backed by L2 backed by memory.
+///
+/// Fetch is modelled at line granularity: the front end asks for the latency
+/// of fetching the line containing the fetch PC.
+#[derive(Debug, Clone)]
+pub struct InstMemory {
+    cfg: MemHierarchyConfig,
+    l1: Cache,
+    l2: Cache,
+}
+
+impl InstMemory {
+    /// Creates an empty instruction-memory path.
+    #[must_use]
+    pub fn new(cfg: &MemHierarchyConfig) -> Self {
+        InstMemory { cfg: *cfg, l1: Cache::new(cfg.l1i), l2: Cache::new(cfg.l2) }
+    }
+
+    /// The latency, in cycles, of fetching the line containing `pc`.
+    pub fn fetch_latency(&mut self, pc: u64) -> u64 {
+        if self.l1.access(pc, false).hit {
+            self.cfg.l1_hit_cycles
+        } else if self.l2.access(pc, false).hit {
+            self.cfg.l2_hit_cycles
+        } else {
+            self.cfg.memory_cycles
+        }
+    }
+
+    /// The L1-I line size in bytes.
+    #[must_use]
+    pub fn line_bytes(&self) -> u64 {
+        self.cfg.l1i.line_bytes as u64
+    }
+
+    /// L1 instruction-cache statistics.
+    #[must_use]
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_follow_the_hierarchy() {
+        let cfg = MemHierarchyConfig::table1();
+        let mut d = DataMemory::new(&cfg);
+        // Cold: memory latency.
+        assert_eq!(d.access(0x1000, false, 0), Some(cfg.memory_cycles));
+        // Hot in L1.
+        assert_eq!(d.access(0x1000, false, 100), Some(100 + cfg.l1_hit_cycles));
+        // Same line, different word: still an L1 hit.
+        assert_eq!(d.access(0x1008, false, 101), Some(101 + cfg.l1_hit_cycles));
+    }
+
+    #[test]
+    fn l2_hits_are_faster_than_memory() {
+        let cfg = MemHierarchyConfig {
+            l1d: CacheConfig { size_bytes: 64, line_bytes: 32, ways: 1 },
+            ..MemHierarchyConfig::table1()
+        };
+        let mut d = DataMemory::new(&cfg);
+        d.access(0x0, false, 0); // line A -> L1 and L2
+        d.access(0x20, false, 0); // line B
+        d.access(0x40, false, 0); // line C evicts A from tiny L1 (set 0), still in L2
+        let lat = d.access(0x0, false, 1000).unwrap() - 1000;
+        assert_eq!(lat, cfg.l2_hit_cycles);
+    }
+
+    #[test]
+    fn mshr_limit_rejects_accesses() {
+        let cfg = MemHierarchyConfig { max_outstanding_misses: 2, ..MemHierarchyConfig::table1() };
+        let mut d = DataMemory::new(&cfg);
+        assert!(d.access(0x0000, false, 0).is_some());
+        assert!(d.access(0x1000, false, 0).is_some());
+        assert!(d.access(0x2000, false, 0).is_none(), "third miss rejected");
+        assert_eq!(d.mshr_full_events(), 1);
+        // After the misses complete, new ones are accepted again.
+        let later = cfg.memory_cycles + 1;
+        assert!(d.access(0x2000, false, later).is_some());
+        assert_eq!(d.outstanding_misses(later), 1);
+    }
+
+    #[test]
+    fn misses_to_same_line_merge() {
+        let cfg = MemHierarchyConfig { max_outstanding_misses: 1, ..MemHierarchyConfig::table1() };
+        let mut d = DataMemory::new(&cfg);
+        let done = d.access(0x1000, false, 0).unwrap();
+        // Second access to the same line merges with the outstanding miss
+        // instead of needing a second MSHR.
+        let done2 = d.access(0x1008, false, 2).unwrap();
+        assert_eq!(done2, done);
+        assert_eq!(d.mshr_full_events(), 0);
+    }
+
+    #[test]
+    fn stores_allocate_and_dirty_lines() {
+        let cfg = MemHierarchyConfig::table1();
+        let mut d = DataMemory::new(&cfg);
+        d.access(0x1000, true, 0);
+        assert!(d.probe_l1(0x1000));
+        assert_eq!(d.l1_stats().misses, 1);
+        assert_eq!(d.accesses(), 1);
+    }
+
+    #[test]
+    fn inst_memory_latency() {
+        let cfg = MemHierarchyConfig::table1();
+        let mut i = InstMemory::new(&cfg);
+        assert_eq!(i.fetch_latency(0x1000), cfg.memory_cycles);
+        assert_eq!(i.fetch_latency(0x1000), cfg.l1_hit_cycles);
+        assert_eq!(i.fetch_latency(0x1004), cfg.l1_hit_cycles, "same 64-byte line");
+        assert_eq!(i.line_bytes(), 64);
+        assert_eq!(i.l1_stats().accesses, 3);
+    }
+}

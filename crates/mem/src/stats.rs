@@ -1,0 +1,180 @@
+//! Wide-bus effectiveness accounting (Figure 13).
+
+/// Counts, for every cache-line read performed over a wide bus, how many of
+/// the words brought in were actually useful, plus the purely speculative
+/// accesses that served no committed work at all.
+///
+/// The paper's Figure 13 reports the distribution over {1, 2, 3, 4} useful
+/// words and an "Unused" category for speculative accesses whose data was
+/// never consumed.
+///
+/// ```
+/// use sdv_mem::WideBusStats;
+///
+/// let mut w = WideBusStats::new(4);
+/// w.record(3);
+/// w.record(4);
+/// w.record(0); // speculative access, nothing used
+/// assert_eq!(w.total(), 3);
+/// assert!((w.fraction_used(4) - 1.0 / 3.0).abs() < 1e-12);
+/// assert!((w.fraction_unused() - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WideBusStats {
+    words_per_line: usize,
+    used: Vec<u64>,
+    unused: u64,
+}
+
+impl WideBusStats {
+    /// Creates a collector for lines of `words_per_line` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_line` is zero.
+    #[must_use]
+    pub fn new(words_per_line: usize) -> Self {
+        assert!(words_per_line > 0, "a line holds at least one word");
+        WideBusStats { words_per_line, used: vec![0; words_per_line + 1], unused: 0 }
+    }
+
+    /// Number of words in a line.
+    #[must_use]
+    pub fn words_per_line(&self) -> usize {
+        self.words_per_line
+    }
+
+    /// Records one line read that contributed `useful_words` useful words
+    /// (0 means the access turned out to be useless speculation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `useful_words` exceeds the line size.
+    pub fn record(&mut self, useful_words: usize) {
+        assert!(useful_words <= self.words_per_line, "more useful words than the line holds");
+        if useful_words == 0 {
+            self.unused += 1;
+        } else {
+            self.used[useful_words] += 1;
+        }
+    }
+
+    /// Total number of recorded line reads.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.unused + self.used.iter().sum::<u64>()
+    }
+
+    /// Number of accesses with exactly `useful_words` useful words.
+    #[must_use]
+    pub fn count_used(&self, useful_words: usize) -> u64 {
+        self.used.get(useful_words).copied().unwrap_or(0)
+    }
+
+    /// Number of accesses that served no useful word.
+    #[must_use]
+    pub fn count_unused(&self) -> u64 {
+        self.unused
+    }
+
+    /// Fraction of accesses with exactly `useful_words` useful words.
+    #[must_use]
+    pub fn fraction_used(&self, useful_words: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count_used(useful_words) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of accesses that were pure, unused speculation.
+    #[must_use]
+    pub fn fraction_unused(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.unused as f64 / total as f64
+        }
+    }
+
+    /// Average number of useful words per access.
+    #[must_use]
+    pub fn mean_useful_words(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.used.iter().enumerate().map(|(w, &n)| w as u64 * n).sum();
+        sum as f64 / total as f64
+    }
+
+    /// Merges another collector (with the same line size) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line sizes differ.
+    pub fn merge(&mut self, other: &WideBusStats) {
+        assert_eq!(self.words_per_line, other.words_per_line, "line sizes must match");
+        for (a, b) in self.used.iter_mut().zip(other.used.iter()) {
+            *a += b;
+        }
+        self.unused += other.unused;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut w = WideBusStats::new(4);
+        for u in [1usize, 2, 2, 3, 4, 4, 0] {
+            w.record(u);
+        }
+        let sum: f64 =
+            (1..=4).map(|k| w.fraction_used(k)).sum::<f64>() + w.fraction_unused();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(w.total(), 7);
+        assert_eq!(w.count_used(2), 2);
+        assert_eq!(w.count_unused(), 1);
+    }
+
+    #[test]
+    fn mean_useful_words() {
+        let mut w = WideBusStats::new(4);
+        w.record(4);
+        w.record(2);
+        assert!((w.mean_useful_words() - 3.0).abs() < 1e-12);
+        assert_eq!(WideBusStats::new(4).mean_useful_words(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = WideBusStats::new(4);
+        a.record(1);
+        let mut b = WideBusStats::new(4);
+        b.record(0);
+        b.record(4);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count_used(4), 1);
+        assert_eq!(a.count_unused(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more useful words")]
+    fn too_many_words_panics() {
+        let mut w = WideBusStats::new(4);
+        w.record(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "line sizes must match")]
+    fn merge_mismatched_panics() {
+        let mut a = WideBusStats::new(4);
+        a.merge(&WideBusStats::new(8));
+    }
+}

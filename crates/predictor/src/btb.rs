@@ -1,0 +1,130 @@
+//! Branch target buffer.
+
+/// A set-associative branch target buffer with LRU replacement.
+///
+/// ```
+/// use sdv_predictor::Btb;
+///
+/// let mut btb = Btb::new(16, 2);
+/// btb.insert(0x1000, 0x2000);
+/// assert_eq!(btb.lookup(0x1000), Some(0x2000));
+/// assert_eq!(btb.lookup(0x1004), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<Vec<BtbEntry>>,
+    ways: usize,
+    stamp: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    pc: u64,
+    target: u64,
+    last_used: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `sets` sets (rounded up to a power of two) of
+    /// `ways` entries each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "BTB dimensions must be non-zero");
+        let sets = sets.next_power_of_two();
+        Btb { sets: vec![Vec::new(); sets], ways, stamp: 0 }
+    }
+
+    fn set_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up the predicted target for the control instruction at `pc`.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let idx = self.set_index(pc);
+        let set = &mut self.sets[idx];
+        for e in set.iter_mut() {
+            if e.pc == pc {
+                e.last_used = stamp;
+                return Some(e.target);
+            }
+        }
+        None
+    }
+
+    /// Inserts or updates the target for `pc`, evicting the LRU entry if the
+    /// set is full.
+    pub fn insert(&mut self, pc: u64, target: u64) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let ways = self.ways;
+        let idx = self.set_index(pc);
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.pc == pc) {
+            e.target = target;
+            e.last_used = stamp;
+            return;
+        }
+        let entry = BtbEntry { pc, target, last_used: stamp };
+        if set.len() < ways {
+            set.push(entry);
+        } else {
+            let victim = set
+                .iter_mut()
+                .min_by_key(|e| e.last_used)
+                .expect("set is full, so non-empty");
+            *victim = entry;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_update() {
+        let mut btb = Btb::new(8, 2);
+        btb.insert(0x1000, 0xaaaa);
+        assert_eq!(btb.lookup(0x1000), Some(0xaaaa));
+        btb.insert(0x1000, 0xbbbb);
+        assert_eq!(btb.lookup(0x1000), Some(0xbbbb));
+    }
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        let mut btb = Btb::new(1, 2);
+        btb.insert(0x1000, 1);
+        btb.insert(0x2000, 2);
+        // Touch 0x1000 so 0x2000 becomes LRU.
+        assert_eq!(btb.lookup(0x1000), Some(1));
+        btb.insert(0x3000, 3);
+        assert_eq!(btb.lookup(0x2000), None, "LRU entry evicted");
+        assert_eq!(btb.lookup(0x1000), Some(1));
+        assert_eq!(btb.lookup(0x3000), Some(3));
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut btb = Btb::new(4, 1);
+        btb.insert(0x1000, 1);
+        btb.insert(0x1004, 2);
+        btb.insert(0x1008, 3);
+        btb.insert(0x100c, 4);
+        assert_eq!(btb.lookup(0x1000), Some(1));
+        assert_eq!(btb.lookup(0x1004), Some(2));
+        assert_eq!(btb.lookup(0x1008), Some(3));
+        assert_eq!(btb.lookup(0x100c), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_ways_panics() {
+        let _ = Btb::new(4, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The gshare direction predictor.
+
+/// A gshare predictor: a table of 2-bit saturating counters indexed by the
+/// XOR of the branch PC and the global branch history.
+///
+/// ```
+/// use sdv_predictor::Gshare;
+///
+/// let mut g = Gshare::new(1024, 10);
+/// // Train until the global history saturates with "taken" outcomes, after
+/// // which the index for this branch is stable and the counter trains up.
+/// for _ in 0..20 {
+///     g.update(0x1000, true);
+/// }
+/// assert!(g.predict(0x1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    counters: Vec<u8>,
+    history: u64,
+    history_mask: u64,
+    index_mask: u64,
+}
+
+impl Gshare {
+    /// Creates a predictor with `entries` 2-bit counters (rounded up to a power
+    /// of two) and `history_bits` bits of global history.
+    ///
+    /// Counters start weakly not-taken (value 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `history_bits > 63`.
+    #[must_use]
+    pub fn new(entries: usize, history_bits: u32) -> Self {
+        assert!(entries > 0, "gshare must have at least one entry");
+        assert!(history_bits <= 63, "history length too large");
+        let entries = entries.next_power_of_two();
+        Gshare {
+            counters: vec![1; entries],
+            history: 0,
+            history_mask: (1u64 << history_bits) - 1,
+            index_mask: entries as u64 - 1,
+        }
+    }
+
+    /// Number of counters in the table.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// The current global history register value.
+    #[must_use]
+    pub fn history(&self) -> u64 {
+        self.history
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & self.index_mask) as usize
+    }
+
+    /// Predicts the direction of the branch at `pc` (`true` = taken).
+    #[must_use]
+    pub fn predict(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Trains the predictor with the actual direction and shifts the history.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = ((self.history << 1) | u64::from(taken)) & self.history_mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_weakly_not_taken() {
+        let g = Gshare::new(64, 6);
+        assert!(!g.predict(0x1000));
+        assert!(!g.predict(0x2004));
+    }
+
+    #[test]
+    fn saturates_up_and_down() {
+        let mut g = Gshare::new(64, 0); // no history so the index is stable
+        for _ in 0..10 {
+            g.update(0x1000, true);
+        }
+        assert!(g.predict(0x1000));
+        // One not-taken must not immediately flip a saturated counter.
+        g.update(0x1000, false);
+        assert!(g.predict(0x1000));
+        for _ in 0..3 {
+            g.update(0x1000, false);
+        }
+        assert!(!g.predict(0x1000));
+    }
+
+    #[test]
+    fn history_affects_the_index() {
+        let mut g = Gshare::new(1024, 10);
+        // Train an alternating pattern on one branch: with history, gshare can
+        // learn it perfectly after a warm-up period.
+        let mut correct = 0;
+        let mut total = 0;
+        let mut taken = false;
+        for i in 0..400 {
+            taken = !taken;
+            let pred = g.predict(0x1000);
+            if i >= 200 {
+                total += 1;
+                if pred == taken {
+                    correct += 1;
+                }
+            }
+            g.update(0x1000, taken);
+        }
+        assert_eq!(correct, total, "alternating pattern should be learnt");
+    }
+
+    #[test]
+    fn entries_round_up_to_power_of_two() {
+        let g = Gshare::new(1000, 10);
+        assert_eq!(g.entries(), 1024);
+    }
+
+    #[test]
+    fn history_register_masks_correctly() {
+        let mut g = Gshare::new(16, 4);
+        for _ in 0..100 {
+            g.update(0x1000, true);
+        }
+        assert!(g.history() <= 0xf);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        let _ = Gshare::new(0, 4);
+    }
+}

@@ -1,0 +1,96 @@
+//! Return address stack.
+
+/// A bounded return-address stack.
+///
+/// When the stack overflows, the oldest entry is discarded (the common
+/// hardware policy), so deeply nested call chains degrade gracefully.
+///
+/// ```
+/// use sdv_predictor::ReturnAddressStack;
+///
+/// let mut ras = ReturnAddressStack::new(4);
+/// ras.push(0x100);
+/// ras.push(0x200);
+/// assert_eq!(ras.pop(), Some(0x200));
+/// assert_eq!(ras.pop(), Some(0x100));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    entries: std::collections::VecDeque<u64>,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a stack holding at most `depth` return addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "RAS depth must be non-zero");
+        ReturnAddressStack { entries: std::collections::VecDeque::with_capacity(depth), depth }
+    }
+
+    /// Pushes the return address of a call.
+    pub fn push(&mut self, return_pc: u64) {
+        if self.entries.len() == self.depth {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(return_pc);
+    }
+
+    /// Pops the predicted target for a return instruction.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.entries.pop_back()
+    }
+
+    /// Number of addresses currently on the stack.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the stack is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(8);
+        for pc in [1u64, 2, 3] {
+            ras.push(pc);
+        }
+        assert_eq!(ras.len(), 3);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), Some(1));
+        assert!(ras.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.len(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_depth_panics() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Experiment layer: processor configurations, run drivers and generators for
+//! every table and figure in the paper's evaluation.
+//!
+//! The crate ties the stack together:
+//!
+//! * [`table1`] builds the two processor configurations of Table 1,
+//! * [`runner`] runs workloads on configurations and aggregates statistics,
+//! * [`figures`] regenerates every figure (1, 3, 7, 9–15) and the headline
+//!   speed-up numbers of §1/§6, each as a structured result that also
+//!   implements [`std::fmt::Display`] so the bench harness can print the same
+//!   rows/series the paper reports.
+//!
+//! ```
+//! use sdv_sim::{run_program, ProcessorConfig, PortKind};
+//! use sdv_workloads::Workload;
+//!
+//! let program = Workload::Compress.build(1);
+//! let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+//! let stats = run_program(&cfg, &program, 50_000);
+//! assert!(stats.ipc() > 0.0);
+//! ```
+
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod table1;
+
+pub use figures::*;
+pub use runner::{run_program, run_suite, run_workload, RunConfig, SuiteResult};
+pub use table1::Table1;
+
+// Re-exported so downstream users (examples, benches) need only this crate.
+pub use sdv_mem::PortKind;
+pub use sdv_uarch::RunStats;
+pub use sdv_uarch::UarchConfig as ProcessorConfig;
+pub use sdv_workloads::Workload;
+
+/// The three memory front-end variants compared throughout §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// `xpnoIM`: scalar buses, no vectorization.
+    ScalarBus,
+    /// `xpIM`: wide buses, no vectorization.
+    WideBus,
+    /// `xpV`: wide buses plus speculative dynamic vectorization.
+    Vectorized,
+}
+
+impl Variant {
+    /// All three variants in the paper's plotting order.
+    #[must_use]
+    pub fn all() -> [Variant; 3] {
+        [Variant::ScalarBus, Variant::WideBus, Variant::Vectorized]
+    }
+
+    /// The label used in the paper's legends (for `ports` ports).
+    #[must_use]
+    pub fn label(&self, ports: usize) -> String {
+        match self {
+            Variant::ScalarBus => format!("{ports}pnoIM"),
+            Variant::WideBus => format!("{ports}pIM"),
+            Variant::Vectorized => format!("{ports}pV"),
+        }
+    }
+
+    /// Builds the processor configuration for this variant.
+    #[must_use]
+    pub fn config(&self, width: MachineWidth, ports: usize) -> ProcessorConfig {
+        let base = match (self, width) {
+            (Variant::ScalarBus, MachineWidth::FourWay) => {
+                ProcessorConfig::four_way(ports, PortKind::Scalar)
+            }
+            (Variant::ScalarBus, MachineWidth::EightWay) => {
+                ProcessorConfig::eight_way(ports, PortKind::Scalar)
+            }
+            (_, MachineWidth::FourWay) => ProcessorConfig::four_way(ports, PortKind::Wide),
+            (_, MachineWidth::EightWay) => ProcessorConfig::eight_way(ports, PortKind::Wide),
+        };
+        base.with_vectorization(matches!(self, Variant::Vectorized))
+    }
+}
+
+/// The two issue widths evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineWidth {
+    /// The 4-way configuration of Table 1.
+    FourWay,
+    /// The 8-way configuration of Table 1.
+    EightWay,
+}
+
+impl MachineWidth {
+    /// Both widths.
+    #[must_use]
+    pub fn all() -> [MachineWidth; 2] {
+        [MachineWidth::FourWay, MachineWidth::EightWay]
+    }
+
+    /// A short label ("4-way" / "8-way").
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            MachineWidth::FourWay => "4-way",
+            MachineWidth::EightWay => "8-way",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_configs_match_their_labels() {
+        let cfg = Variant::ScalarBus.config(MachineWidth::FourWay, 2);
+        assert_eq!(cfg.label(), "2pnoIM");
+        assert!(!cfg.vectorization_enabled());
+        let cfg = Variant::WideBus.config(MachineWidth::EightWay, 1);
+        assert_eq!(cfg.label(), "1pIM");
+        assert_eq!(cfg.fetch_width, 8);
+        let cfg = Variant::Vectorized.config(MachineWidth::FourWay, 4);
+        assert_eq!(cfg.label(), "4pV");
+        assert!(cfg.vectorization_enabled());
+    }
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(Variant::ScalarBus.label(1), "1pnoIM");
+        assert_eq!(Variant::WideBus.label(2), "2pIM");
+        assert_eq!(Variant::Vectorized.label(4), "4pV");
+        assert_eq!(Variant::all().len(), 3);
+        assert_eq!(MachineWidth::all().len(), 2);
+        assert_eq!(MachineWidth::FourWay.label(), "4-way");
+    }
+}

@@ -1,0 +1,157 @@
+//! Run drivers: simulate workloads on processor configurations and aggregate
+//! suite-level statistics.
+
+use crate::ProcessorConfig;
+use sdv_isa::Program;
+use sdv_uarch::RunStats;
+use sdv_workloads::Workload;
+
+/// How much work each measurement simulates.
+///
+/// The paper simulates 100 M instructions per benchmark; that is far more than
+/// needed for the synthetic kernels to reach steady state, so the default
+/// budgets are smaller (and the bench harness uses larger ones than the test
+/// suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Outer-iteration scale passed to [`Workload::build`].
+    pub scale: u64,
+    /// Maximum simulated (committed) instructions per run.
+    pub max_insts: u64,
+}
+
+impl RunConfig {
+    /// A tiny budget for unit/integration tests (tens of thousands of instructions).
+    #[must_use]
+    pub fn quick() -> Self {
+        RunConfig { scale: 1, max_insts: 20_000 }
+    }
+
+    /// The default budget used by the bench harness.
+    #[must_use]
+    pub fn standard() -> Self {
+        RunConfig { scale: 8, max_insts: 300_000 }
+    }
+
+    /// A larger budget for reproducing the figures with lower noise.
+    #[must_use]
+    pub fn thorough() -> Self {
+        RunConfig { scale: 64, max_insts: 2_000_000 }
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::standard()
+    }
+}
+
+/// Simulates `program` on `cfg` for at most `max_insts` committed instructions.
+///
+/// Thin convenience wrapper over [`sdv_uarch::simulate`].
+#[must_use]
+pub fn run_program(cfg: &ProcessorConfig, program: &Program, max_insts: u64) -> RunStats {
+    sdv_uarch::simulate(cfg, program, max_insts)
+}
+
+/// Builds and simulates one workload.
+#[must_use]
+pub fn run_workload(workload: Workload, cfg: &ProcessorConfig, rc: &RunConfig) -> RunStats {
+    let program = workload.build(rc.scale);
+    run_program(cfg, &program, rc.max_insts)
+}
+
+/// The result of running a set of workloads on one configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Per-workload statistics, in the order they were run.
+    pub runs: Vec<(Workload, RunStats)>,
+}
+
+impl SuiteResult {
+    /// Statistics for one workload, if it was part of the suite.
+    #[must_use]
+    pub fn get(&self, workload: Workload) -> Option<&RunStats> {
+        self.runs.iter().find(|(w, _)| *w == workload).map(|(_, s)| s)
+    }
+
+    /// Arithmetic mean of a per-run metric over the whole suite.
+    #[must_use]
+    pub fn mean<F: Fn(&RunStats) -> f64>(&self, f: F) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(|(_, s)| f(s)).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Arithmetic mean over the SpecInt-analogue subset.
+    #[must_use]
+    pub fn mean_int<F: Fn(&RunStats) -> f64>(&self, f: F) -> f64 {
+        self.mean_filtered(|w| !w.is_fp(), f)
+    }
+
+    /// Arithmetic mean over the SpecFP-analogue subset.
+    #[must_use]
+    pub fn mean_fp<F: Fn(&RunStats) -> f64>(&self, f: F) -> f64 {
+        self.mean_filtered(Workload::is_fp, f)
+    }
+
+    fn mean_filtered<P: Fn(&Workload) -> bool, F: Fn(&RunStats) -> f64>(&self, p: P, f: F) -> f64 {
+        let selected: Vec<f64> =
+            self.runs.iter().filter(|(w, _)| p(w)).map(|(_, s)| f(s)).collect();
+        if selected.is_empty() {
+            0.0
+        } else {
+            selected.iter().sum::<f64>() / selected.len() as f64
+        }
+    }
+
+    /// Sum of an integer counter over the whole suite.
+    #[must_use]
+    pub fn total<F: Fn(&RunStats) -> u64>(&self, f: F) -> u64 {
+        self.runs.iter().map(|(_, s)| f(s)).sum()
+    }
+}
+
+/// Runs every workload in `workloads` on `cfg`.
+#[must_use]
+pub fn run_suite(workloads: &[Workload], cfg: &ProcessorConfig, rc: &RunConfig) -> SuiteResult {
+    SuiteResult {
+        runs: workloads.iter().map(|&w| (w, run_workload(w, cfg, rc))).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortKind;
+
+    #[test]
+    fn run_configs_scale_budgets() {
+        assert!(RunConfig::quick().max_insts < RunConfig::standard().max_insts);
+        assert!(RunConfig::standard().max_insts < RunConfig::thorough().max_insts);
+        assert_eq!(RunConfig::default(), RunConfig::standard());
+    }
+
+    #[test]
+    fn suite_runs_and_aggregates() {
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+        let rc = RunConfig::quick();
+        let suite = run_suite(&[Workload::Compress, Workload::Swim], &cfg, &rc);
+        assert_eq!(suite.runs.len(), 2);
+        assert!(suite.get(Workload::Compress).is_some());
+        assert!(suite.get(Workload::Go).is_none());
+        assert!(suite.mean(|s| s.ipc()) > 0.0);
+        assert!(suite.mean_int(|s| s.ipc()) > 0.0);
+        assert!(suite.mean_fp(|s| s.ipc()) > 0.0);
+        assert!(suite.total(|s| s.committed) > 0);
+    }
+
+    #[test]
+    fn empty_suite_is_safe() {
+        let suite = SuiteResult { runs: Vec::new() };
+        assert_eq!(suite.mean(|s| s.ipc()), 0.0);
+        assert_eq!(suite.mean_fp(|s| s.ipc()), 0.0);
+        assert_eq!(suite.total(|s| s.committed), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Processor configuration (Table 1 of the paper).
+
+use sdv_core::DvConfig;
+use sdv_isa::OpClass;
+use sdv_mem::{MemHierarchyConfig, PortKind};
+use sdv_predictor::PredictorConfig;
+
+/// Issue/execution resources for one functional-unit class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuClassConfig {
+    /// Number of units of this class.
+    pub count: usize,
+    /// Latency in cycles (units are fully pipelined).
+    pub latency: u64,
+}
+
+/// Functional-unit complement for either the scalar or the vector data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Simple integer ALUs.
+    pub int_alu: FuClassConfig,
+    /// Integer multiplier/dividers (multiply latency).
+    pub int_mul: FuClassConfig,
+    /// Integer divide latency (shares the multiplier units).
+    pub int_div_latency: u64,
+    /// Simple FP units.
+    pub fp_add: FuClassConfig,
+    /// FP multiplier/dividers (multiply latency).
+    pub fp_mul: FuClassConfig,
+    /// FP divide latency (shares the FP multiplier units).
+    pub fp_div_latency: u64,
+}
+
+impl FuConfig {
+    /// The 4-way configuration of Table 1.
+    #[must_use]
+    pub fn four_way() -> Self {
+        FuConfig {
+            int_alu: FuClassConfig { count: 3, latency: 1 },
+            int_mul: FuClassConfig { count: 2, latency: 2 },
+            int_div_latency: 12,
+            fp_add: FuClassConfig { count: 2, latency: 2 },
+            fp_mul: FuClassConfig { count: 1, latency: 4 },
+            fp_div_latency: 14,
+        }
+    }
+
+    /// The 8-way configuration of Table 1.
+    #[must_use]
+    pub fn eight_way() -> Self {
+        FuConfig {
+            int_alu: FuClassConfig { count: 6, latency: 1 },
+            int_mul: FuClassConfig { count: 3, latency: 2 },
+            int_div_latency: 12,
+            fp_add: FuClassConfig { count: 4, latency: 2 },
+            fp_mul: FuClassConfig { count: 2, latency: 4 },
+            fp_div_latency: 14,
+        }
+    }
+
+    /// The number of units able to execute `class`.
+    #[must_use]
+    pub fn units_for(&self, class: OpClass) -> usize {
+        match class {
+            OpClass::IntAlu => self.int_alu.count,
+            OpClass::IntMul | OpClass::IntDiv => self.int_mul.count,
+            OpClass::FpAdd => self.fp_add.count,
+            OpClass::FpMul | OpClass::FpDiv => self.fp_mul.count,
+            // Branches and jumps execute on the integer ALUs.
+            OpClass::Branch | OpClass::Jump => self.int_alu.count,
+            _ => usize::MAX,
+        }
+    }
+
+    /// The execution latency of `class` (memory classes are handled by the
+    /// memory hierarchy, not here).
+    #[must_use]
+    pub fn latency_for(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Jump => self.int_alu.latency,
+            OpClass::IntMul => self.int_mul.latency,
+            OpClass::IntDiv => self.int_div_latency,
+            OpClass::FpAdd => self.fp_add.latency,
+            OpClass::FpMul => self.fp_mul.latency,
+            OpClass::FpDiv => self.fp_div_latency,
+            _ => 1,
+        }
+    }
+}
+
+/// Full processor configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UarchConfig {
+    /// Instructions fetched per cycle (up to one taken branch).
+    pub fetch_width: usize,
+    /// Instructions renamed/dispatched and issued per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Instruction-window (ROB) size.
+    pub rob_size: usize,
+    /// Load/store queue size.
+    pub lsq_size: usize,
+    /// Scalar functional units.
+    pub scalar_fus: FuConfig,
+    /// Vector functional units (used only when vectorization is enabled).
+    pub vector_fus: FuConfig,
+    /// Number of L1 data-cache ports.
+    pub dcache_ports: usize,
+    /// Whether the ports are scalar (one word) or wide (one line).
+    pub port_kind: PortKind,
+    /// Memory hierarchy parameters.
+    pub memory: MemHierarchyConfig,
+    /// Branch predictor parameters.
+    pub predictor: PredictorConfig,
+    /// Dynamic vectorization parameters; `None` disables the mechanism.
+    pub vectorization: Option<DvConfig>,
+    /// §3.2: block decode when an instruction is vectorized with a scalar
+    /// operand whose value is not yet available (`false` models the "ideal"
+    /// bars of Figure 7).
+    pub block_on_scalar_operand: bool,
+    /// §3.6: maximum stores committed per cycle when vectorization is enabled.
+    pub store_commit_limit: usize,
+    /// Extra cycles between a branch resolving as mispredicted and the first
+    /// correct-path fetch.
+    pub redirect_penalty: u64,
+    /// Maximum number of loads that a single wide-bus access may serve (§3.7).
+    pub wide_loads_per_access: usize,
+}
+
+impl UarchConfig {
+    /// The 4-way configuration of Table 1 with `ports` L1 data-cache ports of
+    /// the given kind and no dynamic vectorization.
+    #[must_use]
+    pub fn four_way(ports: usize, kind: PortKind) -> Self {
+        UarchConfig {
+            fetch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_size: 128,
+            lsq_size: 32,
+            scalar_fus: FuConfig::four_way(),
+            vector_fus: FuConfig::four_way(),
+            dcache_ports: ports,
+            port_kind: kind,
+            memory: MemHierarchyConfig::table1(),
+            predictor: PredictorConfig::default(),
+            vectorization: None,
+            block_on_scalar_operand: true,
+            store_commit_limit: 2,
+            redirect_penalty: 2,
+            wide_loads_per_access: 4,
+        }
+    }
+
+    /// The 8-way configuration of Table 1.
+    #[must_use]
+    pub fn eight_way(ports: usize, kind: PortKind) -> Self {
+        UarchConfig {
+            fetch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            rob_size: 256,
+            lsq_size: 64,
+            scalar_fus: FuConfig::eight_way(),
+            vector_fus: FuConfig::eight_way(),
+            ..UarchConfig::four_way(ports, kind)
+        }
+    }
+
+    /// Enables (or disables) speculative dynamic vectorization with the
+    /// default hardware sizing.
+    #[must_use]
+    pub fn with_vectorization(mut self, enabled: bool) -> Self {
+        self.vectorization = enabled.then(DvConfig::default);
+        self
+    }
+
+    /// Enables vectorization with a specific sizing.
+    #[must_use]
+    pub fn with_dv_config(mut self, cfg: DvConfig) -> Self {
+        self.vectorization = Some(cfg);
+        self
+    }
+
+    /// Whether dynamic vectorization is enabled.
+    #[must_use]
+    pub fn vectorization_enabled(&self) -> bool {
+        self.vectorization.is_some()
+    }
+
+    /// Words per L1 data-cache line, at the element size used by vector registers (8 bytes).
+    #[must_use]
+    pub fn line_words(&self) -> usize {
+        self.memory.l1d.line_bytes / 8
+    }
+
+    /// A short name in the paper's style: `1pnoIM`, `2pIM`, `4pV`, …
+    #[must_use]
+    pub fn label(&self) -> String {
+        let suffix = if self.vectorization_enabled() {
+            "V"
+        } else {
+            match self.port_kind {
+                PortKind::Scalar => "noIM",
+                PortKind::Wide => "IM",
+            }
+        };
+        format!("{}p{}", self.dcache_ports, suffix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_presets() {
+        let four = UarchConfig::four_way(1, PortKind::Wide);
+        assert_eq!(four.fetch_width, 4);
+        assert_eq!(four.rob_size, 128);
+        assert_eq!(four.lsq_size, 32);
+        assert_eq!(four.scalar_fus.int_alu.count, 3);
+        let eight = UarchConfig::eight_way(4, PortKind::Scalar);
+        assert_eq!(eight.fetch_width, 8);
+        assert_eq!(eight.rob_size, 256);
+        assert_eq!(eight.lsq_size, 64);
+        assert_eq!(eight.scalar_fus.int_alu.count, 6);
+        assert_eq!(eight.dcache_ports, 4);
+        assert_eq!(eight.memory, MemHierarchyConfig::table1());
+    }
+
+    #[test]
+    fn vectorization_toggle() {
+        let cfg = UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+        assert!(cfg.vectorization_enabled());
+        assert_eq!(cfg.vectorization.unwrap().vector_registers, 128);
+        let cfg = cfg.with_vectorization(false);
+        assert!(!cfg.vectorization_enabled());
+    }
+
+    #[test]
+    fn labels_follow_the_paper() {
+        assert_eq!(UarchConfig::four_way(1, PortKind::Scalar).label(), "1pnoIM");
+        assert_eq!(UarchConfig::four_way(2, PortKind::Wide).label(), "2pIM");
+        assert_eq!(UarchConfig::four_way(4, PortKind::Wide).with_vectorization(true).label(), "4pV");
+    }
+
+    #[test]
+    fn fu_lookup_latencies() {
+        let fu = FuConfig::four_way();
+        assert_eq!(fu.latency_for(OpClass::IntAlu), 1);
+        assert_eq!(fu.latency_for(OpClass::IntDiv), 12);
+        assert_eq!(fu.latency_for(OpClass::FpMul), 4);
+        assert_eq!(fu.latency_for(OpClass::FpDiv), 14);
+        assert_eq!(fu.units_for(OpClass::Branch), 3);
+        assert_eq!(fu.units_for(OpClass::FpDiv), 1);
+    }
+
+    #[test]
+    fn line_words_from_geometry() {
+        let cfg = UarchConfig::four_way(1, PortKind::Wide);
+        assert_eq!(cfg.line_words(), 4, "32-byte lines hold four 64-bit words");
+    }
+}

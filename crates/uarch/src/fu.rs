@@ -1,0 +1,104 @@
+//! Functional-unit issue tracking.
+
+use crate::config::FuConfig;
+use sdv_isa::OpClass;
+
+/// Tracks per-cycle issue slots for a set of pipelined functional units.
+///
+/// Units are fully pipelined: a unit accepts at most one new operation per
+/// cycle, and the result becomes available `latency` cycles later.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    cfg: FuConfig,
+    used_int_alu: usize,
+    used_int_mul: usize,
+    used_fp_add: usize,
+    used_fp_mul: usize,
+    issued_ops: u64,
+}
+
+impl FuPool {
+    /// Creates a pool from a configuration.
+    #[must_use]
+    pub fn new(cfg: FuConfig) -> Self {
+        FuPool { cfg, used_int_alu: 0, used_int_mul: 0, used_fp_add: 0, used_fp_mul: 0, issued_ops: 0 }
+    }
+
+    /// Starts a new cycle: every unit can accept a new operation again.
+    pub fn begin_cycle(&mut self) {
+        self.used_int_alu = 0;
+        self.used_int_mul = 0;
+        self.used_fp_add = 0;
+        self.used_fp_mul = 0;
+    }
+
+    /// Tries to issue an operation of `class` this cycle; returns its latency
+    /// on success and `None` when every unit of that class is busy.
+    pub fn try_issue(&mut self, class: OpClass) -> Option<u64> {
+        let (used, count): (&mut usize, usize) = match class {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Jump => {
+                (&mut self.used_int_alu, self.cfg.int_alu.count)
+            }
+            OpClass::IntMul | OpClass::IntDiv => (&mut self.used_int_mul, self.cfg.int_mul.count),
+            OpClass::FpAdd => (&mut self.used_fp_add, self.cfg.fp_add.count),
+            OpClass::FpMul | OpClass::FpDiv => (&mut self.used_fp_mul, self.cfg.fp_mul.count),
+            // Memory, nop and halt do not use an arithmetic unit.
+            _ => {
+                self.issued_ops += 1;
+                return Some(1);
+            }
+        };
+        if *used < count {
+            *used += 1;
+            self.issued_ops += 1;
+            Some(self.cfg.latency_for(class))
+        } else {
+            None
+        }
+    }
+
+    /// Total operations issued through this pool.
+    #[must_use]
+    pub fn issued_ops(&self) -> u64 {
+        self.issued_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_cycle_limits_per_class() {
+        let mut pool = FuPool::new(FuConfig::four_way());
+        pool.begin_cycle();
+        assert_eq!(pool.try_issue(OpClass::IntAlu), Some(1));
+        assert_eq!(pool.try_issue(OpClass::IntAlu), Some(1));
+        assert_eq!(pool.try_issue(OpClass::Branch), Some(1), "branches share the ALUs");
+        assert_eq!(pool.try_issue(OpClass::IntAlu), None, "only three ALUs");
+        assert_eq!(pool.try_issue(OpClass::FpMul), Some(4));
+        assert_eq!(pool.try_issue(OpClass::FpDiv), None, "single FP mul/div unit");
+        pool.begin_cycle();
+        assert_eq!(pool.try_issue(OpClass::IntAlu), Some(1));
+        assert_eq!(pool.try_issue(OpClass::FpDiv), Some(14));
+    }
+
+    #[test]
+    fn divides_share_units_but_have_long_latency() {
+        let mut pool = FuPool::new(FuConfig::four_way());
+        pool.begin_cycle();
+        assert_eq!(pool.try_issue(OpClass::IntDiv), Some(12));
+        assert_eq!(pool.try_issue(OpClass::IntMul), Some(2));
+        assert_eq!(pool.try_issue(OpClass::IntDiv), None);
+    }
+
+    #[test]
+    fn memory_ops_bypass_the_pool() {
+        let mut pool = FuPool::new(FuConfig::four_way());
+        pool.begin_cycle();
+        for _ in 0..20 {
+            assert!(pool.try_issue(OpClass::Load).is_some());
+        }
+        assert_eq!(pool.issued_ops(), 20);
+    }
+}

@@ -1,0 +1,1084 @@
+//! The cycle-level out-of-order pipeline.
+//!
+//! The model is execution driven: the functional emulator supplies the
+//! correct-path dynamic instruction stream (with resolved effective addresses
+//! and branch outcomes) and the pipeline charges cycles for fetch, rename,
+//! issue, execution, memory and commit, exactly in the style of
+//! SimpleScalar's `sim-outorder`, extended with the speculative dynamic
+//! vectorization mechanism of the paper.
+//!
+//! Modelling notes (also recorded in `DESIGN.md`):
+//!
+//! * Wrong-path instructions are not executed.  When the front end predicts a
+//!   branch incorrectly, fetch stalls until the branch resolves plus a
+//!   configurable redirect penalty — the standard trace-driven approximation.
+//!   Vector state is deliberately *not* flushed on a misprediction (§3.5), so
+//!   correct-path instructions that follow can reuse already-computed vector
+//!   elements; Figure 10 counts that reuse over 100-instruction windows.
+//! * Validations occupy a ROB entry and commit bandwidth but neither a scalar
+//!   functional unit nor a data-cache port; they complete one cycle after the
+//!   vector element they check becomes ready.
+//! * A store whose address falls in the range of a vector register (§3.6)
+//!   forces the younger in-flight instructions to re-execute and charges the
+//!   redirect penalty to the front end.
+
+use crate::config::UarchConfig;
+use crate::fu::FuPool;
+use crate::stats::RunStats;
+use crate::vector_dp::VectorDatapath;
+use sdv_core::{DecodeContext, DecodeOutcome, VectorizationEngine, VregId};
+use sdv_emu::{EmuError, Emulator, Retired};
+use sdv_isa::{OpClass, Program, NUM_ARCH_REGS};
+use sdv_mem::{DataMemory, InstMemory, PortKind, PortSet, WideBusStats};
+use sdv_predictor::BranchPredictor;
+use std::collections::VecDeque;
+
+/// How a dispatched instruction will be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecMode {
+    /// Normal scalar execution.
+    Scalar,
+    /// The instruction only validates a vector element.
+    Validation { vreg: VregId, generation: u64, offset: usize },
+}
+
+/// Where a source operand's value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SrcMapping {
+    /// The architectural value is already committed.
+    Ready,
+    /// Produced by the in-flight instruction with this sequence number.
+    Rob(u64),
+    /// Produced speculatively as a vector element.
+    VecElem(VregId, u64, usize),
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    retired: Retired,
+    class: OpClass,
+    mode: ExecMode,
+    issued: bool,
+    complete_cycle: u64,
+    store_addr_known: bool,
+    /// Kept for debugging dumps; the redirect logic tracks the blocking branch
+    /// by sequence number instead.
+    #[allow(dead_code)]
+    mispredicted: bool,
+    src_scalar: [Option<u64>; 2],
+    src_vec: [Option<(VregId, u64, usize)>; 2],
+}
+
+impl RobEntry {
+    fn seq(&self) -> u64 {
+        self.retired.seq
+    }
+
+    fn is_load(&self) -> bool {
+        self.retired.inst.is_load()
+    }
+
+    fn is_store(&self) -> bool {
+        self.retired.inst.is_store()
+    }
+
+    fn is_mem(&self) -> bool {
+        self.retired.inst.is_mem()
+    }
+
+    fn addr(&self) -> u64 {
+        self.retired.mem.map_or(0, |m| m.addr)
+    }
+
+    fn width(&self) -> u64 {
+        self.retired.mem.map_or(0, |m| m.width)
+    }
+
+    fn completed(&self, cycle: u64) -> bool {
+        self.issued && cycle >= self.complete_cycle
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FetchedInst {
+    retired: Retired,
+    mispredicted: bool,
+}
+
+/// The processor model: a superscalar out-of-order core, optionally extended
+/// with the speculative dynamic vectorization mechanism.
+///
+/// ```
+/// use sdv_isa::{ArchReg, Asm};
+/// use sdv_mem::PortKind;
+/// use sdv_uarch::{Processor, UarchConfig};
+///
+/// let mut a = Asm::new();
+/// let xs = a.data_u64(&(0..64).collect::<Vec<u64>>());
+/// let (p, s, x, n) = (ArchReg::int(1), ArchReg::int(2), ArchReg::int(3), ArchReg::int(4));
+/// a.li(p, xs as i64);
+/// a.li(s, 0);
+/// a.li(n, 64);
+/// a.label("loop");
+/// a.ld(x, p, 0);
+/// a.add(s, s, x);
+/// a.addi(p, p, 8);
+/// a.addi(n, n, -1);
+/// a.bne(n, ArchReg::ZERO, "loop");
+/// a.halt();
+/// let program = a.finish();
+///
+/// let cfg = UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+/// let mut proc = Processor::new(&cfg, &program);
+/// let stats = proc.run(10_000);
+/// assert!(stats.ipc() > 0.5);
+/// assert!(stats.committed_validations > 0, "the strided load was vectorized");
+/// ```
+#[derive(Debug)]
+pub struct Processor {
+    cfg: UarchConfig,
+    emu: Emulator,
+    predictor: BranchPredictor,
+    imem: InstMemory,
+    dmem: DataMemory,
+    ports: PortSet,
+    wide_stats: WideBusStats,
+    fus: FuPool,
+    engine: Option<VectorizationEngine>,
+    vdp: Option<VectorDatapath>,
+    rob: VecDeque<RobEntry>,
+    fetch_queue: VecDeque<FetchedInst>,
+    map_table: Vec<SrcMapping>,
+    lsq_occupancy: usize,
+    cycle: u64,
+    /// No fetch before this cycle (I-cache miss or redirect penalty).
+    fetch_ready_cycle: u64,
+    /// Sequence number of an unresolved mispredicted branch blocking fetch.
+    fetch_blocked_on: Option<u64>,
+    emulator_done: bool,
+    stats: RunStats,
+    last_commit_cycle: u64,
+    /// Remaining instructions in the current Figure-10 observation window.
+    cfi_window_left: u64,
+}
+
+impl Processor {
+    /// Builds a processor for `program` with configuration `cfg`.
+    #[must_use]
+    pub fn new(cfg: &UarchConfig, program: &Program) -> Self {
+        let engine = cfg.vectorization.map(|dv| VectorizationEngine::new(&dv));
+        let vdp = cfg
+            .vectorization
+            .map(|dv| VectorDatapath::new(cfg.vector_fus, dv.vector_length));
+        Processor {
+            emu: Emulator::new(program),
+            predictor: BranchPredictor::new(&cfg.predictor),
+            imem: InstMemory::new(&cfg.memory),
+            dmem: DataMemory::new(&cfg.memory),
+            ports: PortSet::new(cfg.port_kind, cfg.dcache_ports),
+            wide_stats: WideBusStats::new(cfg.line_words()),
+            fus: FuPool::new(cfg.scalar_fus),
+            engine,
+            vdp,
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            fetch_queue: VecDeque::with_capacity(cfg.fetch_width * 2),
+            map_table: vec![SrcMapping::Ready; NUM_ARCH_REGS],
+            lsq_occupancy: 0,
+            cycle: 0,
+            fetch_ready_cycle: 0,
+            fetch_blocked_on: None,
+            emulator_done: false,
+            stats: RunStats::new(cfg.dcache_ports),
+            last_commit_cycle: 0,
+            cfi_window_left: 0,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The configuration this processor was built with.
+    #[must_use]
+    pub fn config(&self) -> &UarchConfig {
+        &self.cfg
+    }
+
+    /// The architectural (functional) state, for checking results after a run.
+    #[must_use]
+    pub fn emulator(&self) -> &Emulator {
+        &self.emu
+    }
+
+    /// Runs until `max_insts` instructions have committed or the program halts,
+    /// and returns the collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline makes no forward progress for an extended number
+    /// of cycles (which would indicate a modelling bug, not a program error).
+    pub fn run(&mut self, max_insts: u64) -> RunStats {
+        while self.stats.committed < max_insts && !self.finished() {
+            self.cycle += 1;
+            self.begin_cycle();
+            self.commit();
+            self.issue();
+            self.step_vector();
+            self.dispatch();
+            self.fetch();
+            assert!(
+                self.cycle - self.last_commit_cycle < 100_000,
+                "pipeline made no progress for 100k cycles at cycle {} (rob = {}, fetched = {})",
+                self.cycle,
+                self.rob.len(),
+                self.fetch_queue.len()
+            );
+        }
+        self.finalize();
+        self.stats.clone()
+    }
+
+    fn finished(&self) -> bool {
+        self.emulator_done && self.rob.is_empty() && self.fetch_queue.is_empty()
+    }
+
+    fn begin_cycle(&mut self) {
+        self.ports.begin_cycle();
+        self.fus.begin_cycle();
+    }
+
+    // ---------------------------------------------------------------- fetch
+
+    fn fetch(&mut self) {
+        if self.emulator_done || self.cycle < self.fetch_ready_cycle {
+            return;
+        }
+        if let Some(seq) = self.fetch_blocked_on {
+            // Waiting for a mispredicted branch to resolve.
+            if self.fetch_queue.iter().any(|f| f.retired.seq == seq) {
+                return; // not even dispatched yet
+            }
+            if let Some(entry) = self.entry_by_seq(seq) {
+                if entry.completed(self.cycle) {
+                    self.fetch_ready_cycle =
+                        (entry.complete_cycle + self.cfg.redirect_penalty).max(self.cycle);
+                    self.fetch_blocked_on = None;
+                }
+                return;
+            }
+            // The branch already committed (it resolved while we were not looking).
+            self.fetch_blocked_on = None;
+        }
+        let capacity = self.cfg.fetch_width * 2;
+        if self.fetch_queue.len() >= capacity {
+            return;
+        }
+
+        // Model the instruction-cache access for this fetch group.
+        let latency = self.imem.fetch_latency(self.emu.pc());
+        if latency > self.cfg.memory.l1_hit_cycles {
+            self.fetch_ready_cycle = self.cycle + latency;
+            return;
+        }
+
+        let mut fetched = 0;
+        while fetched < self.cfg.fetch_width && self.fetch_queue.len() < capacity {
+            let retired = match self.emu.step() {
+                Ok(r) => r,
+                Err(EmuError::Halted) => {
+                    self.emulator_done = true;
+                    break;
+                }
+                Err(e) => panic!("emulation error during fetch: {e}"),
+            };
+            let mut mispredicted = false;
+            let mut taken = false;
+            if retired.inst.is_control() {
+                self.stats.branch_lookups += 1;
+                taken = retired.taken;
+                let prediction = match retired.inst.op {
+                    sdv_isa::Opcode::Jr => self.predictor.predict_return(retired.pc),
+                    op if op.class() == OpClass::Jump => self.predictor.predict_jump(retired.pc),
+                    _ => self.predictor.predict_branch(retired.pc),
+                };
+                let correct = prediction.taken == retired.taken
+                    && (!retired.taken || prediction.target == Some(retired.next_pc));
+                self.predictor.record_outcome(correct);
+                match retired.inst.op.class() {
+                    OpClass::Branch => {
+                        self.predictor.update_branch(retired.pc, retired.taken, retired.next_pc);
+                    }
+                    _ => self.predictor.update_jump(retired.pc, retired.next_pc),
+                }
+                if matches!(retired.inst.op, sdv_isa::Opcode::Jal | sdv_isa::Opcode::Jalr) {
+                    self.predictor.push_return_address(retired.pc + 4);
+                }
+                if !correct {
+                    mispredicted = true;
+                    self.stats.mispredictions += 1;
+                    // Open a fresh Figure-10 observation window.
+                    self.cfi_window_left = 100;
+                }
+            }
+            let seq = retired.seq;
+            self.fetch_queue.push_back(FetchedInst { retired, mispredicted });
+            fetched += 1;
+            if mispredicted {
+                self.fetch_blocked_on = Some(seq);
+                break;
+            }
+            if taken {
+                break; // at most one taken branch per fetch group
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- dispatch
+
+    fn dispatch(&mut self) {
+        let mut dispatched = 0;
+        while dispatched < self.cfg.issue_width {
+            let Some(front) = self.fetch_queue.front() else { break };
+            if self.rob.len() >= self.cfg.rob_size {
+                break;
+            }
+            if front.retired.inst.is_mem() && self.lsq_occupancy >= self.cfg.lsq_size {
+                break;
+            }
+            // §3.2: an instruction about to be vectorized with a scalar operand
+            // whose value is not available blocks decode.
+            if self.cfg.block_on_scalar_operand && self.would_block_on_scalar(&front.retired) {
+                self.stats.decode_blocked_cycles += 1;
+                break;
+            }
+            let fetched = self.fetch_queue.pop_front().expect("front exists");
+            self.dispatch_one(fetched);
+            dispatched += 1;
+        }
+    }
+
+    fn would_block_on_scalar(&self, r: &Retired) -> bool {
+        let Some(engine) = &self.engine else { return false };
+        if !r.inst.op.class().is_vectorizable() || r.inst.is_load() {
+            return false;
+        }
+        let srcs = [r.inst.src1, r.inst.src2];
+        let any_vector = srcs
+            .iter()
+            .flatten()
+            .any(|reg| engine.current_mapping(*reg).is_some());
+        if !any_vector {
+            return false;
+        }
+        // Does any non-vector source still depend on an incomplete in-flight producer?
+        srcs.iter().flatten().any(|reg| {
+            engine.current_mapping(*reg).is_none()
+                && matches!(self.map_table[reg.flat_index()], SrcMapping::Rob(seq)
+                    if self.entry_by_seq(seq).is_some_and(|e| !e.completed(self.cycle)))
+        })
+    }
+
+    fn dispatch_one(&mut self, fetched: FetchedInst) {
+        let r = fetched.retired;
+        let class = r.inst.op.class();
+
+        // Ask the vectorization engine what this instruction becomes.
+        let outcome = if let Some(engine) = self.engine.as_mut() {
+            let ctx = Self::decode_context(&r);
+            engine.decode(&ctx)
+        } else {
+            DecodeOutcome::Scalar
+        };
+
+        // Record source dependences *before* updating the destination mapping.
+        let mut src_scalar = [None, None];
+        let mut src_vec = [None, None];
+        for (i, reg) in [r.inst.src1, r.inst.src2].into_iter().enumerate() {
+            let Some(reg) = reg else { continue };
+            if reg.is_zero() {
+                continue;
+            }
+            match self.map_table[reg.flat_index()] {
+                SrcMapping::Ready => {}
+                SrcMapping::Rob(seq) => src_scalar[i] = Some(seq),
+                SrcMapping::VecElem(vreg, generation, offset) => {
+                    src_vec[i] = Some((vreg, generation, offset));
+                }
+            }
+        }
+
+        let mode = match (&outcome, self.engine.as_ref()) {
+            (DecodeOutcome::Scalar, _) | (_, None) => ExecMode::Scalar,
+            (outcome, Some(engine)) => {
+                let (vreg, offset) = outcome.validated_element().expect("vectorized outcome");
+                ExecMode::Validation { vreg, generation: engine.vreg_generation(vreg), offset }
+            }
+        };
+
+        // Launch a new vector instance if one was created (either the first
+        // instance of the instruction or the §3.2 follow-on that continues a
+        // load pattern after its last element was validated).
+        if let Some(instance) = outcome.instance_to_launch() {
+            let engine = self.engine.as_ref().expect("vector outcome implies engine");
+            self.vdp.as_mut().expect("engine implies datapath").dispatch(instance, engine);
+        }
+
+        // Update the destination mapping.
+        if let Some(dst) = r.inst.dst {
+            if !dst.is_zero() {
+                self.map_table[dst.flat_index()] = match mode {
+                    ExecMode::Scalar => SrcMapping::Rob(r.seq),
+                    ExecMode::Validation { vreg, generation, offset } => {
+                        SrcMapping::VecElem(vreg, generation, offset)
+                    }
+                };
+            }
+        }
+
+        // Figure 10: observe the window following a mispredicted branch.
+        if self.cfi_window_left > 0 {
+            self.stats.post_mispredict_window += 1;
+            if let ExecMode::Validation { vreg, offset, .. } = mode {
+                if self.engine.as_ref().is_some_and(|e| e.element_ready(vreg, offset)) {
+                    self.stats.post_mispredict_reused += 1;
+                }
+            }
+            self.cfi_window_left -= 1;
+        }
+
+        if r.inst.is_mem() {
+            self.lsq_occupancy += 1;
+        }
+        self.rob.push_back(RobEntry {
+            retired: r,
+            class,
+            mode,
+            issued: false,
+            complete_cycle: 0,
+            store_addr_known: false,
+            mispredicted: fetched.mispredicted,
+            src_scalar,
+            src_vec,
+        });
+    }
+
+    fn decode_context(r: &Retired) -> DecodeContext {
+        let class = r.inst.op.class();
+        match class {
+            OpClass::Load => DecodeContext::load(
+                r.pc,
+                r.inst.dst.expect("loads have destinations"),
+                r.mem.expect("loads access memory").addr,
+                r.mem.expect("loads access memory").width,
+            ),
+            c if c.is_vectorizable() => DecodeContext::arith(
+                r.pc,
+                class,
+                r.inst.dst.expect("vectorizable arithmetic has a destination"),
+                [
+                    r.inst.src1.map(|reg| (reg, r.src1_value)),
+                    r.inst.src2.map(|reg| (reg, r.src2_value)),
+                ],
+            ),
+            _ => DecodeContext::other(r.pc, class, r.inst.dst),
+        }
+    }
+
+    // ---------------------------------------------------------------- issue
+
+    fn sources_ready(&self, entry: &RobEntry) -> bool {
+        for seq in entry.src_scalar.into_iter().flatten() {
+            if let Some(producer) = self.entry_by_seq(seq) {
+                if !producer.completed(self.cycle) {
+                    return false;
+                }
+            }
+        }
+        if let Some(engine) = &self.engine {
+            for (vreg, generation, offset) in entry.src_vec.into_iter().flatten() {
+                let reallocated = engine.vreg_generation(vreg) != generation;
+                if !reallocated
+                    && !engine.element_ready(vreg, offset)
+                    && !engine.element_poisoned(vreg, offset)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn validation_ready(&self, vreg: VregId, generation: u64, offset: usize) -> bool {
+        let engine = self.engine.as_ref().expect("validations exist only with the engine");
+        engine.vreg_generation(vreg) != generation
+            || engine.element_ready(vreg, offset)
+            || engine.element_poisoned(vreg, offset)
+    }
+
+    fn issue(&mut self) {
+        let mut issued = 0;
+        let mut idx = 0;
+        while idx < self.rob.len() && issued < self.cfg.issue_width {
+            if self.rob[idx].issued {
+                idx += 1;
+                continue;
+            }
+            // Validations complete on their own once the element is ready; they
+            // do not consume issue bandwidth, functional units or cache ports.
+            if let ExecMode::Validation { vreg, generation, offset } = self.rob[idx].mode {
+                if self.validation_ready(vreg, generation, offset) {
+                    self.rob[idx].issued = true;
+                    self.rob[idx].complete_cycle = self.cycle + 1;
+                }
+                idx += 1;
+                continue;
+            }
+            if !self.sources_ready(&self.rob[idx]) {
+                idx += 1;
+                continue;
+            }
+            let class = self.rob[idx].class;
+            if self.rob[idx].is_store() {
+                // Stores only compute their address at issue; memory is updated at commit.
+                self.rob[idx].issued = true;
+                self.rob[idx].store_addr_known = true;
+                self.rob[idx].complete_cycle = self.cycle + 1;
+                issued += 1;
+            } else if self.rob[idx].is_load() {
+                if self.try_issue_load(idx) {
+                    issued += 1;
+                }
+            } else {
+                if let Some(latency) = self.fus.try_issue(class) {
+                    if matches!(
+                        class,
+                        OpClass::IntAlu
+                            | OpClass::IntMul
+                            | OpClass::IntDiv
+                            | OpClass::FpAdd
+                            | OpClass::FpMul
+                            | OpClass::FpDiv
+                    ) {
+                        self.stats.scalar_arith_executed += 1;
+                    }
+                    self.rob[idx].issued = true;
+                    self.rob[idx].complete_cycle = self.cycle + latency;
+                    issued += 1;
+                }
+            }
+            idx += 1;
+        }
+    }
+
+    /// Whether every store older than `idx` has a known address, and, if one of
+    /// them overlaps this load, returns its index for forwarding.
+    fn older_store_state(&self, idx: usize) -> (bool, Option<usize>) {
+        let load = &self.rob[idx];
+        let (laddr, lwidth) = (load.addr(), load.width());
+        let mut forward = None;
+        for j in (0..idx).rev() {
+            let e = &self.rob[j];
+            if !e.is_store() {
+                continue;
+            }
+            if !e.store_addr_known {
+                return (false, None);
+            }
+            let (saddr, swidth) = (e.addr(), e.width());
+            let overlap = saddr < laddr + lwidth && laddr < saddr + swidth;
+            if overlap && forward.is_none() {
+                forward = Some(j);
+            }
+        }
+        (true, forward)
+    }
+
+    fn try_issue_load(&mut self, idx: usize) -> bool {
+        let (addrs_known, forward) = self.older_store_state(idx);
+        if !addrs_known {
+            return false;
+        }
+        if let Some(store_idx) = forward {
+            // Store-to-load forwarding: the data comes from the LSQ.
+            if self.rob[store_idx].completed(self.cycle) {
+                self.rob[idx].issued = true;
+                self.rob[idx].complete_cycle = self.cycle + 1;
+                self.stats.store_forwards += 1;
+                return true;
+            }
+            return false;
+        }
+        if self.ports.free_this_cycle() == 0 {
+            return false;
+        }
+        let addr = self.rob[idx].addr();
+        if !self.ports.try_acquire() {
+            return false;
+        }
+        let Some(done) = self.dmem.access(addr, false, self.cycle) else {
+            // All MSHRs busy: the port grant is wasted and the load retries.
+            return false;
+        };
+        self.rob[idx].issued = true;
+        self.rob[idx].complete_cycle = done;
+        self.stats.load_accesses += 1;
+        self.stats.memory_accesses += 1;
+
+        // §3.7: on a wide bus every pending load to the same line is served by
+        // this single access.
+        let mut words_used = 1;
+        if self.ports.kind() == PortKind::Wide {
+            let line = self.dmem.line_addr(addr);
+            let mut served = Vec::new();
+            for j in 0..self.rob.len() {
+                if served.len() + 1 >= self.cfg.wide_loads_per_access {
+                    break;
+                }
+                if j == idx || self.rob[j].issued || !self.rob[j].is_load() {
+                    continue;
+                }
+                if self.dmem.line_addr(self.rob[j].addr()) != line {
+                    continue;
+                }
+                if !matches!(self.rob[j].mode, ExecMode::Scalar) {
+                    continue;
+                }
+                if !self.sources_ready(&self.rob[j]) {
+                    continue;
+                }
+                let (known, fwd) = self.older_store_state(j);
+                if !known || fwd.is_some() {
+                    continue;
+                }
+                served.push(j);
+            }
+            for &j in &served {
+                self.rob[j].issued = true;
+                self.rob[j].complete_cycle = done;
+                self.stats.loads_served_by_peer += 1;
+            }
+            words_used += served.len();
+            self.wide_stats.record(words_used.min(self.cfg.line_words()));
+        }
+        true
+    }
+
+    // --------------------------------------------------------------- vector
+
+    fn step_vector(&mut self) {
+        if let (Some(vdp), Some(engine)) = (self.vdp.as_mut(), self.engine.as_mut()) {
+            vdp.step(self.cycle, engine, &mut self.dmem, &mut self.ports);
+        }
+    }
+
+    // --------------------------------------------------------------- commit
+
+    fn commit(&mut self) {
+        let mut committed = 0;
+        let mut stores = 0;
+        while committed < self.cfg.commit_width {
+            let Some(entry) = self.rob.front() else { break };
+            if !entry.completed(self.cycle) {
+                break;
+            }
+            if entry.is_store() {
+                let store_limit = if self.cfg.vectorization_enabled() {
+                    self.cfg.store_commit_limit
+                } else {
+                    self.cfg.commit_width
+                };
+                if stores >= store_limit {
+                    break;
+                }
+                if self.ports.free_this_cycle() == 0 || !self.ports.try_acquire() {
+                    break;
+                }
+                let (addr, width) = (entry.addr(), entry.width());
+                if self.dmem.access(addr, true, self.cycle).is_none() {
+                    break; // all MSHRs busy; retry next cycle
+                }
+                self.stats.memory_accesses += 1;
+                stores += 1;
+                let mut squash = false;
+                if let Some(engine) = self.engine.as_mut() {
+                    squash = engine.commit_store(addr, width).squash;
+                }
+                if squash {
+                    self.squash_younger_than_front();
+                }
+            }
+            let entry = self.rob.pop_front().expect("front exists");
+            self.retire(&entry);
+            committed += 1;
+            self.last_commit_cycle = self.cycle;
+        }
+        self.stats.cycles = self.cycle;
+    }
+
+    fn retire(&mut self, entry: &RobEntry) {
+        let r = &entry.retired;
+        self.stats.committed += 1;
+        if entry.is_load() {
+            self.stats.committed_loads += 1;
+        }
+        if entry.is_store() {
+            self.stats.committed_stores += 1;
+        }
+        if r.inst.is_control() {
+            self.stats.committed_control += 1;
+        }
+        match entry.mode {
+            ExecMode::Validation { vreg, generation, offset } => {
+                self.stats.committed_validations += 1;
+                self.stats.committed_vector_mode += 1;
+                if let Some(engine) = self.engine.as_mut() {
+                    engine.commit_validation(vreg, offset, r.inst.dst.filter(|d| !d.is_zero()));
+                }
+                if let Some(vdp) = self.vdp.as_mut() {
+                    vdp.note_validation(vreg, generation, offset);
+                }
+            }
+            ExecMode::Scalar => {
+                if let (Some(engine), Some(dst)) = (self.engine.as_mut(), r.inst.dst) {
+                    if !dst.is_zero() && !r.inst.is_control() {
+                        engine.commit_scalar_write(dst);
+                    }
+                }
+            }
+        }
+        if r.inst.is_control() {
+            if let Some(engine) = self.engine.as_mut() {
+                engine.commit_control(r.pc, r.taken, r.next_pc);
+            }
+        }
+        // Release the rename mapping if this instruction still owns it.
+        if let Some(dst) = r.inst.dst {
+            if self.map_table[dst.flat_index()] == SrcMapping::Rob(r.seq) {
+                self.map_table[dst.flat_index()] = SrcMapping::Ready;
+            }
+        }
+        if entry.is_mem() {
+            self.lsq_occupancy -= 1;
+        }
+    }
+
+    /// §3.6: a store hit the address range of a vector register.  Every younger
+    /// in-flight instruction re-executes and the front end pays a redirect.
+    fn squash_younger_than_front(&mut self) {
+        for entry in self.rob.iter_mut().skip(1) {
+            if !matches!(entry.class, OpClass::Store) || !entry.issued {
+                entry.issued = false;
+                entry.store_addr_known = false;
+                entry.complete_cycle = 0;
+            }
+        }
+        self.fetch_ready_cycle = self.fetch_ready_cycle.max(self.cycle + self.cfg.redirect_penalty);
+    }
+
+    // -------------------------------------------------------------- helpers
+
+    fn entry_by_seq(&self, seq: u64) -> Option<&RobEntry> {
+        let front = self.rob.front()?.seq();
+        if seq < front {
+            return None;
+        }
+        self.rob.get((seq - front) as usize)
+    }
+
+    fn finalize(&mut self) {
+        if let Some(engine) = self.engine.as_mut() {
+            engine.finish();
+            self.stats.dv = Some(*engine.stats());
+            self.stats.element_usage = Some(*engine.vrf().usage());
+        }
+        if let Some(vdp) = self.vdp.as_mut() {
+            vdp.finalize(&mut self.wide_stats);
+            // Speculative vector-load line accesses are real L1 traffic and
+            // count towards the paper's "number of memory requests".
+            self.stats.vector_line_accesses = vdp.line_accesses();
+            self.stats.memory_accesses += vdp.line_accesses();
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.ports = self.ports.stats();
+        self.stats.l1d = self.dmem.l1_stats();
+        self.stats.l1i = self.imem.l1_stats();
+        self.stats.wide_bus = (self.ports.kind() == PortKind::Wide).then(|| self.wide_stats.clone());
+    }
+}
+
+/// Convenience: run `program` on a processor with configuration `cfg` for at
+/// most `max_insts` committed instructions.
+///
+/// This is what the examples, the experiment harness and most tests call.
+pub fn simulate(cfg: &UarchConfig, program: &Program, max_insts: u64) -> RunStats {
+    Processor::new(cfg, program).run(max_insts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_isa::{ArchReg, Asm};
+
+    fn x(n: u8) -> ArchReg {
+        ArchReg::int(n)
+    }
+
+    /// A simple strided-sum loop over `n` 64-bit elements.
+    fn strided_sum(n: u64) -> Program {
+        let mut a = Asm::new();
+        let data: Vec<u64> = (0..n).collect();
+        let buf = a.data_u64(&data);
+        let (p, s, v, c) = (x(1), x(2), x(3), x(4));
+        a.li(p, buf as i64);
+        a.li(s, 0);
+        a.li(c, n as i64);
+        a.label("loop");
+        a.ld(v, p, 0);
+        a.add(s, s, v);
+        a.addi(p, p, 8);
+        a.addi(c, c, -1);
+        a.bne(c, ArchReg::ZERO, "loop");
+        a.halt();
+        a.finish()
+    }
+
+    /// A pointer-chasing loop (stride is irregular, so vectorization of the
+    /// chased load should not happen).
+    fn pointer_chase(n: usize) -> Program {
+        let mut a = Asm::new();
+        // Build a scrambled singly-linked list.  The assembler lays the first
+        // 8-byte-aligned data allocation at DATA_BASE, so the node addresses
+        // can be computed up front.
+        let base = sdv_isa::program::DATA_BASE;
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in 0..n {
+            order.swap(i, (i * 7 + 3) % n);
+        }
+        let mut nodes = vec![0u64; n];
+        for w in 0..n - 1 {
+            nodes[order[w]] = base + (order[w + 1] * 8) as u64;
+        }
+        nodes[order[n - 1]] = 0;
+        let bytes: Vec<u8> = nodes.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let placed = a.data_bytes(&bytes, 8);
+        assert_eq!(placed, base, "list nodes start at DATA_BASE");
+        let (p, c) = (x(1), x(2));
+        a.li(p, (base + (order[0] * 8) as u64) as i64);
+        a.li(c, n as i64);
+        a.label("chase");
+        a.ld(p, p, 0);
+        a.addi(c, c, -1);
+        a.bne(p, ArchReg::ZERO, "chase");
+        a.halt();
+        a.finish()
+    }
+
+    #[test]
+    fn baseline_and_dv_produce_identical_architectural_results() {
+        let program = strided_sum(200);
+        let expected: u64 = (0..200).sum();
+        for vect in [false, true] {
+            let cfg = UarchConfig::four_way(1, PortKind::Wide).with_vectorization(vect);
+            let mut proc = Processor::new(&cfg, &program);
+            let stats = proc.run(100_000);
+            assert!(stats.committed > 0);
+            assert_eq!(proc.emulator().int_reg(x(2)), expected, "vect={vect}");
+        }
+    }
+
+    #[test]
+    fn dynamic_vectorization_reduces_memory_accesses() {
+        let program = strided_sum(2_000);
+        let base_cfg = UarchConfig::four_way(1, PortKind::Wide);
+        let dv_cfg = base_cfg.clone().with_vectorization(true);
+        let base = simulate(&base_cfg, &program, 1_000_000);
+        let dv = simulate(&dv_cfg, &program, 1_000_000);
+        assert_eq!(base.committed, dv.committed, "same dynamic instruction count");
+        assert!(dv.committed_validations > 0, "loads and adds were vectorized");
+        assert!(
+            dv.memory_accesses < base.memory_accesses,
+            "wide vector loads batch memory accesses: dv={} base={}",
+            dv.memory_accesses,
+            base.memory_accesses
+        );
+        assert!(
+            dv.scalar_arith_executed < base.scalar_arith_executed,
+            "vectorized arithmetic leaves the scalar units: dv={} base={}",
+            dv.scalar_arith_executed,
+            base.scalar_arith_executed
+        );
+    }
+
+    /// A loop reading four independent strided streams per iteration: the
+    /// memory ports are the bottleneck, which is exactly where dynamic
+    /// vectorization pays off.
+    fn four_stream_sum(iters: u64) -> Program {
+        let mut a = Asm::new();
+        let data: Vec<u64> = (0..iters).collect();
+        let bufs: Vec<u64> = (0..4).map(|_| a.data_u64(&data)).collect();
+        let counters = x(16);
+        a.li(counters, iters as i64);
+        for (i, &buf) in bufs.iter().enumerate() {
+            a.li(x(1 + i as u8), buf as i64); // pointer
+            a.li(x(5 + i as u8), 0); // accumulator
+        }
+        a.label("loop");
+        for i in 0..4u8 {
+            a.ld(x(9 + i), x(1 + i), 0);
+        }
+        for i in 0..4u8 {
+            a.add(x(5 + i), x(5 + i), x(9 + i));
+        }
+        for i in 0..4u8 {
+            a.addi(x(1 + i), x(1 + i), 8);
+        }
+        a.addi(counters, counters, -1);
+        a.bne(counters, ArchReg::ZERO, "loop");
+        a.halt();
+        a.finish()
+    }
+
+    #[test]
+    fn dv_ipc_is_at_least_on_par_on_a_simple_strided_loop() {
+        // A single dependent stream is not memory-bound, so DV should be
+        // roughly neutral here (the clear wins appear under port pressure).
+        let program = strided_sum(2_000);
+        let base = simulate(&UarchConfig::four_way(1, PortKind::Wide), &program, 1_000_000);
+        let dv = simulate(
+            &UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true),
+            &program,
+            1_000_000,
+        );
+        assert!(
+            dv.ipc() > base.ipc() * 0.9,
+            "dv ipc {} should be on par with baseline ipc {}",
+            dv.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn dynamic_vectorization_improves_ipc_under_port_pressure() {
+        let program = four_stream_sum(2_000);
+        let base = simulate(&UarchConfig::four_way(1, PortKind::Wide), &program, 1_000_000);
+        let dv = simulate(
+            &UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true),
+            &program,
+            1_000_000,
+        );
+        assert!(
+            dv.ipc() > base.ipc(),
+            "dv ipc {} should beat baseline ipc {} when the single port is saturated",
+            dv.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn wide_bus_beats_single_scalar_bus() {
+        // Two independent loads from the same line per iteration: a wide bus
+        // serves both with one access.
+        let mut a = Asm::new();
+        let data: Vec<u64> = (0..4_000).collect();
+        let buf = a.data_u64(&data);
+        let (p, s, v1, v2, c) = (x(1), x(2), x(3), x(4), x(5));
+        a.li(p, buf as i64);
+        a.li(s, 0);
+        a.li(c, 2_000);
+        a.label("loop");
+        a.ld(v1, p, 0);
+        a.ld(v2, p, 8);
+        a.add(s, s, v1);
+        a.add(s, s, v2);
+        a.addi(p, p, 16);
+        a.addi(c, c, -1);
+        a.bne(c, ArchReg::ZERO, "loop");
+        a.halt();
+        let program = a.finish();
+        let scalar = simulate(&UarchConfig::four_way(1, PortKind::Scalar), &program, 1_000_000);
+        let wide = simulate(&UarchConfig::four_way(1, PortKind::Wide), &program, 1_000_000);
+        assert!(wide.ipc() >= scalar.ipc());
+        assert!(wide.loads_served_by_peer > 0, "the wide bus should batch loads");
+        assert!(wide.memory_accesses < scalar.memory_accesses);
+    }
+
+    #[test]
+    fn pointer_chasing_is_not_vectorized() {
+        let program = pointer_chase(256);
+        let dv = simulate(
+            &UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true),
+            &program,
+            1_000_000,
+        );
+        // The chased load has an irregular stride; only a negligible number of
+        // validations (from spurious short regular runs) may appear.
+        let dv_stats = dv.dv.expect("dv stats present");
+        assert!(dv.committed > 0);
+        assert!(
+            dv_stats.load_validations < dv.committed_loads / 4,
+            "pointer chasing must remain mostly scalar ({} validations / {} loads)",
+            dv_stats.load_validations,
+            dv.committed_loads
+        );
+    }
+
+    #[test]
+    fn eight_way_is_at_least_as_fast_as_four_way() {
+        let program = strided_sum(1_000);
+        let four = simulate(&UarchConfig::four_way(4, PortKind::Wide), &program, 1_000_000);
+        let eight = simulate(&UarchConfig::eight_way(4, PortKind::Wide), &program, 1_000_000);
+        assert!(eight.ipc() >= four.ipc() * 0.99);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let program = strided_sum(500);
+        let cfg = UarchConfig::four_way(2, PortKind::Wide).with_vectorization(true);
+        let s = simulate(&cfg, &program, 1_000_000);
+        assert!(s.committed_validations <= s.committed_vector_mode);
+        assert!(s.committed_vector_mode <= s.committed);
+        assert!(s.committed_loads + s.committed_stores + s.committed_control <= s.committed);
+        assert!(s.ipc() > 0.0);
+        assert!(s.port_occupancy() <= 1.0);
+        let usage = s.element_usage.expect("element usage with dv");
+        assert!(usage.registers_released > 0);
+        let wide = s.wide_bus.expect("wide bus stats with wide ports");
+        assert!(wide.total() > 0);
+    }
+
+    #[test]
+    fn store_heavy_code_respects_coherence() {
+        // A loop that stores into the array it is also reading with a stride:
+        // the §3.6 checks must fire without corrupting architectural state.
+        let mut a = Asm::new();
+        let buf = a.data_u64(&vec![1u64; 128]);
+        let (p, v, c) = (x(1), x(2), x(3));
+        a.li(p, buf as i64);
+        a.li(c, 127);
+        a.label("loop");
+        a.ld(v, p, 0);
+        a.addi(v, v, 1);
+        a.sd(v, p, 8); // write the *next* element, which the vector load may have prefetched
+        a.addi(p, p, 8);
+        a.addi(c, c, -1);
+        a.bne(c, ArchReg::ZERO, "loop");
+        a.halt();
+        let program = a.finish();
+        let cfg = UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+        let mut proc = Processor::new(&cfg, &program);
+        let stats = proc.run(1_000_000);
+        let dv = stats.dv.expect("dv stats");
+        assert!(dv.stores_checked > 0);
+        // The final element should have been incremented 127 times (1 + 127).
+        assert_eq!(proc.emulator().memory().read_u64(buf + 127 * 8), 128);
+    }
+
+    #[test]
+    fn ideal_mode_never_blocks_decode() {
+        let program = strided_sum(500);
+        let mut cfg = UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+        cfg.block_on_scalar_operand = false;
+        let ideal = simulate(&cfg, &program, 1_000_000);
+        assert_eq!(ideal.decode_blocked_cycles, 0);
+        cfg.block_on_scalar_operand = true;
+        let real = simulate(&cfg, &program, 1_000_000);
+        assert!(real.ipc() <= ideal.ipc() * 1.001);
+    }
+}

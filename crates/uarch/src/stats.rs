@@ -1,0 +1,193 @@
+//! Per-run statistics produced by the pipeline model.
+
+use sdv_core::{DvStats, ElementUsage};
+use sdv_mem::{CacheStats, PortStats, WideBusStats};
+
+/// Everything a single simulation run measures.
+///
+/// The figure generators in `sdv-sim` combine these raw counters into the
+/// percentages and averages the paper plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Committed loads.
+    pub committed_loads: u64,
+    /// Committed stores.
+    pub committed_stores: u64,
+    /// Committed branches and jumps.
+    pub committed_control: u64,
+    /// Committed instructions that were validations of a vector element (Figure 14).
+    pub committed_validations: u64,
+    /// Committed instructions executed in vector mode: validations plus the
+    /// instances that triggered vector execution (Figure 3).
+    pub committed_vector_mode: u64,
+    /// Conditional branches and jumps looked up in the predictor.
+    pub branch_lookups: u64,
+    /// Mispredicted control transfers.
+    pub mispredictions: u64,
+    /// Memory accesses presented to the L1 data cache (demand loads, committed
+    /// stores and vector-load line accesses).
+    pub memory_accesses: u64,
+    /// Of those, line accesses performed by the vector data path on behalf of
+    /// vectorized loads (speculative prefetches included).
+    pub vector_line_accesses: u64,
+    /// Demand load accesses that reached the L1 (loads served by a peer access
+    /// on a wide bus or by store forwarding are not included).
+    pub load_accesses: u64,
+    /// Loads completed by piggybacking on another access to the same line (§3.7).
+    pub loads_served_by_peer: u64,
+    /// Loads satisfied by store-to-load forwarding in the LSQ.
+    pub store_forwards: u64,
+    /// Arithmetic operations executed on the scalar functional units.
+    pub scalar_arith_executed: u64,
+    /// Cycles in which dispatch was blocked waiting for the scalar operand of a
+    /// to-be-vectorized instruction (§3.2, Figure 7).
+    pub decode_blocked_cycles: u64,
+    /// Instructions observed inside the 100-instruction windows following
+    /// mispredicted branches (Figure 10 denominator).
+    pub post_mispredict_window: u64,
+    /// Of those, instructions that reused an already-computed vector element
+    /// (Figure 10 numerator).
+    pub post_mispredict_reused: u64,
+    /// Number of L1 data-cache ports.
+    pub port_count: usize,
+    /// Port occupancy counters (Figure 12).
+    pub ports: PortStats,
+    /// Wide-bus useful-word accounting (Figure 13); `None` with scalar ports.
+    pub wide_bus: Option<WideBusStats>,
+    /// L1 data-cache statistics.
+    pub l1d: CacheStats,
+    /// L1 instruction-cache statistics.
+    pub l1i: CacheStats,
+    /// Vectorization-engine counters; `None` when the mechanism is disabled.
+    pub dv: Option<DvStats>,
+    /// Vector-element usage (Figure 15); `None` when the mechanism is disabled.
+    pub element_usage: Option<ElementUsage>,
+}
+
+impl RunStats {
+    /// Creates an all-zero record for `port_count` ports.
+    #[must_use]
+    pub fn new(port_count: usize) -> Self {
+        RunStats {
+            cycles: 0,
+            committed: 0,
+            committed_loads: 0,
+            committed_stores: 0,
+            committed_control: 0,
+            committed_validations: 0,
+            committed_vector_mode: 0,
+            branch_lookups: 0,
+            mispredictions: 0,
+            memory_accesses: 0,
+            vector_line_accesses: 0,
+            load_accesses: 0,
+            loads_served_by_peer: 0,
+            store_forwards: 0,
+            scalar_arith_executed: 0,
+            decode_blocked_cycles: 0,
+            post_mispredict_window: 0,
+            post_mispredict_reused: 0,
+            port_count,
+            ports: PortStats::default(),
+            wide_bus: None,
+            l1d: CacheStats::default(),
+            l1i: CacheStats::default(),
+            dv: None,
+            element_usage: None,
+        }
+    }
+
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of committed instructions that were validations (Figure 14).
+    #[must_use]
+    pub fn validation_fraction(&self) -> f64 {
+        self.fraction(self.committed_validations)
+    }
+
+    /// Fraction of committed instructions executed in vector mode (Figure 3).
+    #[must_use]
+    pub fn vector_mode_fraction(&self) -> f64 {
+        self.fraction(self.committed_vector_mode)
+    }
+
+    /// Average L1 data-port occupancy (Figure 12).
+    #[must_use]
+    pub fn port_occupancy(&self) -> f64 {
+        self.ports.occupancy(self.port_count)
+    }
+
+    /// Branch misprediction rate over all predicted control transfers.
+    #[must_use]
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.branch_lookups == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branch_lookups as f64
+        }
+    }
+
+    /// Fraction of the post-misprediction window that reused vector results (Figure 10).
+    #[must_use]
+    pub fn cfi_reuse_fraction(&self) -> f64 {
+        if self.post_mispredict_window == 0 {
+            0.0
+        } else {
+            self.post_mispredict_reused as f64 / self.post_mispredict_window as f64
+        }
+    }
+
+    fn fraction(&self, n: u64) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            n as f64 / self.committed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = RunStats::new(2);
+        s.cycles = 100;
+        s.committed = 250;
+        s.committed_validations = 50;
+        s.committed_vector_mode = 60;
+        s.branch_lookups = 40;
+        s.mispredictions = 4;
+        s.post_mispredict_window = 200;
+        s.post_mispredict_reused = 34;
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.validation_fraction() - 0.2).abs() < 1e-12);
+        assert!((s.vector_mode_fraction() - 0.24).abs() < 1e-12);
+        assert!((s.misprediction_rate() - 0.1).abs() < 1e-12);
+        assert!((s.cfi_reuse_fraction() - 0.17).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let s = RunStats::new(1);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.validation_fraction(), 0.0);
+        assert_eq!(s.vector_mode_fraction(), 0.0);
+        assert_eq!(s.misprediction_rate(), 0.0);
+        assert_eq!(s.cfi_reuse_fraction(), 0.0);
+        assert_eq!(s.port_occupancy(), 0.0);
+    }
+}

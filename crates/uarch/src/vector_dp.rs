@@ -1,0 +1,461 @@
+//! The vector data path (§3.4): vector instruction queue, vector functional
+//! units and vector load address generation.
+//!
+//! Vector instances created by the [`sdv_core::VectorizationEngine`] are
+//! dispatched here by the pipeline.  Each cycle the data path
+//!
+//! * delivers results whose latency has elapsed (setting the element R flags),
+//! * lets every load instance perform at most one L1 access (a *wide* port
+//!   brings a whole cache line, so all elements falling in that line complete
+//!   with a single access, §3.7),
+//! * lets every arithmetic instance start at most one element on a free vector
+//!   functional unit (units are fully pipelined).
+
+use crate::config::FuConfig;
+use crate::fu::FuPool;
+use sdv_core::{NewVectorInstance, Operand, VectorOpKind, VectorizationEngine, VregId};
+use sdv_mem::{DataMemory, PortKind, PortSet, WideBusStats};
+use std::collections::HashMap;
+
+/// One element-completion event scheduled for a future cycle.
+#[derive(Debug, Clone, Copy)]
+struct ReadyEvent {
+    cycle: u64,
+    vreg: VregId,
+    generation: u64,
+    offset: usize,
+}
+
+/// Accounting record for one wide-bus line access made on behalf of a
+/// vectorized load (used for Figure 13: words later validated count as useful).
+#[derive(Debug, Clone)]
+struct AccessRecord {
+    generation: u64,
+    offsets: Vec<usize>,
+    used: Vec<bool>,
+}
+
+/// An in-flight vector instance.
+#[derive(Debug, Clone)]
+struct Instance {
+    vreg: VregId,
+    generation: u64,
+    kind: VectorOpKind,
+    src1: Operand,
+    src2: Operand,
+    /// Allocation generations of the vector source registers at dispatch time
+    /// (0 for non-vector operands).  A source whose register has since been
+    /// re-allocated is treated as ready: the freeing rules only release fully
+    /// computed registers.
+    src_generations: [u64; 2],
+    /// Next element index to start.
+    next: usize,
+    /// Total elements (vector length).
+    vl: usize,
+    /// For loads: element offsets whose access has not started yet.
+    pending_loads: Vec<usize>,
+}
+
+/// The vector data path.
+#[derive(Debug, Clone)]
+pub struct VectorDatapath {
+    fus: FuPool,
+    vl: usize,
+    instances: Vec<Instance>,
+    events: Vec<ReadyEvent>,
+    /// Open Figure-13 accounting records, grouped by destination register so
+    /// validations only touch the handful of accesses of their own register.
+    records: HashMap<VregId, Vec<AccessRecord>>,
+    /// Histogram of already-resolved accesses by number of useful words.
+    resolved: Vec<u64>,
+    /// Total element computations started (loads and arithmetic).
+    elements_started: u64,
+    /// Line accesses performed on behalf of vector loads.
+    line_accesses: u64,
+}
+
+impl VectorDatapath {
+    /// Creates an empty data path with the given vector functional units.
+    #[must_use]
+    pub fn new(fus: FuConfig, vector_length: usize) -> Self {
+        VectorDatapath {
+            fus: FuPool::new(fus),
+            vl: vector_length,
+            instances: Vec::new(),
+            events: Vec::new(),
+            records: HashMap::new(),
+            resolved: vec![0; vector_length + 1],
+            elements_started: 0,
+            line_accesses: 0,
+        }
+    }
+
+    /// Number of instances still making progress.
+    #[must_use]
+    pub fn active_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Total element computations started so far.
+    #[must_use]
+    pub fn elements_started(&self) -> u64 {
+        self.elements_started
+    }
+
+    /// Line accesses performed on behalf of vector loads.
+    #[must_use]
+    pub fn line_accesses(&self) -> u64 {
+        self.line_accesses
+    }
+
+    /// Accepts a freshly created vector instance from decode.
+    pub fn dispatch(&mut self, inst: &NewVectorInstance, engine: &VectorizationEngine) {
+        // The register is being re-used: accounting records from its previous
+        // generation can no longer receive validations, so resolve them now.
+        let generation = engine.vreg_generation(inst.vreg);
+        if let Some(list) = self.records.get_mut(&inst.vreg) {
+            let mut kept = Vec::new();
+            for rec in list.drain(..) {
+                if rec.generation == generation {
+                    kept.push(rec);
+                } else {
+                    let useful = rec.used.iter().filter(|&&u| u).count();
+                    self.resolved[useful.min(self.vl)] += 1;
+                }
+            }
+            *list = kept;
+        }
+        let pending_loads = match inst.kind {
+            VectorOpKind::Load { .. } => (inst.start_offset..self.vl).collect(),
+            VectorOpKind::Arith { .. } => Vec::new(),
+        };
+        let src_gen = |op: &Operand| match op {
+            Operand::Vector { vreg, .. } => engine.vreg_generation(*vreg),
+            _ => 0,
+        };
+        self.instances.push(Instance {
+            vreg: inst.vreg,
+            generation: engine.vreg_generation(inst.vreg),
+            kind: inst.kind,
+            src1: inst.src1,
+            src2: inst.src2,
+            src_generations: [src_gen(&inst.src1), src_gen(&inst.src2)],
+            next: inst.start_offset,
+            vl: self.vl,
+            pending_loads,
+        });
+    }
+
+    /// Marks the words corresponding to a committed validation as useful in
+    /// the Figure 13 accounting.
+    pub fn note_validation(&mut self, vreg: VregId, generation: u64, offset: usize) {
+        let Some(list) = self.records.get_mut(&vreg) else { return };
+        let vl = self.vl;
+        let mut i = 0;
+        while i < list.len() {
+            let rec = &mut list[i];
+            if rec.generation == generation {
+                if let Some(pos) = rec.offsets.iter().position(|&o| o == offset) {
+                    rec.used[pos] = true;
+                }
+                if rec.used.iter().all(|&u| u) {
+                    let useful = rec.used.len();
+                    self.resolved[useful.min(vl)] += 1;
+                    list.swap_remove(i);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Advances the data path by one cycle.
+    pub fn step(
+        &mut self,
+        now: u64,
+        engine: &mut VectorizationEngine,
+        dmem: &mut DataMemory,
+        ports: &mut PortSet,
+    ) {
+        // 1. Deliver results whose latency has elapsed.
+        let mut i = 0;
+        while i < self.events.len() {
+            if self.events[i].cycle <= now {
+                let ev = self.events.swap_remove(i);
+                if engine.vreg_generation(ev.vreg) == ev.generation {
+                    engine.set_element_ready(ev.vreg, ev.offset);
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        self.fus.begin_cycle();
+
+        // 2. Make progress on every instance.
+        let line_bytes = dmem.line_bytes();
+        let mut idx = 0;
+        while idx < self.instances.len() {
+            let done = {
+                let inst = &mut self.instances[idx];
+                // A released-and-reallocated register means the results are no
+                // longer wanted; drop the instance.
+                if engine.vreg_generation(inst.vreg) != inst.generation {
+                    true
+                } else {
+                    match inst.kind {
+                        VectorOpKind::Load { pattern } => {
+                            if !inst.pending_loads.is_empty() && ports.free_this_cycle() > 0 && ports.try_acquire() {
+                                // Group the pending elements that fall into the
+                                // same cache line as the next one.
+                                let first_addr = pattern.addr_of(inst.pending_loads[0]);
+                                let line = first_addr & !(line_bytes - 1);
+                                let per_access = match ports.kind() {
+                                    PortKind::Wide => usize::MAX,
+                                    PortKind::Scalar => 1,
+                                };
+                                let mut batch = Vec::new();
+                                for &off in &inst.pending_loads {
+                                    if batch.len() >= per_access {
+                                        break;
+                                    }
+                                    let a = pattern.addr_of(off);
+                                    if a & !(line_bytes - 1) == line {
+                                        batch.push(off);
+                                    }
+                                }
+                                if let Some(ready_at) = dmem.access(first_addr, false, now) {
+                                    self.line_accesses += 1;
+                                    self.elements_started += batch.len() as u64;
+                                    inst.pending_loads.retain(|o| !batch.contains(o));
+                                    for &off in &batch {
+                                        self.events.push(ReadyEvent {
+                                            cycle: ready_at,
+                                            vreg: inst.vreg,
+                                            generation: inst.generation,
+                                            offset: off,
+                                        });
+                                    }
+                                    if ports.kind() == PortKind::Wide {
+                                        self.records.entry(inst.vreg).or_default().push(
+                                            AccessRecord {
+                                                generation: inst.generation,
+                                                used: vec![false; batch.len()],
+                                                offsets: batch,
+                                            },
+                                        );
+                                    }
+                                }
+                            }
+                            inst.pending_loads.is_empty()
+                        }
+                        VectorOpKind::Arith { class } => {
+                            if inst.next < inst.vl {
+                                let offset = inst.next;
+                                let ready = [(&inst.src1, inst.src_generations[0]), (&inst.src2, inst.src_generations[1])]
+                                    .into_iter()
+                                    .all(|(op, gen)| match op {
+                                        Operand::Vector { vreg, .. } => {
+                                            engine.vreg_generation(*vreg) != gen
+                                                || engine.element_ready(*vreg, offset)
+                                                || engine.element_poisoned(*vreg, offset)
+                                        }
+                                        _ => true,
+                                    });
+                                if ready {
+                                    if let Some(latency) = self.fus.try_issue(class) {
+                                        self.elements_started += 1;
+                                        self.events.push(ReadyEvent {
+                                            cycle: now + latency,
+                                            vreg: inst.vreg,
+                                            generation: inst.generation,
+                                            offset,
+                                        });
+                                        inst.next += 1;
+                                    }
+                                }
+                            }
+                            inst.next >= inst.vl
+                        }
+                    }
+                }
+            };
+            if done {
+                self.instances.swap_remove(idx);
+            } else {
+                idx += 1;
+            }
+        }
+    }
+
+    /// Flushes the Figure 13 accounting for every recorded vector-load access
+    /// into `wide`, classifying words by whether a validation consumed them.
+    pub fn finalize(&mut self, wide: &mut WideBusStats) {
+        for (_, list) in self.records.drain() {
+            for rec in list {
+                let useful = rec.used.iter().filter(|&&u| u).count();
+                self.resolved[useful.min(self.vl)] += 1;
+            }
+        }
+        for (useful, &count) in self.resolved.iter().enumerate() {
+            for _ in 0..count {
+                wide.record(useful.min(wide.words_per_line()));
+            }
+        }
+        self.resolved.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_core::{DecodeContext, DecodeOutcome, DvConfig};
+    use sdv_isa::{ArchReg, OpClass};
+    use sdv_mem::MemHierarchyConfig;
+
+    fn setup() -> (VectorizationEngine, DataMemory, PortSet, VectorDatapath) {
+        let engine = VectorizationEngine::new(&DvConfig::default());
+        let dmem = DataMemory::new(&MemHierarchyConfig::table1());
+        let ports = PortSet::new(PortKind::Wide, 1);
+        let vdp = VectorDatapath::new(FuConfig::four_way(), 4);
+        (engine, dmem, ports, vdp)
+    }
+
+    fn vectorize_load(engine: &mut VectorizationEngine, pc: u64, base: u64, stride: u64) -> NewVectorInstance {
+        let dst = ArchReg::int(1);
+        for i in 0..3u64 {
+            engine.decode(&DecodeContext::load(pc, dst, base + i * stride, 8));
+        }
+        match engine.decode(&DecodeContext::load(pc, dst, base + 3 * stride, 8)) {
+            DecodeOutcome::NewVector { instance } => instance,
+            other => panic!("expected NewVector, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_instance_fetches_all_elements_with_one_wide_access() {
+        let (mut engine, mut dmem, mut ports, mut vdp) = setup();
+        // Stride 8 with a 32-byte line; the base is chosen so the vector
+        // instance (which starts at base + 3*stride = 0x8000) is line aligned
+        // and all four elements share one line.
+        let inst = vectorize_load(&mut engine, 0x1000, 0x7fe8, 8);
+        vdp.dispatch(&inst, &engine);
+        assert_eq!(vdp.active_instances(), 1);
+
+        let mut cycle = 0;
+        while vdp.active_instances() > 0 || !vdp.events.is_empty() {
+            ports.begin_cycle();
+            vdp.step(cycle, &mut engine, &mut dmem, &mut ports);
+            cycle += 1;
+            assert!(cycle < 1000, "vector load should finish quickly");
+        }
+        assert_eq!(vdp.line_accesses(), 1, "one wide access covers the whole register");
+        for off in 0..4 {
+            assert!(engine.element_ready(inst.vreg, off), "element {off} ready");
+        }
+    }
+
+    #[test]
+    fn scalar_ports_need_one_access_per_element() {
+        let (mut engine, mut dmem, _, mut vdp) = setup();
+        let mut ports = PortSet::new(PortKind::Scalar, 1);
+        let inst = vectorize_load(&mut engine, 0x1000, 0x8000, 8);
+        vdp.dispatch(&inst, &engine);
+        let mut cycle = 0;
+        while vdp.active_instances() > 0 || !vdp.events.is_empty() {
+            ports.begin_cycle();
+            vdp.step(cycle, &mut engine, &mut dmem, &mut ports);
+            cycle += 1;
+            assert!(cycle < 1000);
+        }
+        assert_eq!(vdp.line_accesses(), 4);
+    }
+
+    #[test]
+    fn strides_spanning_lines_need_multiple_accesses() {
+        let (mut engine, mut dmem, mut ports, mut vdp) = setup();
+        // Stride 64 bytes: every element lives in its own 32-byte line.
+        let inst = vectorize_load(&mut engine, 0x1000, 0x8000, 64);
+        vdp.dispatch(&inst, &engine);
+        let mut cycle = 0;
+        while vdp.active_instances() > 0 || !vdp.events.is_empty() {
+            ports.begin_cycle();
+            vdp.step(cycle, &mut engine, &mut dmem, &mut ports);
+            cycle += 1;
+            assert!(cycle < 1000);
+        }
+        assert_eq!(vdp.line_accesses(), 4);
+        assert_eq!(vdp.elements_started(), 4);
+    }
+
+    #[test]
+    fn arith_instance_waits_for_source_elements() {
+        let (mut engine, mut dmem, mut ports, mut vdp) = setup();
+        let load = vectorize_load(&mut engine, 0x1000, 0x8000, 8);
+        let add = DecodeContext::arith(
+            0x1004,
+            OpClass::IntAlu,
+            ArchReg::int(2),
+            [Some((ArchReg::int(1), 0)), None],
+        );
+        let add_inst = match engine.decode(&add) {
+            DecodeOutcome::NewVector { instance } => instance,
+            other => panic!("expected NewVector, got {other:?}"),
+        };
+        // Dispatch only the arithmetic instance: its sources are not ready, so
+        // it must not make progress.
+        vdp.dispatch(&add_inst, &engine);
+        for cycle in 0..5 {
+            ports.begin_cycle();
+            vdp.step(cycle, &mut engine, &mut dmem, &mut ports);
+        }
+        assert_eq!(vdp.elements_started(), 0);
+        // Now dispatch the load; once its elements arrive the add proceeds.
+        vdp.dispatch(&load, &engine);
+        let mut cycle = 5;
+        while vdp.active_instances() > 0 || !vdp.events.is_empty() {
+            ports.begin_cycle();
+            vdp.step(cycle, &mut engine, &mut dmem, &mut ports);
+            cycle += 1;
+            assert!(cycle < 1000);
+        }
+        for off in 0..4 {
+            assert!(engine.element_ready(add_inst.vreg, off));
+        }
+        assert_eq!(vdp.elements_started(), 8);
+    }
+
+    #[test]
+    fn validation_marks_words_useful_for_figure_13() {
+        let (mut engine, mut dmem, mut ports, mut vdp) = setup();
+        let inst = vectorize_load(&mut engine, 0x1000, 0x7fe8, 8);
+        let generation = engine.vreg_generation(inst.vreg);
+        vdp.dispatch(&inst, &engine);
+        for cycle in 0..200 {
+            ports.begin_cycle();
+            vdp.step(cycle, &mut engine, &mut dmem, &mut ports);
+        }
+        // Two of the four fetched words end up validated.
+        vdp.note_validation(inst.vreg, generation, 0);
+        vdp.note_validation(inst.vreg, generation, 1);
+        let mut wide = WideBusStats::new(4);
+        vdp.finalize(&mut wide);
+        assert_eq!(wide.total(), 1);
+        assert_eq!(wide.count_used(2), 1);
+        assert_eq!(wide.count_unused(), 0);
+    }
+
+    #[test]
+    fn unused_speculative_access_is_counted() {
+        let (mut engine, mut dmem, mut ports, mut vdp) = setup();
+        let inst = vectorize_load(&mut engine, 0x1000, 0x7fe8, 8);
+        vdp.dispatch(&inst, &engine);
+        for cycle in 0..200 {
+            ports.begin_cycle();
+            vdp.step(cycle, &mut engine, &mut dmem, &mut ports);
+        }
+        let mut wide = WideBusStats::new(4);
+        vdp.finalize(&mut wide);
+        assert_eq!(wide.count_unused(), 1, "no element was ever validated");
+    }
+}

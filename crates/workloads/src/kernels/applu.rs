@@ -1,0 +1,115 @@
+//! `applu` analogue: blocked SSOR-style relaxation with mixed strides.
+//!
+//! `applu` factors and relaxes 5×5 blocks; after loop optimisation some of its
+//! accesses become stride 2 and stride 4 (§2 of the paper).  The kernel mixes
+//! a stride-1 blocked multiply-accumulate pass with stride-2 and stride-4
+//! reduction passes over the same data.
+
+use super::util::{f, x};
+use sdv_isa::{ArchReg, Asm, Program};
+
+const ELEMS: usize = 5 * 1024;
+
+/// Builds the kernel with `scale` relaxation sweeps.
+#[must_use]
+pub fn build(scale: u64) -> Program {
+    let mut a = Asm::new();
+    let data = a.data_f64(&super::util::random_f64s(0xa1, ELEMS));
+    let out = a.alloc(ELEMS * 8, 8);
+    let coeffs = a.data_f64(&[0.11, 0.23, 0.31, 0.17, 0.18]);
+
+    let (outer, n, addr, dst, tmp) = (x(1), x(2), x(3), x(4), x(5));
+    let (data_base, out_base) = (x(20), x(21));
+    let (c0, c1, c2, c3, c4) = (f(10), f(11), f(12), f(13), f(14));
+    let (v, acc) = (f(1), f(2));
+    a.li(tmp, coeffs as i64);
+    a.fld(c0, tmp, 0);
+    a.fld(c1, tmp, 8);
+    a.fld(c2, tmp, 16);
+    a.fld(c3, tmp, 24);
+    a.fld(c4, tmp, 32);
+    a.li(data_base, data as i64);
+    a.li(out_base, out as i64);
+    a.li(outer, scale.max(1) as i64);
+    a.label("sweep");
+    // Pass 1: blocked stride-1 multiply-accumulate over 5-element blocks.
+    a.mv(addr, data_base);
+    a.mv(dst, out_base);
+    a.li(n, (ELEMS / 5) as i64);
+    a.label("block");
+    a.fld(v, addr, 0);
+    a.fmul(acc, v, c0);
+    a.fld(v, addr, 8);
+    a.fmul(v, v, c1);
+    a.fadd(acc, acc, v);
+    a.fld(v, addr, 16);
+    a.fmul(v, v, c2);
+    a.fadd(acc, acc, v);
+    a.fld(v, addr, 24);
+    a.fmul(v, v, c3);
+    a.fadd(acc, acc, v);
+    a.fld(v, addr, 32);
+    a.fmul(v, v, c4);
+    a.fadd(acc, acc, v);
+    a.fsd(acc, dst, 0);
+    a.addi(addr, addr, 40);
+    a.addi(dst, dst, 8);
+    a.addi(n, n, -1);
+    a.bne(n, ArchReg::ZERO, "block");
+    // Pass 2: stride-2 reduction (every other element).
+    a.mv(addr, data_base);
+    a.li(n, (ELEMS / 2) as i64);
+    a.fsub(acc, acc, acc); // acc = 0.0
+    a.label("stride2");
+    a.fld(v, addr, 0);
+    a.fadd(acc, acc, v);
+    a.addi(addr, addr, 16);
+    a.addi(n, n, -1);
+    a.bne(n, ArchReg::ZERO, "stride2");
+    a.fsd(acc, out_base, 0);
+    // Pass 3: stride-4 reduction.
+    a.mv(addr, data_base);
+    a.li(n, (ELEMS / 4) as i64);
+    a.fsub(acc, acc, acc);
+    a.label("stride4");
+    a.fld(v, addr, 0);
+    a.fadd(acc, acc, v);
+    a.addi(addr, addr, 32);
+    a.addi(n, n, -1);
+    a.bne(n, ArchReg::ZERO, "stride4");
+    a.fsd(acc, out_base, 8);
+    a.addi(outer, outer, -1);
+    a.bne(outer, ArchReg::ZERO, "sweep");
+    a.halt();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_emu::Emulator;
+
+    #[test]
+    fn stride_two_reduction_matches_reference() {
+        let mut emu = Emulator::new(&build(1));
+        emu.run(10_000_000);
+        assert!(emu.halted());
+        let src = super::super::util::random_f64s(0xa1, ELEMS);
+        let expected: f64 = src.iter().step_by(2).sum();
+        let out_base = sdv_isa::program::DATA_BASE + (ELEMS * 8) as u64;
+        let got = emu.memory().read_f64(out_base);
+        assert!((got - expected).abs() < 1e-6, "got {got}, expected {expected}");
+    }
+
+    #[test]
+    fn strides_one_two_and_four_appear() {
+        use sdv_emu::StrideProfiler;
+        let mut p = StrideProfiler::new();
+        let mut emu = Emulator::new(&build(1));
+        emu.run_with(400_000, |r| p.observe_retired(r));
+        let s = p.stats();
+        assert!(s.counts[2] > 0, "stride 2 present");
+        assert!(s.counts[4] > 0, "stride 4 present");
+        assert!(s.counts[5] > 0, "the blocked pass advances 5 elements per block");
+    }
+}

@@ -1,0 +1,101 @@
+//! `fpppp` analogue: enormous straight-line FP blocks with spill traffic.
+//!
+//! `fpppp` is dominated by a few gigantic basic blocks of floating-point
+//! arithmetic whose register pressure forces the compiler to spill: the same
+//! stack slots are stored and reloaded over and over, which is where the
+//! paper's stride-0 FP accesses come from.  The kernel generates a long
+//! unrolled FP block operating on a small working set plus explicit
+//! spill/reload traffic to fixed slots.
+
+use super::util::{f, x};
+use sdv_isa::{ArchReg, Asm, Program};
+
+const LOCALS: usize = 24;
+const BLOCK_OPS: usize = 160;
+
+/// Builds the kernel with `scale * 64` executions of the big block.
+#[must_use]
+pub fn build(scale: u64) -> Program {
+    let mut a = Asm::new();
+    let locals = a.data_f64(&super::util::random_f64s(0xf9, LOCALS));
+    let spill = a.alloc(8 * 8, 8);
+
+    let (outer, tmp) = (x(1), x(2));
+    let (locals_base, spill_base) = (x(20), x(21));
+    a.li(locals_base, locals as i64);
+    a.li(spill_base, spill as i64);
+    a.li(outer, (scale.max(1) * 64) as i64);
+    a.label("block");
+    // Load a handful of locals (small-stride FP loads).
+    for i in 0..6u8 {
+        a.fld(f(1 + i), locals_base, i64::from(i) * 8);
+    }
+    // A long dependence-mixed sequence of FP operations with periodic spills
+    // and reloads of intermediate values to the same stack slots (stride 0).
+    let mut which = 0u8;
+    for op in 0..BLOCK_OPS {
+        let dst = f(1 + (op % 6) as u8);
+        let s1 = f(1 + ((op + 1) % 6) as u8);
+        let s2 = f(1 + ((op + 3) % 6) as u8);
+        match op % 4 {
+            0 => a.fadd(dst, s1, s2),
+            1 => a.fmul(dst, s1, s2),
+            2 => a.fsub(dst, s1, s2),
+            _ => a.fmax(dst, s1, s2),
+        }
+        if op % 10 == 9 {
+            // Spill one value and reload another from the same slots.
+            a.fsd(dst, spill_base, i64::from(which % 8) * 8);
+            a.fld(s1, spill_base, i64::from(which % 8) * 8);
+            which = which.wrapping_add(1);
+        }
+    }
+    // Store the block result back to the locals (keeps the data live).
+    a.fsd(f(1), locals_base, 0);
+    a.fsd(f(2), locals_base, 8);
+    a.li(tmp, 0);
+    a.addi(outer, outer, -1);
+    a.bne(outer, ArchReg::ZERO, "block");
+    a.halt();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_emu::Emulator;
+    use sdv_isa::OpClass;
+
+    #[test]
+    fn block_is_fp_dominated() {
+        let mut emu = Emulator::new(&build(1));
+        let mut fp = 0u64;
+        let mut total = 0u64;
+        emu.run_with(2_000_000, |r| {
+            total += 1;
+            if matches!(r.inst.op.class(), OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv) {
+                fp += 1;
+            }
+        });
+        assert!(emu.halted());
+        assert!(fp * 2 > total, "more than half of the work is FP ({fp}/{total})");
+    }
+
+    #[test]
+    fn spill_slots_are_stride_zero() {
+        use sdv_emu::StrideProfiler;
+        let mut p = StrideProfiler::new();
+        let mut emu = Emulator::new(&build(1));
+        emu.run_with(500_000, |r| p.observe_retired(r));
+        assert!(p.stats().fraction(0) > 0.5, "stride-0 share {}", p.stats().fraction(0));
+    }
+
+    #[test]
+    fn program_is_large_but_terminates() {
+        let program = build(1);
+        assert!(program.len() > BLOCK_OPS, "the block is genuinely unrolled");
+        let mut emu = Emulator::new(&program);
+        emu.run(5_000_000);
+        assert!(emu.halted());
+    }
+}

@@ -1,0 +1,111 @@
+//! `gcc` analogue: traversal of heterogeneous records with branchy processing.
+//!
+//! The compiler walks linked tree/RTL structures whose nodes have different
+//! shapes.  The kernel walks an array of fixed-slot records (stride-4-element
+//! loads), branches on each record's kind, and performs an indexed lookup in a
+//! side table whose index depends on record contents (irregular stride).
+
+use super::util::x;
+use sdv_isa::{ArchReg, Asm, Program};
+
+const NODES: usize = 2048;
+const TABLE: usize = 256;
+
+/// Builds the kernel with `scale` passes over the node array.
+#[must_use]
+pub fn build(scale: u64) -> Program {
+    let mut a = Asm::new();
+    // Each node is four 64-bit slots: kind, a, b, aux.
+    let mut node_words = Vec::with_capacity(NODES * 4);
+    let kinds = super::util::random_u64s(0xcc, NODES, 5);
+    let avals = super::util::random_u64s(0xcd, NODES, 1 << 20);
+    let bvals = super::util::random_u64s(0xce, NODES, 1 << 20);
+    for i in 0..NODES {
+        node_words.push(kinds[i]);
+        node_words.push(avals[i]);
+        node_words.push(bvals[i]);
+        node_words.push((avals[i] ^ bvals[i]) & 0xff);
+    }
+    let nodes = a.data_u64(&node_words);
+    let table = a.data_u64(&super::util::random_u64s(0xcf, TABLE, 1 << 16));
+    // Compiler globals ("current function", "flags") reloaded per node.
+    let flags_mem = a.data_u64(&[1]);
+
+    let (outer, ptr, n, kind, av, bv, sum, idx, tmp) =
+        (x(1), x(2), x(3), x(4), x(5), x(6), x(7), x(8), x(9));
+    let (table_base, flags) = (x(20), x(10));
+    a.li(table_base, table as i64);
+    a.li(outer, scale.max(1) as i64);
+    a.li(sum, 0);
+    a.label("outer");
+    a.li(ptr, nodes as i64);
+    a.li(n, NODES as i64);
+    a.label("node");
+    a.ld(kind, ptr, 0);
+    a.ld(av, ptr, 8);
+    a.ld(bv, ptr, 16);
+    a.li(tmp, 1);
+    a.beq(kind, ArchReg::ZERO, "k_const");
+    a.beq(kind, tmp, "k_plus");
+    a.li(tmp, 2);
+    a.beq(kind, tmp, "k_minus");
+    a.li(tmp, 3);
+    a.beq(kind, tmp, "k_mul");
+    // kind 4: symbol reference -> irregular table lookup
+    a.andi(idx, av, (TABLE - 1) as i64);
+    a.slli(idx, idx, 3);
+    a.add(idx, idx, table_base);
+    a.ld(tmp, idx, 0);
+    a.add(sum, sum, tmp);
+    a.j("done");
+    a.label("k_const");
+    a.add(sum, sum, av);
+    a.j("done");
+    a.label("k_plus");
+    a.add(tmp, av, bv);
+    a.add(sum, sum, tmp);
+    a.j("done");
+    a.label("k_minus");
+    a.sub(tmp, av, bv);
+    a.add(sum, sum, tmp);
+    a.j("done");
+    a.label("k_mul");
+    a.mul(tmp, av, bv);
+    a.add(sum, sum, tmp);
+    a.label("done");
+    // Stride-0 reload of a compiler global on every node.
+    a.li(tmp, flags_mem as i64);
+    a.ld(flags, tmp, 0);
+    a.add(sum, sum, flags);
+    a.addi(ptr, ptr, 32);
+    a.addi(n, n, -1);
+    a.bne(n, ArchReg::ZERO, "node");
+    a.addi(outer, outer, -1);
+    a.bne(outer, ArchReg::ZERO, "outer");
+    a.halt();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_emu::Emulator;
+
+    #[test]
+    fn terminates_with_nonzero_sum() {
+        let mut emu = Emulator::new(&build(1));
+        emu.run(5_000_000);
+        assert!(emu.halted());
+        assert_ne!(emu.int_reg(x(7)), 0, "the record walk accumulates something");
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let mut a = Emulator::new(&build(1));
+        let mut b = Emulator::new(&build(1));
+        a.run(5_000_000);
+        b.run(5_000_000);
+        assert_eq!(a.int_reg(x(7)), b.int_reg(x(7)));
+        assert_eq!(a.retired_count(), b.retired_count());
+    }
+}

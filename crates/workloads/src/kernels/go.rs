@@ -1,0 +1,100 @@
+//! `go` analogue: board evaluation with data-dependent branches.
+//!
+//! The SPEC `go` benchmark spends its time evaluating positions on a 19×19
+//! board with highly irregular control flow.  This kernel walks a board array
+//! (stride-1 loads) and takes data-dependent branches on the cell contents,
+//! mixing in a stride-0 accumulator kept in memory — matching `go`'s profile
+//! of mostly small strides with a poorly predictable branch mix.
+
+use super::util::x;
+use sdv_isa::{ArchReg, Asm, Program};
+
+/// Board cells (one extra so the "neighbour" access never leaves the array).
+const CELLS: usize = 1024;
+
+/// Builds the kernel with `scale` passes over the board.
+#[must_use]
+pub fn build(scale: u64) -> Program {
+    let mut a = Asm::new();
+    let board = a.data_u64(&super::util::random_u64s(0x60, CELLS + 1, 4));
+    // A read-mostly "evaluation weight" global, reloaded every iteration the
+    // way compiled code reloads globals under register pressure (stride 0),
+    // and a score cell written only once per board pass.
+    let weight_mem = a.data_u64(&[3]);
+    let score_mem = a.alloc(8, 8);
+
+    let (outer, ptr, count, cell, tmp, nbr, acc, score) =
+        (x(1), x(2), x(3), x(4), x(5), x(6), x(10), x(7));
+    a.li(outer, scale.max(1) as i64);
+    a.label("outer");
+    a.li(ptr, board as i64);
+    a.li(count, CELLS as i64);
+    a.li(acc, 0);
+    a.label("inner");
+    a.ld(cell, ptr, 0);
+    a.beq(cell, ArchReg::ZERO, "skip");
+    a.li(tmp, 1);
+    a.beq(cell, tmp, "liberty");
+    a.li(tmp, 2);
+    a.beq(cell, tmp, "capture");
+    // cell == 3: look at the neighbour and count its influence
+    a.ld(nbr, ptr, 8);
+    a.add(acc, acc, nbr);
+    a.j("skip");
+    a.label("liberty");
+    a.addi(acc, acc, 1);
+    a.j("skip");
+    a.label("capture");
+    a.addi(acc, acc, -1);
+    a.label("skip");
+    // Stride-0 reload of the evaluation weight (register-pressure spill).
+    a.li(tmp, weight_mem as i64);
+    a.ld(score, tmp, 0);
+    a.add(acc, acc, score);
+    a.addi(ptr, ptr, 8);
+    a.addi(count, count, -1);
+    a.bne(count, ArchReg::ZERO, "inner");
+    // The running score is written back once per board pass.
+    a.li(tmp, score_mem as i64);
+    a.ld(score, tmp, 0);
+    a.add(score, score, acc);
+    a.sd(score, tmp, 0);
+    a.addi(outer, outer, -1);
+    a.bne(outer, ArchReg::ZERO, "outer");
+    a.halt();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_emu::Emulator;
+
+    #[test]
+    fn terminates_and_scores_the_board() {
+        let program = build(1);
+        let mut emu = Emulator::new(&program);
+        emu.run(5_000_000);
+        assert!(emu.halted());
+        // The accumulator visits every cell once per pass.
+        assert!(emu.retired_count() > CELLS as u64 * 8);
+    }
+
+    #[test]
+    fn branches_are_data_dependent() {
+        use sdv_isa::OpClass;
+        let mut emu = Emulator::new(&build(1));
+        let mut taken = 0u64;
+        let mut not_taken = 0u64;
+        emu.run_with(200_000, |r| {
+            if r.inst.op.class() == OpClass::Branch {
+                if r.taken {
+                    taken += 1;
+                } else {
+                    not_taken += 1;
+                }
+            }
+        });
+        assert!(taken > 1_000 && not_taken > 1_000, "both directions exercised");
+    }
+}

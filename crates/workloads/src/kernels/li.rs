@@ -1,0 +1,79 @@
+//! `li` analogue: lisp-style cons-cell traversal (pointer chasing).
+//!
+//! The XLISP interpreter spends its time following `car`/`cdr` pointers whose
+//! addresses are not strided at all; the recurring accesses to interpreter
+//! globals show up as stride-0 loads.  The kernel repeatedly walks a scrambled
+//! singly-linked list of cons cells and bumps a heap-allocation counter kept
+//! in memory.
+
+use super::util::x;
+use sdv_isa::{ArchReg, Asm, Program};
+
+const CELLS: usize = 4096;
+
+/// Builds the kernel with `scale * 4` complete list traversals.
+#[must_use]
+pub fn build(scale: u64) -> Program {
+    let mut a = Asm::new();
+    // Cons cells are (value, next) pairs laid out in scrambled order starting
+    // at the assembler's data base.
+    let order = super::util::permutation(0x11, CELLS);
+    let values = super::util::random_u64s(0x12, CELLS, 1000);
+    let base = sdv_isa::program::DATA_BASE;
+    let mut words = vec![0u64; CELLS * 2];
+    for w in 0..CELLS {
+        let cell = order[w];
+        words[cell * 2] = values[cell];
+        words[cell * 2 + 1] = if w + 1 < CELLS { base + (order[w + 1] * 16) as u64 } else { 0 };
+    }
+    let placed = a.data_u64(&words);
+    assert_eq!(placed, base, "cons cells start at the data base");
+    let counter_mem = a.alloc(8, 8);
+    let head = base + (order[0] * 16) as u64;
+
+    let (outer, ptr, val, sum, tmp, cnt) = (x(1), x(2), x(3), x(4), x(5), x(6));
+    a.li(outer, (scale.max(1) * 4) as i64);
+    a.li(sum, 0);
+    a.label("outer");
+    a.li(ptr, head as i64);
+    a.label("walk");
+    a.ld(val, ptr, 0); // car
+    a.add(sum, sum, val);
+    // Stride-0 interpreter global: allocation counter.
+    a.li(tmp, counter_mem as i64);
+    a.ld(cnt, tmp, 0);
+    a.addi(cnt, cnt, 1);
+    a.sd(cnt, tmp, 0);
+    a.ld(ptr, ptr, 8); // cdr
+    a.bne(ptr, ArchReg::ZERO, "walk");
+    a.addi(outer, outer, -1);
+    a.bne(outer, ArchReg::ZERO, "outer");
+    a.halt();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_emu::Emulator;
+
+    #[test]
+    fn traverses_every_cell() {
+        let mut emu = Emulator::new(&build(1));
+        emu.run(10_000_000);
+        assert!(emu.halted());
+        let expected: u64 = super::super::util::random_u64s(0x12, CELLS, 1000).iter().sum::<u64>() * 4;
+        assert_eq!(emu.int_reg(x(4)), expected, "sum of car values over 4 traversals");
+    }
+
+    #[test]
+    fn chased_loads_are_irregular_and_globals_are_stride_zero() {
+        use sdv_emu::StrideProfiler;
+        let mut p = StrideProfiler::new();
+        let mut emu = Emulator::new(&build(1));
+        emu.run_with(300_000, |r| p.observe_retired(r));
+        let s = p.stats();
+        assert!(s.fraction(0) > 0.2, "global counter gives a stride-0 share");
+        assert!(s.other > s.counts[1], "pointer chasing is not stride-1");
+    }
+}

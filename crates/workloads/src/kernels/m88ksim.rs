@@ -1,0 +1,98 @@
+//! `m88ksim` analogue: an instruction-set-simulator main loop.
+//!
+//! The original benchmark fetches instruction words, decodes them via table
+//! look-ups and updates simulated machine state.  The kernel reads a stream of
+//! 32-bit "instruction" words (stride-4 loads), dispatches on the opcode field
+//! and updates an opcode histogram and a simulated register file — small,
+//! frequently re-touched structures that give the stride-0-heavy profile of
+//! the real program.
+
+use super::util::x;
+use sdv_isa::{ArchReg, Asm, Program};
+
+const IMEM_WORDS: usize = 4096;
+
+/// Builds the kernel with `scale` simulated passes over the instruction stream.
+#[must_use]
+pub fn build(scale: u64) -> Program {
+    let mut a = Asm::new();
+    let imem = a.data_u32(
+        &super::util::random_u64s(0x88, IMEM_WORDS, u64::from(u32::MAX))
+            .iter()
+            .map(|&v| v as u32)
+            .collect::<Vec<u32>>(),
+    );
+    let counters = a.alloc(8 * 8, 8);
+    let regfile = a.alloc(32 * 8, 8);
+    // Simulated machine state reloaded on every decoded instruction (stride 0).
+    let psr_mem = a.data_u64(&[0x5]);
+
+    let (outer, ptr, n, word, op, addr, val, idx) = (x(1), x(2), x(3), x(4), x(5), x(6), x(7), x(8));
+    let (counters_base, regs_base, psr) = (x(20), x(21), x(10));
+    a.li(counters_base, counters as i64);
+    a.li(regs_base, regfile as i64);
+    a.li(outer, scale.max(1) as i64);
+    a.label("outer");
+    a.li(ptr, imem as i64);
+    a.li(n, IMEM_WORDS as i64);
+    a.label("decode");
+    a.lwu(word, ptr, 0);
+    // Opcode histogram (8 entries, effectively stride 0 over a tiny table).
+    a.andi(op, word, 7);
+    a.slli(addr, op, 3);
+    a.add(addr, addr, counters_base);
+    a.ld(val, addr, 0);
+    a.addi(val, val, 1);
+    a.sd(val, addr, 0);
+    // Simulated destination register update.
+    a.srli(idx, word, 3);
+    a.andi(idx, idx, 31);
+    a.slli(idx, idx, 3);
+    a.add(idx, idx, regs_base);
+    a.ld(val, idx, 0);
+    a.add(val, val, op);
+    a.sd(val, idx, 0);
+    // Reload the simulated processor-status register (stride-0 global).
+    a.li(val, psr_mem as i64);
+    a.ld(psr, val, 0);
+    a.add(x(9), x(9), psr);
+    // "Branch" instructions (opcode 7) take a slow path.
+    a.li(val, 7);
+    a.bne(op, val, "next");
+    a.addi(x(9), x(9), 1);
+    a.label("next");
+    a.addi(ptr, ptr, 4);
+    a.addi(n, n, -1);
+    a.bne(n, ArchReg::ZERO, "decode");
+    a.addi(outer, outer, -1);
+    a.bne(outer, ArchReg::ZERO, "outer");
+    a.halt();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_emu::Emulator;
+
+    #[test]
+    fn decodes_the_whole_stream() {
+        let mut emu = Emulator::new(&build(1));
+        emu.run(5_000_000);
+        assert!(emu.halted());
+        // Every word increments exactly one histogram bucket.
+        let counters_base = 0x0010_0000u64 + (IMEM_WORDS as u64) * 4;
+        let counters_base = (counters_base + 7) & !7;
+        let total: u64 = (0..8).map(|i| emu.memory().read_u64(counters_base + i * 8)).sum();
+        assert_eq!(total, IMEM_WORDS as u64);
+    }
+
+    #[test]
+    fn loads_are_dominated_by_small_strides() {
+        use sdv_emu::StrideProfiler;
+        let mut p = StrideProfiler::new();
+        let mut emu = Emulator::new(&build(1));
+        emu.run_with(300_000, |r| p.observe_retired(r));
+        assert!(p.stats().fraction_below(4) > 0.5);
+    }
+}

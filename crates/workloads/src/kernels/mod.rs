@@ -1,0 +1,94 @@
+//! One module per synthetic benchmark kernel.
+//!
+//! Each module exposes `build(scale) -> Program`.  The kernels are written
+//! directly against the [`sdv_isa::Asm`] builder; data segments are filled
+//! with deterministic pseudo-random contents (fixed seeds) so every build of a
+//! kernel produces exactly the same program and data image.
+
+pub mod applu;
+pub mod compress;
+pub mod fpppp;
+pub mod gcc;
+pub mod go;
+pub mod ijpeg;
+pub mod li;
+pub mod m88ksim;
+pub mod perl;
+pub mod swim;
+pub mod turb3d;
+pub mod vortex;
+
+pub(crate) mod util {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use sdv_isa::ArchReg;
+
+    /// Shorthand for integer register `x<n>`.
+    pub fn x(n: u8) -> ArchReg {
+        ArchReg::int(n)
+    }
+
+    /// Shorthand for floating-point register `f<n>`.
+    pub fn f(n: u8) -> ArchReg {
+        ArchReg::fp(n)
+    }
+
+    /// A deterministic RNG seeded per kernel.
+    pub fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    /// `len` random integers in `0..bound`.
+    pub fn random_u64s(seed: u64, len: usize, bound: u64) -> Vec<u64> {
+        let mut r = rng(seed);
+        (0..len).map(|_| r.gen_range(0..bound)).collect()
+    }
+
+    /// `len` random bytes.
+    pub fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
+        let mut r = rng(seed);
+        (0..len).map(|_| r.gen()).collect()
+    }
+
+    /// `len` random doubles in (0, 1).
+    pub fn random_f64s(seed: u64, len: usize) -> Vec<f64> {
+        let mut r = rng(seed);
+        (0..len).map(|_| r.gen_range(0.001..1.0)).collect()
+    }
+
+    /// A pseudo-random permutation of `0..len`.
+    pub fn permutation(seed: u64, len: usize) -> Vec<usize> {
+        let mut r = rng(seed);
+        let mut order: Vec<usize> = (0..len).collect();
+        for i in (1..len).rev() {
+            order.swap(i, r.gen_range(0..=i));
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::util;
+
+    #[test]
+    fn util_generators_are_deterministic() {
+        assert_eq!(util::random_u64s(7, 16, 100), util::random_u64s(7, 16, 100));
+        assert_eq!(util::random_bytes(7, 16), util::random_bytes(7, 16));
+        assert_eq!(util::permutation(7, 16), util::permutation(7, 16));
+        assert_ne!(util::random_u64s(7, 16, 100), util::random_u64s(8, 16, 100));
+    }
+
+    #[test]
+    fn permutation_contains_every_index() {
+        let mut p = util::permutation(3, 100);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_values_respect_bounds() {
+        assert!(util::random_u64s(1, 1000, 5).iter().all(|&v| v < 5));
+        assert!(util::random_f64s(1, 1000).iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+}

@@ -1,0 +1,92 @@
+//! `perl` analogue: string scanning plus associative-array updates.
+//!
+//! The Perl interpreter alternates between scanning strings byte by byte
+//! (stride-1 loads) and hashing identifiers into associative arrays (irregular
+//! loads and stores), with moderately predictable branches on character
+//! classes.
+
+use super::util::x;
+use sdv_isa::{ArchReg, Asm, Program};
+
+const TEXT_BYTES: usize = 8192;
+const BUCKETS: usize = 1024;
+
+/// Builds the kernel with `scale` passes over the text.
+#[must_use]
+pub fn build(scale: u64) -> Program {
+    let mut a = Asm::new();
+    // Text drawn from a small alphabet so word boundaries (spaces) recur.
+    let text: Vec<u8> =
+        super::util::random_bytes(0x9e, TEXT_BYTES).iter().map(|b| b'a' + (b % 17)).collect();
+    let text_addr = a.data_bytes(&text, 8);
+    let hash_table = a.alloc(BUCKETS * 8, 8);
+
+    let (outer, ptr, n, ch, hash, idx, val, words) =
+        (x(1), x(2), x(3), x(4), x(5), x(6), x(7), x(8));
+    let (table_base, space) = (x(20), x(21));
+    a.li(table_base, hash_table as i64);
+    a.li(space, i64::from(b'a' + 3)); // an arbitrary "separator" character
+    a.li(outer, scale.max(1) as i64);
+    a.li(words, 0);
+    a.label("outer");
+    a.li(ptr, text_addr as i64);
+    a.li(n, TEXT_BYTES as i64);
+    a.li(hash, 0);
+    a.label("scan");
+    a.lbu(ch, ptr, 0);
+    a.beq(ch, space, "word_end");
+    // hash = hash * 33 + ch
+    a.slli(idx, hash, 5);
+    a.add(hash, idx, hash);
+    a.add(hash, hash, ch);
+    a.j("advance");
+    a.label("word_end");
+    // Commit the identifier into the associative array.
+    a.andi(idx, hash, (BUCKETS - 1) as i64);
+    a.slli(idx, idx, 3);
+    a.add(idx, idx, table_base);
+    a.ld(val, idx, 0);
+    a.addi(val, val, 1);
+    a.sd(val, idx, 0);
+    a.addi(words, words, 1);
+    a.li(hash, 0);
+    a.label("advance");
+    a.addi(ptr, ptr, 1);
+    a.addi(n, n, -1);
+    a.bne(n, ArchReg::ZERO, "scan");
+    a.addi(outer, outer, -1);
+    a.bne(outer, ArchReg::ZERO, "outer");
+    a.halt();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_emu::Emulator;
+
+    fn separator_count() -> u64 {
+        let text: Vec<u8> = super::super::util::random_bytes(0x9e, TEXT_BYTES)
+            .iter()
+            .map(|b| b'a' + (b % 17))
+            .collect();
+        text.iter().filter(|&&c| c == b'a' + 3).count() as u64
+    }
+
+    #[test]
+    fn counts_words_deterministically() {
+        let mut emu = Emulator::new(&build(1));
+        emu.run(5_000_000);
+        assert!(emu.halted());
+        assert_eq!(emu.int_reg(x(8)), separator_count(), "one bucket update per separator");
+    }
+
+    #[test]
+    fn rescanning_doubles_the_work() {
+        let mut one = Emulator::new(&build(1));
+        let mut two = Emulator::new(&build(2));
+        one.run(20_000_000);
+        two.run(20_000_000);
+        assert!(two.retired_count() > one.retired_count() * 3 / 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! `swim` analogue: a shallow-water 2-D stencil with stride-1 FP accesses.
+//!
+//! SPEC `swim` sweeps several 2-D grids with nearest-neighbour stencils whose
+//! inner loops access consecutive elements — the classic stride-1 FP workload
+//! that benefits most from wide buses and dynamic vectorization.
+
+use super::util::{f, x};
+use sdv_isa::{ArchReg, Asm, Program};
+
+const N: usize = 96; // grid edge (interior points are 1..N-1)
+
+/// Builds the kernel with `scale` stencil sweeps.
+#[must_use]
+pub fn build(scale: u64) -> Program {
+    let mut a = Asm::new();
+    let grid_a = a.data_f64(&super::util::random_f64s(0x51, N * N));
+    let grid_b = a.alloc(N * N * 8, 8);
+
+    let (outer, row, col, addr, dst) = (x(1), x(2), x(3), x(4), x(5));
+    let (a_base, b_base) = (x(20), x(21));
+    let (west, east, north, south, acc, quarter) = (f(1), f(2), f(3), f(4), f(5), f(6));
+    let coeff = a.data_f64(&[0.25]);
+    a.li(addr, coeff as i64);
+    a.fld(quarter, addr, 0);
+    a.li(a_base, grid_a as i64);
+    a.li(b_base, grid_b as i64);
+    a.li(outer, scale.max(1) as i64);
+    a.label("sweep");
+    a.li(row, (N - 2) as i64);
+    a.label("row");
+    // addr points at element (row, 1); rows are visited bottom-up (row = N-2 … 1).
+    a.li(col, (N - 2) as i64);
+    a.li(dst, N as i64 * 8);
+    a.mul(addr, row, dst);
+    a.add(addr, addr, a_base);
+    a.addi(addr, addr, 8);
+    a.sub(dst, addr, a_base);
+    a.add(dst, dst, b_base);
+    a.label("col");
+    a.fld(west, addr, -8);
+    a.fld(east, addr, 8);
+    a.fld(north, addr, -(N as i64) * 8);
+    a.fld(south, addr, N as i64 * 8);
+    a.fadd(acc, west, east);
+    a.fadd(acc, acc, north);
+    a.fadd(acc, acc, south);
+    a.fmul(acc, acc, quarter);
+    a.fsd(acc, dst, 0);
+    a.addi(addr, addr, 8);
+    a.addi(dst, dst, 8);
+    a.addi(col, col, -1);
+    a.bne(col, ArchReg::ZERO, "col");
+    a.addi(row, row, -1);
+    a.bne(row, ArchReg::ZERO, "row");
+    a.addi(outer, outer, -1);
+    a.bne(outer, ArchReg::ZERO, "sweep");
+    a.halt();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_emu::Emulator;
+
+    #[test]
+    fn computes_the_stencil() {
+        let mut emu = Emulator::new(&build(1));
+        emu.run(10_000_000);
+        assert!(emu.halted());
+        let src = super::super::util::random_f64s(0x51, N * N);
+        let b_base = sdv_isa::program::DATA_BASE + (N * N * 8) as u64;
+        // Check one interior point: row = N-2 is processed first.
+        let (r, c) = (N - 2, 1);
+        let expected =
+            0.25 * (src[r * N + c - 1] + src[r * N + c + 1] + src[(r - 1) * N + c] + src[(r + 1) * N + c]);
+        let got = emu.memory().read_f64(b_base + ((r * N + c) * 8) as u64);
+        assert!((got - expected).abs() < 1e-12, "got {got}, expected {expected}");
+    }
+
+    #[test]
+    fn inner_loop_is_stride_one() {
+        use sdv_emu::StrideProfiler;
+        let mut p = StrideProfiler::new();
+        let mut emu = Emulator::new(&build(1));
+        emu.run_with(200_000, |r| p.observe_retired(r));
+        assert!(p.stats().fraction(1) > 0.6, "stride-1 share {}", p.stats().fraction(1));
+    }
+}

@@ -1,0 +1,99 @@
+//! `turb3d` analogue: FFT-style butterfly passes with power-of-two strides.
+//!
+//! `turb3d` performs 3-D FFTs; its butterfly loops access pairs of elements
+//! separated by power-of-two distances, so the stride histogram shows mass at
+//! 1, 2, 4 and 8 (§2 attributes these to loop transformations).
+
+use super::util::{f, x};
+use sdv_isa::{ArchReg, Asm, Program};
+
+const ELEMS: usize = 4096;
+
+/// Builds the kernel with `scale` rounds of butterfly passes.
+#[must_use]
+pub fn build(scale: u64) -> Program {
+    let mut a = Asm::new();
+    let data = a.data_f64(&super::util::random_f64s(0x3d, ELEMS));
+    let half = a.data_f64(&[0.5]);
+
+    let (outer, n, addr, stride_reg, tmp) = (x(1), x(2), x(3), x(4), x(5));
+    let data_base = x(20);
+    let (lo, hi, sum, diff, scalef) = (f(1), f(2), f(3), f(4), f(5));
+    a.li(tmp, half as i64);
+    a.fld(scalef, tmp, 0);
+    a.li(data_base, data as i64);
+    a.li(outer, scale.max(1) as i64);
+    a.label("round");
+    // Four butterfly passes with partner distances 1, 2, 4 and 8 elements.
+    for (pass, dist) in [1i64, 2, 4, 8].into_iter().enumerate() {
+        let label = format!("pass{pass}");
+        a.mv(addr, data_base);
+        a.li(stride_reg, dist * 16); // advance past the pair each iteration
+        a.li(n, (ELEMS as i64) / (dist * 2));
+        a.label(&label);
+        a.fld(lo, addr, 0);
+        a.fld(hi, addr, dist * 8);
+        a.fadd(sum, lo, hi);
+        a.fsub(diff, lo, hi);
+        a.fmul(sum, sum, scalef);
+        a.fmul(diff, diff, scalef);
+        a.fsd(sum, addr, 0);
+        a.fsd(diff, addr, dist * 8);
+        a.add(addr, addr, stride_reg);
+        a.addi(n, n, -1);
+        a.bne(n, ArchReg::ZERO, &label);
+    }
+    a.addi(outer, outer, -1);
+    a.bne(outer, ArchReg::ZERO, "round");
+    a.halt();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_emu::Emulator;
+
+    #[test]
+    fn butterfly_preserves_the_mean() {
+        // Each butterfly replaces (a, b) with ((a+b)/2, (a-b)/2); the first
+        // pass therefore preserves the sum of each pair's first element plus
+        // second element halved... simply check the total "energy" stays finite
+        // and the first pair matches a reference computation.
+        let src = super::super::util::random_f64s(0x3d, ELEMS);
+        let mut emu = Emulator::new(&build(1));
+        emu.run(10_000_000);
+        assert!(emu.halted());
+        let base = sdv_isa::program::DATA_BASE;
+        // Reference: apply the four passes in plain Rust.
+        let mut reference = src;
+        for dist in [1usize, 2, 4, 8] {
+            let mut i = 0;
+            while i + dist < ELEMS {
+                let (a0, b0) = (reference[i], reference[i + dist]);
+                reference[i] = (a0 + b0) * 0.5;
+                reference[i + dist] = (a0 - b0) * 0.5;
+                i += dist * 2;
+            }
+        }
+        for probe in [0usize, 1, 17, 1023, ELEMS - 1] {
+            let got = emu.memory().read_f64(base + (probe * 8) as u64);
+            assert!(
+                (got - reference[probe]).abs() < 1e-12,
+                "element {probe}: got {got}, expected {}",
+                reference[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn power_of_two_strides_dominate() {
+        use sdv_emu::StrideProfiler;
+        let mut p = StrideProfiler::new();
+        let mut emu = Emulator::new(&build(1));
+        emu.run_with(300_000, |r| p.observe_retired(r));
+        let s = p.stats();
+        let pow2: u64 = s.counts[2] + s.counts[4] + s.counts[8];
+        assert!(pow2 > 0, "strides 2/4/8 should appear");
+    }
+}

@@ -1,0 +1,96 @@
+//! `vortex` analogue: an object database shuffling fixed-size records.
+//!
+//! Vortex builds and queries an in-memory object store; most of its time goes
+//! into copying records between stores and maintaining index structures.  The
+//! kernel copies 8-word records from a source store to a destination store
+//! (stride-1 loads and stores) and maintains a small index keyed by a record
+//! field (irregular stores).
+
+use super::util::x;
+use sdv_isa::{ArchReg, Asm, Program};
+
+const RECORDS: usize = 1024;
+const FIELDS: usize = 8;
+const INDEX: usize = 512;
+
+/// Builds the kernel with `scale` database passes.
+#[must_use]
+pub fn build(scale: u64) -> Program {
+    let mut a = Asm::new();
+    let src = a.data_u64(&super::util::random_u64s(0x70, RECORDS * FIELDS, 1 << 30));
+    let dst = a.alloc(RECORDS * FIELDS * 8, 8);
+    let index = a.alloc(INDEX * 8, 8);
+    // Database environment descriptor, reloaded per record (stride 0).
+    let env_mem = a.data_u64(&[7]);
+
+    let (outer, rec, sp, dp, fldcnt, val, key, tmp) =
+        (x(1), x(2), x(3), x(4), x(5), x(6), x(7), x(8));
+    let (src_base, dst_base, idx_base, checksum) = (x(20), x(21), x(22), x(9));
+    a.li(src_base, src as i64);
+    a.li(dst_base, dst as i64);
+    a.li(idx_base, index as i64);
+    a.li(outer, scale.max(1) as i64);
+    a.li(checksum, 0);
+    a.label("outer");
+    a.mv(sp, src_base);
+    a.mv(dp, dst_base);
+    a.li(rec, RECORDS as i64);
+    a.label("record");
+    // Copy the record field by field (stride 1 in both stores).
+    a.li(fldcnt, FIELDS as i64);
+    a.label("field");
+    a.ld(val, sp, 0);
+    a.sd(val, dp, 0);
+    a.add(checksum, checksum, val);
+    a.addi(sp, sp, 8);
+    a.addi(dp, dp, 8);
+    a.addi(fldcnt, fldcnt, -1);
+    a.bne(fldcnt, ArchReg::ZERO, "field");
+    // Maintain the index: bucket keyed by the record's first field.
+    a.ld(key, sp, -(FIELDS as i64) * 8);
+    a.andi(key, key, (INDEX - 1) as i64);
+    a.slli(key, key, 3);
+    a.add(key, key, idx_base);
+    a.ld(tmp, key, 0);
+    a.addi(tmp, tmp, 1);
+    a.sd(tmp, key, 0);
+    // Reload the environment descriptor (stride-0 global).
+    a.li(key, env_mem as i64);
+    a.ld(tmp, key, 0);
+    a.add(x(10), x(10), tmp);
+    a.addi(rec, rec, -1);
+    a.bne(rec, ArchReg::ZERO, "record");
+    a.addi(outer, outer, -1);
+    a.bne(outer, ArchReg::ZERO, "outer");
+    a.halt();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_emu::Emulator;
+
+    #[test]
+    fn copies_every_record() {
+        let mut emu = Emulator::new(&build(1));
+        emu.run(10_000_000);
+        assert!(emu.halted());
+        let data = super::super::util::random_u64s(0x70, RECORDS * FIELDS, 1 << 30);
+        let dst_base = sdv_isa::program::DATA_BASE + (RECORDS * FIELDS * 8) as u64;
+        for i in [0usize, 7, 100, RECORDS * FIELDS - 1] {
+            assert_eq!(emu.memory().read_u64(dst_base + (i * 8) as u64), data[i]);
+        }
+        assert_eq!(emu.int_reg(x(9)), data.iter().copied().sum::<u64>());
+    }
+
+    #[test]
+    fn index_counts_every_record_once_per_pass() {
+        let mut emu = Emulator::new(&build(2));
+        emu.run(20_000_000);
+        assert!(emu.halted());
+        let idx_base = sdv_isa::program::DATA_BASE + (2 * RECORDS * FIELDS * 8) as u64;
+        let total: u64 = (0..INDEX).map(|i| emu.memory().read_u64(idx_base + (i * 8) as u64)).sum();
+        assert_eq!(total, 2 * RECORDS as u64);
+    }
+}

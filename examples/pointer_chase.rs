@@ -1,0 +1,38 @@
+//! Irregular code: what dynamic vectorization does (and does not do) on a
+//! pointer-chasing workload like the paper's `li` and `gcc`.
+//!
+//! The `li` kernel chases cons cells whose addresses have no usable stride, so
+//! almost nothing vectorizes; the `vortex` kernel copies records with stride-1
+//! field accesses and vectorizes heavily.  This example contrasts the two.
+//!
+//! ```text
+//! cargo run --release --example pointer_chase
+//! ```
+
+use sdv::sim::{run_workload, PortKind, ProcessorConfig, RunConfig, Workload};
+
+fn main() {
+    let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+    let rc = RunConfig { scale: 4, max_insts: 300_000 };
+
+    println!("4-way, 1 wide port, dynamic vectorization enabled\n");
+    println!(
+        "  {:<10} {:>8} {:>14} {:>16} {:>14}",
+        "workload", "IPC", "validations", "vector mode %", "mispredict %"
+    );
+    for workload in [Workload::Li, Workload::Gcc, Workload::Vortex, Workload::Compress] {
+        let stats = run_workload(workload, &cfg, &rc);
+        println!(
+            "  {:<10} {:>8.3} {:>14} {:>15.1}% {:>13.1}%",
+            workload.name(),
+            stats.ipc(),
+            stats.committed_validations,
+            stats.vector_mode_fraction() * 100.0,
+            stats.misprediction_rate() * 100.0,
+        );
+    }
+    println!(
+        "\npointer chasing (li) stays scalar while record copying (vortex) vectorizes,\n\
+         mirroring the per-benchmark spread of Figure 3 in the paper."
+    );
+}

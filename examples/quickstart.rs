@@ -1,0 +1,76 @@
+//! Quickstart: build a tiny strided program with the embedded assembler and
+//! compare a baseline superscalar run against the same processor with
+//! speculative dynamic vectorization enabled.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sdv::isa::{ArchReg, Asm};
+use sdv::sim::{run_program, PortKind, ProcessorConfig};
+
+fn main() {
+    // A loop reading four independent strided streams and accumulating them —
+    // the kind of loop the Table of Loads detects immediately.
+    let mut a = Asm::new();
+    let data: Vec<u64> = (0..4096).collect();
+    let bufs: Vec<u64> = (0..4).map(|_| a.data_u64(&data)).collect();
+    let n = ArchReg::int(16);
+    a.li(n, 4096);
+    for (i, &buf) in bufs.iter().enumerate() {
+        a.li(ArchReg::int(1 + i as u8), buf as i64);
+        a.li(ArchReg::int(5 + i as u8), 0);
+    }
+    a.label("loop");
+    for i in 0..4u8 {
+        a.ld(ArchReg::int(9 + i), ArchReg::int(1 + i), 0);
+    }
+    for i in 0..4u8 {
+        a.add(ArchReg::int(5 + i), ArchReg::int(5 + i), ArchReg::int(9 + i));
+    }
+    for i in 0..4u8 {
+        a.addi(ArchReg::int(1 + i), ArchReg::int(1 + i), 8);
+    }
+    a.addi(n, n, -1);
+    a.bne(n, ArchReg::ZERO, "loop");
+    a.halt();
+    let program = a.finish();
+
+    let budget = 400_000;
+    let baseline_cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+    let dv_cfg = baseline_cfg.clone().with_vectorization(true);
+
+    println!("running {} static instructions on the 4-way, 1 wide-port processor…\n", program.len());
+    let baseline = run_program(&baseline_cfg, &program, budget);
+    let dv = run_program(&dv_cfg, &program, budget);
+
+    println!("                       baseline (1pIM)   with DV (1pV)");
+    println!("  IPC                  {:>14.3}   {:>13.3}", baseline.ipc(), dv.ipc());
+    println!(
+        "  memory accesses      {:>14}   {:>13}",
+        baseline.memory_accesses, dv.memory_accesses
+    );
+    println!(
+        "  scalar arithmetic    {:>14}   {:>13}",
+        baseline.scalar_arith_executed, dv.scalar_arith_executed
+    );
+    println!(
+        "  validations          {:>14}   {:>13}",
+        baseline.committed_validations, dv.committed_validations
+    );
+    println!(
+        "\nIPC change from dynamic vectorization: {:+.1}%",
+        (dv.ipc() / baseline.ipc() - 1.0) * 100.0
+    );
+    println!(
+        "memory accesses: {:+.1}%, scalar arithmetic executed: {:+.1}%",
+        (dv.memory_accesses as f64 / baseline.memory_accesses as f64 - 1.0) * 100.0,
+        (dv.scalar_arith_executed as f64 / baseline.scalar_arith_executed as f64 - 1.0) * 100.0
+    );
+    println!(
+        "\nOn this small, cache-resident loop the baseline is not memory-bound, so the\n\
+         win shows up as fewer memory accesses and less scalar work at equal IPC.  The\n\
+         `stencil_fp` and `port_sweep` examples show the port-starved configurations\n\
+         where dynamic vectorization also delivers the paper's IPC gains."
+    );
+}

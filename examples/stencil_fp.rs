@@ -1,0 +1,35 @@
+//! Floating-point stencil: the `swim` analogue across the paper's three
+//! memory front-ends (scalar bus, wide bus, wide bus + vectorization).
+//!
+//! ```text
+//! cargo run --release --example stencil_fp
+//! ```
+
+use sdv::sim::{run_workload, MachineWidth, RunConfig, Variant, Workload};
+
+fn main() {
+    let rc = RunConfig { scale: 8, max_insts: 300_000 };
+    println!("swim (stride-1 FP stencil), 4-way processor, 1 L1 data-cache port\n");
+    println!(
+        "  {:<8} {:>8} {:>16} {:>18} {:>12}",
+        "config", "IPC", "mem accesses", "port occupancy", "valid. %"
+    );
+    for variant in Variant::all() {
+        let cfg = variant.config(MachineWidth::FourWay, 1);
+        let stats = run_workload(Workload::Swim, &cfg, &rc);
+        println!(
+            "  {:<8} {:>8.3} {:>16} {:>17.1}% {:>11.1}%",
+            variant.label(1),
+            stats.ipc(),
+            stats.memory_accesses,
+            stats.port_occupancy() * 100.0,
+            stats.validation_fraction() * 100.0,
+        );
+    }
+    println!(
+        "\nThe wide bus (1pIM) already removes part of the port pressure; dynamic\n\
+         vectorization (1pV) converts the stencil loads and arithmetic into vector\n\
+         work and validations, freeing the scalar pipeline — the same ordering as\n\
+         Figure 11 of the paper."
+    );
+}

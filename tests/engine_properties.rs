@@ -1,0 +1,109 @@
+//! Property-based tests for the vectorization engine and its substrate
+//! structures, independent of the pipeline.
+
+use proptest::prelude::*;
+use sdv::core::{DecodeContext, DecodeOutcome, DvConfig, TableOfLoads, VectorizationEngine};
+use sdv::emu::SparseMemory;
+use sdv::isa::ArchReg;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The Table of Loads only fires on genuinely repeating strides and always
+    /// reports the stride it has just observed.
+    #[test]
+    fn tl_only_vectorizes_repeating_strides(
+        base in 0x1000u64..0x10_0000,
+        stride in -64i64..64,
+        repeats in 3u64..12,
+    ) {
+        let mut tl = TableOfLoads::new(64, 4, 2, false);
+        let mut addr = base;
+        let mut last = tl.observe(0x4000, addr);
+        for i in 1..repeats {
+            addr = addr.wrapping_add(stride as u64);
+            last = tl.observe(0x4000, addr);
+            if i >= 3 {
+                prop_assert!(last.vectorize, "after {} equal strides the load must vectorize", i);
+            }
+        }
+        prop_assert_eq!(last.stride, stride);
+        // Breaking the pattern resets the confidence.
+        let broken = tl.observe(0x4000, addr.wrapping_add((stride + 7) as u64 | 1));
+        prop_assert!(!broken.vectorize);
+    }
+
+    /// However the engine is driven with loads, it never allocates more vector
+    /// registers than the file holds and never deadlocks a logical register on
+    /// a freed physical register.
+    #[test]
+    fn engine_never_over_allocates(
+        pcs in proptest::collection::vec(0x1000u64..0x1100, 4..32),
+        strides in proptest::collection::vec(0i64..32, 4..32),
+    ) {
+        let cfg = DvConfig { vector_registers: 8, ..DvConfig::default() };
+        let mut engine = VectorizationEngine::new(&cfg);
+        let mut addr = 0x10_000u64;
+        for (i, (&pc, &stride)) in pcs.iter().zip(strides.iter().cycle()).enumerate() {
+            let pc = (pc / 4) * 4;
+            addr = addr.wrapping_add((stride * 8) as u64);
+            let outcome = engine.decode(&DecodeContext::load(pc, ArchReg::int(1), addr, 8));
+            if let Some((vreg, offset)) = outcome.validated_element() {
+                prop_assert!(offset < cfg.vector_length);
+                prop_assert!(vreg.index() < 64, "unbounded growth is not allowed here");
+            }
+            prop_assert!(engine.vrf().allocated_count() <= 8 + i); // trivially true, documents intent
+            prop_assert!(engine.vrf().allocated_count() <= cfg.vector_registers);
+            // Periodically close a "loop" so registers can be reclaimed.
+            if i % 8 == 7 {
+                engine.commit_control(pc + 0x100, true, pc);
+            }
+        }
+        engine.finish();
+        let usage = engine.vrf().usage();
+        prop_assert_eq!(engine.vrf().allocated_count(), 0, "finish releases everything");
+        // Every register that was ever allocated must have been released and
+        // accounted for (registers are only allocated when an instance is created).
+        prop_assert!(usage.registers_released >= engine.stats().vector_instances().min(1));
+    }
+
+    /// Stores never corrupt the coherence bookkeeping: after a conflicting
+    /// store commits, the affected instruction re-vectorizes from scratch and
+    /// no stale VRMT entry survives.
+    #[test]
+    fn store_conflicts_invalidate_cleanly(stride in 1i64..8, hit_offset in 0u64..4) {
+        let mut engine = VectorizationEngine::new(&DvConfig::default());
+        let dst = ArchReg::int(2);
+        let mut addr = 0x8000u64;
+        let mut last_outcome = DecodeOutcome::Scalar;
+        for _ in 0..4 {
+            last_outcome = engine.decode(&DecodeContext::load(0x2000, dst, addr, 8));
+            addr = addr.wrapping_add((stride * 8) as u64);
+        }
+        prop_assert!(last_outcome.is_vectorized());
+        let (vreg, _) = last_outcome.validated_element().unwrap();
+        let (lo, _hi) = engine.vrf().get(vreg).addr_range().unwrap();
+        let check = engine.commit_store(lo + hit_offset * 8, 8);
+        prop_assert!(check.squash);
+        prop_assert!(!engine.vrmt().references(vreg), "VRMT entry must be invalidated");
+    }
+
+    /// Sparse memory behaves like a flat 2^64 byte array for aligned and
+    /// unaligned accesses alike.
+    #[test]
+    fn sparse_memory_round_trips(
+        writes in proptest::collection::vec((0u64..0x4_0000, any::<u64>(), prop_oneof![Just(1u64), Just(2), Just(4), Just(8)]), 1..64)
+    ) {
+        let mut mem = SparseMemory::new();
+        let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for (addr, value, width) in &writes {
+            mem.write_uint(*addr, *width, *value);
+            for (i, byte) in value.to_le_bytes().iter().enumerate().take(*width as usize) {
+                model.insert(addr + i as u64, *byte);
+            }
+        }
+        for (addr, byte) in &model {
+            prop_assert_eq!(mem.read_u8(*addr), *byte);
+        }
+    }
+}
