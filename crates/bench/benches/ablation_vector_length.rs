@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for vl in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(vl), &vl, |b, &vl| {
-            let dv = DvConfig { vector_length: vl, ..DvConfig::default() };
+            let dv = DvConfig {
+                vector_length: vl,
+                ..DvConfig::default()
+            };
             let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_dv_config(dv);
             b.iter(|| run_workload(Workload::Applu, &cfg, &rc))
         });

@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for regs in [16usize, 64, 128] {
         group.bench_with_input(BenchmarkId::from_parameter(regs), &regs, |b, &regs| {
-            let dv = DvConfig { vector_registers: regs, ..DvConfig::default() };
+            let dv = DvConfig {
+                vector_registers: regs,
+                ..DvConfig::default()
+            };
             let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_dv_config(dv);
             b.iter(|| run_workload(Workload::Swim, &cfg, &rc))
         });

@@ -12,9 +12,7 @@ use sdv_sim::fig3;
 fn bench(c: &mut Criterion) {
     let rc = bench_run_config();
     let workloads = bench_workloads();
-    c.bench_function("fig03_vectorizable", |b| {
-        b.iter(|| fig3(&rc, &workloads))
-    });
+    c.bench_function("fig03_vectorizable", |b| b.iter(|| fig3(&rc, &workloads)));
 }
 
 criterion_group!(

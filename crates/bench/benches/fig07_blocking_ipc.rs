@@ -12,9 +12,7 @@ use sdv_sim::fig7;
 fn bench(c: &mut Criterion) {
     let rc = bench_run_config();
     let workloads = bench_workloads();
-    c.bench_function("fig07_blocking_ipc", |b| {
-        b.iter(|| fig7(&rc, &workloads))
-    });
+    c.bench_function("fig07_blocking_ipc", |b| b.iter(|| fig7(&rc, &workloads)));
 }
 
 criterion_group!(

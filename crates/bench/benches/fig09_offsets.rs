@@ -12,9 +12,7 @@ use sdv_sim::fig9;
 fn bench(c: &mut Criterion) {
     let rc = bench_run_config();
     let workloads = bench_workloads();
-    c.bench_function("fig09_offsets", |b| {
-        b.iter(|| fig9(&rc, &workloads))
-    });
+    c.bench_function("fig09_offsets", |b| b.iter(|| fig9(&rc, &workloads)));
 }
 
 criterion_group!(

@@ -12,9 +12,7 @@ use sdv_sim::fig10;
 fn bench(c: &mut Criterion) {
     let rc = bench_run_config();
     let workloads = bench_workloads();
-    c.bench_function("fig10_cfi_reuse", |b| {
-        b.iter(|| fig10(&rc, &workloads))
-    });
+    c.bench_function("fig10_cfi_reuse", |b| b.iter(|| fig10(&rc, &workloads)));
 }
 
 criterion_group!(

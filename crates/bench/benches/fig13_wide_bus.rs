@@ -12,9 +12,7 @@ use sdv_sim::fig13;
 fn bench(c: &mut Criterion) {
     let rc = bench_run_config();
     let workloads = bench_workloads();
-    c.bench_function("fig13_wide_bus", |b| {
-        b.iter(|| fig13(&rc, &workloads))
-    });
+    c.bench_function("fig13_wide_bus", |b| b.iter(|| fig13(&rc, &workloads)));
 }
 
 criterion_group!(

@@ -12,9 +12,7 @@ use sdv_sim::fig14;
 fn bench(c: &mut Criterion) {
     let rc = bench_run_config();
     let workloads = bench_workloads();
-    c.bench_function("fig14_validations", |b| {
-        b.iter(|| fig14(&rc, &workloads))
-    });
+    c.bench_function("fig14_validations", |b| b.iter(|| fig14(&rc, &workloads)));
 }
 
 criterion_group!(

@@ -12,9 +12,7 @@ use sdv_sim::fig15;
 fn bench(c: &mut Criterion) {
     let rc = bench_run_config();
     let workloads = bench_workloads();
-    c.bench_function("fig15_element_usage", |b| {
-        b.iter(|| fig15(&rc, &workloads))
-    });
+    c.bench_function("fig15_element_usage", |b| b.iter(|| fig15(&rc, &workloads)));
 }
 
 criterion_group!(

@@ -12,9 +12,7 @@ use sdv_sim::headline;
 fn bench(c: &mut Criterion) {
     let rc = bench_run_config();
     let workloads = bench_workloads();
-    c.bench_function("headline_speedup", |b| {
-        b.iter(|| headline(&rc, &workloads))
-    });
+    c.bench_function("headline_speedup", |b| b.iter(|| headline(&rc, &workloads)));
 }
 
 criterion_group!(

@@ -52,7 +52,9 @@ fn parse_args() -> Options {
                 any_selection = true;
             }
             "--all" => any_selection = false,
-            other => panic!("unknown argument `{other}` (try --all, --fig N, --table1, --headline)"),
+            other => {
+                panic!("unknown argument `{other}` (try --all, --fig N, --table1, --headline)")
+            }
         }
     }
     if !any_selection {
@@ -87,12 +89,7 @@ fn main() {
             10 => println!("{}", fig10(&rc, &all)),
             11 | 12 => {
                 if sweep.is_none() {
-                    sweep = Some(port_sweep(
-                        &rc,
-                        &all,
-                        &MachineWidth::all(),
-                        &[1, 2, 4],
-                    ));
+                    sweep = Some(port_sweep(&rc, &all, &MachineWidth::all(), &[1, 2, 4]));
                 }
                 let sweep = sweep.as_ref().expect("just created");
                 if *fig == 11 {
@@ -104,7 +101,9 @@ fn main() {
             13 => println!("{}", fig13(&rc, &all)),
             14 => println!("{}", fig14(&rc, &all)),
             15 => println!("{}", fig15(&rc, &all)),
-            other => eprintln!("figure {other} is not a measured figure (2, 4, 5, 6 and 8 are block diagrams)"),
+            other => eprintln!(
+                "figure {other} is not a measured figure (2, 4, 5, 6 and 8 are block diagrams)"
+            ),
         }
     }
 

@@ -21,7 +21,10 @@ pub fn bench_workloads() -> Vec<Workload> {
 /// The run budget used by the Criterion benches.
 #[must_use]
 pub fn bench_run_config() -> RunConfig {
-    RunConfig { scale: 1, max_insts: 15_000 }
+    RunConfig {
+        scale: 1,
+        max_insts: 15_000,
+    }
 }
 
 /// The run budget used by the `repro` binary (unless overridden on the

@@ -56,7 +56,10 @@ impl DvConfig {
     /// The configuration used for Figure 3: unlimited vector registers, TL and VRMT.
     #[must_use]
     pub fn unbounded() -> Self {
-        DvConfig { unbounded: true, ..DvConfig::default() }
+        DvConfig {
+            unbounded: true,
+            ..DvConfig::default()
+        }
     }
 
     /// Bytes of storage used by the vector register file

@@ -90,9 +90,7 @@ impl DecodeOutcome {
         match self {
             DecodeOutcome::Scalar => None,
             DecodeOutcome::Validation { vreg, offset, .. } => Some((*vreg, *offset)),
-            DecodeOutcome::NewVector { instance } => {
-                Some((instance.vreg, instance.start_offset))
-            }
+            DecodeOutcome::NewVector { instance } => Some((instance.vreg, instance.start_offset)),
         }
     }
 
@@ -151,20 +149,29 @@ impl DecodeContext {
     /// An arithmetic instruction with up to two register sources
     /// (`(register, current value)` pairs).
     #[must_use]
-    pub fn arith(
-        pc: u64,
-        class: OpClass,
-        dst: ArchReg,
-        srcs: [Option<(ArchReg, u64)>; 2],
-    ) -> Self {
-        DecodeContext { pc, class, dst: Some(dst), srcs, ea: None, mem_width: None }
+    pub fn arith(pc: u64, class: OpClass, dst: ArchReg, srcs: [Option<(ArchReg, u64)>; 2]) -> Self {
+        DecodeContext {
+            pc,
+            class,
+            dst: Some(dst),
+            srcs,
+            ea: None,
+            mem_width: None,
+        }
     }
 
     /// Any other instruction (store, branch, jump, …); only its destination
     /// register (if any) matters to the engine.
     #[must_use]
     pub fn other(pc: u64, class: OpClass, dst: Option<ArchReg>) -> Self {
-        DecodeContext { pc, class, dst, srcs: [None, None], ea: None, mem_width: None }
+        DecodeContext {
+            pc,
+            class,
+            dst,
+            srcs: [None, None],
+            ea: None,
+            mem_width: None,
+        }
     }
 }
 
@@ -194,7 +201,12 @@ impl VectorizationEngine {
     pub fn new(cfg: &DvConfig) -> Self {
         VectorizationEngine {
             cfg: *cfg,
-            tl: TableOfLoads::new(cfg.tl_sets, cfg.tl_ways, cfg.confidence_threshold, cfg.unbounded),
+            tl: TableOfLoads::new(
+                cfg.tl_sets,
+                cfg.tl_ways,
+                cfg.confidence_threshold,
+                cfg.unbounded,
+            ),
             vrmt: Vrmt::new(cfg.vrmt_sets, cfg.vrmt_ways, cfg.unbounded),
             vrf: VectorRegisterFile::new(cfg.vector_registers, cfg.vector_length, cfg.unbounded),
             reg_map: vec![None; NUM_ARCH_REGS],
@@ -335,7 +347,10 @@ impl VectorizationEngine {
 
     fn decode_arith(&mut self, ctx: &DecodeContext) -> DecodeOutcome {
         let dst = ctx.dst.expect("vectorizable arithmetic has a destination");
-        let current_ops = [self.describe_operand(ctx.srcs[0]), self.describe_operand(ctx.srcs[1])];
+        let current_ops = [
+            self.describe_operand(ctx.srcs[0]),
+            self.describe_operand(ctx.srcs[1]),
+        ];
         let any_vector = current_ops.iter().any(Operand::is_vector);
 
         if let Some(entry) = self.vrmt.lookup(ctx.pc).copied() {
@@ -387,7 +402,11 @@ impl VectorizationEngine {
                 follow_on = self.follow_on_load_instance(pc, pattern);
             }
         }
-        DecodeOutcome::Validation { vreg: entry.vreg, offset, follow_on }
+        DecodeOutcome::Validation {
+            vreg: entry.vreg,
+            offset,
+            follow_on,
+        }
     }
 
     /// Creates the next vector instance of a vectorized load, one vector
@@ -398,14 +417,21 @@ impl VectorizationEngine {
         pattern: LoadPattern,
     ) -> Option<NewVectorInstance> {
         let vl = self.cfg.vector_length;
-        let next = LoadPattern { base_addr: pattern.addr_of(vl), ..pattern };
+        let next = LoadPattern {
+            base_addr: pattern.addr_of(vl),
+            ..pattern
+        };
         let Some(vreg) = self.allocate_vreg(pc) else {
             self.stats.no_free_vreg += 1;
             return None;
         };
         let first = next.addr_of(0);
         let last = next.addr_of(vl - 1);
-        let (lo, hi) = if first <= last { (first, last) } else { (last, first) };
+        let (lo, hi) = if first <= last {
+            (first, last)
+        } else {
+            (last, first)
+        };
         self.vrf.set_addr_range(vreg, lo, hi + next.width - 1);
         self.insert_vrmt(VrmtEntry {
             pc,
@@ -450,11 +476,19 @@ impl VectorizationEngine {
             return None;
         };
         let vl = self.cfg.vector_length;
-        let pattern = LoadPattern { base_addr: ea, stride, width };
+        let pattern = LoadPattern {
+            base_addr: ea,
+            stride,
+            width,
+        };
         // Address range covered by the whole instance, for store coherence.
         let first = pattern.addr_of(0);
         let last = pattern.addr_of(vl - 1);
-        let (lo, hi) = if first <= last { (first, last) } else { (last, first) };
+        let (lo, hi) = if first <= last {
+            (first, last)
+        } else {
+            (last, first)
+        };
         self.vrf.set_addr_range(vreg, lo, hi + width - 1);
 
         let entry = VrmtEntry {
@@ -494,7 +528,12 @@ impl VectorizationEngine {
             return None;
         };
         let vl = self.cfg.vector_length;
-        let start_offset = ops.iter().map(Operand::offset).max().unwrap_or(0).min(vl - 1);
+        let start_offset = ops
+            .iter()
+            .map(Operand::offset)
+            .max()
+            .unwrap_or(0)
+            .min(vl - 1);
         if start_offset != 0 {
             self.stats.instances_with_nonzero_offset += 1;
         }
@@ -623,7 +662,10 @@ impl VectorizationEngine {
                 }
             }
         }
-        StoreCheck { conflicting, squash: true }
+        StoreCheck {
+            conflicting,
+            squash: true,
+        }
     }
 
     /// Commits a control instruction; taken backward branches update the GMRBB
@@ -663,8 +705,12 @@ impl VectorizationEngine {
             .allocated_ids()
             .filter(|&id| !self.vrmt.references(id) && !self.map_references(id))
             .filter(|&id| {
-                self.vrf.get(id).elements().iter().all(|e| e.ready || e.poisoned) &&
-                    self.vrf.get(id).elements().iter().all(|e| !e.used)
+                self.vrf
+                    .get(id)
+                    .elements()
+                    .iter()
+                    .all(|e| e.ready || e.poisoned)
+                    && self.vrf.get(id).elements().iter().all(|e| !e.used)
             })
             .collect();
         for id in candidates {
@@ -676,7 +722,10 @@ impl VectorizationEngine {
     }
 
     fn map_references(&self, id: VregId) -> bool {
-        self.reg_map.iter().chain(self.committed_map.iter()).any(|m| matches!(m, Some((v, _)) if *v == id))
+        self.reg_map
+            .iter()
+            .chain(self.committed_map.iter())
+            .any(|m| matches!(m, Some((v, _)) if *v == id))
     }
 
     fn forget_register(&mut self, id: VregId) {
@@ -732,7 +781,12 @@ mod tests {
     /// With the paper's TL update rule (reset-on-change, threshold 2) a load
     /// with a non-zero stride vectorizes on its *fourth* dynamic instance: the
     /// second computes the initial stride and the third and fourth confirm it.
-    fn vectorize_load(e: &mut VectorizationEngine, pc: u64, base: u64, stride: u64) -> NewVectorInstance {
+    fn vectorize_load(
+        e: &mut VectorizationEngine,
+        pc: u64,
+        base: u64,
+        stride: u64,
+    ) -> NewVectorInstance {
         let dst = xr(1);
         for i in 0..3u64 {
             let out = e.decode(&DecodeContext::load(pc, dst, base + i * stride, 8));
@@ -771,8 +825,14 @@ mod tests {
         // one instance earlier because the TL entry is installed with stride 0.
         let mut e = engine();
         let dst = xr(1);
-        assert_eq!(e.decode(&DecodeContext::load(0x1000, dst, 0x9000, 8)), DecodeOutcome::Scalar);
-        assert_eq!(e.decode(&DecodeContext::load(0x1000, dst, 0x9000, 8)), DecodeOutcome::Scalar);
+        assert_eq!(
+            e.decode(&DecodeContext::load(0x1000, dst, 0x9000, 8)),
+            DecodeOutcome::Scalar
+        );
+        assert_eq!(
+            e.decode(&DecodeContext::load(0x1000, dst, 0x9000, 8)),
+            DecodeOutcome::Scalar
+        );
         assert!(matches!(
             e.decode(&DecodeContext::load(0x1000, dst, 0x9000, 8)),
             DecodeOutcome::NewVector { .. }
@@ -790,10 +850,18 @@ mod tests {
         for k in 1..4usize {
             let ea = 0x8018 + (k as u64) * 8;
             match e.decode(&DecodeContext::load(0x1000, dst, ea, 8)) {
-                DecodeOutcome::Validation { vreg, offset, follow_on } => {
+                DecodeOutcome::Validation {
+                    vreg,
+                    offset,
+                    follow_on,
+                } => {
                     assert_eq!(vreg, inst.vreg);
                     assert_eq!(offset, k);
-                    assert_eq!(follow_on.is_some(), k == 3, "follow-on only on the last element");
+                    assert_eq!(
+                        follow_on.is_some(),
+                        k == 3,
+                        "follow-on only on the last element"
+                    );
                     if let Some(next) = follow_on {
                         assert_ne!(next.vreg, inst.vreg);
                         assert_eq!(next.start_offset, 0);
@@ -843,7 +911,12 @@ mod tests {
             other => panic!("expected NewVector, got {other:?}"),
         };
         assert_eq!(instance.start_offset, 0);
-        assert_eq!(instance.kind, VectorOpKind::Arith { class: OpClass::IntAlu });
+        assert_eq!(
+            instance.kind,
+            VectorOpKind::Arith {
+                class: OpClass::IntAlu
+            }
+        );
         assert_eq!(instance.src1.vreg(), Some(load.vreg));
         assert!(matches!(instance.src2, Operand::Scalar { value: 42, .. }));
         assert_eq!(e.stats().arith_instances, 1);
@@ -858,11 +931,19 @@ mod tests {
         let mut e = engine();
         let _ = vectorize_load(&mut e, 0x1000, 0x8000, 8);
         let mk = |v: u64| {
-            DecodeContext::arith(0x1004, OpClass::IntAlu, xr(2), [Some((xr(1), 0)), Some((xr(3), v))])
+            DecodeContext::arith(
+                0x1004,
+                OpClass::IntAlu,
+                xr(2),
+                [Some((xr(1), 0)), Some((xr(3), v))],
+            )
         };
         assert!(matches!(e.decode(&mk(42)), DecodeOutcome::NewVector { .. }));
         // Same operands: validation.
-        assert!(matches!(e.decode(&mk(42)), DecodeOutcome::Validation { .. }));
+        assert!(matches!(
+            e.decode(&mk(42)),
+            DecodeOutcome::Validation { .. }
+        ));
         // The scalar register changed value: the recorded instance is stale.
         let out = e.decode(&mk(43));
         // A new instance is created immediately because x1 is still vector-mapped.
@@ -926,8 +1007,14 @@ mod tests {
         assert_eq!(check.conflicting, vec![inst.vreg]);
         assert_eq!(e.stats().store_conflicts, 1);
         assert!(e.vrmt().is_empty(), "VRMT entry invalidated");
-        assert!(e.vrf().is_poisoned(inst.vreg, 1), "unvalidated elements poisoned");
-        assert!(!e.vrf().get(inst.vreg).elements()[0].poisoned, "validated element untouched");
+        assert!(
+            e.vrf().is_poisoned(inst.vreg, 1),
+            "unvalidated elements poisoned"
+        );
+        assert!(
+            !e.vrf().get(inst.vreg).elements()[0].poisoned,
+            "validated element untouched"
+        );
         // A store far away does not conflict.
         let check = e.commit_store(0x20_0000, 8);
         assert!(!check.squash);
@@ -946,12 +1033,17 @@ mod tests {
             e.commit_validation(inst.vreg, i, Some(xr(1)));
         }
         e.commit_scalar_write(xr(1)); // frees the last element
+
         // Clear the speculative map so nothing references the register.
         e.decode(&DecodeContext::other(0x1010, OpClass::Jump, Some(xr(1))));
         assert_eq!(e.vrf().allocated_count(), 1);
         e.commit_control(0x1020, true, 0x1000);
         assert_eq!(e.gmrbb(), 0x1020);
-        assert_eq!(e.vrf().allocated_count(), 0, "register released after the loop");
+        assert_eq!(
+            e.vrf().allocated_count(),
+            0,
+            "register released after the loop"
+        );
         assert_eq!(e.vrf().usage().registers_released, 1);
     }
 
@@ -966,7 +1058,10 @@ mod tests {
 
     #[test]
     fn no_free_register_falls_back_to_scalar() {
-        let cfg = DvConfig { vector_registers: 1, ..DvConfig::default() };
+        let cfg = DvConfig {
+            vector_registers: 1,
+            ..DvConfig::default()
+        };
         let mut e = VectorizationEngine::new(&cfg);
         let _ = vectorize_load(&mut e, 0x1000, 0x8000, 8);
         // A second strided load cannot allocate a register.
@@ -1002,7 +1097,12 @@ mod tests {
         for j in 0..300u64 {
             let pc = 0x1000 + j * 4;
             for i in 0..4u64 {
-                e.decode(&DecodeContext::load(pc, xr(1), 0x10_0000 + j * 0x100 + i * 8, 8));
+                e.decode(&DecodeContext::load(
+                    pc,
+                    xr(1),
+                    0x10_0000 + j * 0x100 + i * 8,
+                    8,
+                ));
             }
         }
         assert_eq!(e.stats().load_instances, 300);

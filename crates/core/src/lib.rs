@@ -52,8 +52,7 @@ pub mod vrmt;
 
 pub use config::DvConfig;
 pub use engine::{
-    DecodeContext, DecodeOutcome, NewVectorInstance, StoreCheck, VectorOpKind,
-    VectorizationEngine,
+    DecodeContext, DecodeOutcome, NewVectorInstance, StoreCheck, VectorOpKind, VectorizationEngine,
 };
 pub use stats::DvStats;
 pub use tl::{TableOfLoads, TlObservation};

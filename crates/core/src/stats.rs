@@ -122,8 +122,16 @@ mod tests {
 
     #[test]
     fn merge_adds_everything() {
-        let mut a = DvStats { loads_observed: 1, elements_launched: 4, ..DvStats::default() };
-        let b = DvStats { loads_observed: 2, validation_failures: 3, ..DvStats::default() };
+        let mut a = DvStats {
+            loads_observed: 1,
+            elements_launched: 4,
+            ..DvStats::default()
+        };
+        let b = DvStats {
+            loads_observed: 2,
+            validation_failures: 3,
+            ..DvStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.loads_observed, 3);
         assert_eq!(a.validation_failures, 3);

@@ -54,7 +54,10 @@ impl TableOfLoads {
     /// Panics if `sets` is zero (or not a power of two) or `ways` is zero.
     #[must_use]
     pub fn new(sets: usize, ways: usize, threshold: u8, unbounded: bool) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "TL sets must be a non-zero power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "TL sets must be a non-zero power of two"
+        );
         assert!(ways > 0, "TL must have at least one way");
         TableOfLoads {
             sets: vec![Vec::new(); sets],
@@ -82,7 +85,11 @@ impl TableOfLoads {
         self.observations += 1;
         let stamp = self.stamp;
         let threshold = self.threshold;
-        let ways = if self.unbounded { usize::MAX } else { self.ways };
+        let ways = if self.unbounded {
+            usize::MAX
+        } else {
+            self.ways
+        };
         let set_idx = self.set_of(pc);
         let set = &mut self.sets[set_idx];
 
@@ -104,15 +111,28 @@ impl TableOfLoads {
         }
 
         // Miss: install a fresh entry, evicting the LRU way if needed.
-        let entry = TlEntry { pc, last_addr: addr, stride: 0, confidence: 0, last_used: stamp };
+        let entry = TlEntry {
+            pc,
+            last_addr: addr,
+            stride: 0,
+            confidence: 0,
+            last_used: stamp,
+        };
         if set.len() < ways {
             set.push(entry);
         } else {
             self.replacements += 1;
-            let victim = set.iter_mut().min_by_key(|e| e.last_used).expect("ways > 0");
+            let victim = set
+                .iter_mut()
+                .min_by_key(|e| e.last_used)
+                .expect("ways > 0");
             *victim = entry;
         }
-        TlObservation { stride: 0, confidence: 0, vectorize: false }
+        TlObservation {
+            stride: 0,
+            confidence: 0,
+            vectorize: false,
+        }
     }
 
     /// Looks up the current stride prediction for `pc` without updating anything.

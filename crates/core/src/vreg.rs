@@ -107,7 +107,9 @@ impl VectorRegister {
     /// computed, none is in use, and the owning loop has terminated
     /// (MRBB differs from the global MRBB).
     fn releasable_after_loop(&self, gmrbb: u64) -> bool {
-        self.elements.iter().all(|e| (!e.valid || e.free) && e.ready && !e.used)
+        self.elements
+            .iter()
+            .all(|e| (!e.valid || e.free) && e.ready && !e.used)
             && self.mrbb != gmrbb
     }
 }
@@ -191,10 +193,18 @@ impl VectorRegisterFile {
     /// Panics if `count` or `vector_length` is zero.
     #[must_use]
     pub fn new(count: usize, vector_length: usize, unbounded: bool) -> Self {
-        assert!(count > 0, "vector register file must have at least one register");
-        assert!(vector_length > 0, "vector length must be at least one element");
+        assert!(
+            count > 0,
+            "vector register file must have at least one register"
+        );
+        assert!(
+            vector_length > 0,
+            "vector length must be at least one element"
+        );
         VectorRegisterFile {
-            regs: (0..count).map(|_| VectorRegister::new(vector_length)).collect(),
+            regs: (0..count)
+                .map(|_| VectorRegister::new(vector_length))
+                .collect(),
             vector_length,
             unbounded,
             usage: ElementUsage::default(),
@@ -355,9 +365,13 @@ impl VectorRegisterFile {
     /// Applies the freeing rules to every allocated register; returns the
     /// registers released.
     pub fn release_eligible(&mut self, gmrbb: u64) -> Vec<VregId> {
-        let ids: Vec<VregId> =
-            (0..self.regs.len() as u32).map(VregId).filter(|&id| self.regs[id.index()].allocated).collect();
-        ids.into_iter().filter(|&id| self.try_release(id, gmrbb)).collect()
+        let ids: Vec<VregId> = (0..self.regs.len() as u32)
+            .map(VregId)
+            .filter(|&id| self.regs[id.index()].allocated)
+            .collect();
+        ids.into_iter()
+            .filter(|&id| self.try_release(id, gmrbb))
+            .collect()
     }
 
     /// Registers (allocated, with an address range) whose range overlaps the
@@ -420,7 +434,9 @@ mod tests {
     #[test]
     fn allocation_and_exhaustion() {
         let mut vrf = file();
-        let ids: Vec<_> = (0..4).map(|i| vrf.allocate(0x1000 + i, 0).unwrap()).collect();
+        let ids: Vec<_> = (0..4)
+            .map(|i| vrf.allocate(0x1000 + i, 0).unwrap())
+            .collect();
         assert_eq!(vrf.allocated_count(), 4);
         assert_eq!(vrf.free_count(), 0);
         assert!(vrf.allocate(0x2000, 0).is_none());
@@ -505,6 +521,7 @@ mod tests {
         vrf.validate(id, 0); // computed + used
         vrf.set_ready(id, 1); // computed, not used
         vrf.set_ready(id, 2); // computed, not used
+
         // element 3 never computed
         vrf.force_release(id);
         let u = vrf.usage();
@@ -523,7 +540,11 @@ mod tests {
         vrf.set_addr_range(a, 0x8000, 0x8018);
         vrf.set_addr_range(b, 0x9000, 0x9018);
         assert_eq!(vrf.conflicting_registers(0x8010, 8), vec![a]);
-        assert_eq!(vrf.conflicting_registers(0x8fff, 8), vec![b], "touches first byte of b");
+        assert_eq!(
+            vrf.conflicting_registers(0x8fff, 8),
+            vec![b],
+            "touches first byte of b"
+        );
         assert!(vrf.conflicting_registers(0x7000, 8).is_empty());
         let both = vrf.conflicting_registers(0x8018, 0x1000);
         assert_eq!(both, vec![a, b]);

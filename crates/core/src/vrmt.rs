@@ -133,9 +133,18 @@ impl Vrmt {
     /// Panics if `sets` is zero or not a power of two, or `ways` is zero.
     #[must_use]
     pub fn new(sets: usize, ways: usize, unbounded: bool) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "VRMT sets must be a non-zero power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "VRMT sets must be a non-zero power of two"
+        );
         assert!(ways > 0, "VRMT must have at least one way");
-        Vrmt { sets: vec![Vec::new(); sets], ways, unbounded, stamp: 0, evictions: 0 }
+        Vrmt {
+            sets: vec![Vec::new(); sets],
+            ways,
+            unbounded,
+            stamp: 0,
+            evictions: 0,
+        }
     }
 
     fn set_of(&self, pc: u64) -> usize {
@@ -147,10 +156,13 @@ impl Vrmt {
         self.stamp += 1;
         let stamp = self.stamp;
         let idx = self.set_of(pc);
-        self.sets[idx].iter_mut().find(|s| s.entry.pc == pc).map(|s| {
-            s.last_used = stamp;
-            &s.entry
-        })
+        self.sets[idx]
+            .iter_mut()
+            .find(|s| s.entry.pc == pc)
+            .map(|s| {
+                s.last_used = stamp;
+                &s.entry
+            })
     }
 
     /// Mutable lookup (used to advance the offset after a validation).
@@ -158,10 +170,13 @@ impl Vrmt {
         self.stamp += 1;
         let stamp = self.stamp;
         let idx = self.set_of(pc);
-        self.sets[idx].iter_mut().find(|s| s.entry.pc == pc).map(|s| {
-            s.last_used = stamp;
-            &mut s.entry
-        })
+        self.sets[idx]
+            .iter_mut()
+            .find(|s| s.entry.pc == pc)
+            .map(|s| {
+                s.last_used = stamp;
+                &mut s.entry
+            })
     }
 
     /// Inserts (or replaces) the entry for `entry.pc`; returns an evicted
@@ -169,7 +184,11 @@ impl Vrmt {
     pub fn insert(&mut self, entry: VrmtEntry) -> Option<VrmtEntry> {
         self.stamp += 1;
         let stamp = self.stamp;
-        let ways = if self.unbounded { usize::MAX } else { self.ways };
+        let ways = if self.unbounded {
+            usize::MAX
+        } else {
+            self.ways
+        };
         let idx = self.set_of(entry.pc);
         let set = &mut self.sets[idx];
         if let Some(s) = set.iter_mut().find(|s| s.entry.pc == entry.pc) {
@@ -177,13 +196,19 @@ impl Vrmt {
             s.last_used = stamp;
             return None;
         }
-        let slot = Slot { entry, last_used: stamp };
+        let slot = Slot {
+            entry,
+            last_used: stamp,
+        };
         if set.len() < ways {
             set.push(slot);
             None
         } else {
             self.evictions += 1;
-            let victim = set.iter_mut().min_by_key(|s| s.last_used).expect("ways > 0");
+            let victim = set
+                .iter_mut()
+                .min_by_key(|s| s.last_used)
+                .expect("ways > 0");
             let old = victim.entry;
             *victim = slot;
             Some(old)
@@ -242,7 +267,9 @@ impl Vrmt {
 
     /// Iterates over all stored entries.
     pub fn iter(&self) -> impl Iterator<Item = &VrmtEntry> {
-        self.sets.iter().flat_map(|s| s.iter().map(|slot| &slot.entry))
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|slot| &slot.entry))
     }
 
     /// Whether any entry references `vreg`.
@@ -263,7 +290,14 @@ mod tests {
     }
 
     fn entry(pc: u64, vreg: VregId) -> VrmtEntry {
-        VrmtEntry { pc, vreg, offset: 0, src1: Operand::None, src2: Operand::None, load: None }
+        VrmtEntry {
+            pc,
+            vreg,
+            offset: 0,
+            src1: Operand::None,
+            src2: Operand::None,
+            load: None,
+        }
     }
 
     #[test]
@@ -339,21 +373,36 @@ mod tests {
 
     #[test]
     fn load_pattern_addresses() {
-        let p = LoadPattern { base_addr: 0x1000, stride: -8, width: 8 };
+        let p = LoadPattern {
+            base_addr: 0x1000,
+            stride: -8,
+            width: 8,
+        };
         assert_eq!(p.addr_of(0), 0x1000);
         assert_eq!(p.addr_of(2), 0x1000 - 16);
-        let q = LoadPattern { base_addr: 0x1000, stride: 4, width: 4 };
+        let q = LoadPattern {
+            base_addr: 0x1000,
+            stride: 4,
+            width: 4,
+        };
         assert_eq!(q.addr_of(3), 0x100c);
     }
 
     #[test]
     fn operand_helpers() {
         let v = ids(1);
-        let op = Operand::Vector { reg: sdv_isa::ArchReg::int(3), vreg: v[0], offset: 2 };
+        let op = Operand::Vector {
+            reg: sdv_isa::ArchReg::int(3),
+            vreg: v[0],
+            offset: 2,
+        };
         assert!(op.is_vector());
         assert_eq!(op.offset(), 2);
         assert_eq!(op.vreg(), Some(v[0]));
-        let s = Operand::Scalar { reg: sdv_isa::ArchReg::int(4), value: 7 };
+        let s = Operand::Scalar {
+            reg: sdv_isa::ArchReg::int(4),
+            value: 7,
+        };
         assert!(!s.is_vector());
         assert_eq!(s.offset(), 0);
         assert_eq!(s.vreg(), None);

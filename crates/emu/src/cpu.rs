@@ -273,7 +273,12 @@ impl Emulator {
                     self.write_int(dst, value);
                 }
                 dst_value = value;
-                mem_access = Some(MemAccess { addr, width, is_store: false, value: raw });
+                mem_access = Some(MemAccess {
+                    addr,
+                    width,
+                    is_store: false,
+                    value: raw,
+                });
             }
             Sb | Sh | Sw | Sd | Fsw | Fsd => {
                 let addr = src1_value.wrapping_add(inst.imm as u64);
@@ -284,7 +289,12 @@ impl Emulator {
                     src2_value
                 };
                 self.mem.write_uint(addr, width, stored);
-                mem_access = Some(MemAccess { addr, width, is_store: true, value: stored });
+                mem_access = Some(MemAccess {
+                    addr,
+                    width,
+                    is_store: true,
+                    value: stored,
+                });
             }
             // ------------------------------------------------ control
             Beq | Bne | Blt | Bge | Bltu | Bgeu => {
@@ -543,6 +553,7 @@ mod tests {
         a.li(x(2), 0);
         a.fcvt_from_int(f(1), x(2));
         a.fld(f(2), x(1), 8); // zero
+
         // store 1.1 (f64) as f32 then reload
         let c = a.data_f64(&[1.1]);
         a.li(x(3), c as i64);

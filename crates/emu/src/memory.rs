@@ -43,13 +43,16 @@ impl SparseMemory {
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
     }
 
     /// Reads one byte.
     #[must_use]
     pub fn read_u8(&self, addr: u64) -> u8 {
-        self.page(addr).map_or(0, |p| p[(addr & PAGE_MASK) as usize])
+        self.page(addr)
+            .map_or(0, |p| p[(addr & PAGE_MASK) as usize])
     }
 
     /// Writes one byte.
@@ -206,7 +209,11 @@ mod tests {
         for width in [1u64, 2, 4, 8] {
             let value = 0xf0f0_f0f0_f0f0_f0f0u64;
             m.write_uint(width * 100, width, value);
-            let mask = if width == 8 { u64::MAX } else { (1u64 << (8 * width)) - 1 };
+            let mask = if width == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (8 * width)) - 1
+            };
             assert_eq!(m.read_uint(width * 100, width), value & mask);
         }
     }

@@ -46,7 +46,10 @@ impl Asm {
     /// Creates an empty assembler.
     #[must_use]
     pub fn new() -> Self {
-        Asm { next_data: DATA_BASE, ..Asm::default() }
+        Asm {
+            next_data: DATA_BASE,
+            ..Asm::default()
+        }
     }
 
     /// The index of the next instruction to be emitted.
@@ -81,7 +84,10 @@ impl Asm {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         let addr = (self.next_data + align - 1) & !(align - 1);
         self.next_data = addr + len as u64;
-        self.data.push(DataSegment { addr, bytes: vec![0; len] });
+        self.data.push(DataSegment {
+            addr,
+            bytes: vec![0; len],
+        });
         addr
     }
 
@@ -371,15 +377,33 @@ impl Asm {
     /// Jump to `target`, writing the return address to `link`.
     pub fn jal(&mut self, link: ArchReg, target: &str) {
         self.fixups.push((self.insts.len(), target.to_string()));
-        self.push(Inst { op: Opcode::Jal, dst: Some(link), src1: None, src2: None, imm: 0 });
+        self.push(Inst {
+            op: Opcode::Jal,
+            dst: Some(link),
+            src1: None,
+            src2: None,
+            imm: 0,
+        });
     }
     /// Indirect jump to the address in `src`.
     pub fn jr(&mut self, src: ArchReg) {
-        self.push(Inst { op: Opcode::Jr, dst: None, src1: Some(src), src2: None, imm: 0 });
+        self.push(Inst {
+            op: Opcode::Jr,
+            dst: None,
+            src1: Some(src),
+            src2: None,
+            imm: 0,
+        });
     }
     /// Indirect jump to `src + offset`, writing the return address to `link`.
     pub fn jalr(&mut self, link: ArchReg, src: ArchReg, offset: i64) {
-        self.push(Inst { op: Opcode::Jalr, dst: Some(link), src1: Some(src), src2: None, imm: offset });
+        self.push(Inst {
+            op: Opcode::Jalr,
+            dst: Some(link),
+            src1: Some(src),
+            src2: None,
+            imm: offset,
+        });
     }
     /// No operation.
     pub fn nop(&mut self) {
@@ -457,7 +481,15 @@ mod tests {
         assert!(b0 < b1 && b1 < b2 && b2 < b3);
         let p = a.finish();
         assert_eq!(p.data_segments().len(), 4);
-        assert_eq!(p.data_segments()[1].bytes, 10u64.to_le_bytes().iter().chain(20u64.to_le_bytes().iter()).copied().collect::<Vec<u8>>());
+        assert_eq!(
+            p.data_segments()[1].bytes,
+            10u64
+                .to_le_bytes()
+                .iter()
+                .chain(20u64.to_le_bytes().iter())
+                .copied()
+                .collect::<Vec<u8>>()
+        );
         // segments must not overlap
         for w in p.data_segments().windows(2) {
             assert!(w[0].end() <= w[1].addr);

@@ -37,50 +37,98 @@ impl Inst {
     /// A register-register-register instruction (`dst = src1 op src2`).
     #[must_use]
     pub const fn rrr(op: Opcode, dst: ArchReg, src1: ArchReg, src2: ArchReg) -> Self {
-        Inst { op, dst: Some(dst), src1: Some(src1), src2: Some(src2), imm: 0 }
+        Inst {
+            op,
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: Some(src2),
+            imm: 0,
+        }
     }
 
     /// A register-register-immediate instruction (`dst = src1 op imm`).
     #[must_use]
     pub const fn rri(op: Opcode, dst: ArchReg, src1: ArchReg, imm: i64) -> Self {
-        Inst { op, dst: Some(dst), src1: Some(src1), src2: None, imm }
+        Inst {
+            op,
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: None,
+            imm,
+        }
     }
 
     /// A register-immediate instruction (`dst = imm`), e.g. `li`.
     #[must_use]
     pub const fn ri(op: Opcode, dst: ArchReg, imm: i64) -> Self {
-        Inst { op, dst: Some(dst), src1: None, src2: None, imm }
+        Inst {
+            op,
+            dst: Some(dst),
+            src1: None,
+            src2: None,
+            imm,
+        }
     }
 
     /// A unary register-register instruction (`dst = op src1`).
     #[must_use]
     pub const fn rr(op: Opcode, dst: ArchReg, src1: ArchReg) -> Self {
-        Inst { op, dst: Some(dst), src1: Some(src1), src2: None, imm: 0 }
+        Inst {
+            op,
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: None,
+            imm: 0,
+        }
     }
 
     /// A load: `dst = mem[src1 + imm]`.
     #[must_use]
     pub const fn load(op: Opcode, dst: ArchReg, base: ArchReg, offset: i64) -> Self {
-        Inst { op, dst: Some(dst), src1: Some(base), src2: None, imm: offset }
+        Inst {
+            op,
+            dst: Some(dst),
+            src1: Some(base),
+            src2: None,
+            imm: offset,
+        }
     }
 
     /// A store: `mem[src1 + imm] = src2`.
     #[must_use]
     pub const fn store(op: Opcode, data: ArchReg, base: ArchReg, offset: i64) -> Self {
-        Inst { op, dst: None, src1: Some(base), src2: Some(data), imm: offset }
+        Inst {
+            op,
+            dst: None,
+            src1: Some(base),
+            src2: Some(data),
+            imm: offset,
+        }
     }
 
     /// A conditional branch comparing `src1` and `src2`, targeting the
     /// absolute PC `target`.
     #[must_use]
     pub const fn branch(op: Opcode, src1: ArchReg, src2: ArchReg, target: i64) -> Self {
-        Inst { op, dst: None, src1: Some(src1), src2: Some(src2), imm: target }
+        Inst {
+            op,
+            dst: None,
+            src1: Some(src1),
+            src2: Some(src2),
+            imm: target,
+        }
     }
 
     /// An instruction with no operands (`nop`, `halt`, `j target`).
     #[must_use]
     pub const fn op_only(op: Opcode, imm: i64) -> Self {
-        Inst { op, dst: None, src1: None, src2: None, imm }
+        Inst {
+            op,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm,
+        }
     }
 
     /// The operation class (shorthand for `self.op.class()`).
@@ -194,9 +242,9 @@ impl fmt::Display for Inst {
                 if (self.src2.is_none() || self.imm != 0)
                     && (matches!(self.op, Opcode::Li)
                         || self.src2.is_none() && !matches!(self.op, Opcode::Fneg | Opcode::Fabs))
-                    {
-                        write!(f, "{sep}{}", self.imm)?;
-                    }
+                {
+                    write!(f, "{sep}{}", self.imm)?;
+                }
                 Ok(())
             }
         }
@@ -226,7 +274,12 @@ mod tests {
 
     #[test]
     fn display_formats_common_shapes() {
-        let add = Inst::rrr(Opcode::Add, ArchReg::int(1), ArchReg::int(2), ArchReg::int(3));
+        let add = Inst::rrr(
+            Opcode::Add,
+            ArchReg::int(1),
+            ArchReg::int(2),
+            ArchReg::int(3),
+        );
         assert_eq!(add.to_string(), "add x1, x2, x3");
         let ld = Inst::load(Opcode::Fld, ArchReg::fp(1), ArchReg::int(2), 24);
         assert_eq!(ld.to_string(), "fld f1, 24(x2)");

@@ -48,7 +48,11 @@ impl Program {
     /// Creates a program from raw parts.  Normally produced by [`crate::Asm::finish`].
     #[must_use]
     pub fn new(insts: Vec<Inst>, labels: HashMap<String, usize>, data: Vec<DataSegment>) -> Self {
-        Program { insts, labels, data }
+        Program {
+            insts,
+            labels,
+            data,
+        }
     }
 
     /// Number of static instructions.
@@ -112,7 +116,10 @@ impl Program {
 
     /// Iterates over `(pc, instruction)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &Inst)> {
-        self.insts.iter().enumerate().map(|(i, inst)| (Self::pc_of(i), inst))
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (Self::pc_of(i), inst))
     }
 
     /// Total number of initialised data bytes.
@@ -149,13 +156,25 @@ mod tests {
     fn tiny() -> Program {
         let insts = vec![
             Inst::ri(Opcode::Li, ArchReg::int(1), 7),
-            Inst::rrr(Opcode::Add, ArchReg::int(2), ArchReg::int(1), ArchReg::int(1)),
+            Inst::rrr(
+                Opcode::Add,
+                ArchReg::int(2),
+                ArchReg::int(1),
+                ArchReg::int(1),
+            ),
             Inst::halt(),
         ];
         let mut labels = HashMap::new();
         labels.insert("start".to_string(), 0);
         labels.insert("end".to_string(), 2);
-        Program::new(insts, labels, vec![DataSegment { addr: 0x0001_0000, bytes: vec![1, 2, 3] }])
+        Program::new(
+            insts,
+            labels,
+            vec![DataSegment {
+                addr: 0x0001_0000,
+                bytes: vec![1, 2, 3],
+            }],
+        )
     }
 
     #[test]

@@ -16,19 +16,31 @@ impl CacheConfig {
     /// 64 KB, 2-way, 32-byte lines: the paper's L1 data cache.
     #[must_use]
     pub fn l1d_table1() -> Self {
-        CacheConfig { size_bytes: 64 * 1024, line_bytes: 32, ways: 2 }
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 32,
+            ways: 2,
+        }
     }
 
     /// 64 KB, 2-way, 64-byte lines: the paper's L1 instruction cache.
     #[must_use]
     pub fn l1i_table1() -> Self {
-        CacheConfig { size_bytes: 64 * 1024, line_bytes: 64, ways: 2 }
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 64,
+            ways: 2,
+        }
     }
 
     /// 256 KB, 4-way, 32-byte lines: the paper's unified L2.
     #[must_use]
     pub fn l2_table1() -> Self {
-        CacheConfig { size_bytes: 256 * 1024, line_bytes: 32, ways: 4 }
+        CacheConfig {
+            size_bytes: 256 * 1024,
+            line_bytes: 32,
+            ways: 4,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -40,8 +52,14 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         assert!(self.size_bytes > 0 && self.line_bytes > 0 && self.ways > 0);
         let sets = self.size_bytes / (self.line_bytes * self.ways);
-        assert!(sets > 0, "cache too small for its line size and associativity");
-        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+        assert!(
+            sets > 0,
+            "cache too small for its line size and associativity"
+        );
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
         sets
     }
 }
@@ -114,7 +132,15 @@ impl Cache {
         let sets = cfg.sets();
         Cache {
             cfg,
-            lines: vec![Line { tag: 0, valid: false, dirty: false, last_used: 0 }; sets * cfg.ways],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    last_used: 0
+                };
+                sets * cfg.ways
+            ],
             sets,
             stamp: 0,
             stats: CacheStats::default(),
@@ -173,7 +199,10 @@ impl Cache {
                 line.last_used = self.stamp;
                 line.dirty |= is_write;
                 self.stats.hits += 1;
-                return AccessOutcome { hit: true, writeback: None };
+                return AccessOutcome {
+                    hit: true,
+                    writeback: None,
+                };
             }
         }
 
@@ -203,8 +232,16 @@ impl Cache {
             let line_bytes = self.cfg.line_bytes as u64;
             writeback = Some((victim.tag * self.sets as u64 + set as u64) * line_bytes);
         }
-        *victim = Line { tag, valid: true, dirty: is_write, last_used: self.stamp };
-        AccessOutcome { hit: false, writeback }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            last_used: self.stamp,
+        };
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Invalidates every line (used on context-switch style resets in tests).
@@ -221,7 +258,11 @@ mod tests {
     use super::*;
 
     fn small() -> Cache {
-        Cache::new(CacheConfig { size_bytes: 256, line_bytes: 32, ways: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 32,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -245,6 +286,7 @@ mod tests {
     #[test]
     fn lru_replacement_within_set() {
         let mut c = small(); // 4 sets, 2 ways
+
         // Three distinct lines mapping to the same set (stride = sets*line = 128).
         c.access(0x000, false);
         c.access(0x080, false);
@@ -304,7 +346,11 @@ mod tests {
         c.flush();
         assert!(!c.probe(0x0));
         assert!(!c.access(0x0, false).hit);
-        assert_eq!(c.access(0x80, false).writeback, None, "flushed lines are not written back");
+        assert_eq!(
+            c.access(0x80, false).writeback,
+            None,
+            "flushed lines are not written back"
+        );
     }
 
     #[test]

@@ -143,7 +143,10 @@ impl DataMemory {
         } else {
             now + self.cfg.memory_cycles
         };
-        self.outstanding.push(Miss { line_addr: line, done_cycle: done });
+        self.outstanding.push(Miss {
+            line_addr: line,
+            done_cycle: done,
+        });
         Some(done)
     }
 
@@ -199,7 +202,11 @@ impl InstMemory {
     /// Creates an empty instruction-memory path.
     #[must_use]
     pub fn new(cfg: &MemHierarchyConfig) -> Self {
-        InstMemory { cfg: *cfg, l1: Cache::new(cfg.l1i), l2: Cache::new(cfg.l2) }
+        InstMemory {
+            cfg: *cfg,
+            l1: Cache::new(cfg.l1i),
+            l2: Cache::new(cfg.l2),
+        }
     }
 
     /// The latency, in cycles, of fetching the line containing `pc`.
@@ -245,7 +252,11 @@ mod tests {
     #[test]
     fn l2_hits_are_faster_than_memory() {
         let cfg = MemHierarchyConfig {
-            l1d: CacheConfig { size_bytes: 64, line_bytes: 32, ways: 1 },
+            l1d: CacheConfig {
+                size_bytes: 64,
+                line_bytes: 32,
+                ways: 1,
+            },
             ..MemHierarchyConfig::table1()
         };
         let mut d = DataMemory::new(&cfg);
@@ -258,7 +269,10 @@ mod tests {
 
     #[test]
     fn mshr_limit_rejects_accesses() {
-        let cfg = MemHierarchyConfig { max_outstanding_misses: 2, ..MemHierarchyConfig::table1() };
+        let cfg = MemHierarchyConfig {
+            max_outstanding_misses: 2,
+            ..MemHierarchyConfig::table1()
+        };
         let mut d = DataMemory::new(&cfg);
         assert!(d.access(0x0000, false, 0).is_some());
         assert!(d.access(0x1000, false, 0).is_some());
@@ -272,7 +286,10 @@ mod tests {
 
     #[test]
     fn misses_to_same_line_merge() {
-        let cfg = MemHierarchyConfig { max_outstanding_misses: 1, ..MemHierarchyConfig::table1() };
+        let cfg = MemHierarchyConfig {
+            max_outstanding_misses: 1,
+            ..MemHierarchyConfig::table1()
+        };
         let mut d = DataMemory::new(&cfg);
         let done = d.access(0x1000, false, 0).unwrap();
         // Second access to the same line merges with the outstanding miss
@@ -298,7 +315,11 @@ mod tests {
         let mut i = InstMemory::new(&cfg);
         assert_eq!(i.fetch_latency(0x1000), cfg.memory_cycles);
         assert_eq!(i.fetch_latency(0x1000), cfg.l1_hit_cycles);
-        assert_eq!(i.fetch_latency(0x1004), cfg.l1_hit_cycles, "same 64-byte line");
+        assert_eq!(
+            i.fetch_latency(0x1004),
+            cfg.l1_hit_cycles,
+            "same 64-byte line"
+        );
         assert_eq!(i.line_bytes(), 64);
         assert_eq!(i.l1_stats().accesses, 3);
     }

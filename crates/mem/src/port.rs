@@ -87,7 +87,12 @@ impl PortSet {
     #[must_use]
     pub fn new(kind: PortKind, count: usize) -> Self {
         assert!(count > 0, "a processor needs at least one data-cache port");
-        PortSet { kind, count, used_this_cycle: 0, stats: PortStats::default() }
+        PortSet {
+            kind,
+            count,
+            used_this_cycle: 0,
+            stats: PortStats::default(),
+        }
     }
 
     /// The port kind.

@@ -35,7 +35,11 @@ impl WideBusStats {
     #[must_use]
     pub fn new(words_per_line: usize) -> Self {
         assert!(words_per_line > 0, "a line holds at least one word");
-        WideBusStats { words_per_line, used: vec![0; words_per_line + 1], unused: 0 }
+        WideBusStats {
+            words_per_line,
+            used: vec![0; words_per_line + 1],
+            unused: 0,
+        }
     }
 
     /// Number of words in a line.
@@ -51,7 +55,10 @@ impl WideBusStats {
     ///
     /// Panics if `useful_words` exceeds the line size.
     pub fn record(&mut self, useful_words: usize) {
-        assert!(useful_words <= self.words_per_line, "more useful words than the line holds");
+        assert!(
+            useful_words <= self.words_per_line,
+            "more useful words than the line holds"
+        );
         if useful_words == 0 {
             self.unused += 1;
         } else {
@@ -106,7 +113,12 @@ impl WideBusStats {
         if total == 0 {
             return 0.0;
         }
-        let sum: u64 = self.used.iter().enumerate().map(|(w, &n)| w as u64 * n).sum();
+        let sum: u64 = self
+            .used
+            .iter()
+            .enumerate()
+            .map(|(w, &n)| w as u64 * n)
+            .sum();
         sum as f64 / total as f64
     }
 
@@ -116,7 +128,10 @@ impl WideBusStats {
     ///
     /// Panics if the line sizes differ.
     pub fn merge(&mut self, other: &WideBusStats) {
-        assert_eq!(self.words_per_line, other.words_per_line, "line sizes must match");
+        assert_eq!(
+            self.words_per_line, other.words_per_line,
+            "line sizes must match"
+        );
         for (a, b) in self.used.iter_mut().zip(other.used.iter()) {
             *a += b;
         }
@@ -134,8 +149,7 @@ mod tests {
         for u in [1usize, 2, 2, 3, 4, 4, 0] {
             w.record(u);
         }
-        let sum: f64 =
-            (1..=4).map(|k| w.fraction_used(k)).sum::<f64>() + w.fraction_unused();
+        let sum: f64 = (1..=4).map(|k| w.fraction_used(k)).sum::<f64>() + w.fraction_unused();
         assert!((sum - 1.0).abs() < 1e-12);
         assert_eq!(w.total(), 7);
         assert_eq!(w.count_used(2), 2);

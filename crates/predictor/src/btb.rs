@@ -35,7 +35,11 @@ impl Btb {
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "BTB dimensions must be non-zero");
         let sets = sets.next_power_of_two();
-        Btb { sets: vec![Vec::new(); sets], ways, stamp: 0 }
+        Btb {
+            sets: vec![Vec::new(); sets],
+            ways,
+            stamp: 0,
+        }
     }
 
     fn set_index(&self, pc: u64) -> usize {
@@ -70,7 +74,11 @@ impl Btb {
             e.last_used = stamp;
             return;
         }
-        let entry = BtbEntry { pc, target, last_used: stamp };
+        let entry = BtbEntry {
+            pc,
+            target,
+            last_used: stamp,
+        };
         if set.len() < ways {
             set.push(entry);
         } else {

@@ -99,13 +99,19 @@ impl BranchPredictor {
 
     /// Predicts an unconditional direct or indirect jump at `pc`.
     pub fn predict_jump(&mut self, pc: u64) -> Prediction {
-        Prediction { taken: true, target: self.btb.lookup(pc) }
+        Prediction {
+            taken: true,
+            target: self.btb.lookup(pc),
+        }
     }
 
     /// Predicts the target of a return instruction.
     pub fn predict_return(&mut self, pc: u64) -> Prediction {
         let target = self.ras.pop().or_else(|| self.btb.lookup(pc));
-        Prediction { taken: true, target }
+        Prediction {
+            taken: true,
+            target,
+        }
     }
 
     /// Records a call so the matching return can be predicted.

@@ -30,7 +30,10 @@ impl ReturnAddressStack {
     #[must_use]
     pub fn new(depth: usize) -> Self {
         assert!(depth > 0, "RAS depth must be non-zero");
-        ReturnAddressStack { entries: std::collections::VecDeque::with_capacity(depth), depth }
+        ReturnAddressStack {
+            entries: std::collections::VecDeque::with_capacity(depth),
+            depth,
+        }
     }
 
     /// Pushes the return address of a call.

@@ -47,7 +47,10 @@ impl WorkloadSeries {
     /// The value for one workload.
     #[must_use]
     pub fn get(&self, workload: Workload) -> Option<f64> {
-        self.rows.iter().find(|(w, _)| *w == workload).map(|(_, v)| *v)
+        self.rows
+            .iter()
+            .find(|(w, _)| *w == workload)
+            .map(|(_, v)| *v)
     }
 
     fn mean<'a, I: Iterator<Item = &'a (Workload, f64)>>(iter: I) -> f64 {
@@ -117,7 +120,10 @@ pub fn fig1(rc: &RunConfig, workloads: &[Workload]) -> Fig1 {
 
 impl fmt::Display for Fig1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 1 — stride distribution (percentage of dynamic loads)")?;
+        writeln!(
+            f,
+            "Figure 1 — stride distribution (percentage of dynamic loads)"
+        )?;
         writeln!(f, "  stride      SpecInt   SpecFP")?;
         for s in 0..10 {
             writeln!(
@@ -189,7 +195,10 @@ pub fn fig7(rc: &RunConfig, workloads: &[Workload]) -> Fig7 {
 
 impl fmt::Display for Fig7 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 7 — IPC blocking (real) vs not blocking (ideal) on scalar operands")?;
+        writeln!(
+            f,
+            "Figure 7 — IPC blocking (real) vs not blocking (ideal) on scalar operands"
+        )?;
         writeln!(f, "  {:<10} {:>8} {:>8}", "workload", "real", "ideal")?;
         for (w, real, ideal) in &self.rows {
             writeln!(f, "  {:<10} {:>8.3} {:>8.3}", w.name(), real, ideal)?;
@@ -338,7 +347,13 @@ fn fmt_sweep<F: Fn(&sdv_uarch::RunStats) -> f64>(
 
 impl fmt::Display for Fig11<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt_sweep(f, self.0, "Figure 11 — IPC by number of ports and variant", |s| s.ipc(), false)
+        fmt_sweep(
+            f,
+            self.0,
+            "Figure 11 — IPC by number of ports and variant",
+            |s| s.ipc(),
+            false,
+        )
     }
 }
 
@@ -390,7 +405,11 @@ pub fn fig13(rc: &RunConfig, workloads: &[Workload]) -> Fig13 {
 impl fmt::Display for Fig13 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 13 — useful words per wide-bus line read")?;
-        writeln!(f, "  {:<10} {:>7} {:>7} {:>7} {:>7} {:>8}", "workload", "1pos", "2pos", "3pos", "4pos", "unused")?;
+        writeln!(
+            f,
+            "  {:<10} {:>7} {:>7} {:>7} {:>7} {:>8}",
+            "workload", "1pos", "2pos", "3pos", "4pos", "unused"
+        )?;
         for (w, used, unused) in &self.rows {
             writeln!(
                 f,
@@ -442,7 +461,12 @@ pub fn fig15(rc: &RunConfig, workloads: &[Workload]) -> Fig15 {
         .iter()
         .map(|(w, s)| {
             let u = s.element_usage.unwrap_or_default();
-            (*w, u.avg_computed_used(), u.avg_computed_not_used(), u.avg_not_computed())
+            (
+                *w,
+                u.avg_computed_used(),
+                u.avg_computed_not_used(),
+                u.avg_not_computed(),
+            )
         })
         .collect();
     Fig15 { rows }
@@ -450,10 +474,24 @@ pub fn fig15(rc: &RunConfig, workloads: &[Workload]) -> Fig15 {
 
 impl fmt::Display for Fig15 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 15 — average vector register elements per released register")?;
-        writeln!(f, "  {:<10} {:>10} {:>14} {:>10}", "workload", "comp.used", "comp.not-used", "not comp.")?;
+        writeln!(
+            f,
+            "Figure 15 — average vector register elements per released register"
+        )?;
+        writeln!(
+            f,
+            "  {:<10} {:>10} {:>14} {:>10}",
+            "workload", "comp.used", "comp.not-used", "not comp."
+        )?;
         for (w, used, not_used, not_comp) in &self.rows {
-            writeln!(f, "  {:<10} {:>10.2} {:>14.2} {:>10.2}", w.name(), used, not_used, not_comp)?;
+            writeln!(
+                f,
+                "  {:<10} {:>10.2} {:>14.2} {:>10.2}",
+                w.name(),
+                used,
+                not_used,
+                not_comp
+            )?;
         }
         Ok(())
     }
@@ -483,6 +521,9 @@ pub struct Headline {
     pub validation_int: f64,
     /// Fraction of committed instructions that became validations, SpecFP mean.
     pub validation_fp: f64,
+    /// Per-workload IPC on the 4-way 1-wide-port machine: `(workload,
+    /// scalar IPC, vectorized IPC)`, in suite order.
+    pub per_workload_ipc: Vec<(Workload, f64, f64)>,
 }
 
 impl Headline {
@@ -518,7 +559,10 @@ pub fn headline(rc: &RunConfig, workloads: &[Workload]) -> Headline {
     let wide = run_suite(workloads, &cfg_wide, rc);
     let scalar4 = run_suite(workloads, &cfg_scalar4, rc);
 
-    let reduction = |suite_base: &SuiteResult, suite_new: &SuiteResult, fp: bool, f: &dyn Fn(&sdv_uarch::RunStats) -> f64| {
+    let reduction = |suite_base: &SuiteResult,
+                     suite_new: &SuiteResult,
+                     fp: bool,
+                     f: &dyn Fn(&sdv_uarch::RunStats) -> f64| {
         let pick = |s: &SuiteResult| {
             if fp {
                 s.mean_fp(f)
@@ -535,7 +579,8 @@ pub fn headline(rc: &RunConfig, workloads: &[Workload]) -> Headline {
         }
     };
     let mem = |s: &sdv_uarch::RunStats| s.memory_accesses as f64 / s.committed.max(1) as f64;
-    let arith = |s: &sdv_uarch::RunStats| s.scalar_arith_executed as f64 / s.committed.max(1) as f64;
+    let arith =
+        |s: &sdv_uarch::RunStats| s.scalar_arith_executed as f64 / s.committed.max(1) as f64;
 
     Headline {
         ipc_1p_vect: vect.mean(|s| s.ipc()),
@@ -547,6 +592,12 @@ pub fn headline(rc: &RunConfig, workloads: &[Workload]) -> Headline {
         arith_reduction_fp: reduction(&wide, &vect, true, &arith),
         validation_int: vect.mean_int(|s| s.validation_fraction()),
         validation_fp: vect.mean_fp(|s| s.validation_fraction()),
+        per_workload_ipc: wide
+            .runs
+            .iter()
+            .zip(vect.runs.iter())
+            .map(|((w, base), (_, dv))| (*w, base.ipc(), dv.ipc()))
+            .collect(),
     }
 }
 
@@ -555,31 +606,51 @@ impl fmt::Display for Headline {
         writeln!(f, "Headline comparisons (§1/§6)")?;
         writeln!(f, "  IPC 4-way 1 wide port + DV : {:6.3}", self.ipc_1p_vect)?;
         writeln!(f, "  IPC 4-way 1 wide port      : {:6.3}", self.ipc_1p_wide)?;
-        writeln!(f, "  IPC 4-way 4 scalar ports   : {:6.3}", self.ipc_4p_scalar)?;
+        writeln!(
+            f,
+            "  IPC 4-way 4 scalar ports   : {:6.3}",
+            self.ipc_4p_scalar
+        )?;
         writeln!(
             f,
             "  speed-up of 1pV over 4pnoIM : {:5.1}%  (paper: ~19%)",
             (self.speedup_vs_four_scalar_ports() - 1.0) * 100.0
         )?;
-        writeln!(f, "  DV IPC gain over 1pIM       : {:5.1}%", self.dv_ipc_gain() * 100.0)?;
         writeln!(
             f,
-            "  memory requests (per inst)  : SpecInt -{:4.1}%, SpecFP -{:4.1}%  (paper: -15%, -20%)",
-            self.mem_reduction_int * 100.0,
-            self.mem_reduction_fp * 100.0
+            "  DV IPC gain over 1pIM       : {:5.1}%",
+            self.dv_ipc_gain() * 100.0
         )?;
         writeln!(
             f,
-            "  scalar arithmetic executed  : SpecInt -{:4.1}%, SpecFP -{:4.1}%  (paper: -28%, -23%)",
-            self.arith_reduction_int * 100.0,
-            self.arith_reduction_fp * 100.0
+            "  memory requests (per inst)  : SpecInt {:+5.1}%, SpecFP {:+5.1}%  (paper: -15%, -20%)",
+            -self.mem_reduction_int * 100.0,
+            -self.mem_reduction_fp * 100.0
+        )?;
+        writeln!(
+            f,
+            "  scalar arithmetic executed  : SpecInt {:+5.1}%, SpecFP {:+5.1}%  (paper: -28%, -23%)",
+            -self.arith_reduction_int * 100.0,
+            -self.arith_reduction_fp * 100.0
         )?;
         writeln!(
             f,
             "  validation instructions     : SpecInt {:4.1}%, SpecFP {:4.1}%  (paper: 28%, 23%)",
             self.validation_int * 100.0,
             self.validation_fp * 100.0
-        )
+        )?;
+        writeln!(f, "  per-workload IPC (4-way, 1 wide port):")?;
+        writeln!(f, "    workload     no-DV       DV    gain")?;
+        for (workload, base, dv) in &self.per_workload_ipc {
+            let gain = if *base > 0.0 { dv / base - 1.0 } else { 0.0 };
+            writeln!(
+                f,
+                "    {:<10} {base:7.3}  {dv:7.3}  {:+5.1}%",
+                workload.to_string(),
+                gain * 100.0
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -591,7 +662,10 @@ mod tests {
     const QUICK_MIX: [Workload; 3] = [Workload::Compress, Workload::Swim, Workload::Li];
 
     fn quick() -> RunConfig {
-        RunConfig { scale: 1, max_insts: 12_000 }
+        RunConfig {
+            scale: 1,
+            max_insts: 12_000,
+        }
     }
 
     #[test]
@@ -618,14 +692,21 @@ mod tests {
         let fig = fig7(&quick(), &QUICK_INT);
         for (w, real, ideal) in &fig.rows {
             assert!(real > &0.0 && ideal > &0.0, "{w}: zero IPC");
-            assert!(ideal >= &(real * 0.8), "{w}: ideal should not be far below real");
+            assert!(
+                ideal >= &(real * 0.8),
+                "{w}: ideal should not be far below real"
+            );
         }
         assert!(fig.to_string().contains("ideal"));
     }
 
     #[test]
     fn fig9_and_fig14_are_bounded_fractions() {
-        for series in [fig9(&quick(), &QUICK_MIX), fig14(&quick(), &QUICK_MIX), fig10(&quick(), &QUICK_MIX)] {
+        for series in [
+            fig9(&quick(), &QUICK_MIX),
+            fig14(&quick(), &QUICK_MIX),
+            fig10(&quick(), &QUICK_MIX),
+        ] {
             for (w, v) in &series.rows {
                 assert!((0.0..=1.0).contains(v), "{w}: {v} out of range");
             }
@@ -636,10 +717,14 @@ mod tests {
     fn sweep_supports_fig11_and_fig12() {
         let sweep = port_sweep(&quick(), &QUICK_INT, &[MachineWidth::FourWay], &[1, 2]);
         assert_eq!(sweep.cells.len(), 6);
-        let one_p_v = sweep.get(MachineWidth::FourWay, 1, Variant::Vectorized).unwrap();
+        let one_p_v = sweep
+            .get(MachineWidth::FourWay, 1, Variant::Vectorized)
+            .unwrap();
         assert_eq!(one_p_v.label(), "1pV");
         assert!(one_p_v.suite.mean(|s| s.ipc()) > 0.0);
-        assert!(sweep.get(MachineWidth::EightWay, 1, Variant::WideBus).is_none());
+        assert!(sweep
+            .get(MachineWidth::EightWay, 1, Variant::WideBus)
+            .is_none());
         let f11 = Fig11(&sweep).to_string();
         let f12 = Fig12(&sweep).to_string();
         assert!(f11.contains("1pnoIM") && f11.contains("2pV"));
@@ -662,7 +747,10 @@ mod tests {
         for (w, used, not_used, not_comp) in &fig.rows {
             let total = used + not_used + not_comp;
             if total > 0.0 {
-                assert!((total - 4.0).abs() < 1e-6, "{w}: {total} elements per register");
+                assert!(
+                    (total - 4.0).abs() < 1e-6,
+                    "{w}: {total} elements per register"
+                );
             }
         }
     }

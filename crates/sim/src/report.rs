@@ -18,7 +18,11 @@ fn row<I: IntoIterator<Item = String>>(cells: I) -> String {
 pub fn fig1_csv(fig: &Fig1) -> String {
     let mut out = String::from("stride,specint,specfp\n");
     for s in 0..10 {
-        out.push_str(&row([s.to_string(), fig.int.fraction(s).to_string(), fig.fp.fraction(s).to_string()]));
+        out.push_str(&row([
+            s.to_string(),
+            fig.int.fraction(s).to_string(),
+            fig.fp.fraction(s).to_string(),
+        ]));
         out.push('\n');
     }
     out
@@ -44,7 +48,11 @@ pub fn series_csv(series: &WorkloadSeries) -> String {
 pub fn fig7_csv(fig: &Fig7) -> String {
     let mut out = String::from("workload,real_ipc,ideal_ipc\n");
     for (w, real, ideal) in &fig.rows {
-        out.push_str(&row([w.name().to_string(), real.to_string(), ideal.to_string()]));
+        out.push_str(&row([
+            w.name().to_string(),
+            real.to_string(),
+            ideal.to_string(),
+        ]));
         out.push('\n');
     }
     out
@@ -116,7 +124,10 @@ mod tests {
     use crate::{MachineWidth, Workload};
 
     fn rc() -> RunConfig {
-        RunConfig { scale: 1, max_insts: 6_000 }
+        RunConfig {
+            scale: 1,
+            max_insts: 6_000,
+        }
     }
 
     const WS: [Workload; 2] = [Workload::Compress, Workload::Swim];

@@ -24,19 +24,28 @@ impl RunConfig {
     /// A tiny budget for unit/integration tests (tens of thousands of instructions).
     #[must_use]
     pub fn quick() -> Self {
-        RunConfig { scale: 1, max_insts: 20_000 }
+        RunConfig {
+            scale: 1,
+            max_insts: 20_000,
+        }
     }
 
     /// The default budget used by the bench harness.
     #[must_use]
     pub fn standard() -> Self {
-        RunConfig { scale: 8, max_insts: 300_000 }
+        RunConfig {
+            scale: 8,
+            max_insts: 300_000,
+        }
     }
 
     /// A larger budget for reproducing the figures with lower noise.
     #[must_use]
     pub fn thorough() -> Self {
-        RunConfig { scale: 64, max_insts: 2_000_000 }
+        RunConfig {
+            scale: 64,
+            max_insts: 2_000_000,
+        }
     }
 }
 
@@ -72,7 +81,10 @@ impl SuiteResult {
     /// Statistics for one workload, if it was part of the suite.
     #[must_use]
     pub fn get(&self, workload: Workload) -> Option<&RunStats> {
-        self.runs.iter().find(|(w, _)| *w == workload).map(|(_, s)| s)
+        self.runs
+            .iter()
+            .find(|(w, _)| *w == workload)
+            .map(|(_, s)| s)
     }
 
     /// Arithmetic mean of a per-run metric over the whole suite.
@@ -97,8 +109,12 @@ impl SuiteResult {
     }
 
     fn mean_filtered<P: Fn(&Workload) -> bool, F: Fn(&RunStats) -> f64>(&self, p: P, f: F) -> f64 {
-        let selected: Vec<f64> =
-            self.runs.iter().filter(|(w, _)| p(w)).map(|(_, s)| f(s)).collect();
+        let selected: Vec<f64> = self
+            .runs
+            .iter()
+            .filter(|(w, _)| p(w))
+            .map(|(_, s)| f(s))
+            .collect();
         if selected.is_empty() {
             0.0
         } else {
@@ -117,7 +133,10 @@ impl SuiteResult {
 #[must_use]
 pub fn run_suite(workloads: &[Workload], cfg: &ProcessorConfig, rc: &RunConfig) -> SuiteResult {
     SuiteResult {
-        runs: workloads.iter().map(|&w| (w, run_workload(w, cfg, rc))).collect(),
+        runs: workloads
+            .iter()
+            .map(|&w| (w, run_workload(w, cfg, rc)))
+            .collect(),
     }
 }
 

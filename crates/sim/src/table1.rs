@@ -16,13 +16,19 @@ impl Table1 {
     /// The 4-way column of Table 1 (with `ports` data-cache ports).
     #[must_use]
     pub fn four_way(ports: usize, kind: PortKind) -> Self {
-        Table1 { name: "4-way", config: ProcessorConfig::four_way(ports, kind) }
+        Table1 {
+            name: "4-way",
+            config: ProcessorConfig::four_way(ports, kind),
+        }
     }
 
     /// The 8-way column of Table 1.
     #[must_use]
     pub fn eight_way(ports: usize, kind: PortKind) -> Self {
-        Table1 { name: "8-way", config: ProcessorConfig::eight_way(ports, kind) }
+        Table1 {
+            name: "8-way",
+            config: ProcessorConfig::eight_way(ports, kind),
+        }
     }
 
     /// The parameter rows as `(parameter, value)` pairs, in the paper's order.

@@ -36,11 +36,23 @@ impl FuConfig {
     #[must_use]
     pub fn four_way() -> Self {
         FuConfig {
-            int_alu: FuClassConfig { count: 3, latency: 1 },
-            int_mul: FuClassConfig { count: 2, latency: 2 },
+            int_alu: FuClassConfig {
+                count: 3,
+                latency: 1,
+            },
+            int_mul: FuClassConfig {
+                count: 2,
+                latency: 2,
+            },
             int_div_latency: 12,
-            fp_add: FuClassConfig { count: 2, latency: 2 },
-            fp_mul: FuClassConfig { count: 1, latency: 4 },
+            fp_add: FuClassConfig {
+                count: 2,
+                latency: 2,
+            },
+            fp_mul: FuClassConfig {
+                count: 1,
+                latency: 4,
+            },
             fp_div_latency: 14,
         }
     }
@@ -49,11 +61,23 @@ impl FuConfig {
     #[must_use]
     pub fn eight_way() -> Self {
         FuConfig {
-            int_alu: FuClassConfig { count: 6, latency: 1 },
-            int_mul: FuClassConfig { count: 3, latency: 2 },
+            int_alu: FuClassConfig {
+                count: 6,
+                latency: 1,
+            },
+            int_mul: FuClassConfig {
+                count: 3,
+                latency: 2,
+            },
             int_div_latency: 12,
-            fp_add: FuClassConfig { count: 4, latency: 2 },
-            fp_mul: FuClassConfig { count: 2, latency: 4 },
+            fp_add: FuClassConfig {
+                count: 4,
+                latency: 2,
+            },
+            fp_mul: FuClassConfig {
+                count: 2,
+                latency: 4,
+            },
             fp_div_latency: 14,
         }
     }
@@ -243,7 +267,12 @@ mod tests {
     fn labels_follow_the_paper() {
         assert_eq!(UarchConfig::four_way(1, PortKind::Scalar).label(), "1pnoIM");
         assert_eq!(UarchConfig::four_way(2, PortKind::Wide).label(), "2pIM");
-        assert_eq!(UarchConfig::four_way(4, PortKind::Wide).with_vectorization(true).label(), "4pV");
+        assert_eq!(
+            UarchConfig::four_way(4, PortKind::Wide)
+                .with_vectorization(true)
+                .label(),
+            "4pV"
+        );
     }
 
     #[test]

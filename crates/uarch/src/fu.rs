@@ -21,7 +21,14 @@ impl FuPool {
     /// Creates a pool from a configuration.
     #[must_use]
     pub fn new(cfg: FuConfig) -> Self {
-        FuPool { cfg, used_int_alu: 0, used_int_mul: 0, used_fp_add: 0, used_fp_mul: 0, issued_ops: 0 }
+        FuPool {
+            cfg,
+            used_int_alu: 0,
+            used_int_mul: 0,
+            used_fp_add: 0,
+            used_fp_mul: 0,
+            issued_ops: 0,
+        }
     }
 
     /// Starts a new cycle: every unit can accept a new operation again.
@@ -74,10 +81,18 @@ mod tests {
         pool.begin_cycle();
         assert_eq!(pool.try_issue(OpClass::IntAlu), Some(1));
         assert_eq!(pool.try_issue(OpClass::IntAlu), Some(1));
-        assert_eq!(pool.try_issue(OpClass::Branch), Some(1), "branches share the ALUs");
+        assert_eq!(
+            pool.try_issue(OpClass::Branch),
+            Some(1),
+            "branches share the ALUs"
+        );
         assert_eq!(pool.try_issue(OpClass::IntAlu), None, "only three ALUs");
         assert_eq!(pool.try_issue(OpClass::FpMul), Some(4));
-        assert_eq!(pool.try_issue(OpClass::FpDiv), None, "single FP mul/div unit");
+        assert_eq!(
+            pool.try_issue(OpClass::FpDiv),
+            None,
+            "single FP mul/div unit"
+        );
         pool.begin_cycle();
         assert_eq!(pool.try_issue(OpClass::IntAlu), Some(1));
         assert_eq!(pool.try_issue(OpClass::FpDiv), Some(14));

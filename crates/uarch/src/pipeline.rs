@@ -39,7 +39,11 @@ enum ExecMode {
     /// Normal scalar execution.
     Scalar,
     /// The instruction only validates a vector element.
-    Validation { vreg: VregId, generation: u64, offset: usize },
+    Validation {
+        vreg: VregId,
+        generation: u64,
+        offset: usize,
+    },
 }
 
 /// Where a source operand's value comes from.
@@ -303,11 +307,15 @@ impl Processor {
                 self.predictor.record_outcome(correct);
                 match retired.inst.op.class() {
                     OpClass::Branch => {
-                        self.predictor.update_branch(retired.pc, retired.taken, retired.next_pc);
+                        self.predictor
+                            .update_branch(retired.pc, retired.taken, retired.next_pc);
                     }
                     _ => self.predictor.update_jump(retired.pc, retired.next_pc),
                 }
-                if matches!(retired.inst.op, sdv_isa::Opcode::Jal | sdv_isa::Opcode::Jalr) {
+                if matches!(
+                    retired.inst.op,
+                    sdv_isa::Opcode::Jal | sdv_isa::Opcode::Jalr
+                ) {
                     self.predictor.push_return_address(retired.pc + 4);
                 }
                 if !correct {
@@ -318,7 +326,10 @@ impl Processor {
                 }
             }
             let seq = retired.seq;
-            self.fetch_queue.push_back(FetchedInst { retired, mispredicted });
+            self.fetch_queue.push_back(FetchedInst {
+                retired,
+                mispredicted,
+            });
             fetched += 1;
             if mispredicted {
                 self.fetch_blocked_on = Some(seq);
@@ -335,7 +346,9 @@ impl Processor {
     fn dispatch(&mut self) {
         let mut dispatched = 0;
         while dispatched < self.cfg.issue_width {
-            let Some(front) = self.fetch_queue.front() else { break };
+            let Some(front) = self.fetch_queue.front() else {
+                break;
+            };
             if self.rob.len() >= self.cfg.rob_size {
                 break;
             }
@@ -355,7 +368,9 @@ impl Processor {
     }
 
     fn would_block_on_scalar(&self, r: &Retired) -> bool {
-        let Some(engine) = &self.engine else { return false };
+        let Some(engine) = &self.engine else {
+            return false;
+        };
         if !r.inst.op.class().is_vectorizable() || r.inst.is_load() {
             return false;
         }
@@ -408,7 +423,11 @@ impl Processor {
             (DecodeOutcome::Scalar, _) | (_, None) => ExecMode::Scalar,
             (outcome, Some(engine)) => {
                 let (vreg, offset) = outcome.validated_element().expect("vectorized outcome");
-                ExecMode::Validation { vreg, generation: engine.vreg_generation(vreg), offset }
+                ExecMode::Validation {
+                    vreg,
+                    generation: engine.vreg_generation(vreg),
+                    offset,
+                }
             }
         };
 
@@ -417,7 +436,10 @@ impl Processor {
         // load pattern after its last element was validated).
         if let Some(instance) = outcome.instance_to_launch() {
             let engine = self.engine.as_ref().expect("vector outcome implies engine");
-            self.vdp.as_mut().expect("engine implies datapath").dispatch(instance, engine);
+            self.vdp
+                .as_mut()
+                .expect("engine implies datapath")
+                .dispatch(instance, engine);
         }
 
         // Update the destination mapping.
@@ -425,9 +447,11 @@ impl Processor {
             if !dst.is_zero() {
                 self.map_table[dst.flat_index()] = match mode {
                     ExecMode::Scalar => SrcMapping::Rob(r.seq),
-                    ExecMode::Validation { vreg, generation, offset } => {
-                        SrcMapping::VecElem(vreg, generation, offset)
-                    }
+                    ExecMode::Validation {
+                        vreg,
+                        generation,
+                        offset,
+                    } => SrcMapping::VecElem(vreg, generation, offset),
                 };
             }
         }
@@ -436,7 +460,11 @@ impl Processor {
         if self.cfi_window_left > 0 {
             self.stats.post_mispredict_window += 1;
             if let ExecMode::Validation { vreg, offset, .. } = mode {
-                if self.engine.as_ref().is_some_and(|e| e.element_ready(vreg, offset)) {
+                if self
+                    .engine
+                    .as_ref()
+                    .is_some_and(|e| e.element_ready(vreg, offset))
+                {
                     self.stats.post_mispredict_reused += 1;
                 }
             }
@@ -471,7 +499,9 @@ impl Processor {
             c if c.is_vectorizable() => DecodeContext::arith(
                 r.pc,
                 class,
-                r.inst.dst.expect("vectorizable arithmetic has a destination"),
+                r.inst
+                    .dst
+                    .expect("vectorizable arithmetic has a destination"),
                 [
                     r.inst.src1.map(|reg| (reg, r.src1_value)),
                     r.inst.src2.map(|reg| (reg, r.src2_value)),
@@ -506,7 +536,10 @@ impl Processor {
     }
 
     fn validation_ready(&self, vreg: VregId, generation: u64, offset: usize) -> bool {
-        let engine = self.engine.as_ref().expect("validations exist only with the engine");
+        let engine = self
+            .engine
+            .as_ref()
+            .expect("validations exist only with the engine");
         engine.vreg_generation(vreg) != generation
             || engine.element_ready(vreg, offset)
             || engine.element_poisoned(vreg, offset)
@@ -522,7 +555,12 @@ impl Processor {
             }
             // Validations complete on their own once the element is ready; they
             // do not consume issue bandwidth, functional units or cache ports.
-            if let ExecMode::Validation { vreg, generation, offset } = self.rob[idx].mode {
+            if let ExecMode::Validation {
+                vreg,
+                generation,
+                offset,
+            } = self.rob[idx].mode
+            {
                 if self.validation_ready(vreg, generation, offset) {
                     self.rob[idx].issued = true;
                     self.rob[idx].complete_cycle = self.cycle + 1;
@@ -655,7 +693,8 @@ impl Processor {
                 self.stats.loads_served_by_peer += 1;
             }
             words_used += served.len();
-            self.wide_stats.record(words_used.min(self.cfg.line_words()));
+            self.wide_stats
+                .record(words_used.min(self.cfg.line_words()));
         }
         true
     }
@@ -725,7 +764,11 @@ impl Processor {
             self.stats.committed_control += 1;
         }
         match entry.mode {
-            ExecMode::Validation { vreg, generation, offset } => {
+            ExecMode::Validation {
+                vreg,
+                generation,
+                offset,
+            } => {
                 self.stats.committed_validations += 1;
                 self.stats.committed_vector_mode += 1;
                 if let Some(engine) = self.engine.as_mut() {
@@ -769,7 +812,9 @@ impl Processor {
                 entry.complete_cycle = 0;
             }
         }
-        self.fetch_ready_cycle = self.fetch_ready_cycle.max(self.cycle + self.cfg.redirect_penalty);
+        self.fetch_ready_cycle = self
+            .fetch_ready_cycle
+            .max(self.cycle + self.cfg.redirect_penalty);
     }
 
     // -------------------------------------------------------------- helpers
@@ -799,7 +844,8 @@ impl Processor {
         self.stats.ports = self.ports.stats();
         self.stats.l1d = self.dmem.l1_stats();
         self.stats.l1i = self.imem.l1_stats();
-        self.stats.wide_bus = (self.ports.kind() == PortKind::Wide).then(|| self.wide_stats.clone());
+        self.stats.wide_bus =
+            (self.ports.kind() == PortKind::Wide).then(|| self.wide_stats.clone());
     }
 }
 
@@ -890,8 +936,14 @@ mod tests {
         let dv_cfg = base_cfg.clone().with_vectorization(true);
         let base = simulate(&base_cfg, &program, 1_000_000);
         let dv = simulate(&dv_cfg, &program, 1_000_000);
-        assert_eq!(base.committed, dv.committed, "same dynamic instruction count");
-        assert!(dv.committed_validations > 0, "loads and adds were vectorized");
+        assert_eq!(
+            base.committed, dv.committed,
+            "same dynamic instruction count"
+        );
+        assert!(
+            dv.committed_validations > 0,
+            "loads and adds were vectorized"
+        );
         assert!(
             dv.memory_accesses < base.memory_accesses,
             "wide vector loads batch memory accesses: dv={} base={}",
@@ -940,7 +992,11 @@ mod tests {
         // A single dependent stream is not memory-bound, so DV should be
         // roughly neutral here (the clear wins appear under port pressure).
         let program = strided_sum(2_000);
-        let base = simulate(&UarchConfig::four_way(1, PortKind::Wide), &program, 1_000_000);
+        let base = simulate(
+            &UarchConfig::four_way(1, PortKind::Wide),
+            &program,
+            1_000_000,
+        );
         let dv = simulate(
             &UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true),
             &program,
@@ -957,7 +1013,11 @@ mod tests {
     #[test]
     fn dynamic_vectorization_improves_ipc_under_port_pressure() {
         let program = four_stream_sum(2_000);
-        let base = simulate(&UarchConfig::four_way(1, PortKind::Wide), &program, 1_000_000);
+        let base = simulate(
+            &UarchConfig::four_way(1, PortKind::Wide),
+            &program,
+            1_000_000,
+        );
         let dv = simulate(
             &UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true),
             &program,
@@ -992,10 +1052,21 @@ mod tests {
         a.bne(c, ArchReg::ZERO, "loop");
         a.halt();
         let program = a.finish();
-        let scalar = simulate(&UarchConfig::four_way(1, PortKind::Scalar), &program, 1_000_000);
-        let wide = simulate(&UarchConfig::four_way(1, PortKind::Wide), &program, 1_000_000);
+        let scalar = simulate(
+            &UarchConfig::four_way(1, PortKind::Scalar),
+            &program,
+            1_000_000,
+        );
+        let wide = simulate(
+            &UarchConfig::four_way(1, PortKind::Wide),
+            &program,
+            1_000_000,
+        );
         assert!(wide.ipc() >= scalar.ipc());
-        assert!(wide.loads_served_by_peer > 0, "the wide bus should batch loads");
+        assert!(
+            wide.loads_served_by_peer > 0,
+            "the wide bus should batch loads"
+        );
         assert!(wide.memory_accesses < scalar.memory_accesses);
     }
 
@@ -1022,8 +1093,16 @@ mod tests {
     #[test]
     fn eight_way_is_at_least_as_fast_as_four_way() {
         let program = strided_sum(1_000);
-        let four = simulate(&UarchConfig::four_way(4, PortKind::Wide), &program, 1_000_000);
-        let eight = simulate(&UarchConfig::eight_way(4, PortKind::Wide), &program, 1_000_000);
+        let four = simulate(
+            &UarchConfig::four_way(4, PortKind::Wide),
+            &program,
+            1_000_000,
+        );
+        let eight = simulate(
+            &UarchConfig::eight_way(4, PortKind::Wide),
+            &program,
+            1_000_000,
+        );
         assert!(eight.ipc() >= four.ipc() * 0.99);
     }
 

@@ -149,7 +149,9 @@ impl VectorDatapath {
     /// Marks the words corresponding to a committed validation as useful in
     /// the Figure 13 accounting.
     pub fn note_validation(&mut self, vreg: VregId, generation: u64, offset: usize) {
-        let Some(list) = self.records.get_mut(&vreg) else { return };
+        let Some(list) = self.records.get_mut(&vreg) else {
+            return;
+        };
         let vl = self.vl;
         let mut i = 0;
         while i < list.len() {
@@ -205,7 +207,10 @@ impl VectorDatapath {
                 } else {
                     match inst.kind {
                         VectorOpKind::Load { pattern } => {
-                            if !inst.pending_loads.is_empty() && ports.free_this_cycle() > 0 && ports.try_acquire() {
+                            if !inst.pending_loads.is_empty()
+                                && ports.free_this_cycle() > 0
+                                && ports.try_acquire()
+                            {
                                 // Group the pending elements that fall into the
                                 // same cache line as the next one.
                                 let first_addr = pattern.addr_of(inst.pending_loads[0]);
@@ -252,16 +257,19 @@ impl VectorDatapath {
                         VectorOpKind::Arith { class } => {
                             if inst.next < inst.vl {
                                 let offset = inst.next;
-                                let ready = [(&inst.src1, inst.src_generations[0]), (&inst.src2, inst.src_generations[1])]
-                                    .into_iter()
-                                    .all(|(op, gen)| match op {
-                                        Operand::Vector { vreg, .. } => {
-                                            engine.vreg_generation(*vreg) != gen
-                                                || engine.element_ready(*vreg, offset)
-                                                || engine.element_poisoned(*vreg, offset)
-                                        }
-                                        _ => true,
-                                    });
+                                let ready = [
+                                    (&inst.src1, inst.src_generations[0]),
+                                    (&inst.src2, inst.src_generations[1]),
+                                ]
+                                .into_iter()
+                                .all(|(op, gen)| match op {
+                                    Operand::Vector { vreg, .. } => {
+                                        engine.vreg_generation(*vreg) != gen
+                                            || engine.element_ready(*vreg, offset)
+                                            || engine.element_poisoned(*vreg, offset)
+                                    }
+                                    _ => true,
+                                });
                                 if ready {
                                     if let Some(latency) = self.fus.try_issue(class) {
                                         self.elements_started += 1;
@@ -321,7 +329,12 @@ mod tests {
         (engine, dmem, ports, vdp)
     }
 
-    fn vectorize_load(engine: &mut VectorizationEngine, pc: u64, base: u64, stride: u64) -> NewVectorInstance {
+    fn vectorize_load(
+        engine: &mut VectorizationEngine,
+        pc: u64,
+        base: u64,
+        stride: u64,
+    ) -> NewVectorInstance {
         let dst = ArchReg::int(1);
         for i in 0..3u64 {
             engine.decode(&DecodeContext::load(pc, dst, base + i * stride, 8));
@@ -349,7 +362,11 @@ mod tests {
             cycle += 1;
             assert!(cycle < 1000, "vector load should finish quickly");
         }
-        assert_eq!(vdp.line_accesses(), 1, "one wide access covers the whole register");
+        assert_eq!(
+            vdp.line_accesses(),
+            1,
+            "one wide access covers the whole register"
+        );
         for off in 0..4 {
             assert!(engine.element_ready(inst.vreg, off), "element {off} ready");
         }

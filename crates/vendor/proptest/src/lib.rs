@@ -1,0 +1,516 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment for this repository has no access to a crates.io
+//! registry, so the real proptest cannot be fetched.  This crate implements
+//! the subset of proptest's API that the `sdv` integration tests use — the
+//! [`proptest!`] macro with `arg in strategy` bindings and
+//! `#![proptest_config(..)]`, range/tuple/[`Just`]/[`prop_oneof!`]/
+//! [`collection::vec`] strategies, [`Strategy::prop_map`], `any::<T>()` and
+//! the `prop_assert*` macros — with compatible shapes, so the test sources
+//! compile unchanged and can later be pointed back at the real crate by
+//! editing one `[workspace.dependencies]` line.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! per-test seed (fully deterministic, no `PROPTEST_*` env handling) and
+//! failing cases are reported but not shrunk.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Mirror of `proptest::test_runner::Config` (re-exported by the prelude
+    /// as `ProptestConfig`).  Only `cases` is honoured; the remaining fields
+    /// exist so `..ProptestConfig::default()` functional update syntax works.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the property to pass.
+        pub cases: u32,
+        /// Accepted for compatibility; the shim never rejects inputs.
+        pub max_local_rejects: u32,
+        /// Accepted for compatibility; the shim never rejects inputs.
+        pub max_global_rejects: u32,
+        /// Accepted for compatibility; the shim never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_local_rejects: 65_536,
+                max_global_rejects: 1024,
+                max_shrink_iters: 4096,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases, like `ProptestConfig::with_cases`.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// A failed property observation produced by the `prop_assert*` macros.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic SplitMix64 stream, seeded per test from the test path.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A stream seeded from an arbitrary label (the test path).
+        #[must_use]
+        pub fn for_test(label: &str) -> Self {
+            // FNV-1a over the label, folded into a fixed golden seed.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in label.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self {
+                state: hash ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// The next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Modulo bias is irrelevant for test-case generation.
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Mirror of `proptest::strategy::Strategy`: something that can produce
+    /// values of an associated type.  The shim generates directly from an RNG
+    /// instead of building value trees, and does not shrink.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through a function.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// A union over the given non-empty list of alternatives.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Self(options)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),+) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (u128::from(rng.next_u64()) % span) as i128;
+                    (self.start as i128 + offset) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                    let offset = (u128::from(rng.next_u64()) % span) as i128;
+                    (*self.start() as i128 + offset) as $ty
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + frac * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+
+    /// Produces any value of `T` ([`any`]).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Mirror of `proptest::arbitrary::any::<T>()`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary {
+        /// Produces an arbitrary value of the type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),+) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )+};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Mirror of `proptest::collection::vec`: a vector whose length is drawn
+    /// from `size` and whose elements come from `element`.
+    #[must_use]
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Mirror of `proptest::proptest!`.  Each `fn name(arg in strategy, ..)` item
+/// becomes a `#[test]` function running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); ) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(error) = outcome {
+                    panic!(
+                        "proptest: case {}/{} of `{}` failed: {}\ninputs:{}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        error,
+                        concat!($(" ", stringify!($arg in $strategy), ";"),*),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+/// Mirror of `proptest::prop_oneof!` (unweighted form): uniform choice among
+/// the alternatives, which must share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alternative:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($alternative)),+
+        ])
+    };
+}
+
+/// Mirror of `proptest::prop_assert!`: on failure returns a
+/// [`test_runner::TestCaseError`] from the enclosing property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)*), left, right
+        );
+    }};
+}
+
+/// Mirror of `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let s = (-64i64..64).generate(&mut rng);
+            assert!((-64..64).contains(&s));
+            let inclusive = (1u8..=4).generate(&mut rng);
+            assert!((1..=4).contains(&inclusive));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen_all = || {
+            let mut rng = TestRng::for_test("determinism");
+            let strat = crate::collection::vec((0u64..100, any::<i8>()), 3..9);
+            (0..16)
+                .map(|_| strat.generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen_all(), gen_all());
+    }
+
+    #[test]
+    fn oneof_covers_all_alternatives() {
+        let strat = prop_oneof![Just(1u32), Just(2), Just(3)];
+        let mut rng = TestRng::for_test("oneof");
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The macro itself: bindings, config, and prop_assert all work.
+        #[test]
+        fn macro_smoke(
+            values in crate::collection::vec(0u64..50, 1..10),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(values.len() < 10);
+            prop_assert!(values.iter().all(|&v| v < 50));
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(values.len(), 0);
+        }
+    }
+}

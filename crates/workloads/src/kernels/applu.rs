@@ -98,7 +98,10 @@ mod tests {
         let expected: f64 = src.iter().step_by(2).sum();
         let out_base = sdv_isa::program::DATA_BASE + (ELEMS * 8) as u64;
         let got = emu.memory().read_f64(out_base);
-        assert!((got - expected).abs() < 1e-6, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 1e-6,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]
@@ -110,6 +113,9 @@ mod tests {
         let s = p.stats();
         assert!(s.counts[2] > 0, "stride 2 present");
         assert!(s.counts[4] > 0, "stride 4 present");
-        assert!(s.counts[5] > 0, "the blocked pass advances 5 elements per block");
+        assert!(
+            s.counts[5] > 0,
+            "the blocked pass advances 5 elements per block"
+        );
     }
 }

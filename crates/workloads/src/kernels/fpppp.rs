@@ -73,12 +73,18 @@ mod tests {
         let mut total = 0u64;
         emu.run_with(2_000_000, |r| {
             total += 1;
-            if matches!(r.inst.op.class(), OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv) {
+            if matches!(
+                r.inst.op.class(),
+                OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv
+            ) {
                 fp += 1;
             }
         });
         assert!(emu.halted());
-        assert!(fp * 2 > total, "more than half of the work is FP ({fp}/{total})");
+        assert!(
+            fp * 2 > total,
+            "more than half of the work is FP ({fp}/{total})"
+        );
     }
 
     #[test]
@@ -87,7 +93,11 @@ mod tests {
         let mut p = StrideProfiler::new();
         let mut emu = Emulator::new(&build(1));
         emu.run_with(500_000, |r| p.observe_retired(r));
-        assert!(p.stats().fraction(0) > 0.5, "stride-0 share {}", p.stats().fraction(0));
+        assert!(
+            p.stats().fraction(0) > 0.5,
+            "stride-0 share {}",
+            p.stats().fraction(0)
+        );
     }
 
     #[test]

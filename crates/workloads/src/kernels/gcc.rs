@@ -96,7 +96,11 @@ mod tests {
         let mut emu = Emulator::new(&build(1));
         emu.run(5_000_000);
         assert!(emu.halted());
-        assert_ne!(emu.int_reg(x(7)), 0, "the record walk accumulates something");
+        assert_ne!(
+            emu.int_reg(x(7)),
+            0,
+            "the record walk accumulates something"
+        );
     }
 
     #[test]

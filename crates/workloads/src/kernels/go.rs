@@ -95,6 +95,9 @@ mod tests {
                 }
             }
         });
-        assert!(taken > 1_000 && not_taken > 1_000, "both directions exercised");
+        assert!(
+            taken > 1_000 && not_taken > 1_000,
+            "both directions exercised"
+        );
     }
 }

@@ -18,8 +18,7 @@ pub fn build(scale: u64) -> Program {
     let image = a.data_u64(&super::util::random_u64s(0x1e, WIDTH * HEIGHT, 256));
     let out = a.alloc(WIDTH * HEIGHT * 8, 8);
 
-    let (outer, row, col, px, acc, addr, n, tmp) =
-        (x(1), x(2), x(3), x(4), x(5), x(6), x(7), x(8));
+    let (outer, row, col, px, acc, addr, n, tmp) = (x(1), x(2), x(3), x(4), x(5), x(6), x(7), x(8));
     let (img_base, out_base, out_ptr) = (x(20), x(21), x(22));
     a.li(img_base, image as i64);
     a.li(out_base, out as i64);

@@ -24,7 +24,11 @@ pub fn build(scale: u64) -> Program {
     for w in 0..CELLS {
         let cell = order[w];
         words[cell * 2] = values[cell];
-        words[cell * 2 + 1] = if w + 1 < CELLS { base + (order[w + 1] * 16) as u64 } else { 0 };
+        words[cell * 2 + 1] = if w + 1 < CELLS {
+            base + (order[w + 1] * 16) as u64
+        } else {
+            0
+        };
     }
     let placed = a.data_u64(&words);
     assert_eq!(placed, base, "cons cells start at the data base");
@@ -62,8 +66,15 @@ mod tests {
         let mut emu = Emulator::new(&build(1));
         emu.run(10_000_000);
         assert!(emu.halted());
-        let expected: u64 = super::super::util::random_u64s(0x12, CELLS, 1000).iter().sum::<u64>() * 4;
-        assert_eq!(emu.int_reg(x(4)), expected, "sum of car values over 4 traversals");
+        let expected: u64 = super::super::util::random_u64s(0x12, CELLS, 1000)
+            .iter()
+            .sum::<u64>()
+            * 4;
+        assert_eq!(
+            emu.int_reg(x(4)),
+            expected,
+            "sum of car values over 4 traversals"
+        );
     }
 
     #[test]

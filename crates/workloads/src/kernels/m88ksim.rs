@@ -27,7 +27,8 @@ pub fn build(scale: u64) -> Program {
     // Simulated machine state reloaded on every decoded instruction (stride 0).
     let psr_mem = a.data_u64(&[0x5]);
 
-    let (outer, ptr, n, word, op, addr, val, idx) = (x(1), x(2), x(3), x(4), x(5), x(6), x(7), x(8));
+    let (outer, ptr, n, word, op, addr, val, idx) =
+        (x(1), x(2), x(3), x(4), x(5), x(6), x(7), x(8));
     let (counters_base, regs_base, psr) = (x(20), x(21), x(10));
     a.li(counters_base, counters as i64);
     a.li(regs_base, regfile as i64);
@@ -83,7 +84,9 @@ mod tests {
         // Every word increments exactly one histogram bucket.
         let counters_base = 0x0010_0000u64 + (IMEM_WORDS as u64) * 4;
         let counters_base = (counters_base + 7) & !7;
-        let total: u64 = (0..8).map(|i| emu.memory().read_u64(counters_base + i * 8)).sum();
+        let total: u64 = (0..8)
+            .map(|i| emu.memory().read_u64(counters_base + i * 8))
+            .sum();
         assert_eq!(total, IMEM_WORDS as u64);
     }
 

@@ -19,8 +19,6 @@ pub mod turb3d;
 pub mod vortex;
 
 pub(crate) mod util {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
     use sdv_isa::ArchReg;
 
     /// Shorthand for integer register `x<n>`.
@@ -33,27 +31,55 @@ pub(crate) mod util {
         ArchReg::fp(n)
     }
 
+    /// A deterministic SplitMix64 stream seeded per kernel.
+    ///
+    /// Self-contained so data-image generation has no external dependency;
+    /// the only requirement is determinism across builds, not statistical
+    /// quality beyond "not obviously patterned".
+    pub struct Rng(u64);
+
+    impl Rng {
+        /// The next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
     /// A deterministic RNG seeded per kernel.
-    pub fn rng(seed: u64) -> SmallRng {
-        SmallRng::seed_from_u64(seed)
+    pub fn rng(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5851_f42d_4c95_7f2d)
     }
 
     /// `len` random integers in `0..bound`.
     pub fn random_u64s(seed: u64, len: usize, bound: u64) -> Vec<u64> {
         let mut r = rng(seed);
-        (0..len).map(|_| r.gen_range(0..bound)).collect()
+        (0..len).map(|_| r.below(bound)).collect()
     }
 
     /// `len` random bytes.
     pub fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
         let mut r = rng(seed);
-        (0..len).map(|_| r.gen()).collect()
+        (0..len).map(|_| r.next_u64() as u8).collect()
     }
 
     /// `len` random doubles in (0, 1).
     pub fn random_f64s(seed: u64, len: usize) -> Vec<f64> {
         let mut r = rng(seed);
-        (0..len).map(|_| r.gen_range(0.001..1.0)).collect()
+        (0..len)
+            .map(|_| {
+                let frac = (r.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                0.001 + frac * (1.0 - 0.002)
+            })
+            .collect()
     }
 
     /// A pseudo-random permutation of `0..len`.
@@ -61,7 +87,7 @@ pub(crate) mod util {
         let mut r = rng(seed);
         let mut order: Vec<usize> = (0..len).collect();
         for i in (1..len).rev() {
-            order.swap(i, r.gen_range(0..=i));
+            order.swap(i, r.below(i as u64 + 1) as usize);
         }
         order
     }
@@ -89,6 +115,8 @@ mod tests {
     #[test]
     fn random_values_respect_bounds() {
         assert!(util::random_u64s(1, 1000, 5).iter().all(|&v| v < 5));
-        assert!(util::random_f64s(1, 1000).iter().all(|&v| v > 0.0 && v < 1.0));
+        assert!(util::random_f64s(1, 1000)
+            .iter()
+            .all(|&v| v > 0.0 && v < 1.0));
     }
 }

@@ -16,8 +16,10 @@ const BUCKETS: usize = 1024;
 pub fn build(scale: u64) -> Program {
     let mut a = Asm::new();
     // Text drawn from a small alphabet so word boundaries (spaces) recur.
-    let text: Vec<u8> =
-        super::util::random_bytes(0x9e, TEXT_BYTES).iter().map(|b| b'a' + (b % 17)).collect();
+    let text: Vec<u8> = super::util::random_bytes(0x9e, TEXT_BYTES)
+        .iter()
+        .map(|b| b'a' + (b % 17))
+        .collect();
     let text_addr = a.data_bytes(&text, 8);
     let hash_table = a.alloc(BUCKETS * 8, 8);
 
@@ -78,7 +80,11 @@ mod tests {
         let mut emu = Emulator::new(&build(1));
         emu.run(5_000_000);
         assert!(emu.halted());
-        assert_eq!(emu.int_reg(x(8)), separator_count(), "one bucket update per separator");
+        assert_eq!(
+            emu.int_reg(x(8)),
+            separator_count(),
+            "one bucket update per separator"
+        );
     }
 
     #[test]

@@ -72,10 +72,16 @@ mod tests {
         let b_base = sdv_isa::program::DATA_BASE + (N * N * 8) as u64;
         // Check one interior point: row = N-2 is processed first.
         let (r, c) = (N - 2, 1);
-        let expected =
-            0.25 * (src[r * N + c - 1] + src[r * N + c + 1] + src[(r - 1) * N + c] + src[(r + 1) * N + c]);
+        let expected = 0.25
+            * (src[r * N + c - 1]
+                + src[r * N + c + 1]
+                + src[(r - 1) * N + c]
+                + src[(r + 1) * N + c]);
         let got = emu.memory().read_f64(b_base + ((r * N + c) * 8) as u64);
-        assert!((got - expected).abs() < 1e-12, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]
@@ -84,6 +90,10 @@ mod tests {
         let mut p = StrideProfiler::new();
         let mut emu = Emulator::new(&build(1));
         emu.run_with(200_000, |r| p.observe_retired(r));
-        assert!(p.stats().fraction(1) > 0.6, "stride-1 share {}", p.stats().fraction(1));
+        assert!(
+            p.stats().fraction(1) > 0.6,
+            "stride-1 share {}",
+            p.stats().fraction(1)
+        );
     }
 }

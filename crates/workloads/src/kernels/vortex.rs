@@ -90,7 +90,9 @@ mod tests {
         emu.run(20_000_000);
         assert!(emu.halted());
         let idx_base = sdv_isa::program::DATA_BASE + (2 * RECORDS * FIELDS * 8) as u64;
-        let total: u64 = (0..INDEX).map(|i| emu.memory().read_u64(idx_base + (i * 8) as u64)).sum();
+        let total: u64 = (0..INDEX)
+            .map(|i| emu.memory().read_u64(idx_base + (i * 8) as u64))
+            .sum();
         assert_eq!(total, 2 * RECORDS as u64);
     }
 }

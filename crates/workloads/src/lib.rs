@@ -97,7 +97,12 @@ impl Workload {
     /// The four SpecFP95 analogues used by the paper.
     #[must_use]
     pub fn spec_fp() -> [Workload; 4] {
-        [Workload::Swim, Workload::Applu, Workload::Turb3d, Workload::Fpppp]
+        [
+            Workload::Swim,
+            Workload::Applu,
+            Workload::Turb3d,
+            Workload::Fpppp,
+        ]
     }
 
     /// The benchmark's name as it appears on the paper's x-axes.
@@ -122,7 +127,10 @@ impl Workload {
     /// Whether this is one of the floating-point benchmarks.
     #[must_use]
     pub fn is_fp(&self) -> bool {
-        matches!(self, Workload::Swim | Workload::Applu | Workload::Turb3d | Workload::Fpppp)
+        matches!(
+            self,
+            Workload::Swim | Workload::Applu | Workload::Turb3d | Workload::Fpppp
+        )
     }
 
     /// Builds the kernel with `scale` outer iterations.
@@ -164,7 +172,10 @@ mod tests {
             let mut emu = Emulator::new(&program);
             emu.run(5_000_000);
             assert!(emu.halted(), "{w} did not halt at scale 1");
-            assert!(emu.retired_count() > 100, "{w} retired too few instructions");
+            assert!(
+                emu.retired_count() > 100,
+                "{w} retired too few instructions"
+            );
         }
     }
 
@@ -204,11 +215,17 @@ mod tests {
             let mut emu = Emulator::new(&program);
             let mut fp_ops = 0u64;
             emu.run_with(2_000_000, |r| {
-                if matches!(r.inst.op.class(), OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv) {
+                if matches!(
+                    r.inst.op.class(),
+                    OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv
+                ) {
                     fp_ops += 1;
                 }
             });
-            assert!(fp_ops > 50, "{w} should execute floating point work, got {fp_ops}");
+            assert!(
+                fp_ops > 50,
+                "{w} should execute floating point work, got {fp_ops}"
+            );
         }
     }
 
@@ -224,7 +241,10 @@ mod tests {
         }
         let stats = profiler.stats().clone();
         assert!(stats.total > 1_000);
-        assert!(stats.fraction_below(4) > 0.45, "most loads should have small strides");
+        assert!(
+            stats.fraction_below(4) > 0.45,
+            "most loads should have small strides"
+        );
         assert!(stats.fraction(0) > 0.15, "stride 0 should be prominent");
     }
 }

@@ -13,14 +13,22 @@ use sdv::sim::{run_workload, PortKind, ProcessorConfig, RunConfig, Workload};
 
 fn main() {
     let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
-    let rc = RunConfig { scale: 4, max_insts: 300_000 };
+    let rc = RunConfig {
+        scale: 4,
+        max_insts: 300_000,
+    };
 
     println!("4-way, 1 wide port, dynamic vectorization enabled\n");
     println!(
         "  {:<10} {:>8} {:>14} {:>16} {:>14}",
         "workload", "IPC", "validations", "vector mode %", "mispredict %"
     );
-    for workload in [Workload::Li, Workload::Gcc, Workload::Vortex, Workload::Compress] {
+    for workload in [
+        Workload::Li,
+        Workload::Gcc,
+        Workload::Vortex,
+        Workload::Compress,
+    ] {
         let stats = run_workload(workload, &cfg, &rc);
         println!(
             "  {:<10} {:>8.3} {:>14} {:>15.1}% {:>13.1}%",

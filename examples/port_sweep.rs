@@ -9,8 +9,16 @@
 use sdv::sim::{port_sweep, Fig11, Fig12, MachineWidth, RunConfig, Workload};
 
 fn main() {
-    let rc = RunConfig { scale: 2, max_insts: 60_000 };
-    let workloads = [Workload::Compress, Workload::Ijpeg, Workload::Swim, Workload::Applu];
+    let rc = RunConfig {
+        scale: 2,
+        max_insts: 60_000,
+    };
+    let workloads = [
+        Workload::Compress,
+        Workload::Ijpeg,
+        Workload::Swim,
+        Workload::Applu,
+    ];
     println!(
         "sweeping {{1, 2, 4}} ports × {{noIM, IM, V}} on the 4-way and 8-way machines\n\
          over {} workloads ({} committed instructions each)…\n",

@@ -26,7 +26,11 @@ fn main() {
         a.ld(ArchReg::int(9 + i), ArchReg::int(1 + i), 0);
     }
     for i in 0..4u8 {
-        a.add(ArchReg::int(5 + i), ArchReg::int(5 + i), ArchReg::int(9 + i));
+        a.add(
+            ArchReg::int(5 + i),
+            ArchReg::int(5 + i),
+            ArchReg::int(9 + i),
+        );
     }
     for i in 0..4u8 {
         a.addi(ArchReg::int(1 + i), ArchReg::int(1 + i), 8);
@@ -40,12 +44,19 @@ fn main() {
     let baseline_cfg = ProcessorConfig::four_way(1, PortKind::Wide);
     let dv_cfg = baseline_cfg.clone().with_vectorization(true);
 
-    println!("running {} static instructions on the 4-way, 1 wide-port processor…\n", program.len());
+    println!(
+        "running {} static instructions on the 4-way, 1 wide-port processor…\n",
+        program.len()
+    );
     let baseline = run_program(&baseline_cfg, &program, budget);
     let dv = run_program(&dv_cfg, &program, budget);
 
     println!("                       baseline (1pIM)   with DV (1pV)");
-    println!("  IPC                  {:>14.3}   {:>13.3}", baseline.ipc(), dv.ipc());
+    println!(
+        "  IPC                  {:>14.3}   {:>13.3}",
+        baseline.ipc(),
+        dv.ipc()
+    );
     println!(
         "  memory accesses      {:>14}   {:>13}",
         baseline.memory_accesses, dv.memory_accesses

@@ -8,7 +8,10 @@
 use sdv::sim::{run_workload, MachineWidth, RunConfig, Variant, Workload};
 
 fn main() {
-    let rc = RunConfig { scale: 8, max_insts: 300_000 };
+    let rc = RunConfig {
+        scale: 8,
+        max_insts: 300_000,
+    };
     println!("swim (stride-1 FP stencil), 4-way processor, 1 L1 data-cache port\n");
     println!(
         "  {:<8} {:>8} {:>16} {:>18} {:>12}",

@@ -2,10 +2,15 @@
 //! *shape* rather than absolute value: who wins, in which direction, and with
 //! plausible magnitudes.  The measured numbers are recorded in EXPERIMENTS.md.
 
-use sdv::sim::{headline, run_suite, PortKind, ProcessorConfig, RunConfig, Variant, MachineWidth, Workload};
+use sdv::sim::{
+    headline, run_suite, MachineWidth, PortKind, ProcessorConfig, RunConfig, Variant, Workload,
+};
 
 fn rc() -> RunConfig {
-    RunConfig { scale: 2, max_insts: 40_000 }
+    RunConfig {
+        scale: 2,
+        max_insts: 40_000,
+    }
 }
 
 /// A mixed subset (strided integer, irregular integer, FP) that keeps the test
@@ -23,9 +28,18 @@ fn workloads() -> Vec<Workload> {
 #[test]
 fn dynamic_vectorization_reduces_memory_traffic_and_scalar_work() {
     let h = headline(&rc(), &workloads());
-    assert!(h.mem_reduction_int > 0.0, "memory requests must drop for integer codes: {h:?}");
-    assert!(h.mem_reduction_fp > 0.0, "memory requests must drop for FP codes: {h:?}");
-    assert!(h.arith_reduction_int > 0.0, "scalar arithmetic must move to the vector units");
+    assert!(
+        h.mem_reduction_int > 0.0,
+        "memory requests must drop for integer codes: {h:?}"
+    );
+    assert!(
+        h.mem_reduction_fp > 0.0,
+        "memory requests must drop for FP codes: {h:?}"
+    );
+    assert!(
+        h.arith_reduction_int > 0.0,
+        "scalar arithmetic must move to the vector units"
+    );
     assert!(h.validation_int > 0.05 && h.validation_int < 0.70);
     assert!(h.validation_fp > 0.05 && h.validation_fp < 0.70);
 }
@@ -54,9 +68,21 @@ fn one_wide_port_with_dv_competes_with_four_scalar_ports() {
 fn wide_buses_help_most_when_ports_are_scarce() {
     let rc = rc();
     let ws = [Workload::Ijpeg, Workload::Swim];
-    let one_scalar = run_suite(&ws, &Variant::ScalarBus.config(MachineWidth::EightWay, 1), &rc);
-    let one_wide = run_suite(&ws, &Variant::WideBus.config(MachineWidth::EightWay, 1), &rc);
-    let four_scalar = run_suite(&ws, &Variant::ScalarBus.config(MachineWidth::EightWay, 4), &rc);
+    let one_scalar = run_suite(
+        &ws,
+        &Variant::ScalarBus.config(MachineWidth::EightWay, 1),
+        &rc,
+    );
+    let one_wide = run_suite(
+        &ws,
+        &Variant::WideBus.config(MachineWidth::EightWay, 1),
+        &rc,
+    );
+    let four_scalar = run_suite(
+        &ws,
+        &Variant::ScalarBus.config(MachineWidth::EightWay, 4),
+        &rc,
+    );
     let ipc = |s: &sdv::uarch::RunStats| s.ipc();
     assert!(
         one_wide.mean(ipc) > one_scalar.mean(ipc),

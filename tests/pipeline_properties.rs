@@ -37,8 +37,13 @@ fn build_program(steps: &[Step], iterations: u8) -> Program {
     let array = a.data_u64(&(0..512u64).map(|i| i * 3 + 1).collect::<Vec<_>>());
     let scratch = a.alloc(16 * 8, 8);
     let global = a.data_u64(&[42]);
-    let (counter, acc, ptr, tmp, val) =
-        (ArchReg::int(1), ArchReg::int(2), ArchReg::int(3), ArchReg::int(4), ArchReg::int(5));
+    let (counter, acc, ptr, tmp, val) = (
+        ArchReg::int(1),
+        ArchReg::int(2),
+        ArchReg::int(3),
+        ArchReg::int(4),
+        ArchReg::int(5),
+    );
     let scratch_base = ArchReg::int(20);
     let global_base = ArchReg::int(21);
     a.li(scratch_base, scratch as i64);

@@ -60,7 +60,17 @@ fn vectorization_hardware_matches_section_4_1() {
 #[test]
 fn rendered_table_mentions_every_structure() {
     let text = Table1::four_way(1, PortKind::Wide).to_string();
-    for needle in ["Gshare", "128 entries", "store-load forwarding", "Vector registers", "TL", "VRMT"] {
-        assert!(text.contains(needle), "Table 1 text should mention {needle}:\n{text}");
+    for needle in [
+        "Gshare",
+        "128 entries",
+        "store-load forwarding",
+        "Vector registers",
+        "TL",
+        "VRMT",
+    ] {
+        assert!(
+            text.contains(needle),
+            "Table 1 text should mention {needle}:\n{text}"
+        );
     }
 }

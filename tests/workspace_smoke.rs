@@ -1,0 +1,56 @@
+//! Workspace smoke test: every workload must assemble and make real forward
+//! progress through the full pipeline, with vectorization both off and on,
+//! and dynamic vectorization must not cost IPC on the paper's most
+//! vectorizable kernel (swim).
+
+use sdv::sim::{run_program, PortKind, ProcessorConfig};
+use sdv::workloads::Workload;
+
+const MAX_INSTS: u64 = 20_000;
+const MIN_COMMITTED: u64 = 1_000;
+
+#[test]
+fn every_workload_builds_and_runs_with_and_without_vectorization() {
+    for workload in Workload::all() {
+        let program = workload.build(1);
+        assert!(
+            !program.is_empty(),
+            "{workload}: kernel assembled to an empty text segment"
+        );
+        for vectorize in [false, true] {
+            let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(vectorize);
+            let stats = run_program(&cfg, &program, MAX_INSTS);
+            assert!(
+                stats.committed >= MIN_COMMITTED,
+                "{workload} (vectorize={vectorize}): committed only {} instructions",
+                stats.committed
+            );
+            assert!(
+                stats.ipc() > 0.0,
+                "{workload} (vectorize={vectorize}): zero IPC"
+            );
+            if vectorize {
+                let dv = stats.dv.expect("vectorized runs must report DV stats");
+                assert!(
+                    dv.loads_observed > 0,
+                    "{workload}: the Table of Loads never saw a load"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn vectorization_does_not_cost_ipc_on_swim() {
+    let program = Workload::Swim.build(1);
+    let scalar_cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+    let vector_cfg = scalar_cfg.clone().with_vectorization(true);
+    let scalar = run_program(&scalar_cfg, &program, MAX_INSTS);
+    let vector = run_program(&vector_cfg, &program, MAX_INSTS);
+    assert!(
+        vector.ipc() >= scalar.ipc(),
+        "swim: vectorized IPC {:.3} fell below scalar IPC {:.3}",
+        vector.ipc(),
+        scalar.ipc()
+    );
+}
