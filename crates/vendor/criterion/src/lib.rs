@@ -1,0 +1,350 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this repository has no access to a crates.io
+//! registry, so the real criterion cannot be fetched.  This crate implements
+//! the subset of criterion's API that the `sdv-bench` benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId::from_parameter`],
+//! [`Bencher::iter`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with the same shapes, so the bench sources
+//! compile unchanged and can later be pointed back at the real crate by
+//! editing one `[workspace.dependencies]` line.
+//!
+//! Measurement model: each benchmark target runs a short warm-up, then
+//! `sample_size` timed samples, and reports min/mean/max wall-clock time per
+//! iteration.  `--test` (criterion's smoke mode, what `cargo bench -- --test`
+//! passes) runs every target exactly once and reports pass/fail, which is the
+//! mode CI uses to keep the figure benches from bit-rotting.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-exported measurement marker so `Criterion<WallTime>`-style signatures
+/// could be written if ever needed.
+pub mod measurement {
+    /// Wall-clock time measurement (the only measurement this shim supports).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Prevents the optimiser from deleting a computation whose result is unused.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How a bench executable was asked to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (default for `cargo bench`).
+    Measure,
+    /// Smoke mode: run each target once, no statistics (`--test`).
+    Test,
+    /// Compile-only/list modes where targets must not run (`--list`).
+    List,
+}
+
+fn mode_from_args() -> Mode {
+    let mut mode = Mode::Measure;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            // `cargo bench` passes `--bench` to harness=false executables.
+            "--bench" => {}
+            "--test" => mode = Mode::Test,
+            "--list" => mode = Mode::List,
+            _ => {} // filters and unknown criterion flags are ignored
+        }
+    }
+    mode
+}
+
+/// The benchmark manager; the entry point mirror of `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_iters: u64,
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_iters: 1,
+            mode: mode_from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement time. Accepted for API compatibility; the shim
+    /// keys sample counts off [`Criterion::sample_size`] only.
+    #[must_use]
+    pub fn measurement_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility (the shim always reads `std::env::args`).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.mode = mode_from_args();
+        self
+    }
+
+    /// Runs a single named benchmark target.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_target(id, self.mode, self.sample_size, self.warm_up_iters, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            warm_up_iters: self.warm_up_iters,
+            mode: self.mode,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Called by [`criterion_main!`] after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_iters: u64,
+    mode: Mode,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_target(
+            &full,
+            self.mode,
+            self.sample_size,
+            self.warm_up_iters,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_target(
+            &full,
+            self.mode,
+            self.sample_size,
+            self.warm_up_iters,
+            &mut f,
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id built from a benchmark name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An id consisting of the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the actual timing.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    warm_up_iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times the routine; in `--test` mode runs it exactly once.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::List => {}
+            Mode::Test => {
+                black_box(routine());
+            }
+            Mode::Measure => {
+                for _ in 0..self.warm_up_iters {
+                    black_box(routine());
+                }
+                self.samples.reserve(self.sample_size);
+                for _ in 0..self.sample_size {
+                    let start = Instant::now();
+                    black_box(routine());
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+fn run_target<F>(id: &str, mode: Mode, sample_size: usize, warm_up_iters: u64, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    match mode {
+        Mode::List => {
+            println!("{id}: benchmark");
+            return;
+        }
+        Mode::Test => print!("Testing {id} ... "),
+        Mode::Measure => print!("Benchmarking {id} ... "),
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let mut bencher = Bencher {
+        mode,
+        sample_size,
+        warm_up_iters,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+
+    match mode {
+        Mode::List => {}
+        Mode::Test => println!("ok"),
+        Mode::Measure => {
+            if bencher.samples.is_empty() {
+                println!("no samples recorded");
+            } else {
+                let n = bencher.samples.len() as u32;
+                let total: Duration = bencher.samples.iter().sum();
+                let mean = total / n;
+                let min = bencher.samples.iter().min().copied().unwrap_or_default();
+                let max = bencher.samples.iter().max().copied().unwrap_or_default();
+                println!("time: [{min:?} {mean:?} {max:?}]  ({n} samples)");
+            }
+        }
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: both the positional and the
+/// `name = ...; config = ...; targets = ...` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up_iters: 1,
+            mode: Mode::Measure,
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 50,
+            warm_up_iters: 5,
+            mode: Mode::Test,
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        let mut c = Criterion {
+            sample_size: 1,
+            warm_up_iters: 0,
+            mode: Mode::Test,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut seen = Vec::new();
+        for v in [1u32, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
+                b.iter(|| seen.push(v));
+            });
+        }
+        group.finish();
+        assert_eq!(seen, vec![1, 2]);
+    }
+}
