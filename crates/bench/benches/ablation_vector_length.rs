@@ -1,12 +1,14 @@
 //! Ablation: vector length (elements per vector register).
 //!
 //! The paper chooses 4 elements because the average vectorizable run length is
-//! short (§4.1); the bench sweeps 2/4/8 elements.
+//! short (§4.1); the bench sweeps 2/4/8 elements.  Each iteration runs one
+//! cell through a fresh [`sdv_sim::RunEngine`] so the memo cache never hides
+//! the simulation cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sdv_bench::bench_run_config;
 use sdv_core::DvConfig;
-use sdv_sim::{run_workload, PortKind, ProcessorConfig, Workload};
+use sdv_sim::{ProcessorConfig, RunEngine, Workload};
 
 fn bench(c: &mut Criterion) {
     let rc = bench_run_config();
@@ -14,12 +16,13 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for vl in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(vl), &vl, |b, &vl| {
-            let dv = DvConfig {
-                vector_length: vl,
-                ..DvConfig::default()
-            };
-            let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_dv_config(dv);
-            b.iter(|| run_workload(Workload::Applu, &cfg, &rc))
+            let cfg = ProcessorConfig::builder()
+                .dv_config(DvConfig {
+                    vector_length: vl,
+                    ..DvConfig::default()
+                })
+                .build();
+            b.iter(|| RunEngine::new(rc).run_cell(&cfg, Workload::Applu))
         });
     }
     group.finish();

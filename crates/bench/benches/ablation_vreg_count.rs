@@ -1,12 +1,14 @@
 //! Ablation: how the number of vector registers affects the vectorized IPC.
 //!
 //! DESIGN.md calls this out as the mechanism's most critical resource (§3.3);
-//! the bench sweeps the register-file size on a fixed workload.
+//! the bench sweeps the register-file size on a fixed workload.  Each
+//! iteration runs one cell through a fresh [`sdv_sim::RunEngine`] so the memo
+//! cache never hides the simulation cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sdv_bench::bench_run_config;
 use sdv_core::DvConfig;
-use sdv_sim::{run_workload, PortKind, ProcessorConfig, Workload};
+use sdv_sim::{ProcessorConfig, RunEngine, Workload};
 
 fn bench(c: &mut Criterion) {
     let rc = bench_run_config();
@@ -14,12 +16,13 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for regs in [16usize, 64, 128] {
         group.bench_with_input(BenchmarkId::from_parameter(regs), &regs, |b, &regs| {
-            let dv = DvConfig {
-                vector_registers: regs,
-                ..DvConfig::default()
-            };
-            let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_dv_config(dv);
-            b.iter(|| run_workload(Workload::Swim, &cfg, &rc))
+            let cfg = ProcessorConfig::builder()
+                .dv_config(DvConfig {
+                    vector_registers: regs,
+                    ..DvConfig::default()
+                })
+                .build();
+            b.iter(|| RunEngine::new(rc).run_cell(&cfg, Workload::Swim))
         });
     }
     group.finish();

@@ -1,18 +1,19 @@
-//! Criterion bench: regenerates Figure 3 (percentage of vectorizable instructions) on a reduced workload subset.
+//! Criterion bench: regenerates Figure 3 on a reduced workload subset.
 //!
 //! The purpose of the bench is twofold: it tracks the simulator's own
 //! performance over time, and `cargo bench` doubles as a smoke test that the
-//! figure can be regenerated end to end.  The `repro` binary prints the full
-//! figure for comparison with the paper.
+//! figure can be regenerated end to end.  A fresh [`sdv_bench::bench_experiment`]
+//! is created per iteration so the session memo cache never turns later
+//! iterations into cache hits; the `repro` binary prints the full figure for
+//! comparison with the paper.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sdv_bench::{bench_run_config, bench_workloads};
-use sdv_sim::fig3;
+use sdv_bench::bench_experiment;
 
 fn bench(c: &mut Criterion) {
-    let rc = bench_run_config();
-    let workloads = bench_workloads();
-    c.bench_function("fig03_vectorizable", |b| b.iter(|| fig3(&rc, &workloads)));
+    c.bench_function("fig03_vectorizable", |b| {
+        b.iter(|| bench_experiment().fig3())
+    });
 }
 
 criterion_group!(

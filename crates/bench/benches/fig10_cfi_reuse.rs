@@ -1,18 +1,17 @@
-//! Criterion bench: regenerates Figure 10 (control-flow-independence reuse) on a reduced workload subset.
+//! Criterion bench: regenerates Figure 10 on a reduced workload subset.
 //!
 //! The purpose of the bench is twofold: it tracks the simulator's own
 //! performance over time, and `cargo bench` doubles as a smoke test that the
-//! figure can be regenerated end to end.  The `repro` binary prints the full
-//! figure for comparison with the paper.
+//! figure can be regenerated end to end.  A fresh [`sdv_bench::bench_experiment`]
+//! is created per iteration so the session memo cache never turns later
+//! iterations into cache hits; the `repro` binary prints the full figure for
+//! comparison with the paper.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sdv_bench::{bench_run_config, bench_workloads};
-use sdv_sim::fig10;
+use sdv_bench::bench_experiment;
 
 fn bench(c: &mut Criterion) {
-    let rc = bench_run_config();
-    let workloads = bench_workloads();
-    c.bench_function("fig10_cfi_reuse", |b| b.iter(|| fig10(&rc, &workloads)));
+    c.bench_function("fig10_cfi_reuse", |b| b.iter(|| bench_experiment().fig10()));
 }
 
 criterion_group!(

@@ -2,19 +2,22 @@
 //!
 //! The purpose of the bench is twofold: it tracks the simulator's own
 //! performance over time, and `cargo bench` doubles as a smoke test that the
-//! figure can be regenerated end to end.  The `repro` binary prints the full
-//! figure for comparison with the paper.
+//! figure can be regenerated end to end.  A fresh [`sdv_bench::bench_experiment`]
+//! is created per iteration so the session memo cache never turns later
+//! iterations into cache hits; the `repro` binary prints the full figure for
+//! comparison with the paper.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sdv_bench::{bench_run_config, bench_workloads};
-use sdv_sim::{port_sweep, Fig11, MachineWidth};
+use sdv_bench::bench_experiment;
+use sdv_sim::{Fig11, MachineWidth, SweepGrid};
 
 fn bench(c: &mut Criterion) {
-    let rc = bench_run_config();
-    let workloads = bench_workloads();
+    let grid = SweepGrid::new()
+        .widths(vec![MachineWidth::FourWay])
+        .ports(vec![1, 4]);
     c.bench_function("fig11_ipc_sweep", |b| {
         b.iter(|| {
-            let sweep = port_sweep(&rc, &workloads, &[MachineWidth::FourWay], &[1, 4]);
+            let sweep = bench_experiment().sweep(&grid);
             format!("{}", Fig11(&sweep))
         })
     });

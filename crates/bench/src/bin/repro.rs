@@ -1,21 +1,27 @@
 //! Regenerates the paper's tables and figures and prints them as text.
 //!
 //! ```text
-//! repro [--quick|--standard|--thorough] [--table1] [--fig N]... [--headline] [--all]
+//! repro [--quick|--standard|--thorough] [--threads N]
+//!       [--table1] [--fig N]... [--headline] [--all]
 //! ```
 //!
-//! With no selection arguments everything is regenerated.  The output rows
-//! mirror the series plotted in the paper; `EXPERIMENTS.md` records a
-//! paper-vs-measured comparison produced with `--standard`.
+//! With no selection arguments everything is regenerated.  All generators
+//! share one [`sdv_sim::Experiment`] session, so overlapping cells (the
+//! headline configurations reappear in Figures 11/12, Figure 13 reuses the
+//! Figure 10 suite, …) are simulated exactly once; the final line reports how
+//! many unique cells ran versus how many were served from the session cache.
+//! `--threads N` spreads the unique cells of each batch across N worker
+//! threads without changing any result.
+//!
+//! The output rows mirror the series plotted in the paper; `EXPERIMENTS.md`
+//! records a paper-vs-measured comparison produced with `--standard`.
 
-use sdv_sim::{
-    fig1, fig10, fig13, fig14, fig15, fig3, fig7, fig9, headline, port_sweep, Fig11, Fig12,
-    MachineWidth, PortKind, RunConfig, Table1, Workload,
-};
+use sdv_sim::{Experiment, Fig11, Fig12, PortKind, RunConfig, SweepGrid, Table1};
 
 #[derive(Debug)]
 struct Options {
     run: RunConfig,
+    threads: usize,
     table1: bool,
     figures: Vec<u32>,
     headline: bool,
@@ -24,6 +30,7 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         run: sdv_bench::repro_run_config(),
+        threads: 1,
         table1: false,
         figures: Vec::new(),
         headline: false,
@@ -35,6 +42,13 @@ fn parse_args() -> Options {
             "--quick" => opts.run = RunConfig::quick(),
             "--standard" => opts.run = RunConfig::standard(),
             "--thorough" => opts.run = RunConfig::thorough(),
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| panic!("--threads requires a positive integer"));
+            }
             "--table1" => {
                 opts.table1 = true;
                 any_selection = true;
@@ -53,7 +67,10 @@ fn parse_args() -> Options {
             }
             "--all" => any_selection = false,
             other => {
-                panic!("unknown argument `{other}` (try --all, --fig N, --table1, --headline)")
+                panic!(
+                    "unknown argument `{other}` \
+                     (try --all, --fig N, --table1, --headline, --threads N)"
+                )
             }
         }
     }
@@ -67,11 +84,12 @@ fn parse_args() -> Options {
 
 fn main() {
     let opts = parse_args();
-    let all: Vec<Workload> = Workload::all().to_vec();
     let rc = opts.run;
+    let exp = Experiment::new(rc).threads(opts.threads);
     println!(
-        "# Speculative Dynamic Vectorization — reproduction run (scale {}, {} insts/workload)\n",
-        rc.scale, rc.max_insts
+        "# Speculative Dynamic Vectorization — reproduction run \
+         (scale {}, {} insts/workload, {} threads)\n",
+        rc.scale, rc.max_insts, opts.threads
     );
 
     if opts.table1 {
@@ -82,25 +100,22 @@ fn main() {
     let mut sweep = None;
     for fig in &opts.figures {
         match fig {
-            1 => println!("{}", fig1(&rc, &all)),
-            3 => println!("{}", fig3(&rc, &all)),
-            7 => println!("{}", fig7(&rc, &all)),
-            9 => println!("{}", fig9(&rc, &all)),
-            10 => println!("{}", fig10(&rc, &all)),
+            1 => println!("{}", exp.fig1()),
+            3 => println!("{}", exp.fig3()),
+            7 => println!("{}", exp.fig7()),
+            9 => println!("{}", exp.fig9()),
+            10 => println!("{}", exp.fig10()),
             11 | 12 => {
-                if sweep.is_none() {
-                    sweep = Some(port_sweep(&rc, &all, &MachineWidth::all(), &[1, 2, 4]));
-                }
-                let sweep = sweep.as_ref().expect("just created");
+                let sweep = sweep.get_or_insert_with(|| exp.sweep(&SweepGrid::paper()));
                 if *fig == 11 {
                     println!("{}", Fig11(sweep));
                 } else {
                     println!("{}", Fig12(sweep));
                 }
             }
-            13 => println!("{}", fig13(&rc, &all)),
-            14 => println!("{}", fig14(&rc, &all)),
-            15 => println!("{}", fig15(&rc, &all)),
+            13 => println!("{}", exp.fig13()),
+            14 => println!("{}", exp.fig14()),
+            15 => println!("{}", exp.fig15()),
             other => eprintln!(
                 "figure {other} is not a measured figure (2, 4, 5, 6 and 8 are block diagrams)"
             ),
@@ -108,6 +123,8 @@ fn main() {
     }
 
     if opts.headline {
-        println!("{}", headline(&rc, &all));
+        println!("{}", exp.headline());
     }
+
+    println!("{}", exp.report());
 }

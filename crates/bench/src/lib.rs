@@ -6,7 +6,7 @@
 //! rows/series so they can be compared against the paper (see
 //! `EXPERIMENTS.md`).
 
-use sdv_sim::{RunConfig, Workload};
+use sdv_sim::{Experiment, RunConfig, Workload};
 
 /// The workload subset used by the Criterion benches.
 ///
@@ -27,6 +27,16 @@ pub fn bench_run_config() -> RunConfig {
     }
 }
 
+/// A fresh serial experiment over the bench workloads and budget.
+///
+/// Benches create one per measured iteration: the engine memoizes cells for
+/// its whole lifetime, so reusing an experiment across iterations would time
+/// cache hits instead of simulations.
+#[must_use]
+pub fn bench_experiment() -> Experiment {
+    Experiment::new(bench_run_config()).workloads(bench_workloads())
+}
+
 /// The run budget used by the `repro` binary (unless overridden on the
 /// command line).
 #[must_use]
@@ -45,5 +55,8 @@ mod tests {
         assert!(ws.iter().any(|w| w.is_fp()));
         assert!(ws.iter().any(|w| !w.is_fp()));
         assert!(bench_run_config().max_insts < repro_run_config().max_insts);
+        let exp = bench_experiment();
+        assert_eq!(exp.workload_list(), bench_workloads());
+        assert_eq!(exp.engine().run_config(), &bench_run_config());
     }
 }

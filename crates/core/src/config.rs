@@ -13,7 +13,7 @@
 /// let cfg = DvConfig::default();
 /// assert_eq!(cfg.extra_storage_bytes(), 57_856);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DvConfig {
     /// Number of vector registers (paper: 128).
     pub vector_registers: usize,

@@ -3,7 +3,7 @@
 use crate::cache::{Cache, CacheConfig, CacheStats};
 
 /// Latency and capacity parameters of the whole hierarchy (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemHierarchyConfig {
     /// Geometry of the L1 data cache.
     pub l1d: CacheConfig,

@@ -31,7 +31,7 @@ pub use gshare::Gshare;
 pub use ras::ReturnAddressStack;
 
 /// Configuration of the composite branch predictor.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PredictorConfig {
     /// Number of 2-bit counters in the gshare table (must be a power of two).
     pub gshare_entries: usize,

@@ -1,0 +1,339 @@
+//! The deduplicating, parallel experiment engine.
+//!
+//! Every measurement in this crate boils down to simulating a *cell*: one
+//! `(processor configuration, workload, run budget)` triple.  Different
+//! figures ask for heavily overlapping cell sets — the headline comparison,
+//! Figure 11 and Figure 12 all contain the `1pV` suite, for example — so the
+//! [`RunEngine`] content-hashes each cell, memoizes results for the whole
+//! session, and executes the unique cells of a batch across a configurable
+//! thread pool with deterministic (input-order) results.
+//!
+//! ```
+//! use sdv_sim::{ProcessorConfig, RunConfig, RunEngine, Workload};
+//!
+//! let engine = RunEngine::new(RunConfig::quick()).with_threads(2);
+//! let cfg = ProcessorConfig::builder().vectorization(true).build();
+//! let suite = engine.suite(&[Workload::Compress, Workload::Swim], &cfg);
+//! assert!(suite.mean(|s| s.ipc()) > 0.0);
+//! // Re-running the same cells is free:
+//! let again = engine.suite(&[Workload::Compress, Workload::Swim], &cfg);
+//! assert_eq!(engine.report().simulated, 2);
+//! assert_eq!(engine.report().requested, 4);
+//! assert_eq!(suite.runs, again.runs);
+//! ```
+
+use crate::runner::{RunConfig, SuiteResult};
+use crate::{ProcessorConfig, Workload};
+use sdv_uarch::RunStats;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The content identity of one simulation: configuration, workload and budget.
+///
+/// Two cells with equal keys produce bit-identical [`RunStats`] (the simulator
+/// is deterministic), which is what makes memoization sound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// The processor configuration.
+    pub config: ProcessorConfig,
+    /// The workload.
+    pub workload: Workload,
+    /// Outer-iteration scale passed to [`Workload::build`].
+    pub scale: u64,
+    /// Maximum simulated (committed) instructions.
+    pub max_insts: u64,
+}
+
+/// Session counters: how much work the engine was asked for vs. actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Cells requested by generators (including repeats).
+    pub requested: u64,
+    /// Unique cells actually simulated.
+    pub simulated: u64,
+}
+
+impl EngineReport {
+    /// Requests served from the memo cache instead of being re-simulated.
+    #[must_use]
+    pub fn deduplicated(&self) -> u64 {
+        self.requested.saturating_sub(self.simulated)
+    }
+}
+
+impl std::fmt::Display for EngineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "run engine: {} unique cells simulated, {} of {} requests served from cache",
+            self.simulated,
+            self.deduplicated(),
+            self.requested
+        )
+    }
+}
+
+/// Deduplicating, memoizing, parallel executor for simulation cells.
+///
+/// The engine owns the run budget ([`RunConfig`]) so that every generator
+/// built on top of it shares one memo space.  Results are deterministic and
+/// independent of the thread count: unique cells are simulated in first-seen
+/// order slots and each individual simulation is single-threaded.
+pub struct RunEngine {
+    rc: RunConfig,
+    threads: usize,
+    cache: Mutex<HashMap<CellKey, RunStats>>,
+    requested: AtomicU64,
+    simulated: AtomicU64,
+}
+
+impl RunEngine {
+    /// Creates a serial engine with the given run budget.
+    #[must_use]
+    pub fn new(rc: RunConfig) -> Self {
+        RunEngine {
+            rc,
+            threads: 1,
+            cache: Mutex::new(HashMap::new()),
+            requested: AtomicU64::new(0),
+            simulated: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the number of worker threads used for a batch of unique cells
+    /// (0 is treated as 1).  Results do not depend on this number.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// In-place version of [`Self::with_threads`]; the memo cache and session
+    /// counters are untouched.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The run budget every cell is simulated with.
+    #[must_use]
+    pub fn run_config(&self) -> &RunConfig {
+        &self.rc
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Session counters (cells requested vs. actually simulated).
+    #[must_use]
+    pub fn report(&self) -> EngineReport {
+        EngineReport {
+            requested: self.requested.load(Ordering::Relaxed),
+            simulated: self.simulated.load(Ordering::Relaxed),
+        }
+    }
+
+    fn key(&self, cfg: &ProcessorConfig, workload: Workload) -> CellKey {
+        CellKey {
+            config: cfg.clone(),
+            workload,
+            scale: self.rc.scale,
+            max_insts: self.rc.max_insts,
+        }
+    }
+
+    /// Simulates one cell (through the cache).
+    #[must_use]
+    pub fn run_cell(&self, cfg: &ProcessorConfig, workload: Workload) -> RunStats {
+        self.run_cells(&[(cfg.clone(), workload)])
+            .pop()
+            .expect("one cell in, one result out")
+    }
+
+    /// Runs every workload in `workloads` on `cfg`, as one parallel batch.
+    #[must_use]
+    pub fn suite(&self, workloads: &[Workload], cfg: &ProcessorConfig) -> SuiteResult {
+        self.suites(workloads, std::slice::from_ref(cfg))
+            .pop()
+            .expect("one config in, one suite out")
+    }
+
+    /// Runs every workload on every configuration as a *single* batch (so the
+    /// whole cross product shares one thread-pool dispatch), returning one
+    /// [`SuiteResult`] per configuration in input order.
+    #[must_use]
+    pub fn suites(&self, workloads: &[Workload], cfgs: &[ProcessorConfig]) -> Vec<SuiteResult> {
+        let cells: Vec<(ProcessorConfig, Workload)> = cfgs
+            .iter()
+            .flat_map(|cfg| workloads.iter().map(move |&w| (cfg.clone(), w)))
+            .collect();
+        let mut stats = self.run_cells(&cells).into_iter();
+        cfgs.iter()
+            .map(|_| SuiteResult {
+                runs: workloads
+                    .iter()
+                    .map(|&w| (w, stats.next().expect("one result per cell")))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Simulates a batch of cells, returning results in input order.
+    ///
+    /// Cells already in the session cache are not re-simulated; cells repeated
+    /// within the batch are simulated once.  The unique misses execute on up
+    /// to [`Self::threads`] worker threads.
+    ///
+    /// The engine may itself be shared across caller threads.  Two concurrent
+    /// batches that overlap can redundantly simulate an in-flight cell (the
+    /// cache is only consulted at batch start), but results stay correct and
+    /// [`Self::report`] still counts each unique cell once: `simulated`
+    /// tracks cells entering the cache, not simulations performed.
+    #[must_use]
+    pub fn run_cells(&self, cells: &[(ProcessorConfig, Workload)]) -> Vec<RunStats> {
+        self.requested
+            .fetch_add(cells.len() as u64, Ordering::Relaxed);
+        let keys: Vec<CellKey> = cells.iter().map(|(c, w)| self.key(c, *w)).collect();
+
+        // Collect the unique cells this batch actually needs to simulate.
+        let misses: Vec<CellKey> = {
+            let cache = self.cache.lock().expect("engine cache poisoned");
+            let mut seen = HashSet::new();
+            keys.iter()
+                .filter(|k| !cache.contains_key(*k) && seen.insert((*k).clone()))
+                .cloned()
+                .collect()
+        };
+
+        // Simulate the misses into index-addressed slots: result order (and
+        // content) is identical whatever the thread count.
+        let slots: Vec<OnceLock<RunStats>> = misses.iter().map(|_| OnceLock::new()).collect();
+        let workers = self.threads.min(misses.len());
+        if workers <= 1 {
+            for (key, slot) in misses.iter().zip(&slots) {
+                slot.set(simulate_cell(key)).expect("slot written once");
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(key) = misses.get(i) else { break };
+                        slots[i]
+                            .set(simulate_cell(key))
+                            .expect("each slot is claimed by exactly one worker");
+                    });
+                }
+            });
+        }
+
+        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        let mut newly_cached = 0u64;
+        for (key, slot) in misses.into_iter().zip(slots) {
+            let stats = slot.into_inner().expect("all slots filled");
+            if let std::collections::hash_map::Entry::Vacant(e) = cache.entry(key) {
+                e.insert(stats);
+                newly_cached += 1;
+            }
+        }
+        self.simulated.fetch_add(newly_cached, Ordering::Relaxed);
+        keys.iter()
+            .map(|k| cache.get(k).expect("requested cell present").clone())
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for RunEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunEngine")
+            .field("run_config", &self.rc)
+            .field("threads", &self.threads)
+            .field("report", &self.report())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The one place a cell becomes a simulation.
+fn simulate_cell(key: &CellKey) -> RunStats {
+    let program = key.workload.build(key.scale);
+    sdv_uarch::simulate(&key.config, &program, key.max_insts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortKind;
+
+    fn rc() -> RunConfig {
+        RunConfig {
+            scale: 1,
+            max_insts: 8_000,
+        }
+    }
+
+    #[test]
+    fn cache_hits_do_not_resimulate() {
+        let engine = RunEngine::new(rc());
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+        let first = engine.run_cell(&cfg, Workload::Compress);
+        let second = engine.run_cell(&cfg, Workload::Compress);
+        assert_eq!(first, second);
+        let report = engine.report();
+        assert_eq!(report.requested, 2);
+        assert_eq!(report.simulated, 1);
+        assert_eq!(report.deduplicated(), 1);
+        assert!(report.to_string().contains("1 unique cells"));
+    }
+
+    #[test]
+    fn in_batch_duplicates_simulate_once() {
+        let engine = RunEngine::new(rc());
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+        let cells = vec![
+            (cfg.clone(), Workload::Compress),
+            (cfg.clone(), Workload::Swim),
+            (cfg.clone(), Workload::Compress),
+        ];
+        let stats = engine.run_cells(&cells);
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0], stats[2]);
+        assert_eq!(engine.report().simulated, 2);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let cfgs = [
+            ProcessorConfig::four_way(1, PortKind::Wide),
+            ProcessorConfig::four_way(2, PortKind::Scalar).with_vectorization(true),
+        ];
+        let ws = [Workload::Compress, Workload::Swim, Workload::Li];
+        let serial = RunEngine::new(rc());
+        let parallel = RunEngine::new(rc()).with_threads(4);
+        assert_eq!(
+            serial.suites(&ws, &cfgs),
+            parallel.suites(&ws, &cfgs),
+            "parallel execution must be bit-identical to serial"
+        );
+        assert_eq!(serial.report(), parallel.report());
+    }
+
+    #[test]
+    fn suites_split_one_batch_per_config() {
+        let engine = RunEngine::new(rc()).with_threads(2);
+        let cfgs = [
+            ProcessorConfig::four_way(1, PortKind::Wide),
+            ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true),
+        ];
+        let suites = engine.suites(&[Workload::Compress, Workload::Swim], &cfgs);
+        assert_eq!(suites.len(), 2);
+        for suite in &suites {
+            assert_eq!(suite.runs.len(), 2);
+            assert!(suite.mean(|s| s.ipc()) > 0.0);
+        }
+        assert_eq!(engine.report().simulated, 4);
+    }
+}

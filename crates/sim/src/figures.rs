@@ -1,14 +1,21 @@
 //! Generators for every figure in the paper's evaluation (§2 and §4) plus the
 //! headline numbers of §1/§6.
 //!
-//! Each generator takes a [`RunConfig`] (how much to simulate) and the list of
-//! workloads to include, returns a structured result, and implements
-//! [`std::fmt::Display`] so the `repro` binary in `sdv-bench` can print the
-//! same rows/series the paper plots.  `EXPERIMENTS.md` records the measured
-//! values next to the paper's.
+//! Each generator is a thin projection over [`RunEngine`] output: it declares
+//! the cells it needs (configuration × workload), lets the engine deduplicate
+//! and execute them, and folds the resulting statistics into the rows/series
+//! the paper plots.  Because every generator shares one engine, overlapping
+//! cells across figures — the `1pV` suite appears in the headline, Figure 11
+//! and Figure 12, for example — are simulated exactly once per session.
+//!
+//! Each result implements [`std::fmt::Display`] so the `repro` binary in
+//! `sdv-bench` can print the same rows/series the paper reports;
+//! `EXPERIMENTS.md` records the measured values next to the paper's.
 
-use crate::runner::{run_suite, run_workload, RunConfig, SuiteResult};
-use crate::{MachineWidth, PortKind, ProcessorConfig, Variant, Workload};
+use crate::engine::RunEngine;
+use crate::grid::{CellSpec, SweepGrid};
+use crate::runner::SuiteResult;
+use crate::{MachineWidth, ProcessorConfig, Variant, Workload};
 use sdv_core::DvConfig;
 use sdv_emu::{Emulator, StrideProfiler, StrideStats};
 use std::fmt;
@@ -77,12 +84,12 @@ impl fmt::Display for WorkloadSeries {
 
 fn series<F: Fn(&sdv_uarch::RunStats) -> f64>(
     title: &str,
+    engine: &RunEngine,
     workloads: &[Workload],
     cfg: &ProcessorConfig,
-    rc: &RunConfig,
     metric: F,
 ) -> WorkloadSeries {
-    let suite = run_suite(workloads, cfg, rc);
+    let suite = engine.suite(workloads, cfg);
     WorkloadSeries {
         title: title.to_string(),
         rows: suite.runs.iter().map(|(w, s)| (*w, metric(s))).collect(),
@@ -101,8 +108,12 @@ pub struct Fig1 {
 }
 
 /// Generates Figure 1 by functionally profiling every load in `workloads`.
+///
+/// This is the one generator that does not go through timing cells: it drives
+/// the functional emulator with the engine's run budget.
 #[must_use]
-pub fn fig1(rc: &RunConfig, workloads: &[Workload]) -> Fig1 {
+pub fn fig1(engine: &RunEngine, workloads: &[Workload]) -> Fig1 {
+    let rc = engine.run_config();
     let mut int = StrideStats::default();
     let mut fp = StrideStats::default();
     for &w in workloads {
@@ -155,13 +166,16 @@ impl fmt::Display for Fig1 {
 /// Figure 3: percentage of vectorizable (vector-mode) instructions with
 /// unbounded vectorization resources.
 #[must_use]
-pub fn fig3(rc: &RunConfig, workloads: &[Workload]) -> WorkloadSeries {
-    let cfg = ProcessorConfig::eight_way(1, PortKind::Wide).with_dv_config(DvConfig::unbounded());
+pub fn fig3(engine: &RunEngine, workloads: &[Workload]) -> WorkloadSeries {
+    let cfg = ProcessorConfig::builder()
+        .issue_width(8)
+        .dv_config(DvConfig::unbounded())
+        .build();
     series(
         "Figure 3 — percentage of vectorizable instructions (unbounded resources)",
+        engine,
         workloads,
         &cfg,
-        rc,
         |s| s.vector_mode_fraction(),
     )
 }
@@ -178,17 +192,22 @@ pub struct Fig7 {
 
 /// Generates Figure 7 on the 4-way, 1 wide-port, vectorizing configuration.
 #[must_use]
-pub fn fig7(rc: &RunConfig, workloads: &[Workload]) -> Fig7 {
-    let real_cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
-    let mut ideal_cfg = real_cfg.clone();
-    ideal_cfg.block_on_scalar_operand = false;
-    let rows = workloads
+pub fn fig7(engine: &RunEngine, workloads: &[Workload]) -> Fig7 {
+    let real_cfg = ProcessorConfig::builder().vectorization(true).build();
+    let ideal_cfg = ProcessorConfig::builder()
+        .vectorization(true)
+        .block_on_scalar_operand(false)
+        .build();
+    let mut suites = engine.suites(workloads, &[real_cfg, ideal_cfg]).into_iter();
+    let (real, ideal) = (
+        suites.next().expect("real suite"),
+        suites.next().expect("ideal suite"),
+    );
+    let rows = real
+        .runs
         .iter()
-        .map(|&w| {
-            let real = run_workload(w, &real_cfg, rc).ipc();
-            let ideal = run_workload(w, &ideal_cfg, rc).ipc();
-            (w, real, ideal)
-        })
+        .zip(ideal.runs.iter())
+        .map(|((w, r), (_, i))| (*w, r.ipc(), i.ipc()))
         .collect();
     Fig7 { rows }
 }
@@ -211,13 +230,16 @@ impl fmt::Display for Fig7 {
 
 /// Figure 9: percentage of vector instances whose source offsets are not zero.
 #[must_use]
-pub fn fig9(rc: &RunConfig, workloads: &[Workload]) -> WorkloadSeries {
-    let cfg = ProcessorConfig::eight_way(1, PortKind::Wide).with_vectorization(true);
+pub fn fig9(engine: &RunEngine, workloads: &[Workload]) -> WorkloadSeries {
+    let cfg = ProcessorConfig::builder()
+        .issue_width(8)
+        .vectorization(true)
+        .build();
     series(
         "Figure 9 — vector instructions with a non-zero source offset",
+        engine,
         workloads,
         &cfg,
-        rc,
         |s| s.dv.map_or(0.0, |dv| dv.nonzero_offset_rate()),
     )
 }
@@ -227,80 +249,110 @@ pub fn fig9(rc: &RunConfig, workloads: &[Workload]) -> WorkloadSeries {
 /// Figure 10: control-flow independence — the fraction of the 100 instructions
 /// following a mispredicted branch that reuse already-computed vector results.
 #[must_use]
-pub fn fig10(rc: &RunConfig, workloads: &[Workload]) -> WorkloadSeries {
-    let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+pub fn fig10(engine: &RunEngine, workloads: &[Workload]) -> WorkloadSeries {
+    let cfg = ProcessorConfig::builder().vectorization(true).build();
     series(
         "Figure 10 — instructions reused after a branch misprediction",
+        engine,
         workloads,
         &cfg,
-        rc,
         |s| s.cfi_reuse_fraction(),
     )
 }
 
 // --------------------------------------------------- figures 11 and 12
 
-/// One cell of the port sweep: a machine width, a port count and a variant.
+/// One cell of a sweep: the grid point plus its per-workload results.
 #[derive(Debug, Clone)]
 pub struct SweepCell {
-    /// Machine width (4-way / 8-way).
-    pub width: MachineWidth,
-    /// Number of L1 data-cache ports.
-    pub ports: usize,
-    /// Memory front-end variant.
-    pub variant: Variant,
+    /// The grid point (width, ports, bus width, variant, config).
+    pub spec: CellSpec,
     /// Per-workload results.
     pub suite: SuiteResult,
 }
 
 impl SweepCell {
-    /// The paper's label for this cell (`1pnoIM`, `2pV`, …).
+    /// The paper's label for this cell (`1pnoIM`, `2pV`, `1pVb8`, …),
+    /// derived from the configuration.
     #[must_use]
     pub fn label(&self) -> String {
-        self.variant.label(self.ports)
+        self.spec.label()
     }
 }
 
-/// The full sweep behind Figures 11 and 12.
+/// The full sweep behind Figures 11 and 12 (and the extended §4.3 surface).
 #[derive(Debug, Clone)]
 pub struct PortSweep {
-    /// Every (width, ports, variant) combination that was simulated.
+    /// Every grid point that was simulated, in grid order.
     pub cells: Vec<SweepCell>,
 }
 
 impl PortSweep {
-    /// Finds a cell.
+    /// Finds a cell by its paper coordinates (any bus width).
     #[must_use]
     pub fn get(&self, width: MachineWidth, ports: usize, variant: Variant) -> Option<&SweepCell> {
         self.cells
             .iter()
-            .find(|c| c.width == width && c.ports == ports && c.variant == variant)
+            .find(|c| c.spec.width == width && c.spec.ports == ports && c.spec.variant == variant)
+    }
+
+    /// Finds a cell by its full coordinates, including the bus width.
+    #[must_use]
+    pub fn get_with_bus(
+        &self,
+        width: MachineWidth,
+        ports: usize,
+        bus_words: usize,
+        variant: Variant,
+    ) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| {
+            c.spec.width == width
+                && c.spec.ports == ports
+                && c.spec.bus_words == bus_words
+                && c.spec.variant == variant
+        })
+    }
+
+    /// The distinct machine widths present, in cell order.
+    #[must_use]
+    pub fn widths(&self) -> Vec<MachineWidth> {
+        let mut widths = Vec::new();
+        for cell in &self.cells {
+            if !widths.contains(&cell.spec.width) {
+                widths.push(cell.spec.width);
+            }
+        }
+        widths
+    }
+
+    /// Cells with configuration-identical duplicates removed, in cell order
+    /// (first occurrence wins).  Labels are injective over the configuration
+    /// axes, so an equal `(width, label)` pair means an equal cell — e.g. the
+    /// scalar baseline repeated along the bus axis.  Both the `Fig11`/`Fig12`
+    /// text output and the CSV export print exactly these cells.
+    #[must_use]
+    pub fn unique_cells(&self) -> Vec<&SweepCell> {
+        let mut seen = std::collections::HashSet::new();
+        self.cells
+            .iter()
+            .filter(|c| seen.insert((c.spec.width, c.label())))
+            .collect()
     }
 }
 
-/// Runs the (width × ports × variant) sweep shared by Figures 11 and 12.
+/// Expands `grid` and simulates every cell as one deduplicated batch.
 #[must_use]
-pub fn port_sweep(
-    rc: &RunConfig,
-    workloads: &[Workload],
-    widths: &[MachineWidth],
-    port_counts: &[usize],
-) -> PortSweep {
-    let mut cells = Vec::new();
-    for &width in widths {
-        for &ports in port_counts {
-            for variant in Variant::all() {
-                let cfg = variant.config(width, ports);
-                cells.push(SweepCell {
-                    width,
-                    ports,
-                    variant,
-                    suite: run_suite(workloads, &cfg, rc),
-                });
-            }
-        }
+pub fn port_sweep(engine: &RunEngine, workloads: &[Workload], grid: &SweepGrid) -> PortSweep {
+    let specs = grid.cells();
+    let configs: Vec<ProcessorConfig> = specs.iter().map(|s| s.config.clone()).collect();
+    let suites = engine.suites(workloads, &configs);
+    PortSweep {
+        cells: specs
+            .into_iter()
+            .zip(suites)
+            .map(|(spec, suite)| SweepCell { spec, suite })
+            .collect(),
     }
-    PortSweep { cells }
 }
 
 /// Figure 11: IPC for every configuration of the sweep.
@@ -311,26 +363,41 @@ pub struct Fig11<'a>(pub &'a PortSweep);
 #[derive(Debug, Clone)]
 pub struct Fig12<'a>(pub &'a PortSweep);
 
+/// How one sweep metric is aggregated across a suite.
+enum SweepAggregate {
+    /// Harmonic mean — the suite-level aggregate for rates such as IPC.
+    Harmonic,
+    /// Arithmetic mean — for fractions such as port occupancy.
+    Arithmetic,
+}
+
 fn fmt_sweep<F: Fn(&sdv_uarch::RunStats) -> f64>(
     f: &mut fmt::Formatter<'_>,
     sweep: &PortSweep,
     title: &str,
     metric: F,
+    aggregate: &SweepAggregate,
     percent: bool,
 ) -> fmt::Result {
     writeln!(f, "{title}")?;
-    for width in MachineWidth::all() {
-        let cells: Vec<&SweepCell> = sweep.cells.iter().filter(|c| c.width == width).collect();
-        if cells.is_empty() {
-            continue;
-        }
+    let unique = sweep.unique_cells();
+    for width in sweep.widths() {
         writeln!(f, "  {}:", width.label())?;
         write!(f, "    {:<10}", "config")?;
         writeln!(f, " {:>8} {:>8} {:>8}", "INT", "FP", "ALL")?;
-        for cell in cells {
-            let int = cell.suite.mean_int(&metric);
-            let fp = cell.suite.mean_fp(&metric);
-            let all = cell.suite.mean(&metric);
+        for cell in unique.iter().filter(|c| c.spec.width == width) {
+            let (int, fp, all) = match aggregate {
+                SweepAggregate::Harmonic => (
+                    cell.suite.hmean_int(&metric),
+                    cell.suite.hmean_fp(&metric),
+                    cell.suite.hmean(&metric),
+                ),
+                SweepAggregate::Arithmetic => (
+                    cell.suite.mean_int(&metric),
+                    cell.suite.mean_fp(&metric),
+                    cell.suite.mean(&metric),
+                ),
+            };
             let scale = if percent { 100.0 } else { 1.0 };
             writeln!(
                 f,
@@ -350,8 +417,9 @@ impl fmt::Display for Fig11<'_> {
         fmt_sweep(
             f,
             self.0,
-            "Figure 11 — IPC by number of ports and variant",
+            "Figure 11 — IPC (harmonic mean) by number of ports and variant",
             |s| s.ipc(),
+            &SweepAggregate::Harmonic,
             false,
         )
     }
@@ -364,6 +432,7 @@ impl fmt::Display for Fig12<'_> {
             self.0,
             "Figure 12 — memory-port occupancy (%) by number of ports and variant",
             |s| s.port_occupancy(),
+            &SweepAggregate::Arithmetic,
             true,
         )
     }
@@ -381,9 +450,9 @@ pub struct Fig13 {
 
 /// Generates Figure 13 on the 4-way, 1 wide-port, vectorizing configuration.
 #[must_use]
-pub fn fig13(rc: &RunConfig, workloads: &[Workload]) -> Fig13 {
-    let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
-    let suite = run_suite(workloads, &cfg, rc);
+pub fn fig13(engine: &RunEngine, workloads: &[Workload]) -> Fig13 {
+    let cfg = ProcessorConfig::builder().vectorization(true).build();
+    let suite = engine.suite(workloads, &cfg);
     let rows = suite
         .runs
         .iter()
@@ -430,13 +499,16 @@ impl fmt::Display for Fig13 {
 
 /// Figure 14: percentage of instructions that became validations.
 #[must_use]
-pub fn fig14(rc: &RunConfig, workloads: &[Workload]) -> WorkloadSeries {
-    let cfg = ProcessorConfig::eight_way(1, PortKind::Wide).with_vectorization(true);
+pub fn fig14(engine: &RunEngine, workloads: &[Workload]) -> WorkloadSeries {
+    let cfg = ProcessorConfig::builder()
+        .issue_width(8)
+        .vectorization(true)
+        .build();
     series(
         "Figure 14 — percentage of validation instructions",
+        engine,
         workloads,
         &cfg,
-        rc,
         |s| s.validation_fraction(),
     )
 }
@@ -453,9 +525,12 @@ pub struct Fig15 {
 
 /// Generates Figure 15 on the 8-way, 1 wide-port, vectorizing configuration.
 #[must_use]
-pub fn fig15(rc: &RunConfig, workloads: &[Workload]) -> Fig15 {
-    let cfg = ProcessorConfig::eight_way(1, PortKind::Wide).with_vectorization(true);
-    let suite = run_suite(workloads, &cfg, rc);
+pub fn fig15(engine: &RunEngine, workloads: &[Workload]) -> Fig15 {
+    let cfg = ProcessorConfig::builder()
+        .issue_width(8)
+        .vectorization(true)
+        .build();
+    let suite = engine.suite(workloads, &cfg);
     let rows = suite
         .runs
         .iter()
@@ -500,13 +575,20 @@ impl fmt::Display for Fig15 {
 // ---------------------------------------------------------------- headline
 
 /// The headline comparisons of §1 and §6.
+///
+/// Suite-level IPC aggregates are harmonic means (the correct aggregate for a
+/// rate); the reductions and per-workload speed-up ratios use arithmetic
+/// means, matching the paper's reporting.
 #[derive(Debug, Clone)]
 pub struct Headline {
-    /// IPC of the 4-way processor with one wide port and dynamic vectorization.
+    /// IPC (harmonic mean) of the 4-way processor with one wide port and
+    /// dynamic vectorization.
     pub ipc_1p_vect: f64,
-    /// IPC of the 4-way processor with one wide port (no vectorization).
+    /// IPC (harmonic mean) of the 4-way processor with one wide port (no
+    /// vectorization).
     pub ipc_1p_wide: f64,
-    /// IPC of the 4-way processor with four scalar ports (no vectorization).
+    /// IPC (harmonic mean) of the 4-way processor with four scalar ports (no
+    /// vectorization).
     pub ipc_4p_scalar: f64,
     /// Memory-request reduction of vectorization vs. the wide-bus baseline,
     /// SpecInt mean (positive = fewer requests).
@@ -551,13 +633,18 @@ impl Headline {
 
 /// Computes the headline numbers over `workloads`.
 #[must_use]
-pub fn headline(rc: &RunConfig, workloads: &[Workload]) -> Headline {
-    let cfg_vect = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
-    let cfg_wide = ProcessorConfig::four_way(1, PortKind::Wide);
-    let cfg_scalar4 = ProcessorConfig::four_way(4, PortKind::Scalar);
-    let vect = run_suite(workloads, &cfg_vect, rc);
-    let wide = run_suite(workloads, &cfg_wide, rc);
-    let scalar4 = run_suite(workloads, &cfg_scalar4, rc);
+pub fn headline(engine: &RunEngine, workloads: &[Workload]) -> Headline {
+    let cfg_vect = Variant::Vectorized.config(MachineWidth::FourWay, 1);
+    let cfg_wide = Variant::WideBus.config(MachineWidth::FourWay, 1);
+    let cfg_scalar4 = Variant::ScalarBus.config(MachineWidth::FourWay, 4);
+    let mut suites = engine
+        .suites(workloads, &[cfg_vect, cfg_wide, cfg_scalar4])
+        .into_iter();
+    let (vect, wide, scalar4) = (
+        suites.next().expect("vectorized suite"),
+        suites.next().expect("wide suite"),
+        suites.next().expect("scalar suite"),
+    );
 
     let reduction = |suite_base: &SuiteResult,
                      suite_new: &SuiteResult,
@@ -583,9 +670,9 @@ pub fn headline(rc: &RunConfig, workloads: &[Workload]) -> Headline {
         |s: &sdv_uarch::RunStats| s.scalar_arith_executed as f64 / s.committed.max(1) as f64;
 
     Headline {
-        ipc_1p_vect: vect.mean(|s| s.ipc()),
-        ipc_1p_wide: wide.mean(|s| s.ipc()),
-        ipc_4p_scalar: scalar4.mean(|s| s.ipc()),
+        ipc_1p_vect: vect.hmean(|s| s.ipc()),
+        ipc_1p_wide: wide.hmean(|s| s.ipc()),
+        ipc_4p_scalar: scalar4.hmean(|s| s.ipc()),
         mem_reduction_int: reduction(&wide, &vect, false, &mem),
         mem_reduction_fp: reduction(&wide, &vect, true, &mem),
         arith_reduction_int: reduction(&wide, &vect, false, &arith),
@@ -603,7 +690,7 @@ pub fn headline(rc: &RunConfig, workloads: &[Workload]) -> Headline {
 
 impl fmt::Display for Headline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Headline comparisons (§1/§6)")?;
+        writeln!(f, "Headline comparisons (§1/§6, harmonic-mean IPC)")?;
         writeln!(f, "  IPC 4-way 1 wide port + DV : {:6.3}", self.ipc_1p_vect)?;
         writeln!(f, "  IPC 4-way 1 wide port      : {:6.3}", self.ipc_1p_wide)?;
         writeln!(
@@ -657,20 +744,21 @@ impl fmt::Display for Headline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::RunConfig;
 
     const QUICK_INT: [Workload; 2] = [Workload::Compress, Workload::Vortex];
     const QUICK_MIX: [Workload; 3] = [Workload::Compress, Workload::Swim, Workload::Li];
 
-    fn quick() -> RunConfig {
-        RunConfig {
+    fn engine() -> RunEngine {
+        RunEngine::new(RunConfig {
             scale: 1,
             max_insts: 12_000,
-        }
+        })
     }
 
     #[test]
     fn fig1_fractions_are_normalised() {
-        let fig = fig1(&quick(), &QUICK_MIX);
+        let fig = fig1(&engine(), &QUICK_MIX);
         let int_sum: f64 = (0..10).map(|s| fig.int.fraction(s)).sum();
         assert!(int_sum <= 1.0 + 1e-9);
         assert!(fig.int.total > 0 && fig.fp.total > 0);
@@ -681,7 +769,7 @@ mod tests {
 
     #[test]
     fn fig3_reports_substantial_vectorization() {
-        let fig = fig3(&quick(), &QUICK_MIX);
+        let fig = fig3(&engine(), &QUICK_MIX);
         assert_eq!(fig.rows.len(), 3);
         assert!(fig.total_mean() > 0.10, "mean {}", fig.total_mean());
         assert!(fig.to_string().contains("Figure 3"));
@@ -689,7 +777,7 @@ mod tests {
 
     #[test]
     fn fig7_ideal_is_at_least_real() {
-        let fig = fig7(&quick(), &QUICK_INT);
+        let fig = fig7(&engine(), &QUICK_INT);
         for (w, real, ideal) in &fig.rows {
             assert!(real > &0.0 && ideal > &0.0, "{w}: zero IPC");
             assert!(
@@ -702,10 +790,11 @@ mod tests {
 
     #[test]
     fn fig9_and_fig14_are_bounded_fractions() {
+        let engine = engine();
         for series in [
-            fig9(&quick(), &QUICK_MIX),
-            fig14(&quick(), &QUICK_MIX),
-            fig10(&quick(), &QUICK_MIX),
+            fig9(&engine, &QUICK_MIX),
+            fig14(&engine, &QUICK_MIX),
+            fig10(&engine, &QUICK_MIX),
         ] {
             for (w, v) in &series.rows {
                 assert!((0.0..=1.0).contains(v), "{w}: {v} out of range");
@@ -715,7 +804,10 @@ mod tests {
 
     #[test]
     fn sweep_supports_fig11_and_fig12() {
-        let sweep = port_sweep(&quick(), &QUICK_INT, &[MachineWidth::FourWay], &[1, 2]);
+        let grid = SweepGrid::new()
+            .widths(vec![MachineWidth::FourWay])
+            .ports(vec![1, 2]);
+        let sweep = port_sweep(&engine(), &QUICK_INT, &grid);
         assert_eq!(sweep.cells.len(), 6);
         let one_p_v = sweep
             .get(MachineWidth::FourWay, 1, Variant::Vectorized)
@@ -732,8 +824,25 @@ mod tests {
     }
 
     #[test]
+    fn sweep_covers_the_bus_axis() {
+        let grid = SweepGrid::new()
+            .widths(vec![MachineWidth::FourWay])
+            .ports(vec![1])
+            .bus_words(vec![2, 8])
+            .variants(vec![Variant::Vectorized]);
+        let engine = engine();
+        let sweep = port_sweep(&engine, &[Workload::Compress], &grid);
+        assert_eq!(sweep.cells.len(), 2);
+        let narrow = sweep
+            .get_with_bus(MachineWidth::FourWay, 1, 2, Variant::Vectorized)
+            .unwrap();
+        assert_eq!(narrow.label(), "1pVb2");
+        assert!(Fig11(&sweep).to_string().contains("1pVb8"));
+    }
+
+    #[test]
     fn fig13_fractions_sum_to_at_most_one() {
-        let fig = fig13(&quick(), &QUICK_INT);
+        let fig = fig13(&engine(), &QUICK_INT);
         for (w, used, unused) in &fig.rows {
             let sum: f64 = used.iter().sum::<f64>() + unused;
             assert!(sum <= 1.0 + 1e-9, "{w}: {sum}");
@@ -743,7 +852,7 @@ mod tests {
 
     #[test]
     fn fig15_elements_sum_to_vector_length() {
-        let fig = fig15(&quick(), &QUICK_MIX);
+        let fig = fig15(&engine(), &QUICK_MIX);
         for (w, used, not_used, not_comp) in &fig.rows {
             let total = used + not_used + not_comp;
             if total > 0.0 {
@@ -757,12 +866,29 @@ mod tests {
 
     #[test]
     fn headline_produces_consistent_numbers() {
-        let h = headline(&quick(), &QUICK_MIX);
+        let h = headline(&engine(), &QUICK_MIX);
         assert!(h.ipc_1p_vect > 0.0 && h.ipc_1p_wide > 0.0 && h.ipc_4p_scalar > 0.0);
         assert!(h.validation_int > 0.0);
         assert!(h.speedup_vs_four_scalar_ports() > 0.5);
         let text = h.to_string();
         assert!(text.contains("speed-up"));
         assert!(text.contains("validation"));
+    }
+
+    #[test]
+    fn headline_and_sweep_share_cells() {
+        let engine = engine();
+        let _ = port_sweep(
+            &engine,
+            &QUICK_INT,
+            &SweepGrid::new().widths(vec![MachineWidth::FourWay]),
+        );
+        let simulated_after_sweep = engine.report().simulated;
+        let _ = headline(&engine, &QUICK_INT);
+        assert_eq!(
+            engine.report().simulated,
+            simulated_after_sweep,
+            "every headline cell already exists in the paper sweep"
+        );
     }
 }

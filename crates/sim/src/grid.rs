@@ -1,0 +1,224 @@
+//! Declarative sweep grids.
+//!
+//! A [`SweepGrid`] describes a cartesian product of machine widths, L1
+//! data-cache port counts, wide-bus widths and memory front-end variants; it
+//! expands into [`CellSpec`] descriptors (one per processor configuration)
+//! without running anything.  Execution and deduplication belong to the
+//! [`crate::RunEngine`]; Figures 11/12 and the `port_sweep` example are
+//! projections over the expanded grid.
+//!
+//! ```
+//! use sdv_sim::{MachineWidth, SweepGrid, Variant};
+//!
+//! // The paper's Figure 11/12 grid: 2 widths × 3 port counts × 3 variants.
+//! assert_eq!(SweepGrid::paper().cells().len(), 18);
+//!
+//! // The extended §4.3 surface: add the bus-width axis and more ports.
+//! let grid = SweepGrid::new()
+//!     .ports(vec![1, 2, 4, 8])
+//!     .bus_words(vec![2, 4, 8]);
+//! assert_eq!(grid.cells().len(), 2 * 4 * 3 * 3);
+//! let cell = &grid.cells()[0];
+//! assert_eq!(cell.label(), cell.config.label());
+//! ```
+
+use crate::{MachineWidth, ProcessorConfig, Variant};
+use sdv_uarch::DEFAULT_BUS_WORDS;
+
+/// One expanded grid point: the coordinates plus the configuration they
+/// produce.  The label always comes from the configuration itself.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Machine issue width.
+    pub width: MachineWidth,
+    /// Number of L1 data-cache ports.
+    pub ports: usize,
+    /// Wide-bus width in 64-bit elements (scalar variants ignore it).
+    pub bus_words: usize,
+    /// Memory front-end variant.
+    pub variant: Variant,
+    /// The processor configuration for this grid point.
+    pub config: ProcessorConfig,
+}
+
+impl CellSpec {
+    /// The paper-style label (`1pnoIM`, `2pV`, `4pVb8`, …), derived from the
+    /// configuration.
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.config.label()
+    }
+}
+
+/// A declarative cartesian sweep over
+/// `{width} × {ports} × {bus width} × {variant}`.
+///
+/// Defaults to the paper's grid: both Table 1 widths, `[1, 2, 4]` ports, the
+/// 4-element bus, all three variants.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    widths: Vec<MachineWidth>,
+    ports: Vec<usize>,
+    bus_words: Vec<usize>,
+    variants: Vec<Variant>,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        SweepGrid::new()
+    }
+}
+
+impl SweepGrid {
+    /// The paper's default grid (identical to [`SweepGrid::paper`]).
+    #[must_use]
+    pub fn new() -> Self {
+        SweepGrid {
+            widths: MachineWidth::all().to_vec(),
+            ports: vec![1, 2, 4],
+            bus_words: vec![DEFAULT_BUS_WORDS],
+            variants: Variant::all().to_vec(),
+        }
+    }
+
+    /// The `{4-way, 8-way} × {1, 2, 4} ports × {noIM, IM, V}` grid behind
+    /// Figures 11 and 12.
+    #[must_use]
+    pub fn paper() -> Self {
+        SweepGrid::new()
+    }
+
+    /// Replaces the machine-width axis.
+    #[must_use]
+    pub fn widths(mut self, widths: Vec<MachineWidth>) -> Self {
+        assert!(!widths.is_empty(), "a grid needs at least one width");
+        self.widths = widths;
+        self
+    }
+
+    /// Replaces the port-count axis.
+    #[must_use]
+    pub fn ports(mut self, ports: Vec<usize>) -> Self {
+        assert!(!ports.is_empty(), "a grid needs at least one port count");
+        self.ports = ports;
+        self
+    }
+
+    /// Replaces the wide-bus-width axis (in 64-bit elements per access).
+    #[must_use]
+    pub fn bus_words(mut self, bus_words: Vec<usize>) -> Self {
+        assert!(!bus_words.is_empty(), "a grid needs at least one bus width");
+        self.bus_words = bus_words;
+        self
+    }
+
+    /// Replaces the variant axis.
+    #[must_use]
+    pub fn variants(mut self, variants: Vec<Variant>) -> Self {
+        assert!(!variants.is_empty(), "a grid needs at least one variant");
+        self.variants = variants;
+        self
+    }
+
+    /// Expands the cartesian product into cell descriptors, in
+    /// width-major / ports / bus / variant-minor order.
+    ///
+    /// Note that scalar-bus cells are configuration-identical across the bus
+    /// axis; the [`crate::RunEngine`] deduplicates them, so requesting a wide
+    /// grid never simulates the scalar baseline more than once.
+    #[must_use]
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::with_capacity(
+            self.widths.len() * self.ports.len() * self.bus_words.len() * self.variants.len(),
+        );
+        for &width in &self.widths {
+            for &ports in &self.ports {
+                for &bus_words in &self.bus_words {
+                    for &variant in &self.variants {
+                        cells.push(CellSpec {
+                            width,
+                            ports,
+                            bus_words,
+                            variant,
+                            config: variant.config_with_bus(width, ports, bus_words),
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Number of cells the grid expands to.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.widths.len() * self.ports.len() * self.bus_words.len() * self.variants.len()
+    }
+
+    /// Whether the grid is empty (it never is: every axis asserts non-empty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn paper_grid_matches_figures_11_and_12() {
+        let cells = SweepGrid::paper().cells();
+        assert_eq!(cells.len(), 18);
+        let labels: Vec<String> = cells.iter().map(CellSpec::label).collect();
+        for expected in ["1pnoIM", "1pIM", "1pV", "2pV", "4pnoIM", "4pV"] {
+            assert!(labels.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn expansion_is_a_full_cartesian_product() {
+        let grid = SweepGrid::new()
+            .widths(vec![MachineWidth::FourWay, MachineWidth::Custom(2)])
+            .ports(vec![1, 8])
+            .bus_words(vec![2, 8])
+            .variants(vec![Variant::WideBus, Variant::Vectorized]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), grid.len());
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2);
+        assert!(!grid.is_empty());
+        // Every coordinate combination appears exactly once.
+        let coords: HashSet<(usize, usize, usize, bool)> = cells
+            .iter()
+            .map(|c| {
+                (
+                    c.width.issue_width(),
+                    c.ports,
+                    c.bus_words,
+                    c.variant.vectorized(),
+                )
+            })
+            .collect();
+        assert_eq!(coords.len(), cells.len());
+    }
+
+    #[test]
+    fn scalar_cells_collapse_across_the_bus_axis() {
+        let grid = SweepGrid::new()
+            .widths(vec![MachineWidth::FourWay])
+            .ports(vec![1])
+            .bus_words(vec![2, 4, 8])
+            .variants(vec![Variant::ScalarBus]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 3);
+        let unique: HashSet<&ProcessorConfig> = cells.iter().map(|c| &c.config).collect();
+        assert_eq!(unique.len(), 1, "one unique config to simulate");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port count")]
+    fn empty_axes_are_rejected() {
+        let _ = SweepGrid::new().ports(Vec::new());
+    }
+}

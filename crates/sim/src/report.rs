@@ -6,7 +6,6 @@
 //! where to write.
 
 use crate::figures::{Fig1, Fig13, Fig15, Fig7, PortSweep, WorkloadSeries};
-use crate::MachineWidth;
 
 /// Escapes nothing (all our fields are simple), just joins cells with commas.
 fn row<I: IntoIterator<Item = String>>(cells: I) -> String {
@@ -58,20 +57,21 @@ pub fn fig7_csv(fig: &Fig7) -> String {
     out
 }
 
-/// CSV for the Figure 11/12 sweep:
-/// `width,config,workload,ipc,port_occupancy`.
+/// CSV for the Figure 11/12 sweep (and extended §4.3 grids):
+/// `width,config,bus_words,workload,ipc,port_occupancy`.
+///
+/// Configuration-identical cells (the scalar baseline repeated along the bus
+/// axis) are emitted once — [`PortSweep::unique_cells`], the same filter the
+/// `Fig11`/`Fig12` text output uses.
 #[must_use]
 pub fn sweep_csv(sweep: &PortSweep) -> String {
-    let mut out = String::from("width,config,workload,ipc,port_occupancy\n");
-    for cell in &sweep.cells {
-        let width = match cell.width {
-            MachineWidth::FourWay => "4-way",
-            MachineWidth::EightWay => "8-way",
-        };
+    let mut out = String::from("width,config,bus_words,workload,ipc,port_occupancy\n");
+    for cell in sweep.unique_cells() {
         for (w, stats) in &cell.suite.runs {
             out.push_str(&row([
-                width.to_string(),
+                cell.spec.width.label(),
                 cell.label(),
+                cell.spec.config.bus_words().to_string(),
                 w.name().to_string(),
                 stats.ipc().to_string(),
                 stats.port_occupancy().to_string(),
@@ -121,27 +121,27 @@ mod tests {
     use super::*;
     use crate::figures::{fig1, fig13, fig15, fig3, fig7, port_sweep};
     use crate::runner::RunConfig;
-    use crate::{MachineWidth, Workload};
+    use crate::{MachineWidth, RunEngine, SweepGrid, Workload};
 
-    fn rc() -> RunConfig {
-        RunConfig {
+    fn engine() -> RunEngine {
+        RunEngine::new(RunConfig {
             scale: 1,
             max_insts: 6_000,
-        }
+        })
     }
 
     const WS: [Workload; 2] = [Workload::Compress, Workload::Swim];
 
     #[test]
     fn fig1_csv_has_ten_stride_rows() {
-        let csv = fig1_csv(&fig1(&rc(), &WS));
+        let csv = fig1_csv(&fig1(&engine(), &WS));
         assert_eq!(csv.lines().count(), 11);
         assert!(csv.starts_with("stride,specint,specfp"));
     }
 
     #[test]
     fn series_csv_includes_means() {
-        let csv = series_csv(&fig3(&rc(), &WS));
+        let csv = series_csv(&fig3(&engine(), &WS));
         assert!(csv.contains("compress,"));
         assert!(csv.contains("swim,"));
         assert!(csv.contains("INT,"));
@@ -150,17 +150,41 @@ mod tests {
 
     #[test]
     fn fig7_and_fig13_and_fig15_csvs_have_one_row_per_workload() {
-        assert_eq!(fig7_csv(&fig7(&rc(), &WS)).lines().count(), 1 + WS.len());
-        assert_eq!(fig13_csv(&fig13(&rc(), &WS)).lines().count(), 1 + WS.len());
-        assert_eq!(fig15_csv(&fig15(&rc(), &WS)).lines().count(), 1 + WS.len());
+        let engine = engine();
+        assert_eq!(fig7_csv(&fig7(&engine, &WS)).lines().count(), 1 + WS.len());
+        assert_eq!(
+            fig13_csv(&fig13(&engine, &WS)).lines().count(),
+            1 + WS.len()
+        );
+        assert_eq!(
+            fig15_csv(&fig15(&engine, &WS)).lines().count(),
+            1 + WS.len()
+        );
     }
 
     #[test]
     fn sweep_csv_covers_every_cell_and_workload() {
-        let sweep = port_sweep(&rc(), &WS, &[MachineWidth::FourWay], &[1]);
+        let grid = SweepGrid::new()
+            .widths(vec![MachineWidth::FourWay])
+            .ports(vec![1]);
+        let sweep = port_sweep(&engine(), &WS, &grid);
         let csv = sweep_csv(&sweep);
         // 3 variants × 2 workloads + header.
         assert_eq!(csv.lines().count(), 1 + 3 * WS.len());
-        assert!(csv.contains("4-way,1pV,swim,"));
+        assert!(csv.contains("4-way,1pV,4,swim,"));
+    }
+
+    #[test]
+    fn sweep_csv_collapses_identical_scalar_cells_across_the_bus_axis() {
+        let grid = SweepGrid::new()
+            .widths(vec![MachineWidth::FourWay])
+            .ports(vec![1])
+            .bus_words(vec![2, 4, 8]);
+        let sweep = port_sweep(&engine(), &[Workload::Compress], &grid);
+        let csv = sweep_csv(&sweep);
+        // 1 scalar cell + 3 IM + 3 V cells, one workload each, plus header.
+        assert_eq!(csv.lines().count(), 1 + 7);
+        assert_eq!(csv.matches("1pnoIM").count(), 1);
+        assert!(csv.contains("4-way,1pVb8,8,compress,"));
     }
 }

@@ -12,7 +12,7 @@ use sdv_workloads::Workload;
 /// needed for the synthetic kernels to reach steady state, so the default
 /// budgets are smaller (and the bench harness uses larger ones than the test
 /// suite).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RunConfig {
     /// Outer-iteration scale passed to [`Workload::build`].
     pub scale: u64,
@@ -71,7 +71,7 @@ pub fn run_workload(workload: Workload, cfg: &ProcessorConfig, rc: &RunConfig) -
 }
 
 /// The result of running a set of workloads on one configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteResult {
     /// Per-workload statistics, in the order they were run.
     pub runs: Vec<(Workload, RunStats)>,
@@ -119,6 +119,56 @@ impl SuiteResult {
             0.0
         } else {
             selected.iter().sum::<f64>() / selected.len() as f64
+        }
+    }
+
+    /// Harmonic mean of a per-run metric over the whole suite.
+    ///
+    /// The harmonic mean is the correct suite-level aggregate for *rates* such
+    /// as IPC (it weighs every workload by the time it takes, not by its
+    /// rate); arithmetic means remain in use for speed-up ratios and
+    /// fractions.  Returns 0 if the suite is empty or any value is ≤ 0.
+    #[must_use]
+    pub fn hmean<F: Fn(&RunStats) -> f64>(&self, f: F) -> f64 {
+        Self::harmonic(self.runs.iter().map(|(_, s)| f(s)))
+    }
+
+    /// Harmonic mean over the SpecInt-analogue subset.
+    #[must_use]
+    pub fn hmean_int<F: Fn(&RunStats) -> f64>(&self, f: F) -> f64 {
+        Self::harmonic(
+            self.runs
+                .iter()
+                .filter(|(w, _)| !w.is_fp())
+                .map(|(_, s)| f(s)),
+        )
+    }
+
+    /// Harmonic mean over the SpecFP-analogue subset.
+    #[must_use]
+    pub fn hmean_fp<F: Fn(&RunStats) -> f64>(&self, f: F) -> f64 {
+        Self::harmonic(
+            self.runs
+                .iter()
+                .filter(|(w, _)| w.is_fp())
+                .map(|(_, s)| f(s)),
+        )
+    }
+
+    fn harmonic<I: Iterator<Item = f64>>(values: I) -> f64 {
+        let mut n = 0usize;
+        let mut recip = 0.0f64;
+        for v in values {
+            if v <= 0.0 {
+                return 0.0;
+            }
+            n += 1;
+            recip += 1.0 / v;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            n as f64 / recip
         }
     }
 
@@ -171,6 +221,33 @@ mod tests {
         let suite = SuiteResult { runs: Vec::new() };
         assert_eq!(suite.mean(|s| s.ipc()), 0.0);
         assert_eq!(suite.mean_fp(|s| s.ipc()), 0.0);
+        assert_eq!(suite.hmean(|s| s.ipc()), 0.0);
         assert_eq!(suite.total(|s| s.committed), 0);
+    }
+
+    /// Pins the two suite-level aggregates against hand-computed values: the
+    /// arithmetic mean of IPCs {1, 3} is 2, their harmonic mean is 1.5.
+    #[test]
+    fn arithmetic_and_harmonic_means_are_pinned() {
+        let mut fast = RunStats::new(1);
+        fast.cycles = 100;
+        fast.committed = 300; // IPC 3.0
+        let mut slow = RunStats::new(1);
+        slow.cycles = 100;
+        slow.committed = 100; // IPC 1.0
+        let suite = SuiteResult {
+            runs: vec![(Workload::Compress, slow), (Workload::Swim, fast)],
+        };
+        assert!((suite.mean(|s| s.ipc()) - 2.0).abs() < 1e-12);
+        assert!((suite.hmean(|s| s.ipc()) - 1.5).abs() < 1e-12);
+        // Per-suite splits use the same definitions.
+        assert!((suite.hmean_int(|s| s.ipc()) - 1.0).abs() < 1e-12);
+        assert!((suite.hmean_fp(|s| s.ipc()) - 3.0).abs() < 1e-12);
+        // A zero rate collapses the harmonic mean (and only that one).
+        let zero = RunStats::new(1);
+        let with_zero = SuiteResult {
+            runs: vec![(Workload::Compress, zero)],
+        };
+        assert_eq!(with_zero.hmean(|s| s.ipc()), 0.0);
     }
 }

@@ -47,7 +47,7 @@ pub mod pipeline;
 pub mod stats;
 pub mod vector_dp;
 
-pub use config::{FuClassConfig, FuConfig, UarchConfig};
+pub use config::{ConfigBuilder, FuClassConfig, FuConfig, UarchConfig, DEFAULT_BUS_WORDS};
 pub use fu::FuPool;
 pub use pipeline::{simulate, Processor};
 pub use stats::RunStats;

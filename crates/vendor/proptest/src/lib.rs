@@ -5,8 +5,8 @@
 //! registry, so the real proptest cannot be fetched.  This crate implements
 //! the subset of proptest's API that the `sdv` integration tests use — the
 //! [`proptest!`] macro with `arg in strategy` bindings and
-//! `#![proptest_config(..)]`, range/tuple/[`Just`]/[`prop_oneof!`]/
-//! [`collection::vec`] strategies, [`Strategy::prop_map`], `any::<T>()` and
+//! `#![proptest_config(..)]`, range/tuple/`Just`/`prop_oneof!`/
+//! `collection::vec` strategies, `Strategy::prop_map`, `any::<T>()` and
 //! the `prop_assert*` macros — with compatible shapes, so the test sources
 //! compile unchanged and can later be pointed back at the real crate by
 //! editing one `[workspace.dependencies]` line.
@@ -136,7 +136,7 @@ pub mod strategy {
             Map { inner: self, map }
         }
 
-        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        /// Type-erases the strategy (used by `prop_oneof!`).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -166,7 +166,7 @@ pub mod strategy {
         }
     }
 
-    /// The result of [`Strategy::prop_map`].
+    /// The result of `Strategy::prop_map`.
     pub struct Map<S, F> {
         inner: S,
         map: F,
@@ -183,7 +183,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
     pub struct Union<T>(Vec<BoxedStrategy<T>>);
 
     impl<T> Union<T> {
@@ -314,7 +314,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use std::ops::Range;
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,

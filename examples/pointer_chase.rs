@@ -9,27 +9,31 @@
 //! cargo run --release --example pointer_chase
 //! ```
 
-use sdv::sim::{run_workload, PortKind, ProcessorConfig, RunConfig, Workload};
+use sdv::sim::{ProcessorConfig, RunConfig, RunEngine, Workload};
 
 fn main() {
-    let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+    let cfg = ProcessorConfig::builder().vectorization(true).build();
     let rc = RunConfig {
         scale: 4,
         max_insts: 300_000,
     };
+    let workloads = [
+        Workload::Li,
+        Workload::Gcc,
+        Workload::Vortex,
+        Workload::Compress,
+    ];
+
+    // One engine batch simulates the four kernels on four threads.
+    let engine = RunEngine::new(rc).with_threads(4);
+    let suite = engine.suite(&workloads, &cfg);
 
     println!("4-way, 1 wide port, dynamic vectorization enabled\n");
     println!(
         "  {:<10} {:>8} {:>14} {:>16} {:>14}",
         "workload", "IPC", "validations", "vector mode %", "mispredict %"
     );
-    for workload in [
-        Workload::Li,
-        Workload::Gcc,
-        Workload::Vortex,
-        Workload::Compress,
-    ] {
-        let stats = run_workload(workload, &cfg, &rc);
+    for (workload, stats) in &suite.runs {
         println!(
             "  {:<10} {:>8.3} {:>14} {:>15.1}% {:>13.1}%",
             workload.name(),

@@ -5,24 +5,29 @@
 //! cargo run --release --example stencil_fp
 //! ```
 
-use sdv::sim::{run_workload, MachineWidth, RunConfig, Variant, Workload};
+use sdv::sim::{MachineWidth, RunConfig, RunEngine, Variant, Workload};
 
 fn main() {
     let rc = RunConfig {
         scale: 8,
         max_insts: 300_000,
     };
+    // One batch: the engine simulates the three variants on three threads.
+    let engine = RunEngine::new(rc).with_threads(3);
+    let cells: Vec<_> = Variant::all()
+        .iter()
+        .map(|v| (v.config(MachineWidth::FourWay, 1), Workload::Swim))
+        .collect();
+    let results = engine.run_cells(&cells);
     println!("swim (stride-1 FP stencil), 4-way processor, 1 L1 data-cache port\n");
     println!(
         "  {:<8} {:>8} {:>16} {:>18} {:>12}",
         "config", "IPC", "mem accesses", "port occupancy", "valid. %"
     );
-    for variant in Variant::all() {
-        let cfg = variant.config(MachineWidth::FourWay, 1);
-        let stats = run_workload(Workload::Swim, &cfg, &rc);
+    for ((cfg, _), stats) in cells.iter().zip(&results) {
         println!(
             "  {:<8} {:>8.3} {:>16} {:>17.1}% {:>11.1}%",
-            variant.label(1),
+            cfg.label(),
             stats.ipc(),
             stats.memory_accesses,
             stats.port_occupancy() * 100.0,

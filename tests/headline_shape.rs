@@ -3,7 +3,7 @@
 //! plausible magnitudes.  The measured numbers are recorded in EXPERIMENTS.md.
 
 use sdv::sim::{
-    headline, run_suite, MachineWidth, PortKind, ProcessorConfig, RunConfig, Variant, Workload,
+    Experiment, MachineWidth, ProcessorConfig, RunConfig, RunEngine, Variant, Workload,
 };
 
 fn rc() -> RunConfig {
@@ -25,9 +25,13 @@ fn workloads() -> Vec<Workload> {
     ]
 }
 
+fn experiment() -> Experiment {
+    Experiment::new(rc()).threads(2).workloads(workloads())
+}
+
 #[test]
 fn dynamic_vectorization_reduces_memory_traffic_and_scalar_work() {
-    let h = headline(&rc(), &workloads());
+    let h = experiment().headline();
     assert!(
         h.mem_reduction_int > 0.0,
         "memory requests must drop for integer codes: {h:?}"
@@ -51,7 +55,7 @@ fn one_wide_port_with_dv_competes_with_four_scalar_ports() {
     // The synthetic kernels are smaller than Spec95, so we only require the
     // direction (no slowdown) and that DV clearly improves on its own baseline
     // in the port-starved configuration.
-    let h = headline(&rc(), &workloads());
+    let h = experiment().headline();
     assert!(
         h.speedup_vs_four_scalar_ports() > 0.95,
         "1pV should be competitive with 4pnoIM, got {:.3}",
@@ -66,35 +70,29 @@ fn one_wide_port_with_dv_competes_with_four_scalar_ports() {
 
 #[test]
 fn wide_buses_help_most_when_ports_are_scarce() {
-    let rc = rc();
+    let engine = RunEngine::new(rc()).with_threads(2);
     let ws = [Workload::Ijpeg, Workload::Swim];
-    let one_scalar = run_suite(
-        &ws,
-        &Variant::ScalarBus.config(MachineWidth::EightWay, 1),
-        &rc,
-    );
-    let one_wide = run_suite(
-        &ws,
-        &Variant::WideBus.config(MachineWidth::EightWay, 1),
-        &rc,
-    );
-    let four_scalar = run_suite(
-        &ws,
-        &Variant::ScalarBus.config(MachineWidth::EightWay, 4),
-        &rc,
-    );
+    let configs = [
+        Variant::ScalarBus.config(MachineWidth::EightWay, 1),
+        Variant::WideBus.config(MachineWidth::EightWay, 1),
+        Variant::ScalarBus.config(MachineWidth::EightWay, 4),
+    ];
+    let mut suites = engine.suites(&ws, &configs).into_iter();
+    let one_scalar = suites.next().unwrap();
+    let one_wide = suites.next().unwrap();
+    let four_scalar = suites.next().unwrap();
     let ipc = |s: &sdv::uarch::RunStats| s.ipc();
     assert!(
-        one_wide.mean(ipc) > one_scalar.mean(ipc),
+        one_wide.hmean(ipc) > one_scalar.hmean(ipc),
         "a wide bus must beat a single scalar bus ({} vs {})",
-        one_wide.mean(ipc),
-        one_scalar.mean(ipc)
+        one_wide.hmean(ipc),
+        one_scalar.hmean(ipc)
     );
     assert!(
-        four_scalar.mean(ipc) >= one_scalar.mean(ipc),
+        four_scalar.hmean(ipc) >= one_scalar.hmean(ipc),
         "more ports never hurt ({} vs {})",
-        four_scalar.mean(ipc),
-        one_scalar.mean(ipc)
+        four_scalar.hmean(ipc),
+        one_scalar.hmean(ipc)
     );
 }
 
@@ -103,8 +101,9 @@ fn store_conflict_rate_stays_low() {
     // §3.6 reports that only 4.5% (int) / 2.5% (fp) of stores hit the address
     // range of a vector register; the synthetic kernels should stay in the
     // same low-percentage regime (well under 20%).
-    let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
-    let suite = run_suite(&workloads(), &cfg, &rc());
+    let cfg = ProcessorConfig::builder().vectorization(true).build();
+    let engine = RunEngine::new(rc()).with_threads(2);
+    let suite = engine.suite(&workloads(), &cfg);
     for (w, stats) in &suite.runs {
         let dv = stats.dv.expect("dv stats present");
         assert!(
