@@ -2,21 +2,34 @@
 //!
 //! ```text
 //! repro [--quick|--standard|--thorough] [--threads N]
-//!       [--table1] [--fig N]... [--headline] [--all]
+//!       [--table1] [--fig N]... [--headline] [--all] [--extended]
+//!       [--vl L1,L2,...] [--vregs R1,R2,...]
+//!       [--csv PATH] [--cache-dir DIR | --no-cache]
 //! ```
 //!
 //! With no selection arguments everything is regenerated.  All generators
 //! share one [`sdv_sim::Experiment`] session, so overlapping cells (the
 //! headline configurations reappear in Figures 11/12, Figure 13 reuses the
-//! Figure 10 suite, …) are simulated exactly once; the final line reports how
-//! many unique cells ran versus how many were served from the session cache.
+//! Figure 10 suite, …) are simulated exactly once; the final lines report how
+//! many unique cells ran versus how many were served from the session cache,
+//! plus the wall-clock/cycles-per-second accounting of the run.
 //! `--threads N` spreads the unique cells of each batch across N worker
 //! threads without changing any result.
+//!
+//! Results additionally persist across invocations: the session's
+//! `CellKey → RunStats` results are written to a versioned cache under
+//! `target/sdv-cache/` (override with `--cache-dir`, disable with
+//! `--no-cache`), so re-running `repro` with an unchanged configuration
+//! serves every cell from disk.  `--vl`/`--vregs` add DV-sizing axes
+//! (vector length in elements, vector-register count) to the Figure 11/12
+//! sweep grid, `--csv PATH` dumps the resulting sweep surface for plotting,
+//! and `--extended` adds the post-paper workloads (linked-list chase,
+//! blocked matmul) to every generator.
 //!
 //! The output rows mirror the series plotted in the paper; `EXPERIMENTS.md`
 //! records a paper-vs-measured comparison produced with `--standard`.
 
-use sdv_sim::{Experiment, Fig11, Fig12, PortKind, RunConfig, SweepGrid, Table1};
+use sdv_sim::{report, Experiment, Fig11, Fig12, PortKind, RunConfig, SweepGrid, Table1, Workload};
 
 #[derive(Debug)]
 struct Options {
@@ -25,6 +38,29 @@ struct Options {
     table1: bool,
     figures: Vec<u32>,
     headline: bool,
+    extended: bool,
+    vector_lengths: Option<Vec<usize>>,
+    vector_registers: Option<Vec<usize>>,
+    csv: Option<std::path::PathBuf>,
+    cache_dir: Option<std::path::PathBuf>,
+    no_cache: bool,
+}
+
+/// Parses a `--vl`/`--vregs` style comma-separated list of positive sizes.
+fn parse_sizes(flag: &str, value: Option<String>) -> Vec<usize> {
+    let value = value.unwrap_or_else(|| panic!("{flag} requires a comma-separated list"));
+    let sizes: Vec<usize> = value
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| panic!("{flag}: `{v}` is not a positive integer"))
+        })
+        .collect();
+    assert!(!sizes.is_empty(), "{flag} requires at least one value");
+    sizes
 }
 
 fn parse_args() -> Options {
@@ -34,6 +70,12 @@ fn parse_args() -> Options {
         table1: false,
         figures: Vec::new(),
         headline: false,
+        extended: false,
+        vector_lengths: None,
+        vector_registers: None,
+        csv: None,
+        cache_dir: None,
+        no_cache: false,
     };
     let mut args = std::env::args().skip(1).peekable();
     let mut any_selection = false;
@@ -66,10 +108,28 @@ fn parse_args() -> Options {
                 any_selection = true;
             }
             "--all" => any_selection = false,
+            "--extended" => opts.extended = true,
+            "--vl" => opts.vector_lengths = Some(parse_sizes("--vl", args.next())),
+            "--vregs" => opts.vector_registers = Some(parse_sizes("--vregs", args.next())),
+            "--csv" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--csv requires a path"));
+                opts.csv = Some(path.into());
+            }
+            "--cache-dir" => {
+                let dir = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--cache-dir requires a directory"));
+                opts.cache_dir = Some(dir.into());
+            }
+            "--no-cache" => opts.no_cache = true,
             other => {
                 panic!(
                     "unknown argument `{other}` \
-                     (try --all, --fig N, --table1, --headline, --threads N)"
+                     (try --all, --fig N, --table1, --headline, --threads N, \
+                      --extended, --vl L1,L2, --vregs R1,R2, --csv PATH, \
+                      --cache-dir DIR, --no-cache)"
                 )
             }
         }
@@ -85,7 +145,17 @@ fn parse_args() -> Options {
 fn main() {
     let opts = parse_args();
     let rc = opts.run;
-    let exp = Experiment::new(rc).threads(opts.threads);
+    let mut exp = Experiment::new(rc).threads(opts.threads);
+    if opts.extended {
+        exp = exp.workloads(Workload::extended().to_vec());
+    }
+    if !opts.no_cache {
+        let dir = opts
+            .cache_dir
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("target/sdv-cache"));
+        exp = exp.disk_cache(dir);
+    }
     println!(
         "# Speculative Dynamic Vectorization — reproduction run \
          (scale {}, {} insts/workload, {} threads)\n",
@@ -97,6 +167,16 @@ fn main() {
         println!("{}", Table1::eight_way(1, PortKind::Wide));
     }
 
+    // The grid behind Figures 11/12 and --csv: the paper's cut, extended by
+    // any requested DV-sizing axes.
+    let mut grid = SweepGrid::paper();
+    if let Some(vl) = opts.vector_lengths.clone() {
+        grid = grid.vector_lengths(vl);
+    }
+    if let Some(vregs) = opts.vector_registers.clone() {
+        grid = grid.vector_registers(vregs);
+    }
+
     let mut sweep = None;
     for fig in &opts.figures {
         match fig {
@@ -106,7 +186,7 @@ fn main() {
             9 => println!("{}", exp.fig9()),
             10 => println!("{}", exp.fig10()),
             11 | 12 => {
-                let sweep = sweep.get_or_insert_with(|| exp.sweep(&SweepGrid::paper()));
+                let sweep = sweep.get_or_insert_with(|| exp.sweep(&grid));
                 if *fig == 11 {
                     println!("{}", Fig11(sweep));
                 } else {
@@ -126,5 +206,22 @@ fn main() {
         println!("{}", exp.headline());
     }
 
+    if let Some(path) = &opts.csv {
+        let sweep = sweep.get_or_insert_with(|| exp.sweep(&grid));
+        std::fs::write(path, report::sweep_csv(sweep)).expect("CSV written");
+        println!("sweep surface written to {}", path.display());
+    }
+
     println!("{}", exp.report());
+    println!("{}", exp.timing());
+    if !opts.no_cache {
+        match exp.persist() {
+            Ok(()) => {
+                if let Some(path) = exp.engine().cache_path() {
+                    println!("result cache persisted to {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not persist the result cache: {e}"),
+        }
+    }
 }

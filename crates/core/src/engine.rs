@@ -187,6 +187,10 @@ pub struct VectorizationEngine {
     /// Commit-time mapping: logical register → last committed vector element
     /// (used to set F flags when the next producer of the register commits).
     committed_map: Vec<Option<(VregId, usize)>>,
+    /// Per-vector-register count of references from `reg_map` and
+    /// `committed_map` combined, so the release scan's liveness check is O(1)
+    /// per register instead of a walk over both maps.
+    map_refs: Vec<u32>,
     /// Global Most Recent Backward Branch (PC of the last committed backward branch).
     gmrbb: u64,
     /// Backward-branch commits since the last full release scan (the scan is
@@ -211,10 +215,48 @@ impl VectorizationEngine {
             vrf: VectorRegisterFile::new(cfg.vector_registers, cfg.vector_length, cfg.unbounded),
             reg_map: vec![None; NUM_ARCH_REGS],
             committed_map: vec![None; NUM_ARCH_REGS],
+            map_refs: vec![0; cfg.vector_registers],
             gmrbb: 0,
             release_pending: 0,
             stats: DvStats::default(),
         }
+    }
+
+    fn map_ref_inc(map_refs: &mut Vec<u32>, id: VregId) {
+        let idx = id.index();
+        if idx >= map_refs.len() {
+            map_refs.resize(idx + 1, 0);
+        }
+        map_refs[idx] += 1;
+    }
+
+    fn map_ref_dec(map_refs: &mut [u32], id: VregId) {
+        debug_assert!(map_refs.get(id.index()).is_some_and(|&c| c > 0));
+        if let Some(c) = map_refs.get_mut(id.index()) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Writes a speculative-map slot, maintaining the reference counts.
+    fn set_reg_map(&mut self, slot: usize, value: Option<(VregId, usize)>) {
+        if let Some((old, _)) = self.reg_map[slot] {
+            Self::map_ref_dec(&mut self.map_refs, old);
+        }
+        if let Some((new, _)) = value {
+            Self::map_ref_inc(&mut self.map_refs, new);
+        }
+        self.reg_map[slot] = value;
+    }
+
+    /// Writes a committed-map slot, maintaining the reference counts.
+    fn set_committed_map(&mut self, slot: usize, value: Option<(VregId, usize)>) {
+        if let Some((old, _)) = self.committed_map[slot] {
+            Self::map_ref_dec(&mut self.map_refs, old);
+        }
+        if let Some((new, _)) = value {
+            Self::map_ref_inc(&mut self.map_refs, new);
+        }
+        self.committed_map[slot] = value;
     }
 
     /// The hardware configuration.
@@ -295,7 +337,7 @@ impl VectorizationEngine {
                 // Stores, branches, jumps, nops: never vectorized.  A scalar
                 // write to a register ends its association with a vector element.
                 if let Some(dst) = ctx.dst {
-                    self.reg_map[dst.flat_index()] = None;
+                    self.set_reg_map(dst.flat_index(), None);
                 }
                 DecodeOutcome::Scalar
             }
@@ -341,7 +383,7 @@ impl VectorizationEngine {
                 return outcome;
             }
         }
-        self.reg_map[dst.flat_index()] = None;
+        self.set_reg_map(dst.flat_index(), None);
         DecodeOutcome::Scalar
     }
 
@@ -381,7 +423,7 @@ impl VectorizationEngine {
                 return outcome;
             }
         }
-        self.reg_map[dst.flat_index()] = None;
+        self.set_reg_map(dst.flat_index(), None);
         DecodeOutcome::Scalar
     }
 
@@ -392,7 +434,7 @@ impl VectorizationEngine {
     fn validate_element(&mut self, pc: u64, entry: VrmtEntry, dst: ArchReg) -> DecodeOutcome {
         let offset = entry.offset;
         self.vrf.mark_used(entry.vreg, offset);
-        self.reg_map[dst.flat_index()] = Some((entry.vreg, offset));
+        self.set_reg_map(dst.flat_index(), Some((entry.vreg, offset)));
         if let Some(e) = self.vrmt.lookup_mut(pc) {
             e.offset = offset + 1;
         }
@@ -501,7 +543,7 @@ impl VectorizationEngine {
         };
         self.insert_vrmt(entry);
         self.vrf.mark_used(vreg, 0);
-        self.reg_map[dst.flat_index()] = Some((vreg, 0));
+        self.set_reg_map(dst.flat_index(), Some((vreg, 0)));
         self.stats.load_instances += 1;
         self.stats.elements_launched += vl as u64;
         Some(DecodeOutcome::NewVector {
@@ -553,7 +595,7 @@ impl VectorizationEngine {
         };
         self.insert_vrmt(entry);
         self.vrf.mark_used(vreg, start_offset);
-        self.reg_map[dst.flat_index()] = Some((vreg, start_offset));
+        self.set_reg_map(dst.flat_index(), Some((vreg, start_offset)));
         self.stats.arith_instances += 1;
         self.stats.elements_launched += (vl - start_offset) as u64;
         Some(DecodeOutcome::NewVector {
@@ -602,7 +644,7 @@ impl VectorizationEngine {
     fn unmap_if_points_to(&mut self, reg: ArchReg, vreg: VregId) {
         if let Some((mapped, _)) = self.reg_map[reg.flat_index()] {
             if mapped == vreg {
-                self.reg_map[reg.flat_index()] = None;
+                self.set_reg_map(reg.flat_index(), None);
             }
         }
     }
@@ -617,7 +659,7 @@ impl VectorizationEngine {
         }
         if let Some(dst) = dst {
             self.free_previous_committed(dst);
-            self.committed_map[dst.flat_index()] = Some((vreg, offset));
+            self.set_committed_map(dst.flat_index(), Some((vreg, offset)));
         }
     }
 
@@ -625,7 +667,7 @@ impl VectorizationEngine {
     /// vector element for `dst` (if any) receives its F flag (§3.3).
     pub fn commit_scalar_write(&mut self, dst: ArchReg) {
         self.free_previous_committed(dst);
-        self.committed_map[dst.flat_index()] = None;
+        self.set_committed_map(dst.flat_index(), None);
     }
 
     fn free_previous_committed(&mut self, dst: ArchReg) {
@@ -656,9 +698,11 @@ impl VectorizationEngine {
                     break;
                 }
             }
-            for map in self.reg_map.iter_mut() {
-                if matches!(map, Some((v, _)) if *v == vreg) {
-                    *map = None;
+            if self.map_references(vreg) {
+                for slot in 0..self.reg_map.len() {
+                    if matches!(self.reg_map[slot], Some((v, _)) if v == vreg) {
+                        self.set_reg_map(slot, None);
+                    }
                 }
             }
         }
@@ -722,17 +766,22 @@ impl VectorizationEngine {
     }
 
     fn map_references(&self, id: VregId) -> bool {
-        self.reg_map
-            .iter()
-            .chain(self.committed_map.iter())
-            .any(|m| matches!(m, Some((v, _)) if *v == id))
+        self.map_refs.get(id.index()).copied().unwrap_or(0) > 0
     }
 
     fn forget_register(&mut self, id: VregId) {
         let _ = self.vrmt.invalidate_vreg(id);
-        for map in self.reg_map.iter_mut().chain(self.committed_map.iter_mut()) {
-            if matches!(map, Some((v, _)) if *v == id) {
-                *map = None;
+        if !self.map_references(id) {
+            return;
+        }
+        for slot in 0..self.reg_map.len() {
+            if matches!(self.reg_map[slot], Some((v, _)) if v == id) {
+                self.set_reg_map(slot, None);
+            }
+        }
+        for slot in 0..self.committed_map.len() {
+            if matches!(self.committed_map[slot], Some((v, _)) if v == id) {
+                self.set_committed_map(slot, None);
             }
         }
     }
@@ -750,6 +799,7 @@ impl VectorizationEngine {
         self.vrf.release_all();
         self.reg_map.iter_mut().for_each(|m| *m = None);
         self.committed_map.iter_mut().for_each(|m| *m = None);
+        self.map_refs.iter_mut().for_each(|c| *c = 0);
     }
 }
 

@@ -1,6 +1,8 @@
 //! The vector register file with per-element V/R/U/F flags (Figure 8) and the
 //! allocation / freeing rules of §3.3.
 
+use std::collections::BTreeSet;
+
 /// Identifier of a vector register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VregId(u32);
@@ -182,6 +184,14 @@ pub struct VectorRegisterFile {
     unbounded: bool,
     usage: ElementUsage,
     allocation_failures: u64,
+    /// Free list: indices of unallocated registers.  Kept ordered so that
+    /// allocation always picks the lowest-numbered free register — the same
+    /// choice the original linear scan made.
+    free_set: BTreeSet<u32>,
+    /// Indices of allocated registers, ordered; every whole-file walk
+    /// (release scans, store-coherence checks) iterates this instead of the
+    /// backing array.
+    allocated_set: BTreeSet<u32>,
 }
 
 impl VectorRegisterFile {
@@ -209,6 +219,8 @@ impl VectorRegisterFile {
             unbounded,
             usage: ElementUsage::default(),
             allocation_failures: 0,
+            free_set: (0..count as u32).collect(),
+            allocated_set: BTreeSet::new(),
         }
     }
 
@@ -221,7 +233,7 @@ impl VectorRegisterFile {
     /// Number of registers currently allocated.
     #[must_use]
     pub fn allocated_count(&self) -> usize {
-        self.regs.iter().filter(|r| r.allocated).count()
+        self.allocated_set.len()
     }
 
     /// Number of registers currently free.
@@ -246,9 +258,8 @@ impl VectorRegisterFile {
     /// current MRBB.  Returns `None` when no register is free (§3.3: the
     /// instruction then continues in scalar mode).
     pub fn allocate(&mut self, pc: u64, mrbb: u64) -> Option<VregId> {
-        let slot = self.regs.iter().position(|r| !r.allocated);
-        let idx = match slot {
-            Some(i) => i,
+        let idx = match self.free_set.pop_first() {
+            Some(i) => i as usize,
             None if self.unbounded => {
                 self.regs.push(VectorRegister::new(self.vector_length));
                 self.regs.len() - 1
@@ -258,6 +269,7 @@ impl VectorRegisterFile {
                 return None;
             }
         };
+        self.allocated_set.insert(idx as u32);
         let vl = self.vector_length;
         let reg = &mut self.regs[idx];
         let generation = reg.generation + 1;
@@ -342,8 +354,15 @@ impl VectorRegisterFile {
     pub fn force_release(&mut self, id: VregId) {
         if self.regs[id.index()].allocated {
             self.record_usage(id);
-            self.get_mut(id).allocated = false;
+            self.release_slot(id);
         }
+    }
+
+    /// Marks `id` unallocated and returns it to the free list.
+    fn release_slot(&mut self, id: VregId) {
+        self.regs[id.index()].allocated = false;
+        self.allocated_set.remove(&(id.0));
+        self.free_set.insert(id.0);
     }
 
     /// Applies the two freeing rules of §3.3 to `id`; releases it and returns
@@ -355,7 +374,7 @@ impl VectorRegisterFile {
         }
         if reg.all_ready_and_free() || reg.releasable_after_loop(gmrbb) {
             self.record_usage(id);
-            self.get_mut(id).allocated = false;
+            self.release_slot(id);
             true
         } else {
             false
@@ -365,39 +384,31 @@ impl VectorRegisterFile {
     /// Applies the freeing rules to every allocated register; returns the
     /// registers released.
     pub fn release_eligible(&mut self, gmrbb: u64) -> Vec<VregId> {
-        let ids: Vec<VregId> = (0..self.regs.len() as u32)
-            .map(VregId)
-            .filter(|&id| self.regs[id.index()].allocated)
-            .collect();
+        let ids: Vec<VregId> = self.allocated_ids().collect();
         ids.into_iter()
             .filter(|&id| self.try_release(id, gmrbb))
             .collect()
     }
 
     /// Registers (allocated, with an address range) whose range overlaps the
-    /// store `[addr, addr + width)` — the §3.6 coherence check.
+    /// store `[addr, addr + width)` — the §3.6 coherence check.  Walks the
+    /// allocated set only.
     #[must_use]
     pub fn conflicting_registers(&self, addr: u64, width: u64) -> Vec<VregId> {
         let end = addr + width.max(1) - 1;
-        self.regs
+        self.allocated_set
             .iter()
-            .enumerate()
-            .filter(|(_, r)| r.allocated)
-            .filter_map(|(i, r)| {
-                r.addr_range.and_then(|(first, last)| {
-                    (addr <= last && end >= first).then_some(VregId(i as u32))
-                })
+            .filter_map(|&i| {
+                self.regs[i as usize]
+                    .addr_range
+                    .and_then(|(first, last)| (addr <= last && end >= first).then_some(VregId(i)))
             })
             .collect()
     }
 
-    /// All currently allocated registers.
+    /// All currently allocated registers, in index order.
     pub fn allocated_ids(&self) -> impl Iterator<Item = VregId> + '_ {
-        self.regs
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.allocated)
-            .map(|(i, _)| VregId(i as u32))
+        self.allocated_set.iter().map(|&i| VregId(i))
     }
 
     /// Releases every allocated register, recording usage (end of simulation).
@@ -576,6 +587,24 @@ mod tests {
         vrf.release_all();
         assert_eq!(vrf.allocated_count(), 0);
         assert_eq!(vrf.usage().registers_released, 2);
+    }
+
+    #[test]
+    fn free_list_allocates_lowest_index_first() {
+        // The free list must reproduce the original linear scan's choice:
+        // always the lowest-numbered free register.
+        let mut vrf = file();
+        let ids: Vec<_> = (0..4)
+            .map(|i| vrf.allocate(0x1000 + i, 0).unwrap())
+            .collect();
+        vrf.force_release(ids[2]);
+        vrf.force_release(ids[0]);
+        let a = vrf.allocate(0x2000, 0).unwrap();
+        assert_eq!(a, ids[0], "lowest free index is re-used first");
+        let b = vrf.allocate(0x2004, 0).unwrap();
+        assert_eq!(b, ids[2]);
+        assert_eq!(vrf.allocated_count(), 4);
+        assert_eq!(vrf.allocated_ids().count(), 4);
     }
 
     #[test]

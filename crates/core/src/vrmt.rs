@@ -122,6 +122,9 @@ pub struct Vrmt {
     unbounded: bool,
     stamp: u64,
     evictions: u64,
+    /// Per-vector-register entry counts (indexed by [`VregId::index`]), so
+    /// [`Vrmt::references`] is O(1) instead of a whole-table walk.
+    refs: Vec<u32>,
 }
 
 impl Vrmt {
@@ -144,6 +147,23 @@ impl Vrmt {
             unbounded,
             stamp: 0,
             evictions: 0,
+            refs: Vec::new(),
+        }
+    }
+
+    fn inc_ref(&mut self, vreg: VregId) {
+        let idx = vreg.index();
+        if idx >= self.refs.len() {
+            self.refs.resize(idx + 1, 0);
+        }
+        self.refs[idx] += 1;
+    }
+
+    fn dec_ref(&mut self, vreg: VregId) {
+        let idx = vreg.index();
+        debug_assert!(self.refs.get(idx).is_some_and(|&c| c > 0));
+        if let Some(c) = self.refs.get_mut(idx) {
+            *c = c.saturating_sub(1);
         }
     }
 
@@ -191,9 +211,12 @@ impl Vrmt {
         };
         let idx = self.set_of(entry.pc);
         let set = &mut self.sets[idx];
-        if let Some(s) = set.iter_mut().find(|s| s.entry.pc == entry.pc) {
-            s.entry = entry;
-            s.last_used = stamp;
+        if let Some(pos) = set.iter().position(|s| s.entry.pc == entry.pc) {
+            let old_vreg = set[pos].entry.vreg;
+            set[pos].entry = entry;
+            set[pos].last_used = stamp;
+            self.dec_ref(old_vreg);
+            self.inc_ref(entry.vreg);
             return None;
         }
         let slot = Slot {
@@ -202,6 +225,7 @@ impl Vrmt {
         };
         if set.len() < ways {
             set.push(slot);
+            self.inc_ref(entry.vreg);
             None
         } else {
             self.evictions += 1;
@@ -211,6 +235,8 @@ impl Vrmt {
                 .expect("ways > 0");
             let old = victim.entry;
             *victim = slot;
+            self.dec_ref(old.vreg);
+            self.inc_ref(entry.vreg);
             Some(old)
         }
     }
@@ -220,12 +246,17 @@ impl Vrmt {
         let idx = self.set_of(pc);
         let set = &mut self.sets[idx];
         let pos = set.iter().position(|s| s.entry.pc == pc)?;
-        Some(set.swap_remove(pos).entry)
+        let removed = set.swap_remove(pos).entry;
+        self.dec_ref(removed.vreg);
+        Some(removed)
     }
 
     /// Removes every entry whose vector register is `vreg` (store-coherence
     /// invalidation, §3.6); returns the removed entries.
     pub fn invalidate_vreg(&mut self, vreg: VregId) -> Vec<VrmtEntry> {
+        if !self.references(vreg) {
+            return Vec::new();
+        }
         let mut removed = Vec::new();
         for set in &mut self.sets {
             let mut i = 0;
@@ -237,6 +268,9 @@ impl Vrmt {
                 }
             }
         }
+        if let Some(c) = self.refs.get_mut(vreg.index()) {
+            *c = 0;
+        }
         removed
     }
 
@@ -245,6 +279,7 @@ impl Vrmt {
         for set in &mut self.sets {
             set.clear();
         }
+        self.refs.iter_mut().for_each(|c| *c = 0);
     }
 
     /// Number of entries stored.
@@ -272,10 +307,10 @@ impl Vrmt {
             .flat_map(|s| s.iter().map(|slot| &slot.entry))
     }
 
-    /// Whether any entry references `vreg`.
+    /// Whether any entry references `vreg` (O(1) via the reference counts).
     #[must_use]
     pub fn references(&self, vreg: VregId) -> bool {
-        self.iter().any(|e| e.vreg == vreg)
+        self.refs.get(vreg.index()).copied().unwrap_or(0) > 0
     }
 }
 

@@ -1,10 +1,43 @@
 //! Sparse byte-addressable memory.
+//!
+//! The load/store fast path of the emulator resolves every access through this
+//! structure, so it is organised as a flat two-level page table instead of a
+//! hash map: a sorted directory of *chunks* (binary-searched, one entry per
+//! 4 MB region actually touched) pointing at dense arrays of lazily allocated
+//! 4 KB pages.  A one-entry translation cache short-circuits the directory
+//! search for the overwhelmingly common case of consecutive accesses hitting
+//! the same page, and aligned multi-byte accesses that stay inside one page
+//! are served with a single slice copy instead of per-byte lookups.
 
-use std::collections::HashMap;
+use std::cell::Cell;
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Pages per chunk (second translation level): each chunk covers 4 MB.
+const CHUNK_BITS: u32 = 10;
+const CHUNK_PAGES: usize = 1 << CHUNK_BITS;
+const CHUNK_MASK: u64 = (CHUNK_PAGES as u64) - 1;
+
+type Page = Box<[u8; PAGE_SIZE]>;
+
+/// One 4 MB region of the address space: a dense array of optional pages.
+#[derive(Debug, Clone)]
+struct Chunk {
+    /// Chunk index: `page_index >> CHUNK_BITS`.
+    index: u64,
+    pages: Box<[Option<Page>]>,
+}
+
+impl Chunk {
+    fn new(index: u64) -> Self {
+        Chunk {
+            index,
+            pages: vec![None; CHUNK_PAGES].into_boxed_slice(),
+        }
+    }
+}
 
 /// A sparse, byte-addressable 64-bit memory.
 ///
@@ -20,9 +53,24 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// assert_eq!(m.read_u32(0x1004), 0xdead_beef);
 /// assert_eq!(m.read_u8(0x2000), 0, "untouched memory reads as zero");
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Chunk directory, sorted by chunk index.
+    chunks: Vec<Chunk>,
+    /// Last successful translation: `(chunk_index, position in chunks)`.
+    /// Positions only grow stale on insertion, which revalidates the cache.
+    last: Cell<(u64, usize)>,
+    page_count: usize,
+}
+
+impl Default for SparseMemory {
+    fn default() -> Self {
+        SparseMemory {
+            chunks: Vec::new(),
+            last: Cell::new((u64::MAX, 0)),
+            page_count: 0,
+        }
+    }
 }
 
 impl SparseMemory {
@@ -35,17 +83,51 @@ impl SparseMemory {
     /// Number of pages that have been touched.
     #[must_use]
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.page_count
+    }
+
+    /// Position of the chunk for `chunk_index` in the directory, if present.
+    /// Checks the translation cache before binary-searching.
+    fn chunk_pos(&self, chunk_index: u64) -> Option<usize> {
+        let (cached_index, cached_pos) = self.last.get();
+        if cached_index == chunk_index {
+            return Some(cached_pos);
+        }
+        let pos = self
+            .chunks
+            .binary_search_by_key(&chunk_index, |c| c.index)
+            .ok()?;
+        self.last.set((chunk_index, pos));
+        Some(pos)
     }
 
     fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
-        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
+        let page_index = addr >> PAGE_BITS;
+        let pos = self.chunk_pos(page_index >> CHUNK_BITS)?;
+        self.chunks[pos].pages[(page_index & CHUNK_MASK) as usize].as_deref()
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        let page_index = addr >> PAGE_BITS;
+        let chunk_index = page_index >> CHUNK_BITS;
+        let pos = match self.chunk_pos(chunk_index) {
+            Some(pos) => pos,
+            None => {
+                let pos = self
+                    .chunks
+                    .binary_search_by_key(&chunk_index, |c| c.index)
+                    .unwrap_err();
+                self.chunks.insert(pos, Chunk::new(chunk_index));
+                self.last.set((chunk_index, pos));
+                pos
+            }
+        };
+        let slot = &mut self.chunks[pos].pages[(page_index & CHUNK_MASK) as usize];
+        if slot.is_none() {
+            *slot = Some(Box::new([0u8; PAGE_SIZE]));
+            self.page_count += 1;
+        }
+        slot.as_deref_mut().expect("page allocated above")
     }
 
     /// Reads one byte.
@@ -63,16 +145,30 @@ impl SparseMemory {
     /// Reads `N` little-endian bytes starting at `addr`.
     fn read_bytes<const N: usize>(&self, addr: u64) -> [u8; N] {
         let mut out = [0u8; N];
+        let offset = (addr & PAGE_MASK) as usize;
+        if offset + N <= PAGE_SIZE {
+            // Fast path: the whole access lives inside one page.
+            if let Some(page) = self.page(addr) {
+                out.copy_from_slice(&page[offset..offset + N]);
+            }
+            return out;
+        }
         for (i, byte) in out.iter_mut().enumerate() {
-            *byte = self.read_u8(addr + i as u64);
+            *byte = self.read_u8(addr.wrapping_add(i as u64));
         }
         out
     }
 
     /// Writes `N` little-endian bytes starting at `addr`.
     fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let offset = (addr & PAGE_MASK) as usize;
+        if offset + bytes.len() <= PAGE_SIZE {
+            let page = self.page_mut(addr);
+            page[offset..offset + bytes.len()].copy_from_slice(bytes);
+            return;
+        }
         for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, b);
+            self.write_u8(addr.wrapping_add(i as u64), b);
         }
     }
 
@@ -153,7 +249,17 @@ impl SparseMemory {
 
     /// Copies a byte slice into memory starting at `addr`.
     pub fn load_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        self.write_bytes(addr, bytes);
+        // Split on page boundaries so each page is resolved once.
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let offset = (addr & PAGE_MASK) as usize;
+            let span = (PAGE_SIZE - offset).min(rest.len());
+            let page = self.page_mut(addr);
+            page[offset..offset + span].copy_from_slice(&rest[..span]);
+            addr = addr.wrapping_add(span as u64);
+            rest = &rest[span..];
+        }
     }
 }
 
@@ -204,6 +310,29 @@ mod tests {
     }
 
     #[test]
+    fn accesses_straddle_chunk_boundaries() {
+        let mut m = SparseMemory::new();
+        // Last page of chunk 0 into first page of chunk 1.
+        let addr = (CHUNK_PAGES as u64) * (PAGE_SIZE as u64) - 4;
+        m.write_u64(addr, 0xa1b2_c3d4_e5f6_0718);
+        assert_eq!(m.read_u64(addr), 0xa1b2_c3d4_e5f6_0718);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn far_apart_regions_use_separate_chunks() {
+        let mut m = SparseMemory::new();
+        // Touch regions in non-sorted order to exercise directory insertion.
+        m.write_u64(0x7000_0000_0000, 3);
+        m.write_u64(0x1000, 1);
+        m.write_u64(0x1_0000_0000, 2);
+        assert_eq!(m.read_u64(0x1000), 1);
+        assert_eq!(m.read_u64(0x1_0000_0000), 2);
+        assert_eq!(m.read_u64(0x7000_0000_0000), 3);
+        assert_eq!(m.page_count(), 3);
+    }
+
+    #[test]
     fn generic_width_accessors() {
         let mut m = SparseMemory::new();
         for width in [1u64, 2, 4, 8] {
@@ -233,5 +362,17 @@ mod tests {
         for (i, &b) in data.iter().enumerate() {
             assert_eq!(m.read_u8(0x5000 + i as u64), b);
         }
+    }
+
+    #[test]
+    fn load_bytes_across_pages() {
+        let mut m = SparseMemory::new();
+        let data: Vec<u8> = (0..PAGE_SIZE + 64).map(|i| (i % 251) as u8).collect();
+        let base = (PAGE_SIZE as u64) - 32;
+        m.load_bytes(base, &data);
+        for (i, &b) in data.iter().enumerate() {
+            assert_eq!(m.read_u8(base + i as u64), b, "byte {i}");
+        }
+        assert_eq!(m.page_count(), 3);
     }
 }

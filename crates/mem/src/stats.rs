@@ -48,6 +48,30 @@ impl WideBusStats {
         self.words_per_line
     }
 
+    /// Rebuilds a collector from raw counts (used by the on-disk result
+    /// cache).  `used[k]` is the number of accesses with exactly `k` useful
+    /// words; index 0 is unused and must be zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_line` is zero or `used` has the wrong length.
+    #[must_use]
+    pub fn from_counts(words_per_line: usize, used: Vec<u64>, unused: u64) -> Self {
+        assert!(words_per_line > 0, "a line holds at least one word");
+        assert_eq!(used.len(), words_per_line + 1, "one count per word total");
+        WideBusStats {
+            words_per_line,
+            used,
+            unused,
+        }
+    }
+
+    /// The raw per-useful-word-count histogram (`[0]` is always zero).
+    #[must_use]
+    pub fn used_counts(&self) -> &[u64] {
+        &self.used
+    }
+
     /// Records one line read that contributed `useful_words` useful words
     /// (0 means the access turned out to be useless speculation).
     ///

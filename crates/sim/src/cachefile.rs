@@ -1,0 +1,475 @@
+//! The on-disk result cache behind [`crate::RunEngine`].
+//!
+//! `CellKey → RunStats` entries are persisted as a small versioned binary
+//! file so repeated `repro` invocations (and CI jobs that run several tools
+//! over the same grid) reuse earlier sessions instead of re-simulating.
+//!
+//! Keys are stored as 128-bit content hashes of the full `CellKey`
+//! (configuration, workload, budget), computed with two differently-seeded
+//! FNV-1a hashers — a stable algorithm, unlike `DefaultHasher`, so hashes
+//! survive toolchain updates.  A configuration change therefore simply misses
+//! the cache; a format change bumps the internal `CACHE_VERSION` constant,
+//! which discards the file wholesale; and the header additionally records a
+//! *simulator fingerprint* — a hash of the statistics two canonical cells
+//! produce with the current binary — so editing the model invalidates caches
+//! written by earlier builds instead of silently replaying their numbers.
+//! Every numeric field of `RunStats` is an integer counter, so the round
+//! trip is exact — a disk hit returns bit-identical statistics.
+
+use crate::engine::CellKey;
+use crate::{PortKind, ProcessorConfig, Workload};
+use sdv_core::{DvStats, ElementUsage};
+use sdv_mem::{CacheStats, PortStats, WideBusStats};
+use sdv_uarch::RunStats;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::OnceLock;
+
+const MAGIC: &[u8; 4] = b"SDVC";
+/// Bump whenever the serialized layout (or the hashed key content) changes.
+const CACHE_VERSION: u32 = 2;
+
+/// A 64-bit FNV-1a hasher: trivially stable across Rust releases, which the
+/// standard library's `DefaultHasher` explicitly is not.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn seeded(seed: u64) -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325 ^ seed)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Deterministic 128-bit content hash of a cell key.
+#[must_use]
+pub fn key_hash(key: &CellKey) -> u128 {
+    let mut lo = Fnv1a::seeded(0x5d);
+    key.hash(&mut lo);
+    let mut hi = Fnv1a::seeded(0xa7);
+    key.hash(&mut hi);
+    (u128::from(hi.finish()) << 64) | u128::from(lo.finish())
+}
+
+/// A behavioural fingerprint of the simulator in this binary: the full
+/// statistics of two tiny canonical cells (one vectorizing, one scalar),
+/// hashed.  Any model change that alters what those cells measure yields a
+/// different fingerprint and discards caches written by other builds.
+/// Computed once per process (a few milliseconds).
+#[must_use]
+pub fn simulator_fingerprint() -> u64 {
+    static FINGERPRINT: OnceLock<u64> = OnceLock::new();
+    *FINGERPRINT.get_or_init(|| {
+        let mut h = Fnv1a::seeded(0xf1);
+        for (cfg, workload) in [
+            (
+                ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true),
+                Workload::Compress,
+            ),
+            (
+                ProcessorConfig::four_way(2, PortKind::Scalar),
+                Workload::Swim,
+            ),
+        ] {
+            let stats = sdv_uarch::simulate(&cfg, &workload.build(1), 3_000);
+            let mut ser = Ser { buf: Vec::new() };
+            write_stats(&mut ser, &stats);
+            h.write(&ser.buf);
+        }
+        h.finish()
+    })
+}
+
+// ---------------------------------------------------------------- writing
+
+struct Ser {
+    buf: Vec<u8>,
+}
+
+impl Ser {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn option<T, F: FnOnce(&mut Self, &T)>(&mut self, v: &Option<T>, f: F) {
+        match v {
+            None => self.u8(0),
+            Some(inner) => {
+                self.u8(1);
+                f(self, inner);
+            }
+        }
+    }
+}
+
+fn write_cache_stats(s: &mut Ser, c: &CacheStats) {
+    s.u64(c.accesses);
+    s.u64(c.hits);
+    s.u64(c.misses);
+    s.u64(c.writebacks);
+}
+
+fn write_stats(s: &mut Ser, r: &RunStats) {
+    s.u64(r.cycles);
+    s.u64(r.committed);
+    s.u64(r.committed_loads);
+    s.u64(r.committed_stores);
+    s.u64(r.committed_control);
+    s.u64(r.committed_validations);
+    s.u64(r.committed_vector_mode);
+    s.u64(r.branch_lookups);
+    s.u64(r.mispredictions);
+    s.u64(r.memory_accesses);
+    s.u64(r.vector_line_accesses);
+    s.u64(r.load_accesses);
+    s.u64(r.loads_served_by_peer);
+    s.u64(r.store_forwards);
+    s.u64(r.scalar_arith_executed);
+    s.u64(r.decode_blocked_cycles);
+    s.u64(r.post_mispredict_window);
+    s.u64(r.post_mispredict_reused);
+    s.usize(r.port_count);
+    s.u64(r.ports.grants);
+    s.u64(r.ports.cycles);
+    s.u64(r.ports.conflicts);
+    s.option(&r.wide_bus, |s, w| {
+        s.usize(w.words_per_line());
+        s.u32(w.used_counts().len() as u32);
+        for &count in w.used_counts() {
+            s.u64(count);
+        }
+        s.u64(w.count_unused());
+    });
+    write_cache_stats(s, &r.l1d);
+    write_cache_stats(s, &r.l1i);
+    s.option(&r.dv, |s, d| {
+        s.u64(d.loads_observed);
+        s.u64(d.load_instances);
+        s.u64(d.arith_instances);
+        s.u64(d.load_validations);
+        s.u64(d.arith_validations);
+        s.u64(d.validation_failures);
+        s.u64(d.no_free_vreg);
+        s.u64(d.instances_with_nonzero_offset);
+        s.u64(d.stores_checked);
+        s.u64(d.store_conflicts);
+        s.u64(d.elements_launched);
+    });
+    s.option(&r.element_usage, |s, u| {
+        s.u64(u.computed_used);
+        s.u64(u.computed_not_used);
+        s.u64(u.not_computed);
+        s.u64(u.registers_released);
+    });
+}
+
+/// Writes a cache file holding this session's entries plus any `retained`
+/// entries from a previously loaded cache that the session did not revisit —
+/// persisting a narrow session must never shrink a broader cache.  Written
+/// atomically via a sibling temp file.
+pub fn write_cache(
+    path: &Path,
+    entries: &HashMap<CellKey, RunStats>,
+    retained: &HashMap<u128, RunStats>,
+) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let hashed: Vec<(u128, &RunStats)> = entries
+        .iter()
+        .map(|(key, stats)| (key_hash(key), stats))
+        .collect();
+    let carried: Vec<(u128, &RunStats)> = retained
+        .iter()
+        .filter(|(hash, _)| hashed.iter().all(|(h, _)| h != *hash))
+        .map(|(&hash, stats)| (hash, stats))
+        .collect();
+    let mut s = Ser { buf: Vec::new() };
+    s.buf.extend_from_slice(MAGIC);
+    s.u32(CACHE_VERSION);
+    s.u64(simulator_fingerprint());
+    s.u64((hashed.len() + carried.len()) as u64);
+    for (hash, stats) in hashed.into_iter().chain(carried) {
+        s.u64(hash as u64);
+        s.u64((hash >> 64) as u64);
+        write_stats(&mut s, stats);
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&s.buf)?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------- reading
+
+struct De<'a> {
+    buf: &'a [u8],
+}
+
+impl De<'_> {
+    fn u8(&mut self) -> Option<u8> {
+        let (&v, rest) = self.buf.split_first()?;
+        self.buf = rest;
+        Some(v)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let (head, rest) = self.buf.split_at_checked(4)?;
+        self.buf = rest;
+        Some(u32::from_le_bytes(head.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let (head, rest) = self.buf.split_at_checked(8)?;
+        self.buf = rest;
+        Some(u64::from_le_bytes(head.try_into().ok()?))
+    }
+
+    fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+}
+
+fn read_cache_stats(d: &mut De) -> Option<CacheStats> {
+    Some(CacheStats {
+        accesses: d.u64()?,
+        hits: d.u64()?,
+        misses: d.u64()?,
+        writebacks: d.u64()?,
+    })
+}
+
+fn read_stats(d: &mut De) -> Option<RunStats> {
+    let mut r = RunStats::new(1);
+    r.cycles = d.u64()?;
+    r.committed = d.u64()?;
+    r.committed_loads = d.u64()?;
+    r.committed_stores = d.u64()?;
+    r.committed_control = d.u64()?;
+    r.committed_validations = d.u64()?;
+    r.committed_vector_mode = d.u64()?;
+    r.branch_lookups = d.u64()?;
+    r.mispredictions = d.u64()?;
+    r.memory_accesses = d.u64()?;
+    r.vector_line_accesses = d.u64()?;
+    r.load_accesses = d.u64()?;
+    r.loads_served_by_peer = d.u64()?;
+    r.store_forwards = d.u64()?;
+    r.scalar_arith_executed = d.u64()?;
+    r.decode_blocked_cycles = d.u64()?;
+    r.post_mispredict_window = d.u64()?;
+    r.post_mispredict_reused = d.u64()?;
+    r.port_count = d.usize()?;
+    r.ports = PortStats {
+        grants: d.u64()?,
+        cycles: d.u64()?,
+        conflicts: d.u64()?,
+    };
+    r.wide_bus = if d.u8()? == 1 {
+        let words_per_line = d.usize()?;
+        let n = d.u32()? as usize;
+        if n != words_per_line + 1 {
+            return None;
+        }
+        let mut used = Vec::with_capacity(n);
+        for _ in 0..n {
+            used.push(d.u64()?);
+        }
+        let unused = d.u64()?;
+        Some(WideBusStats::from_counts(words_per_line, used, unused))
+    } else {
+        None
+    };
+    r.l1d = read_cache_stats(d)?;
+    r.l1i = read_cache_stats(d)?;
+    r.dv = if d.u8()? == 1 {
+        Some(DvStats {
+            loads_observed: d.u64()?,
+            load_instances: d.u64()?,
+            arith_instances: d.u64()?,
+            load_validations: d.u64()?,
+            arith_validations: d.u64()?,
+            validation_failures: d.u64()?,
+            no_free_vreg: d.u64()?,
+            instances_with_nonzero_offset: d.u64()?,
+            stores_checked: d.u64()?,
+            store_conflicts: d.u64()?,
+            elements_launched: d.u64()?,
+        })
+    } else {
+        None
+    };
+    r.element_usage = if d.u8()? == 1 {
+        Some(ElementUsage {
+            computed_used: d.u64()?,
+            computed_not_used: d.u64()?,
+            not_computed: d.u64()?,
+            registers_released: d.u64()?,
+        })
+    } else {
+        None
+    };
+    Some(r)
+}
+
+/// Loads a cache file; returns an empty map when the file is missing,
+/// truncated, from a different cache version, or written by a build whose
+/// simulator fingerprint differs (the results would be stale).
+#[must_use]
+pub fn read_cache(path: &Path) -> HashMap<u128, RunStats> {
+    let mut bytes = Vec::new();
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return HashMap::new();
+    };
+    if f.read_to_end(&mut bytes).is_err() {
+        return HashMap::new();
+    }
+    let mut d = De { buf: &bytes };
+    let Some(magic) = d.buf.split_at_checked(4) else {
+        return HashMap::new();
+    };
+    if magic.0 != MAGIC {
+        return HashMap::new();
+    }
+    d.buf = magic.1;
+    if d.u32() != Some(CACHE_VERSION) {
+        return HashMap::new();
+    }
+    if d.u64() != Some(simulator_fingerprint()) {
+        return HashMap::new();
+    }
+    let Some(count) = d.u64() else {
+        return HashMap::new();
+    };
+    let mut out = HashMap::new();
+    for _ in 0..count {
+        let Some(lo) = d.u64() else {
+            return HashMap::new();
+        };
+        let Some(hi) = d.u64() else {
+            return HashMap::new();
+        };
+        let Some(stats) = read_stats(&mut d) else {
+            return HashMap::new();
+        };
+        out.insert((u128::from(hi) << 64) | u128::from(lo), stats);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunConfig;
+    use crate::{ProcessorConfig, Workload};
+
+    fn sample() -> (CellKey, RunStats) {
+        let rc = RunConfig {
+            scale: 1,
+            max_insts: 5_000,
+        };
+        let cfg = ProcessorConfig::builder().vectorization(true).build();
+        let key = CellKey {
+            config: cfg.clone(),
+            workload: Workload::Compress,
+            scale: rc.scale,
+            max_insts: rc.max_insts,
+        };
+        let stats = sdv_uarch::simulate(&cfg, &Workload::Compress.build(rc.scale), rc.max_insts);
+        (key, stats)
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact_and_retains_foreign_entries() {
+        let (key, stats) = sample();
+        let dir = std::env::temp_dir().join(format!("sdv-cache-test-{}", std::process::id()));
+        let path = dir.join("cache.bin");
+        let mut entries = HashMap::new();
+        entries.insert(key.clone(), stats.clone());
+        // A previously loaded entry the session never revisited survives the
+        // rewrite (narrow sessions must not shrink a broad cache), and a
+        // stale copy of a revisited key is replaced, not duplicated.
+        let mut retained = HashMap::new();
+        retained.insert(0xdead_beef_u128, stats.clone());
+        retained.insert(key_hash(&key), RunStats::new(9));
+        write_cache(&path, &entries, &retained).expect("cache written");
+        let loaded = read_cache(&path);
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(
+            loaded.get(&key_hash(&key)),
+            Some(&stats),
+            "a disk hit must be bit-identical (and session entries win)"
+        );
+        assert_eq!(loaded.get(&0xdead_beef_u128), Some(&stats));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_within_a_build() {
+        assert_eq!(simulator_fingerprint(), simulator_fingerprint());
+        assert_ne!(simulator_fingerprint(), 0);
+    }
+
+    #[test]
+    fn key_hash_distinguishes_configs_and_budgets() {
+        let (key, _) = sample();
+        let mut other = key.clone();
+        other.max_insts += 1;
+        assert_ne!(key_hash(&key), key_hash(&other));
+        let mut scalar = key.clone();
+        scalar.config = ProcessorConfig::four_way(1, crate::PortKind::Scalar);
+        assert_ne!(key_hash(&key), key_hash(&scalar));
+        assert_eq!(key_hash(&key), key_hash(&key.clone()));
+    }
+
+    #[test]
+    fn bad_files_are_discarded() {
+        let dir = std::env::temp_dir().join(format!("sdv-cache-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.bin");
+        assert!(read_cache(&path).is_empty(), "missing file");
+        std::fs::write(&path, b"not a cache").unwrap();
+        assert!(read_cache(&path).is_empty(), "wrong magic");
+        std::fs::write(&path, b"SDVC\xff\xff\xff\xff").unwrap();
+        assert!(read_cache(&path).is_empty(), "wrong version");
+        // Right magic and version but a foreign simulator fingerprint.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&CACHE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(simulator_fingerprint() ^ 1).to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            read_cache(&path).is_empty(),
+            "a different build's results are stale"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

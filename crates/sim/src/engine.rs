@@ -22,12 +22,15 @@
 //! assert_eq!(suite.runs, again.runs);
 //! ```
 
+use crate::cachefile;
 use crate::runner::{RunConfig, SuiteResult};
 use crate::{ProcessorConfig, Workload};
 use sdv_uarch::RunStats;
 use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// The content identity of one simulation: configuration, workload and budget.
 ///
@@ -52,6 +55,8 @@ pub struct EngineReport {
     pub requested: u64,
     /// Unique cells actually simulated.
     pub simulated: u64,
+    /// Unique cells served from the persistent on-disk cache.
+    pub from_disk: u64,
 }
 
 impl EngineReport {
@@ -70,7 +75,99 @@ impl std::fmt::Display for EngineReport {
             self.simulated,
             self.deduplicated(),
             self.requested
-        )
+        )?;
+        if self.from_disk > 0 {
+            write!(f, " ({} from the on-disk cache)", self.from_disk)?;
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock accounting for one simulated cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTiming {
+    /// The configuration label (`1pV`, `4pnoIM`, …).
+    pub label: String,
+    /// The workload simulated.
+    pub workload: Workload,
+    /// Simulated cycles the run produced.
+    pub cycles: u64,
+    /// Wall-clock time the simulation took.
+    pub wall: Duration,
+}
+
+impl CellTiming {
+    /// Simulated cycles per wall-clock second for this cell.
+    #[must_use]
+    pub fn cycles_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.cycles as f64 / secs
+        }
+    }
+}
+
+/// Aggregate wall-clock statistics for every cell an engine simulated.
+///
+/// `wall` sums per-cell simulation time across worker threads (CPU time of
+/// the simulations, not batch latency); `session` is the elapsed time since
+/// the engine was created.  The headline throughput metric is
+/// [`EngineTiming::cycles_per_second`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineTiming {
+    /// Sum of per-cell wall-clock times.
+    pub wall: Duration,
+    /// Wall-clock time since the engine was created.
+    pub session: Duration,
+    /// Total simulated cycles across all simulated cells.
+    pub simulated_cycles: u64,
+    /// Per-cell timings, in simulation-completion order.
+    pub cells: Vec<CellTiming>,
+}
+
+impl EngineTiming {
+    /// Simulated cycles per second of simulation wall-clock.
+    #[must_use]
+    pub fn cycles_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.simulated_cycles as f64 / secs
+        }
+    }
+
+    /// The slowest cell, if any was simulated.
+    #[must_use]
+    pub fn slowest(&self) -> Option<&CellTiming> {
+        self.cells.iter().max_by_key(|c| c.wall)
+    }
+}
+
+impl std::fmt::Display for EngineTiming {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "engine timing: {} cells, {} simulated cycles in {:.3}s of simulation \
+             ({:.0} cycles/s; session wall-clock {:.3}s)",
+            self.cells.len(),
+            self.simulated_cycles,
+            self.wall.as_secs_f64(),
+            self.cycles_per_second(),
+            self.session.as_secs_f64()
+        )?;
+        if let Some(slow) = self.slowest() {
+            write!(
+                f,
+                "; slowest cell {}/{} at {:.3}s",
+                slow.label,
+                slow.workload,
+                slow.wall.as_secs_f64()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -86,6 +183,12 @@ pub struct RunEngine {
     cache: Mutex<HashMap<CellKey, RunStats>>,
     requested: AtomicU64,
     simulated: AtomicU64,
+    from_disk: AtomicU64,
+    timing: Mutex<EngineTiming>,
+    created: Instant,
+    /// Entries loaded from the persistent cache, keyed by content hash, and
+    /// the path to write the session back to.
+    disk: Option<(PathBuf, HashMap<u128, RunStats>)>,
 }
 
 impl RunEngine {
@@ -98,7 +201,54 @@ impl RunEngine {
             cache: Mutex::new(HashMap::new()),
             requested: AtomicU64::new(0),
             simulated: AtomicU64::new(0),
+            from_disk: AtomicU64::new(0),
+            timing: Mutex::new(EngineTiming::default()),
+            created: Instant::now(),
+            disk: None,
         }
+    }
+
+    /// Attaches a persistent on-disk cache: previously persisted results in
+    /// `dir` are served without re-simulation, and [`Self::persist`] writes
+    /// the session's results back.  Entries are invalidated by content-hash
+    /// mismatch (any configuration/workload/budget change misses) and the
+    /// whole file by a cache-version bump.
+    #[must_use]
+    pub fn with_disk_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        let path = dir.into().join("cache.bin");
+        let loaded = cachefile::read_cache(&path);
+        self.disk = Some((path, loaded));
+        self
+    }
+
+    /// The cache file path, when a disk cache is attached.
+    #[must_use]
+    pub fn cache_path(&self) -> Option<&Path> {
+        self.disk.as_ref().map(|(path, _)| path.as_path())
+    }
+
+    /// Writes every memoized result of this session back to the attached
+    /// cache file, carrying over previously persisted entries this session
+    /// did not revisit (a narrow run never shrinks a broad cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the cache file.  Does nothing when
+    /// no disk cache is attached.
+    pub fn persist(&self) -> std::io::Result<()> {
+        let Some((path, loaded)) = &self.disk else {
+            return Ok(());
+        };
+        let cache = self.cache.lock().expect("engine cache poisoned");
+        cachefile::write_cache(path, &cache, loaded)
+    }
+
+    /// Wall-clock accounting for the cells this engine actually simulated.
+    #[must_use]
+    pub fn timing(&self) -> EngineTiming {
+        let mut timing = self.timing.lock().expect("engine timing poisoned").clone();
+        timing.session = self.created.elapsed();
+        timing
     }
 
     /// Sets the number of worker threads used for a batch of unique cells
@@ -133,6 +283,7 @@ impl RunEngine {
         EngineReport {
             requested: self.requested.load(Ordering::Relaxed),
             simulated: self.simulated.load(Ordering::Relaxed),
+            from_disk: self.from_disk.load(Ordering::Relaxed),
         }
     }
 
@@ -198,19 +349,33 @@ impl RunEngine {
             .fetch_add(cells.len() as u64, Ordering::Relaxed);
         let keys: Vec<CellKey> = cells.iter().map(|(c, w)| self.key(c, *w)).collect();
 
-        // Collect the unique cells this batch actually needs to simulate.
+        // Collect the unique cells this batch actually needs to simulate;
+        // cells present in the persistent cache are promoted to the session
+        // cache without simulation.
         let misses: Vec<CellKey> = {
-            let cache = self.cache.lock().expect("engine cache poisoned");
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
             let mut seen = HashSet::new();
-            keys.iter()
-                .filter(|k| !cache.contains_key(*k) && seen.insert((*k).clone()))
-                .cloned()
-                .collect()
+            let mut misses = Vec::new();
+            for key in &keys {
+                if cache.contains_key(key) || !seen.insert(key.clone()) {
+                    continue;
+                }
+                if let Some((_, disk)) = &self.disk {
+                    if let Some(stats) = disk.get(&cachefile::key_hash(key)) {
+                        cache.insert(key.clone(), stats.clone());
+                        self.from_disk.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+                misses.push(key.clone());
+            }
+            misses
         };
 
         // Simulate the misses into index-addressed slots: result order (and
         // content) is identical whatever the thread count.
-        let slots: Vec<OnceLock<RunStats>> = misses.iter().map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<(RunStats, Duration)>> =
+            misses.iter().map(|_| OnceLock::new()).collect();
         let workers = self.threads.min(misses.len());
         if workers <= 1 {
             for (key, slot) in misses.iter().zip(&slots) {
@@ -234,7 +399,18 @@ impl RunEngine {
         let mut cache = self.cache.lock().expect("engine cache poisoned");
         let mut newly_cached = 0u64;
         for (key, slot) in misses.into_iter().zip(slots) {
-            let stats = slot.into_inner().expect("all slots filled");
+            let (stats, wall) = slot.into_inner().expect("all slots filled");
+            {
+                let mut timing = self.timing.lock().expect("engine timing poisoned");
+                timing.wall += wall;
+                timing.simulated_cycles += stats.cycles;
+                timing.cells.push(CellTiming {
+                    label: key.config.label(),
+                    workload: key.workload,
+                    cycles: stats.cycles,
+                    wall,
+                });
+            }
             if let std::collections::hash_map::Entry::Vacant(e) = cache.entry(key) {
                 e.insert(stats);
                 newly_cached += 1;
@@ -258,9 +434,11 @@ impl std::fmt::Debug for RunEngine {
 }
 
 /// The one place a cell becomes a simulation.
-fn simulate_cell(key: &CellKey) -> RunStats {
+fn simulate_cell(key: &CellKey) -> (RunStats, Duration) {
+    let start = Instant::now();
     let program = key.workload.build(key.scale);
-    sdv_uarch::simulate(&key.config, &program, key.max_insts)
+    let stats = sdv_uarch::simulate(&key.config, &program, key.max_insts);
+    (stats, start.elapsed())
 }
 
 #[cfg(test)]
@@ -319,6 +497,68 @@ mod tests {
             "parallel execution must be bit-identical to serial"
         );
         assert_eq!(serial.report(), parallel.report());
+    }
+
+    #[test]
+    fn timing_accounts_only_for_simulated_cells() {
+        let engine = RunEngine::new(rc());
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+        let first = engine.run_cell(&cfg, Workload::Compress);
+        let _ = engine.run_cell(&cfg, Workload::Compress); // cache hit
+        let timing = engine.timing();
+        assert_eq!(timing.cells.len(), 1, "cache hits are not timed");
+        assert_eq!(timing.simulated_cycles, first.cycles);
+        assert_eq!(timing.cells[0].label, cfg.label());
+        assert_eq!(timing.cells[0].workload, Workload::Compress);
+        assert!(timing.wall > Duration::ZERO);
+        assert!(timing.cycles_per_second() > 0.0);
+        assert!(timing.slowest().is_some());
+        let text = timing.to_string();
+        assert!(text.contains("cycles/s"), "{text}");
+    }
+
+    #[test]
+    fn disk_cache_round_trips_between_engines() {
+        let dir = std::env::temp_dir().join(format!("sdv-engine-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+
+        let writer = RunEngine::new(rc()).with_disk_cache(&dir);
+        let fresh = writer.run_cell(&cfg, Workload::Swim);
+        assert_eq!(writer.report().simulated, 1);
+        assert_eq!(writer.report().from_disk, 0);
+        writer.persist().expect("cache persisted");
+        assert!(writer.cache_path().expect("path set").exists());
+
+        let reader = RunEngine::new(rc()).with_disk_cache(&dir);
+        let cached = reader.run_cell(&cfg, Workload::Swim);
+        assert_eq!(cached, fresh, "disk hits are bit-identical");
+        let report = reader.report();
+        assert_eq!(report.simulated, 0, "nothing was re-simulated");
+        assert_eq!(report.from_disk, 1);
+        assert!(report.to_string().contains("on-disk"));
+        assert_eq!(reader.timing().cells.len(), 0, "disk hits are not timed");
+
+        // A different budget is a different content hash: full miss — and
+        // persisting this narrow session must not evict the earlier entry.
+        let other = RunEngine::new(RunConfig {
+            scale: 1,
+            max_insts: 9_000,
+        })
+        .with_disk_cache(&dir);
+        let _ = other.run_cell(&cfg, Workload::Swim);
+        assert_eq!(other.report().simulated, 1);
+        assert_eq!(other.report().from_disk, 0);
+        other.persist().expect("cache persisted");
+
+        let merged = RunEngine::new(rc()).with_disk_cache(&dir);
+        let _ = merged.run_cell(&cfg, Workload::Swim);
+        assert_eq!(
+            merged.report().from_disk,
+            1,
+            "the original entry survived the narrow session's persist"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

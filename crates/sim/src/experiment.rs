@@ -21,7 +21,7 @@
 //! assert_eq!(exp.report().simulated, before);
 //! ```
 
-use crate::engine::{EngineReport, RunEngine};
+use crate::engine::{EngineReport, EngineTiming, RunEngine};
 use crate::figures::{
     fig1, fig10, fig13, fig14, fig15, fig3, fig7, fig9, headline, port_sweep, Fig1, Fig13, Fig15,
     Fig7, Headline, PortSweep, WorkloadSeries,
@@ -54,6 +54,30 @@ impl Experiment {
     pub fn threads(mut self, threads: usize) -> Self {
         self.engine.set_threads(threads);
         self
+    }
+
+    /// Attaches a persistent on-disk result cache in `dir` (see
+    /// [`RunEngine::with_disk_cache`]).  Results are identical with or
+    /// without the cache; only wall-clock changes.
+    #[must_use]
+    pub fn disk_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.engine = self.engine.with_disk_cache(dir);
+        self
+    }
+
+    /// Persists the session's results to the attached disk cache, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the cache file.
+    pub fn persist(&self) -> std::io::Result<()> {
+        self.engine.persist()
+    }
+
+    /// Wall-clock accounting for the cells this session actually simulated.
+    #[must_use]
+    pub fn timing(&self) -> EngineTiming {
+        self.engine.timing()
     }
 
     /// Replaces the workload list.

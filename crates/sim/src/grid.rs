@@ -35,6 +35,10 @@ pub struct CellSpec {
     pub ports: usize,
     /// Wide-bus width in 64-bit elements (scalar variants ignore it).
     pub bus_words: usize,
+    /// DV vector length in elements (non-vectorizing variants ignore it).
+    pub vector_length: usize,
+    /// DV vector-register count (non-vectorizing variants ignore it).
+    pub vector_registers: usize,
     /// Memory front-end variant.
     pub variant: Variant,
     /// The processor configuration for this grid point.
@@ -60,6 +64,8 @@ pub struct SweepGrid {
     widths: Vec<MachineWidth>,
     ports: Vec<usize>,
     bus_words: Vec<usize>,
+    vector_lengths: Vec<usize>,
+    vector_registers: Vec<usize>,
     variants: Vec<Variant>,
 }
 
@@ -73,10 +79,13 @@ impl SweepGrid {
     /// The paper's default grid (identical to [`SweepGrid::paper`]).
     #[must_use]
     pub fn new() -> Self {
+        let paper_dv = sdv_core::DvConfig::default();
         SweepGrid {
             widths: MachineWidth::all().to_vec(),
             ports: vec![1, 2, 4],
             bus_words: vec![DEFAULT_BUS_WORDS],
+            vector_lengths: vec![paper_dv.vector_length],
+            vector_registers: vec![paper_dv.vector_registers],
             variants: Variant::all().to_vec(),
         }
     }
@@ -112,6 +121,30 @@ impl SweepGrid {
         self
     }
 
+    /// Replaces the DV vector-length axis (elements per vector register).
+    /// Only the vectorizing variant distinguishes these cells; the baselines
+    /// collapse across the axis and deduplicate in the engine.
+    #[must_use]
+    pub fn vector_lengths(mut self, vector_lengths: Vec<usize>) -> Self {
+        assert!(
+            !vector_lengths.is_empty(),
+            "a grid needs at least one vector length"
+        );
+        self.vector_lengths = vector_lengths;
+        self
+    }
+
+    /// Replaces the DV vector-register-count axis.
+    #[must_use]
+    pub fn vector_registers(mut self, vector_registers: Vec<usize>) -> Self {
+        assert!(
+            !vector_registers.is_empty(),
+            "a grid needs at least one register count"
+        );
+        self.vector_registers = vector_registers;
+        self
+    }
+
     /// Replaces the variant axis.
     #[must_use]
     pub fn variants(mut self, variants: Vec<Variant>) -> Self {
@@ -121,27 +154,39 @@ impl SweepGrid {
     }
 
     /// Expands the cartesian product into cell descriptors, in
-    /// width-major / ports / bus / variant-minor order.
+    /// width-major / ports / bus / vector-length / registers / variant-minor
+    /// order.
     ///
-    /// Note that scalar-bus cells are configuration-identical across the bus
-    /// axis; the [`crate::RunEngine`] deduplicates them, so requesting a wide
-    /// grid never simulates the scalar baseline more than once.
+    /// Note that cells which ignore an axis (the scalar baseline along the
+    /// bus axis, every non-vectorizing variant along the DV axes) are
+    /// configuration-identical; the [`crate::RunEngine`] deduplicates them,
+    /// so requesting a wide grid never simulates a baseline more than once.
     #[must_use]
     pub fn cells(&self) -> Vec<CellSpec> {
-        let mut cells = Vec::with_capacity(
-            self.widths.len() * self.ports.len() * self.bus_words.len() * self.variants.len(),
-        );
+        let mut cells = Vec::with_capacity(self.len());
         for &width in &self.widths {
             for &ports in &self.ports {
                 for &bus_words in &self.bus_words {
-                    for &variant in &self.variants {
-                        cells.push(CellSpec {
-                            width,
-                            ports,
-                            bus_words,
-                            variant,
-                            config: variant.config_with_bus(width, ports, bus_words),
-                        });
+                    for &vector_length in &self.vector_lengths {
+                        for &vector_registers in &self.vector_registers {
+                            for &variant in &self.variants {
+                                cells.push(CellSpec {
+                                    width,
+                                    ports,
+                                    bus_words,
+                                    vector_length,
+                                    vector_registers,
+                                    variant,
+                                    config: variant.config_with_dv(
+                                        width,
+                                        ports,
+                                        bus_words,
+                                        vector_length,
+                                        vector_registers,
+                                    ),
+                                });
+                            }
+                        }
                     }
                 }
             }
@@ -152,7 +197,12 @@ impl SweepGrid {
     /// Number of cells the grid expands to.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.widths.len() * self.ports.len() * self.bus_words.len() * self.variants.len()
+        self.widths.len()
+            * self.ports.len()
+            * self.bus_words.len()
+            * self.vector_lengths.len()
+            * self.vector_registers.len()
+            * self.variants.len()
     }
 
     /// Whether the grid is empty (it never is: every axis asserts non-empty).
@@ -220,5 +270,44 @@ mod tests {
     #[should_panic(expected = "at least one port count")]
     fn empty_axes_are_rejected() {
         let _ = SweepGrid::new().ports(Vec::new());
+    }
+
+    #[test]
+    fn dv_sizing_axes_expand_and_only_affect_the_vectorized_variant() {
+        let grid = SweepGrid::new()
+            .widths(vec![MachineWidth::FourWay])
+            .ports(vec![1])
+            .vector_lengths(vec![4, 8])
+            .vector_registers(vec![64, 128]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), grid.len());
+        assert_eq!(cells.len(), 2 * 2 * 3);
+        // The vectorized variant distinguishes all four sizings...
+        let v_labels: HashSet<String> = cells
+            .iter()
+            .filter(|c| c.variant == Variant::Vectorized)
+            .map(CellSpec::label)
+            .collect();
+        assert_eq!(v_labels.len(), 4);
+        assert!(
+            v_labels.contains("1pV"),
+            "paper sizing keeps the paper label"
+        );
+        assert!(v_labels.contains("1pVl8r64"));
+        // ...while each baseline collapses to one unique configuration.
+        for variant in [Variant::ScalarBus, Variant::WideBus] {
+            let unique: HashSet<&ProcessorConfig> = cells
+                .iter()
+                .filter(|c| c.variant == variant)
+                .map(|c| &c.config)
+                .collect();
+            assert_eq!(unique.len(), 1, "{variant:?} ignores the DV axes");
+        }
+        // The DV sizing really reaches the configuration.
+        let big = cells
+            .iter()
+            .find(|c| c.variant == Variant::Vectorized && c.vector_length == 8)
+            .expect("vl=8 cell");
+        assert_eq!(big.config.vectorization.expect("dv on").vector_length, 8);
     }
 }

@@ -48,6 +48,7 @@
 //! assert_eq!(grid.cells().len(), sweep.cells.len());
 //! ```
 
+pub mod cachefile;
 pub mod engine;
 pub mod experiment;
 pub mod figures;
@@ -56,7 +57,7 @@ pub mod report;
 pub mod runner;
 pub mod table1;
 
-pub use engine::{CellKey, EngineReport, RunEngine};
+pub use engine::{CellKey, CellTiming, EngineReport, EngineTiming, RunEngine};
 pub use experiment::Experiment;
 pub use figures::*;
 pub use grid::{CellSpec, SweepGrid};
@@ -129,13 +130,44 @@ impl Variant {
         ports: usize,
         bus_words: usize,
     ) -> ProcessorConfig {
-        ProcessorConfig::builder()
+        let paper = sdv_core::DvConfig::default();
+        self.config_with_dv(
+            width,
+            ports,
+            bus_words,
+            paper.vector_length,
+            paper.vector_registers,
+        )
+    }
+
+    /// Builds the processor configuration for this variant with explicit
+    /// wide-bus width and DV sizing (vector length in elements, number of
+    /// vector registers).  The DV axes are ignored by the non-vectorizing
+    /// variants, which therefore collapse across them in a sweep.
+    #[must_use]
+    pub fn config_with_dv(
+        &self,
+        width: MachineWidth,
+        ports: usize,
+        bus_words: usize,
+        vector_length: usize,
+        vector_registers: usize,
+    ) -> ProcessorConfig {
+        let builder = ProcessorConfig::builder()
             .issue_width(width.issue_width())
             .ports(ports)
             .port_kind(self.port_kind())
-            .bus_words(bus_words)
-            .vectorization(self.vectorized())
-            .build()
+            .bus_words(bus_words);
+        let builder = if self.vectorized() {
+            builder.dv_config(sdv_core::DvConfig {
+                vector_length,
+                vector_registers,
+                ..sdv_core::DvConfig::default()
+            })
+        } else {
+            builder
+        };
+        builder.build()
     }
 }
 

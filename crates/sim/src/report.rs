@@ -58,26 +58,48 @@ pub fn fig7_csv(fig: &Fig7) -> String {
 }
 
 /// CSV for the Figure 11/12 sweep (and extended §4.3 grids):
-/// `width,config,bus_words,workload,ipc,port_occupancy`.
+/// `width,config,bus_words,vl,vregs,workload,ipc,port_occupancy`.
 ///
 /// Configuration-identical cells (the scalar baseline repeated along the bus
-/// axis) are emitted once — [`PortSweep::unique_cells`], the same filter the
-/// `Fig11`/`Fig12` text output uses.
+/// axis, the non-vectorizing variants along the DV-sizing axes) are emitted
+/// once — [`PortSweep::unique_cells`], the same filter the `Fig11`/`Fig12`
+/// text output uses.
 #[must_use]
 pub fn sweep_csv(sweep: &PortSweep) -> String {
-    let mut out = String::from("width,config,bus_words,workload,ipc,port_occupancy\n");
+    let mut out = String::from("width,config,bus_words,vl,vregs,workload,ipc,port_occupancy\n");
     for cell in sweep.unique_cells() {
+        let dv = cell.spec.config.vectorization;
         for (w, stats) in &cell.suite.runs {
             out.push_str(&row([
                 cell.spec.width.label(),
                 cell.label(),
                 cell.spec.config.bus_words().to_string(),
+                dv.map_or_else(|| "-".to_string(), |d| d.vector_length.to_string()),
+                dv.map_or_else(|| "-".to_string(), |d| d.vector_registers.to_string()),
                 w.name().to_string(),
                 stats.ipc().to_string(),
                 stats.port_occupancy().to_string(),
             ]));
             out.push('\n');
         }
+    }
+    out
+}
+
+/// CSV for the engine's per-cell wall-clock accounting:
+/// `config,workload,cycles,wall_seconds,cycles_per_second`.
+#[must_use]
+pub fn timing_csv(timing: &crate::EngineTiming) -> String {
+    let mut out = String::from("config,workload,cycles,wall_seconds,cycles_per_second\n");
+    for cell in &timing.cells {
+        out.push_str(&row([
+            cell.label.clone(),
+            cell.workload.name().to_string(),
+            cell.cycles.to_string(),
+            cell.wall.as_secs_f64().to_string(),
+            cell.cycles_per_second().to_string(),
+        ]));
+        out.push('\n');
     }
     out
 }
@@ -171,7 +193,8 @@ mod tests {
         let csv = sweep_csv(&sweep);
         // 3 variants × 2 workloads + header.
         assert_eq!(csv.lines().count(), 1 + 3 * WS.len());
-        assert!(csv.contains("4-way,1pV,4,swim,"));
+        assert!(csv.contains("4-way,1pV,4,4,128,swim,"));
+        assert!(csv.contains("4-way,1pnoIM,1,-,-,"));
     }
 
     #[test]
@@ -185,6 +208,32 @@ mod tests {
         // 1 scalar cell + 3 IM + 3 V cells, one workload each, plus header.
         assert_eq!(csv.lines().count(), 1 + 7);
         assert_eq!(csv.matches("1pnoIM").count(), 1);
-        assert!(csv.contains("4-way,1pVb8,8,compress,"));
+        assert!(csv.contains("4-way,1pVb8,8,4,128,compress,"));
+    }
+
+    #[test]
+    fn sweep_csv_covers_the_dv_sizing_axes() {
+        let grid = SweepGrid::new()
+            .widths(vec![MachineWidth::FourWay])
+            .ports(vec![1])
+            .vector_lengths(vec![4, 8])
+            .vector_registers(vec![64, 128])
+            .variants(vec![crate::Variant::Vectorized]);
+        let sweep = port_sweep(&engine(), &[Workload::Compress], &grid);
+        let csv = sweep_csv(&sweep);
+        assert_eq!(csv.lines().count(), 1 + 4, "2 lengths × 2 register counts");
+        assert!(csv.contains("4-way,1pV,4,4,128,"));
+        assert!(csv.contains("4-way,1pVl8r64,4,8,64,"));
+        assert!(csv.contains("4-way,1pVr64,4,4,64,"));
+    }
+
+    #[test]
+    fn timing_csv_lists_simulated_cells() {
+        let engine = engine();
+        let _ = fig3(&engine, &[Workload::Compress]);
+        let csv = timing_csv(&engine.timing());
+        assert!(csv.starts_with("config,workload,cycles,wall_seconds"));
+        assert_eq!(csv.lines().count(), 2, "one simulated cell");
+        assert!(csv.contains("compress"));
     }
 }

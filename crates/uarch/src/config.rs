@@ -265,10 +265,12 @@ impl UarchConfig {
     /// This is the *single* place a configuration label is derived; everything
     /// else (variants, sweep cells, CSV export) goes through it, so a label
     /// can never disagree with the configuration that produced it.  The label
-    /// is injective over `(ports, port kind, vectorization, bus width)`:
-    /// non-paper bus widths get an explicit suffix (`1pVb8` is a 1-port
-    /// vectorizing machine with an 8-element wide bus), and the non-paper
-    /// "DV over scalar ports" combination is distinguished as `xpVs`.
+    /// is injective over `(ports, port kind, vectorization, bus width, DV
+    /// sizing)`: non-paper bus widths get an explicit suffix (`1pVb8` is a
+    /// 1-port vectorizing machine with an 8-element wide bus), non-paper DV
+    /// sizings get `l{vector length}` / `r{register count}` suffixes
+    /// (`1pVl8r64`), and the non-paper "DV over scalar ports" combination is
+    /// distinguished as `xpVs`.
     #[must_use]
     pub fn label(&self) -> String {
         let suffix = match (self.vectorization_enabled(), self.port_kind) {
@@ -280,6 +282,15 @@ impl UarchConfig {
         let mut label = format!("{}p{}", self.dcache_ports, suffix);
         if self.port_kind == PortKind::Wide && self.line_words() != DEFAULT_BUS_WORDS {
             label.push_str(&format!("b{}", self.line_words()));
+        }
+        if let Some(dv) = &self.vectorization {
+            let paper = DvConfig::default();
+            if dv.vector_length != paper.vector_length {
+                label.push_str(&format!("l{}", dv.vector_length));
+            }
+            if dv.vector_registers != paper.vector_registers {
+                label.push_str(&format!("r{}", dv.vector_registers));
+            }
         }
         label
     }

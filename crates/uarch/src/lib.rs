@@ -44,11 +44,12 @@
 pub mod config;
 pub mod fu;
 pub mod pipeline;
+pub mod seqset;
 pub mod stats;
 pub mod vector_dp;
 
 pub use config::{ConfigBuilder, FuClassConfig, FuConfig, UarchConfig, DEFAULT_BUS_WORDS};
 pub use fu::FuPool;
-pub use pipeline::{simulate, Processor};
+pub use pipeline::{simulate, Processor, Scheduler};
 pub use stats::RunStats;
 pub use vector_dp::VectorDatapath;

@@ -21,9 +21,31 @@
 //! * A store whose address falls in the range of a vector register (§3.6)
 //!   forces the younger in-flight instructions to re-execute and charges the
 //!   redirect penalty to the front end.
+//!
+//! # Scheduling
+//!
+//! The ROB is an indexed ring buffer ([`std::collections::VecDeque`] addressed
+//! by sequence number in O(1)).  Two interchangeable issue schedulers drive
+//! it:
+//!
+//! * [`Scheduler::Wakeup`] (the default) is event driven.  Each entry carries
+//!   a count of incomplete scalar producers; completions are scheduled on a
+//!   timing heap and, when they fire, wake their dependents through a
+//!   producer → waiters table.  Entries whose operands are all available sit
+//!   in program-ordered ready/validation queues, so issue touches only
+//!   issuable entries instead of scanning the whole window.  Entries waiting
+//!   on a *vector* element (whose readiness is signalled by the vector data
+//!   path, not by a ROB completion) sit in a small separate queue that is
+//!   re-polled each cycle.  Load/store disambiguation walks an indexed queue
+//!   of in-flight stores rather than the whole ROB prefix.
+//! * [`Scheduler::NaiveScan`] is the original full-window scan, retained as a
+//!   reference oracle: both schedulers issue the identical instruction
+//!   sequence cycle for cycle (a property test pins this on random programs),
+//!   so every statistic the simulator reports is bit-identical between them.
 
 use crate::config::UarchConfig;
 use crate::fu::FuPool;
+use crate::seqset::SeqSet;
 use crate::stats::RunStats;
 use crate::vector_dp::VectorDatapath;
 use sdv_core::{DecodeContext, DecodeOutcome, VectorizationEngine, VregId};
@@ -31,7 +53,50 @@ use sdv_emu::{EmuError, Emulator, Retired};
 use sdv_isa::{OpClass, Program, NUM_ARCH_REGS};
 use sdv_mem::{DataMemory, InstMemory, PortKind, PortSet, WideBusStats};
 use sdv_predictor::BranchPredictor;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Ready-queue indices: one queue per issue resource, so a structural hazard
+/// detected on one entry lets the whole group be skipped for the rest of the
+/// cycle.  `Q_LOAD`/`Q_STORE` are never masked (loads have per-entry port and
+/// forwarding outcomes; stores always issue), `Q_OTHER` holds classes that
+/// need no functional unit.
+const Q_LOAD: usize = 0;
+const Q_STORE: usize = 1;
+const Q_ALU: usize = 2;
+const Q_MUL: usize = 3;
+const Q_FPADD: usize = 4;
+const Q_FPMUL: usize = 5;
+const Q_OTHER: usize = 6;
+const NUM_READY_QUEUES: usize = 7;
+
+/// The ready queue an instruction class issues from.  Groups mirror the
+/// resource pools of [`FuPool`]: every class in a group competes for the same
+/// units, so one failed acquire exhausts the group for the cycle.
+fn ready_queue_of(class: OpClass) -> usize {
+    match class {
+        OpClass::Load => Q_LOAD,
+        OpClass::Store => Q_STORE,
+        OpClass::IntAlu | OpClass::Branch | OpClass::Jump => Q_ALU,
+        OpClass::IntMul | OpClass::IntDiv => Q_MUL,
+        OpClass::FpAdd => Q_FPADD,
+        OpClass::FpMul | OpClass::FpDiv => Q_FPMUL,
+        _ => Q_OTHER,
+    }
+}
+
+/// Address granule used by the store-overlap prefilter.
+const STORE_LINE_BYTES: u64 = 64;
+
+/// Which issue scheduler drives the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Event-driven wakeup scheduler with ready queues (the default).
+    #[default]
+    Wakeup,
+    /// The original O(window) per-cycle scan, kept as a reference oracle.
+    NaiveScan,
+}
 
 /// How a dispatched instruction will be executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +136,18 @@ struct RobEntry {
     mispredicted: bool,
     src_scalar: [Option<u64>; 2],
     src_vec: [Option<(VregId, u64, usize)>; 2],
+    /// Wakeup scoreboard: number of scalar producers not yet complete.
+    pending_scalar: u8,
+    /// Wakeup scoreboard: the entry has vector sources that must be polled.
+    has_vec_wait: bool,
+    /// Wakeup scoreboard: dependents to wake when this entry completes.
+    waiters: Vec<u64>,
+    /// Store-epoch at which this load's disambiguation verdict was cached
+    /// (`u64::MAX` = never computed).
+    disamb_epoch: u64,
+    /// Cached verdict: the load had an older overlapping known-address store
+    /// (i.e. it could issue by forwarding, without a cache port).
+    disamb_fwd: bool,
 }
 
 impl RobEntry {
@@ -100,6 +177,12 @@ impl RobEntry {
 
     fn completed(&self, cycle: u64) -> bool {
         self.issued && cycle >= self.complete_cycle
+    }
+
+    /// Whether this entry's result can wake scalar dependents (only entries
+    /// with a non-zero scalar destination ever appear in the map table).
+    fn wakes_dependents(&self) -> bool {
+        matches!(self.mode, ExecMode::Scalar) && self.retired.inst.dst.is_some_and(|d| !d.is_zero())
     }
 }
 
@@ -154,6 +237,45 @@ pub struct Processor {
     fetch_queue: VecDeque<FetchedInst>,
     map_table: Vec<SrcMapping>,
     lsq_occupancy: usize,
+    /// Sequence numbers of in-flight stores, in program order: the indexed
+    /// store queue used for load/store disambiguation.
+    store_queue: VecDeque<u64>,
+    sched: Scheduler,
+    /// Wakeup scheduler: per-FU-group queues of unissued entries whose
+    /// sources are ready (see the `Q_*` constants).
+    ready: [SeqSet; NUM_READY_QUEUES],
+    /// Wakeup scheduler: unissued validations, polled against the engine.
+    validations: SeqSet,
+    /// Wakeup scheduler: entries waiting only on vector elements.
+    vec_pending: SeqSet,
+    /// Wakeup scheduler: pending completion events `(cycle, producer seq)`.
+    completions: BinaryHeap<Reverse<(u64, u64)>>,
+    /// In-flight stores whose address is not yet known (subset of
+    /// `store_queue`), for O(log n) disambiguation checks.
+    unknown_stores: SeqSet,
+    /// 64-byte granules covered by in-flight stores with known addresses,
+    /// with reference counts: a load whose granules miss this map cannot
+    /// overlap any in-flight store, skipping the exact walk entirely.
+    store_lines: HashMap<u64, u32>,
+    /// Bumped whenever a store's address becomes known (store issue, squash
+    /// rebuild): loads cache their disambiguation verdict against it.  A
+    /// "cannot issue without a port" verdict can only be invalidated by a
+    /// store issue — committing or dispatching stores never turns a
+    /// no-forwarding load into a forwarding one — so the whole port-starved
+    /// load backlog can be parked per epoch and re-checked in O(1).
+    store_epoch: u64,
+    /// When equal to `Some(store_epoch)`: every load in the ready queue has a
+    /// valid no-forwarding verdict, so with no free port the whole queue is
+    /// skipped.  Invalidated by epoch bumps and by new ready loads.
+    parked_epoch: Option<u64>,
+    /// Reusable scratch buffer for the parking walk.
+    park_scratch: Vec<u64>,
+    /// Recycled waiter vectors (avoids an allocation per producer).
+    waiter_pool: Vec<Vec<u64>>,
+    /// Reusable scratch buffer for the vector-pending poll.
+    vec_scratch: Vec<u64>,
+    /// Optional issue trace `(cycle, seq)` for scheduler-equivalence tests.
+    issue_trace: Option<Vec<(u64, u64)>>,
     cycle: u64,
     /// No fetch before this cycle (I-cache miss or redirect penalty).
     fetch_ready_cycle: u64,
@@ -188,6 +310,20 @@ impl Processor {
             fetch_queue: VecDeque::with_capacity(cfg.fetch_width * 2),
             map_table: vec![SrcMapping::Ready; NUM_ARCH_REGS],
             lsq_occupancy: 0,
+            store_queue: VecDeque::new(),
+            sched: Scheduler::default(),
+            ready: std::array::from_fn(|_| SeqSet::new()),
+            validations: SeqSet::new(),
+            vec_pending: SeqSet::new(),
+            completions: BinaryHeap::new(),
+            unknown_stores: SeqSet::new(),
+            store_lines: HashMap::new(),
+            store_epoch: 0,
+            parked_epoch: None,
+            park_scratch: Vec::new(),
+            waiter_pool: Vec::new(),
+            vec_scratch: Vec::new(),
+            issue_trace: None,
             cycle: 0,
             fetch_ready_cycle: 0,
             fetch_blocked_on: None,
@@ -197,6 +333,30 @@ impl Processor {
             cfi_window_left: 0,
             cfg: cfg.clone(),
         }
+    }
+
+    /// Selects the issue scheduler.  Call before [`Self::run`]; both
+    /// schedulers produce bit-identical results.
+    pub fn set_scheduler(&mut self, sched: Scheduler) {
+        self.sched = sched;
+    }
+
+    /// The active issue scheduler.
+    #[must_use]
+    pub fn scheduler(&self) -> Scheduler {
+        self.sched
+    }
+
+    /// Enables (or disables) recording of the issue trace: one `(cycle, seq)`
+    /// pair per instruction, in the order issue decisions were made.  Used by
+    /// the scheduler-equivalence property test.
+    pub fn record_issue_trace(&mut self, enable: bool) {
+        self.issue_trace = enable.then(Vec::new);
+    }
+
+    /// Takes the recorded issue trace (empty if recording was never enabled).
+    pub fn take_issue_trace(&mut self) -> Vec<(u64, u64)> {
+        self.issue_trace.take().unwrap_or_default()
     }
 
     /// The configuration this processor was built with.
@@ -246,6 +406,12 @@ impl Processor {
     fn begin_cycle(&mut self) {
         self.ports.begin_cycle();
         self.fus.begin_cycle();
+    }
+
+    fn trace_issue(&mut self, seq: u64) {
+        if let Some(trace) = self.issue_trace.as_mut() {
+            trace.push((self.cycle, seq));
+        }
     }
 
     // ---------------------------------------------------------------- fetch
@@ -474,6 +640,13 @@ impl Processor {
         if r.inst.is_mem() {
             self.lsq_occupancy += 1;
         }
+        if r.inst.is_store() {
+            self.store_queue.push_back(r.seq);
+            if self.sched == Scheduler::Wakeup {
+                self.unknown_stores.insert(r.seq);
+            }
+        }
+        let seq = r.seq;
         self.rob.push_back(RobEntry {
             retired: r,
             class,
@@ -484,7 +657,74 @@ impl Processor {
             mispredicted: fetched.mispredicted,
             src_scalar,
             src_vec,
+            pending_scalar: 0,
+            has_vec_wait: false,
+            waiters: Vec::new(),
+            disamb_epoch: u64::MAX,
+            disamb_fwd: false,
         });
+        if self.sched == Scheduler::Wakeup {
+            self.register_dispatched(seq);
+        }
+    }
+
+    /// Wakeup scheduler: classify a freshly dispatched entry into the ready /
+    /// vector-pending / waiting state and register it with its producers.
+    fn register_dispatched(&mut self, seq: u64) {
+        let idx = self
+            .index_of_seq(seq)
+            .expect("entry was just pushed onto the ROB");
+        self.classify_unissued(seq, idx);
+    }
+
+    /// Shared scoreboard classification (used at dispatch and by the squash
+    /// rebuild): counts incomplete scalar producers, registers this entry as
+    /// their waiter, and routes it to the validation / ready / vector-pending
+    /// queue its operand state calls for.
+    fn classify_unissued(&mut self, seq: u64, idx: usize) {
+        if matches!(self.rob[idx].mode, ExecMode::Validation { .. }) {
+            self.validations.insert(seq);
+            return;
+        }
+        let src_scalar = self.rob[idx].src_scalar;
+        let src_vec = self.rob[idx].src_vec;
+        let mut pending: u8 = 0;
+        for producer in src_scalar.into_iter().flatten() {
+            if let Some(pidx) = self.index_of_seq(producer) {
+                if !self.rob[pidx].completed(self.cycle) {
+                    pending += 1;
+                    if self.rob[pidx].waiters.capacity() == 0 {
+                        if let Some(recycled) = self.waiter_pool.pop() {
+                            self.rob[pidx].waiters = recycled;
+                        }
+                    }
+                    self.rob[pidx].waiters.push(seq);
+                }
+            }
+        }
+        let has_vec_wait = self.engine.is_some() && src_vec.iter().any(Option::is_some);
+        {
+            let e = &mut self.rob[idx];
+            e.pending_scalar = pending;
+            e.has_vec_wait = has_vec_wait;
+        }
+        if pending == 0 {
+            if has_vec_wait && !self.vec_sources_satisfied(&src_vec) {
+                self.vec_pending.insert(seq);
+            } else {
+                self.insert_ready(seq, idx);
+            }
+        }
+    }
+
+    /// Inserts an entry into the ready queue of its issue group.
+    fn insert_ready(&mut self, seq: u64, idx: usize) {
+        let queue = ready_queue_of(self.rob[idx].class);
+        if queue == Q_LOAD {
+            // A fresh ready load has no disambiguation verdict yet.
+            self.parked_epoch = None;
+        }
+        self.ready[queue].insert(seq);
     }
 
     fn decode_context(r: &Retired) -> DecodeContext {
@@ -521,12 +761,19 @@ impl Processor {
                 }
             }
         }
+        self.vec_sources_satisfied(&entry.src_vec)
+    }
+
+    /// The vector half of [`Self::sources_ready`]: every vector source element
+    /// is ready, poisoned, or belongs to a re-allocated register.  Each of
+    /// those conditions is monotonic over an entry's lifetime.
+    fn vec_sources_satisfied(&self, src_vec: &[Option<(VregId, u64, usize)>; 2]) -> bool {
         if let Some(engine) = &self.engine {
-            for (vreg, generation, offset) in entry.src_vec.into_iter().flatten() {
-                let reallocated = engine.vreg_generation(vreg) != generation;
+            for (vreg, generation, offset) in src_vec.iter().flatten() {
+                let reallocated = engine.vreg_generation(*vreg) != *generation;
                 if !reallocated
-                    && !engine.element_ready(vreg, offset)
-                    && !engine.element_poisoned(vreg, offset)
+                    && !engine.element_ready(*vreg, *offset)
+                    && !engine.element_poisoned(*vreg, *offset)
                 {
                     return false;
                 }
@@ -546,6 +793,493 @@ impl Processor {
     }
 
     fn issue(&mut self) {
+        match self.sched {
+            Scheduler::Wakeup => self.issue_wakeup(),
+            Scheduler::NaiveScan => self.issue_naive(),
+        }
+    }
+
+    // ----------------------------------------------------- wakeup scheduler
+
+    /// Schedules the wakeup of `seq`'s dependents at its completion cycle.
+    fn push_completion(&mut self, seq: u64) {
+        let entry = self.entry_by_seq(seq).expect("entry just issued");
+        if entry.wakes_dependents() {
+            self.completions.push(Reverse((entry.complete_cycle, seq)));
+        }
+    }
+
+    /// Fires every completion event due this cycle, decrementing dependents'
+    /// pending counts and promoting entries whose operands are now all ready.
+    fn drain_completions(&mut self) {
+        while let Some(&Reverse((when, _))) = self.completions.peek() {
+            if when > self.cycle {
+                break;
+            }
+            let Reverse((_, producer)) = self.completions.pop().expect("peeked");
+            let Some(pidx) = self.index_of_seq(producer) else {
+                continue; // committed; its waiters were woken at commit
+            };
+            let deps = std::mem::take(&mut self.rob[pidx].waiters);
+            self.wake_dependents(&deps);
+        }
+    }
+
+    /// Decrements the pending count of each dependent; entries whose operands
+    /// are now all available enter a ready queue.
+    fn wake_dependents(&mut self, deps: &[u64]) {
+        for &dep in deps {
+            let Some(idx) = self.index_of_seq(dep) else {
+                continue;
+            };
+            let entry = &mut self.rob[idx];
+            if entry.issued {
+                continue;
+            }
+            entry.pending_scalar = entry.pending_scalar.saturating_sub(1);
+            if entry.pending_scalar > 0 {
+                continue;
+            }
+            let src_vec = entry.src_vec;
+            if entry.has_vec_wait && !self.vec_sources_satisfied(&src_vec) {
+                self.vec_pending.insert(dep);
+            } else {
+                self.insert_ready(dep, idx);
+            }
+        }
+    }
+
+    /// Re-polls entries waiting on vector elements (their readiness is driven
+    /// by the vector data path and the engine, not by ROB completions).
+    fn promote_vec_pending(&mut self) {
+        if self.vec_pending.is_empty() {
+            return;
+        }
+        let mut candidates = std::mem::take(&mut self.vec_scratch);
+        candidates.clear();
+        candidates.extend(self.vec_pending.iter().copied());
+        for seq in candidates.iter().copied() {
+            let Some(idx) = self.index_of_seq(seq) else {
+                self.vec_pending.remove(seq);
+                continue;
+            };
+            let src_vec = self.rob[idx].src_vec;
+            if self.vec_sources_satisfied(&src_vec) {
+                self.vec_pending.remove(seq);
+                self.insert_ready(seq, idx);
+            }
+        }
+        self.vec_scratch = candidates;
+    }
+
+    fn issue_wakeup(&mut self) {
+        self.drain_completions();
+        self.promote_vec_pending();
+
+        // Walk the pending validations and the per-group ready queues merged
+        // in program order, lazily: the scan stops as soon as the issue width
+        // is exhausted (exactly like the reference scan), and a group whose
+        // functional units are all busy is masked for the rest of the cycle —
+        // every later entry of that group would fail the same structural
+        // hazard, so skipping them is behaviour preserving.  Failed attempts
+        // with per-entry outcomes (loads: ports, MSHRs, disambiguation) are
+        // never masked.
+        const VALIDATION_HEAD: usize = NUM_READY_QUEUES;
+        // Per-queue position cursors: each queue is a sorted vector, so the
+        // merged program-order walk is plain indexed iteration — no searches.
+        // When the current element is removed (it issued), the next one
+        // shifts into its position and the cursor stays put; peers removed at
+        // later positions never precede a cursor, so positions stay valid.
+        let mut cursors = [0usize; NUM_READY_QUEUES + 1];
+        let mut masked = [false; NUM_READY_QUEUES + 1];
+        let queue_head =
+            |sets: &[SeqSet; NUM_READY_QUEUES], validations: &SeqSet, q: usize, pos: usize| {
+                if q == VALIDATION_HEAD {
+                    validations.get(pos)
+                } else {
+                    sets[q].get(pos)
+                }
+            };
+        let mut issued = 0;
+        while issued < self.cfg.issue_width {
+            // Pick the oldest head among unmasked groups.
+            let mut group = usize::MAX;
+            let mut seq = u64::MAX;
+            for q in 0..=NUM_READY_QUEUES {
+                if masked[q] {
+                    continue;
+                }
+                if let Some(s) = queue_head(&self.ready, &self.validations, q, cursors[q]) {
+                    if s < seq {
+                        seq = s;
+                        group = q;
+                    }
+                }
+            }
+            if group == usize::MAX {
+                break;
+            }
+            let Some(idx) = self.index_of_seq(seq) else {
+                cursors[group] += 1;
+                continue;
+            };
+            if self.rob[idx].issued {
+                // Served as a wide-bus peer earlier this cycle (removal
+                // happened behind the cursor's back is impossible; the entry
+                // is still queued only until the peer loop removes it).
+                cursors[group] += 1;
+                continue;
+            }
+            if group == VALIDATION_HEAD {
+                let ExecMode::Validation {
+                    vreg,
+                    generation,
+                    offset,
+                } = self.rob[idx].mode
+                else {
+                    unreachable!("validation queue holds only validations");
+                };
+                // Validations complete on their own once the element is ready;
+                // they do not consume issue bandwidth, functional units or
+                // cache ports.
+                if self.validation_ready(vreg, generation, offset) {
+                    let entry = &mut self.rob[idx];
+                    entry.issued = true;
+                    entry.complete_cycle = self.cycle + 1;
+                    self.validations.remove(seq);
+                    self.trace_issue(seq);
+                } else {
+                    cursors[group] += 1;
+                }
+                continue;
+            }
+            match group {
+                Q_STORE => {
+                    // Stores only compute their address at issue; memory is
+                    // updated at commit.
+                    let (addr, width) = {
+                        let entry = &mut self.rob[idx];
+                        entry.issued = true;
+                        entry.store_addr_known = true;
+                        entry.complete_cycle = self.cycle + 1;
+                        (entry.addr(), entry.width())
+                    };
+                    self.ready[Q_STORE].remove(seq);
+                    self.unknown_stores.remove(seq);
+                    self.add_store_lines(addr, width);
+                    self.store_epoch += 1;
+                    self.trace_issue(seq);
+                    issued += 1;
+                }
+                Q_LOAD => {
+                    if self.ports.free_this_cycle() == 0 {
+                        // Without ports only forwarding loads can issue; if
+                        // every queued load has a valid no-forward verdict
+                        // the whole queue is skipped for the cycle.
+                        if self.parked_epoch == Some(self.store_epoch) || self.try_park_loads() {
+                            masked[Q_LOAD] = true;
+                            continue;
+                        }
+                    }
+                    if self.try_issue_load_wakeup(seq) {
+                        issued += 1;
+                    } else {
+                        cursors[group] += 1;
+                    }
+                }
+                _ => {
+                    let class = self.rob[idx].class;
+                    if let Some(latency) = self.fus.try_issue(class) {
+                        if matches!(
+                            class,
+                            OpClass::IntAlu
+                                | OpClass::IntMul
+                                | OpClass::IntDiv
+                                | OpClass::FpAdd
+                                | OpClass::FpMul
+                                | OpClass::FpDiv
+                        ) {
+                            self.stats.scalar_arith_executed += 1;
+                        }
+                        let entry = &mut self.rob[idx];
+                        entry.issued = true;
+                        entry.complete_cycle = self.cycle + latency;
+                        self.ready[group].remove(seq);
+                        self.push_completion(seq);
+                        self.trace_issue(seq);
+                        issued += 1;
+                    } else {
+                        // Structural hazard: every unit of this group is busy
+                        // for the rest of the cycle.
+                        masked[group] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempts to park the ready-load queue: verifies (computing and caching
+    /// where stale) that every queued load has a no-forwarding disambiguation
+    /// verdict at the current store epoch.  Verdict computation has no side
+    /// effects, so this walk is invisible to the oracle semantics.
+    fn try_park_loads(&mut self) -> bool {
+        let mut loads = std::mem::take(&mut self.park_scratch);
+        loads.clear();
+        loads.extend(self.ready[Q_LOAD].iter().copied());
+        let mut all_no_forward = true;
+        for &seq in &loads {
+            let Some(idx) = self.index_of_seq(seq) else {
+                continue;
+            };
+            if self.rob[idx].issued {
+                continue;
+            }
+            if self.rob[idx].disamb_epoch != self.store_epoch {
+                let (known, forward) = self.older_store_state_indexed(seq);
+                let entry = &mut self.rob[idx];
+                entry.disamb_epoch = self.store_epoch;
+                entry.disamb_fwd = known && forward.is_some();
+            }
+            if self.rob[idx].disamb_fwd {
+                all_no_forward = false;
+                break;
+            }
+        }
+        self.park_scratch = loads;
+        if all_no_forward {
+            self.parked_epoch = Some(self.store_epoch);
+        }
+        all_no_forward
+    }
+
+    /// Granules (64-byte lines) covered by the access `[addr, addr + width)`.
+    fn store_line_span(addr: u64, width: u64) -> (u64, u64) {
+        let first = addr / STORE_LINE_BYTES;
+        let last = (addr + width.max(1) - 1) / STORE_LINE_BYTES;
+        (first, last)
+    }
+
+    fn add_store_lines(&mut self, addr: u64, width: u64) {
+        let (first, last) = Self::store_line_span(addr, width);
+        for line in first..=last {
+            *self.store_lines.entry(line).or_insert(0) += 1;
+        }
+    }
+
+    fn remove_store_lines(&mut self, addr: u64, width: u64) {
+        let (first, last) = Self::store_line_span(addr, width);
+        for line in first..=last {
+            if let Some(count) = self.store_lines.get_mut(&line) {
+                *count -= 1;
+                if *count == 0 {
+                    self.store_lines.remove(&line);
+                }
+            }
+        }
+    }
+
+    /// Whether `[addr, addr + width)` might overlap an in-flight store with a
+    /// known address (conservative, granule-based prefilter).
+    fn may_overlap_store(&self, addr: u64, width: u64) -> bool {
+        if self.store_lines.is_empty() {
+            return false;
+        }
+        let (first, last) = Self::store_line_span(addr, width);
+        (first..=last).any(|line| self.store_lines.contains_key(&line))
+    }
+
+    /// Whether every store older than `load_seq` has a known address, and, if
+    /// one of them overlaps the load, the youngest such store for forwarding.
+    ///
+    /// Fast paths: any older store with an unknown address answers `(false,
+    /// None)` in O(log n) via `unknown_stores`; a load whose granules miss
+    /// `store_lines` cannot overlap anything and answers `(true, None)`
+    /// without touching the store queue.  Only the rare potential-overlap
+    /// case walks the indexed store queue (in-flight stores, youngest first).
+    fn older_store_state_indexed(&self, load_seq: u64) -> (bool, Option<u64>) {
+        if self.unknown_stores.any_below(load_seq) {
+            return (false, None);
+        }
+        let load = self.entry_by_seq(load_seq).expect("load is in flight");
+        let (laddr, lwidth) = (load.addr(), load.width());
+        if !self.may_overlap_store(laddr, lwidth) {
+            return (true, None);
+        }
+        for &store_seq in self.store_queue.iter().rev() {
+            if store_seq >= load_seq {
+                continue; // younger than the load
+            }
+            let e = self.entry_by_seq(store_seq).expect("store is in flight");
+            debug_assert!(e.store_addr_known, "unknown stores were filtered above");
+            let (saddr, swidth) = (e.addr(), e.width());
+            if saddr < laddr + lwidth && laddr < saddr + swidth {
+                // Youngest overlapping store; all older addresses are known,
+                // so the search can stop here.
+                return (true, Some(store_seq));
+            }
+        }
+        (true, None)
+    }
+
+    fn try_issue_load_wakeup(&mut self, seq: u64) -> bool {
+        let ports_exhausted = self.ports.free_this_cycle() == 0;
+        if ports_exhausted {
+            // Without a port the load can only issue by store forwarding; a
+            // cached no-forward verdict (valid while the known-store set is
+            // unchanged) rejects it in O(1).
+            let entry = self.entry_by_seq(seq).expect("load is in flight");
+            if entry.disamb_epoch == self.store_epoch && !entry.disamb_fwd {
+                return false;
+            }
+        }
+        let (addrs_known, forward) = self.older_store_state_indexed(seq);
+        {
+            let idx = self.index_of_seq(seq).expect("load is in flight");
+            let entry = &mut self.rob[idx];
+            entry.disamb_epoch = self.store_epoch;
+            entry.disamb_fwd = addrs_known && forward.is_some();
+        }
+        if !addrs_known {
+            return false;
+        }
+        if let Some(store_seq) = forward {
+            // Store-to-load forwarding: the data comes from the LSQ.
+            let store_done = self
+                .entry_by_seq(store_seq)
+                .is_some_and(|s| s.completed(self.cycle));
+            if store_done {
+                let idx = self.index_of_seq(seq).expect("load is in flight");
+                let entry = &mut self.rob[idx];
+                entry.issued = true;
+                entry.complete_cycle = self.cycle + 1;
+                self.ready[Q_LOAD].remove(seq);
+                self.push_completion(seq);
+                self.trace_issue(seq);
+                self.stats.store_forwards += 1;
+                return true;
+            }
+            return false;
+        }
+        if self.ports.free_this_cycle() == 0 {
+            return false;
+        }
+        let addr = self.entry_by_seq(seq).expect("load is in flight").addr();
+        if !self.ports.try_acquire() {
+            return false;
+        }
+        let Some(done) = self.dmem.access(addr, false, self.cycle) else {
+            // All MSHRs busy: the port grant is wasted and the load retries.
+            return false;
+        };
+        {
+            let idx = self.index_of_seq(seq).expect("load is in flight");
+            let entry = &mut self.rob[idx];
+            entry.issued = true;
+            entry.complete_cycle = done;
+        }
+        self.ready[Q_LOAD].remove(seq);
+        self.push_completion(seq);
+        self.trace_issue(seq);
+        self.stats.load_accesses += 1;
+        self.stats.memory_accesses += 1;
+
+        // §3.7: on a wide bus every pending load to the same line is served by
+        // this single access.  Candidates are exactly the load ready queue:
+        // every unissued scalar-mode load whose sources are available.
+        let mut words_used = 1;
+        if self.ports.kind() == PortKind::Wide {
+            let line = self.dmem.line_addr(addr);
+            let mut served = Vec::new();
+            for &peer in &self.ready[Q_LOAD] {
+                if served.len() + 1 >= self.cfg.wide_loads_per_access {
+                    break;
+                }
+                let Some(e) = self.entry_by_seq(peer) else {
+                    continue;
+                };
+                if e.issued || !e.is_load() {
+                    continue;
+                }
+                if self.dmem.line_addr(e.addr()) != line {
+                    continue;
+                }
+                let (known, fwd) = self.older_store_state_indexed(peer);
+                if !known || fwd.is_some() {
+                    continue;
+                }
+                served.push(peer);
+            }
+            for &peer in &served {
+                let idx = self.index_of_seq(peer).expect("peer is in flight");
+                let entry = &mut self.rob[idx];
+                entry.issued = true;
+                entry.complete_cycle = done;
+                self.ready[Q_LOAD].remove(peer);
+                self.push_completion(peer);
+                self.trace_issue(peer);
+                self.stats.loads_served_by_peer += 1;
+            }
+            words_used += served.len();
+            self.wide_stats
+                .record(words_used.min(self.cfg.line_words()));
+        }
+        true
+    }
+
+    /// Rebuilds the wakeup state from the ROB after a squash re-opened
+    /// already-issued entries (rare: §3.6 store conflicts only).
+    fn rebuild_scheduler(&mut self) {
+        if self.sched != Scheduler::Wakeup {
+            return;
+        }
+        for queue in &mut self.ready {
+            queue.clear();
+        }
+        self.validations.clear();
+        self.vec_pending.clear();
+        self.completions.clear();
+        self.unknown_stores.clear();
+        self.store_lines.clear();
+        self.store_epoch += 1;
+        for idx in 0..self.rob.len() {
+            self.rob[idx].waiters.clear();
+        }
+        for &store_seq in &self.store_queue {
+            let entry = self
+                .entry_by_seq(store_seq)
+                .expect("store queue holds in-flight stores");
+            if !entry.store_addr_known {
+                self.unknown_stores.insert(store_seq);
+            }
+        }
+        let known_lines: Vec<(u64, u64)> = self
+            .store_queue
+            .iter()
+            .filter_map(|&s| {
+                let e = self.entry_by_seq(s).expect("in-flight store");
+                e.store_addr_known.then(|| (e.addr(), e.width()))
+            })
+            .collect();
+        for (addr, width) in known_lines {
+            self.add_store_lines(addr, width);
+        }
+        for idx in 0..self.rob.len() {
+            let seq = self.rob[idx].seq();
+            if self.rob[idx].issued {
+                if self.rob[idx].complete_cycle > self.cycle && self.rob[idx].wakes_dependents() {
+                    self.completions
+                        .push(Reverse((self.rob[idx].complete_cycle, seq)));
+                }
+                continue;
+            }
+            self.classify_unissued(seq, idx);
+        }
+    }
+
+    // ------------------------------------------------------ naive scheduler
+
+    /// Reference scheduler: the original per-cycle scan over the whole window.
+    fn issue_naive(&mut self) {
         let mut issued = 0;
         let mut idx = 0;
         while idx < self.rob.len() && issued < self.cfg.issue_width {
@@ -562,8 +1296,10 @@ impl Processor {
             } = self.rob[idx].mode
             {
                 if self.validation_ready(vreg, generation, offset) {
+                    let seq = self.rob[idx].seq();
                     self.rob[idx].issued = true;
                     self.rob[idx].complete_cycle = self.cycle + 1;
+                    self.trace_issue(seq);
                 }
                 idx += 1;
                 continue;
@@ -575,12 +1311,14 @@ impl Processor {
             let class = self.rob[idx].class;
             if self.rob[idx].is_store() {
                 // Stores only compute their address at issue; memory is updated at commit.
+                let seq = self.rob[idx].seq();
                 self.rob[idx].issued = true;
                 self.rob[idx].store_addr_known = true;
                 self.rob[idx].complete_cycle = self.cycle + 1;
+                self.trace_issue(seq);
                 issued += 1;
             } else if self.rob[idx].is_load() {
-                if self.try_issue_load(idx) {
+                if self.try_issue_load_naive(idx) {
                     issued += 1;
                 }
             } else {
@@ -596,8 +1334,10 @@ impl Processor {
                     ) {
                         self.stats.scalar_arith_executed += 1;
                     }
+                    let seq = self.rob[idx].seq();
                     self.rob[idx].issued = true;
                     self.rob[idx].complete_cycle = self.cycle + latency;
+                    self.trace_issue(seq);
                     issued += 1;
                 }
             }
@@ -606,8 +1346,9 @@ impl Processor {
     }
 
     /// Whether every store older than `idx` has a known address, and, if one of
-    /// them overlaps this load, returns its index for forwarding.
-    fn older_store_state(&self, idx: usize) -> (bool, Option<usize>) {
+    /// them overlaps this load, returns its index for forwarding (naive
+    /// reverse walk over the ROB prefix).
+    fn older_store_state_naive(&self, idx: usize) -> (bool, Option<usize>) {
         let load = &self.rob[idx];
         let (laddr, lwidth) = (load.addr(), load.width());
         let mut forward = None;
@@ -628,16 +1369,18 @@ impl Processor {
         (true, forward)
     }
 
-    fn try_issue_load(&mut self, idx: usize) -> bool {
-        let (addrs_known, forward) = self.older_store_state(idx);
+    fn try_issue_load_naive(&mut self, idx: usize) -> bool {
+        let (addrs_known, forward) = self.older_store_state_naive(idx);
         if !addrs_known {
             return false;
         }
         if let Some(store_idx) = forward {
             // Store-to-load forwarding: the data comes from the LSQ.
             if self.rob[store_idx].completed(self.cycle) {
+                let seq = self.rob[idx].seq();
                 self.rob[idx].issued = true;
                 self.rob[idx].complete_cycle = self.cycle + 1;
+                self.trace_issue(seq);
                 self.stats.store_forwards += 1;
                 return true;
             }
@@ -654,8 +1397,10 @@ impl Processor {
             // All MSHRs busy: the port grant is wasted and the load retries.
             return false;
         };
+        let seq = self.rob[idx].seq();
         self.rob[idx].issued = true;
         self.rob[idx].complete_cycle = done;
+        self.trace_issue(seq);
         self.stats.load_accesses += 1;
         self.stats.memory_accesses += 1;
 
@@ -681,15 +1426,17 @@ impl Processor {
                 if !self.sources_ready(&self.rob[j]) {
                     continue;
                 }
-                let (known, fwd) = self.older_store_state(j);
+                let (known, fwd) = self.older_store_state_naive(j);
                 if !known || fwd.is_some() {
                     continue;
                 }
                 served.push(j);
             }
             for &j in &served {
+                let seq = self.rob[j].seq();
                 self.rob[j].issued = true;
                 self.rob[j].complete_cycle = done;
+                self.trace_issue(seq);
                 self.stats.loads_served_by_peer += 1;
             }
             words_used += served.len();
@@ -743,7 +1490,30 @@ impl Processor {
                     self.squash_younger_than_front();
                 }
             }
-            let entry = self.rob.pop_front().expect("front exists");
+            let mut entry = self.rob.pop_front().expect("front exists");
+            if entry.is_store() {
+                let popped = self.store_queue.pop_front();
+                debug_assert_eq!(popped, Some(entry.seq()), "stores commit in order");
+                if self.sched == Scheduler::Wakeup && entry.store_addr_known {
+                    // Removing a store can only remove a forwarding source,
+                    // never create one, so cached no-forward verdicts (and
+                    // the parked queue) stay valid: no epoch bump.
+                    self.remove_store_lines(entry.addr(), entry.width());
+                }
+            }
+            if self.sched == Scheduler::Wakeup && !entry.waiters.is_empty() {
+                // The completion event for this entry is due this cycle but
+                // only fires during issue; waking the dependents now (still
+                // before the issue scan) is equivalent.
+                let waiters = std::mem::take(&mut entry.waiters);
+                self.wake_dependents(&waiters);
+                entry.waiters = waiters;
+            }
+            // Recycle the waiter allocation instead of freeing it.
+            if entry.waiters.capacity() > 0 && self.waiter_pool.len() < 256 {
+                entry.waiters.clear();
+                self.waiter_pool.push(std::mem::take(&mut entry.waiters));
+            }
             self.retire(&entry);
             committed += 1;
             self.last_commit_cycle = self.cycle;
@@ -815,16 +1585,22 @@ impl Processor {
         self.fetch_ready_cycle = self
             .fetch_ready_cycle
             .max(self.cycle + self.cfg.redirect_penalty);
+        self.rebuild_scheduler();
     }
 
     // -------------------------------------------------------------- helpers
 
-    fn entry_by_seq(&self, seq: u64) -> Option<&RobEntry> {
+    fn index_of_seq(&self, seq: u64) -> Option<usize> {
         let front = self.rob.front()?.seq();
         if seq < front {
             return None;
         }
-        self.rob.get((seq - front) as usize)
+        let idx = (seq - front) as usize;
+        (idx < self.rob.len()).then_some(idx)
+    }
+
+    fn entry_by_seq(&self, seq: u64) -> Option<&RobEntry> {
+        self.index_of_seq(seq).map(|idx| &self.rob[idx])
     }
 
     fn finalize(&mut self) {
@@ -1159,5 +1935,57 @@ mod tests {
         cfg.block_on_scalar_operand = true;
         let real = simulate(&cfg, &program, 1_000_000);
         assert!(real.ipc() <= ideal.ipc() * 1.001);
+    }
+
+    /// Runs `program` under both schedulers with the issue trace enabled and
+    /// asserts identical traces and statistics.
+    fn assert_schedulers_agree(program: &Program, cfg: &UarchConfig, max_insts: u64) {
+        let mut wakeup = Processor::new(cfg, program);
+        wakeup.record_issue_trace(true);
+        let wakeup_stats = wakeup.run(max_insts);
+        let wakeup_trace = wakeup.take_issue_trace();
+
+        let mut naive = Processor::new(cfg, program);
+        naive.set_scheduler(Scheduler::NaiveScan);
+        naive.record_issue_trace(true);
+        let naive_stats = naive.run(max_insts);
+        let naive_trace = naive.take_issue_trace();
+
+        assert_eq!(wakeup_trace, naive_trace, "issue sequences must match");
+        assert_eq!(wakeup_stats, naive_stats, "statistics must be identical");
+    }
+
+    #[test]
+    fn wakeup_matches_naive_scan_on_kernels() {
+        for vect in [false, true] {
+            for kind in [PortKind::Scalar, PortKind::Wide] {
+                let cfg = UarchConfig::four_way(1, kind).with_vectorization(vect);
+                assert_schedulers_agree(&strided_sum(300), &cfg, 100_000);
+                assert_schedulers_agree(&four_stream_sum(100), &cfg, 100_000);
+                assert_schedulers_agree(&pointer_chase(64), &cfg, 100_000);
+            }
+        }
+    }
+
+    #[test]
+    fn wakeup_matches_naive_scan_under_store_squashes() {
+        // The store-coherence loop exercises squash_younger_than_front and the
+        // scheduler rebuild.
+        let mut a = Asm::new();
+        let buf = a.data_u64(&vec![1u64; 128]);
+        let (p, v, c) = (x(1), x(2), x(3));
+        a.li(p, buf as i64);
+        a.li(c, 127);
+        a.label("loop");
+        a.ld(v, p, 0);
+        a.addi(v, v, 1);
+        a.sd(v, p, 8);
+        a.addi(p, p, 8);
+        a.addi(c, c, -1);
+        a.bne(c, ArchReg::ZERO, "loop");
+        a.halt();
+        let program = a.finish();
+        let cfg = UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+        assert_schedulers_agree(&program, &cfg, 1_000_000);
     }
 }

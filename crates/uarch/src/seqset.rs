@@ -1,0 +1,131 @@
+//! An ordered set of sequence numbers backed by a sorted `Vec`.
+//!
+//! The wakeup scheduler keeps several program-ordered queues (ready queues,
+//! pending validations, unknown-address stores).  Their populations are small
+//! (bounded by the instruction window) and the operations are dominated by
+//! ordered scans and point insert/remove, for which a sorted vector's binary
+//! search plus `memmove` beats a B-tree — especially in unoptimised builds,
+//! where pointer-chasing tree code pays full function-call freight on the
+//! simulator's hottest path.
+
+/// A sorted, duplicate-free set of `u64` sequence numbers.
+#[derive(Debug, Clone, Default)]
+pub struct SeqSet {
+    items: Vec<u64>,
+}
+
+impl SeqSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        SeqSet::default()
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Inserts `seq`; returns `true` if it was not already present.
+    pub fn insert(&mut self, seq: u64) -> bool {
+        match self.items.binary_search(&seq) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, seq);
+                true
+            }
+        }
+    }
+
+    /// Removes `seq`; returns `true` if it was present.
+    pub fn remove(&mut self, seq: u64) -> bool {
+        match self.items.binary_search(&seq) {
+            Ok(pos) => {
+                self.items.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The smallest element.
+    #[must_use]
+    pub fn first(&self) -> Option<u64> {
+        self.items.first().copied()
+    }
+
+    /// The element at `pos` in ascending order.
+    #[must_use]
+    pub fn get(&self, pos: usize) -> Option<u64> {
+        self.items.get(pos).copied()
+    }
+
+    /// The smallest element strictly greater than `seq`.
+    #[must_use]
+    pub fn next_after(&self, seq: u64) -> Option<u64> {
+        let pos = match self.items.binary_search(&seq) {
+            Ok(pos) => pos + 1,
+            Err(pos) => pos,
+        };
+        self.items.get(pos).copied()
+    }
+
+    /// The smallest element strictly smaller than `bound`, if any exists.
+    #[must_use]
+    pub fn any_below(&self, bound: u64) -> bool {
+        self.items.first().is_some_and(|&first| first < bound)
+    }
+
+    /// Iterates in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, u64> {
+        self.items.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SeqSet {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_insert_remove_and_queries() {
+        let mut s = SeqSet::new();
+        assert!(s.is_empty());
+        for seq in [5u64, 1, 9, 3, 7] {
+            assert!(s.insert(seq));
+        }
+        assert!(!s.insert(5), "duplicates are rejected");
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.first(), Some(1));
+        assert_eq!(s.next_after(3), Some(5));
+        assert_eq!(s.next_after(4), Some(5));
+        assert_eq!(s.next_after(9), None);
+        assert!(s.any_below(2));
+        assert!(!s.any_below(1));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![1, 3, 7, 9]);
+        s.clear();
+        assert_eq!(s.first(), None);
+    }
+}

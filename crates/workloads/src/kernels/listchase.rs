@@ -1,0 +1,116 @@
+//! `listchase`: pointer-chasing traversal of two interleaved linked lists.
+//!
+//! A post-paper stress kernel: two independent, scrambled singly-linked lists
+//! of 32-byte nodes are walked in lockstep, summing two payload words per
+//! node.  Every `next` pointer is a dependent, irregularly-addressed load —
+//! the worst case for the Table of Loads — while the two chains give the
+//! out-of-order window some memory-level parallelism to extract.  Unlike the
+//! `li` analogue there are no stride-0 interpreter globals: the kernel is
+//! pure pointer chasing.
+
+use super::util::x;
+use sdv_isa::{ArchReg, Asm, Program};
+
+const NODES: usize = 2048;
+/// Words per node: `next`, two payload words, one pad word (32 bytes).
+const NODE_WORDS: usize = 4;
+
+/// The payload values of chain `chain`.
+fn payloads(chain: u64) -> (Vec<u64>, Vec<u64>) {
+    (
+        super::util::random_u64s(0x31 + chain, NODES, 10_000),
+        super::util::random_u64s(0x41 + chain, NODES, 10_000),
+    )
+}
+
+/// Builds the node image for one chain laid out at `base`, returning the
+/// words and the address of the chain's head.
+fn chain_words(chain: u64, base: u64) -> (Vec<u64>, u64) {
+    let order = super::util::permutation(0x21 + chain, NODES);
+    let (k1, k2) = payloads(chain);
+    let mut words = vec![0u64; NODES * NODE_WORDS];
+    for w in 0..NODES {
+        let node = order[w];
+        words[node * NODE_WORDS] = if w + 1 < NODES {
+            base + (order[w + 1] * NODE_WORDS * 8) as u64
+        } else {
+            0
+        };
+        words[node * NODE_WORDS + 1] = k1[node];
+        words[node * NODE_WORDS + 2] = k2[node];
+    }
+    (words, base + (order[0] * NODE_WORDS * 8) as u64)
+}
+
+/// Builds the kernel with `scale * 2` lockstep traversals of both chains.
+#[must_use]
+pub fn build(scale: u64) -> Program {
+    let mut a = Asm::new();
+    let base0 = sdv_isa::program::DATA_BASE;
+    let (words0, head0) = chain_words(0, base0);
+    let placed = a.data_u64(&words0);
+    assert_eq!(placed, base0, "first chain starts at the data base");
+    // Data allocations are sequential and 8-aligned, so the second chain's
+    // base is known before it is placed.
+    let base1 = base0 + (words0.len() * 8) as u64;
+    let (words1, head1) = chain_words(1, base1);
+    let placed1 = a.data_u64(&words1);
+    assert_eq!(placed1, base1, "second chain follows the first");
+
+    let (outer, p1, p2, v, sum) = (x(1), x(2), x(3), x(4), x(5));
+    a.li(outer, (scale.max(1) * 2) as i64);
+    a.li(sum, 0);
+    a.label("outer");
+    a.li(p1, head0 as i64);
+    a.li(p2, head1 as i64);
+    a.label("walk");
+    a.ld(v, p1, 8);
+    a.add(sum, sum, v);
+    a.ld(v, p1, 16);
+    a.add(sum, sum, v);
+    a.ld(v, p2, 8);
+    a.add(sum, sum, v);
+    a.ld(v, p2, 16);
+    a.add(sum, sum, v);
+    a.ld(p1, p1, 0);
+    a.ld(p2, p2, 0);
+    a.bne(p1, ArchReg::ZERO, "walk");
+    a.addi(outer, outer, -1);
+    a.bne(outer, ArchReg::ZERO, "outer");
+    a.halt();
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_emu::Emulator;
+
+    #[test]
+    fn sums_every_payload_of_both_chains() {
+        let mut emu = Emulator::new(&build(1));
+        emu.run(10_000_000);
+        assert!(emu.halted());
+        let mut expected = 0u64;
+        for chain in 0..2 {
+            let (k1, k2) = payloads(chain);
+            expected += k1.iter().sum::<u64>() + k2.iter().sum::<u64>();
+        }
+        assert_eq!(emu.int_reg(x(5)), expected * 2, "two traversals");
+    }
+
+    #[test]
+    fn next_pointers_are_irregular() {
+        use sdv_emu::StrideProfiler;
+        let mut p = StrideProfiler::new();
+        let mut emu = Emulator::new(&build(1));
+        emu.run_with(200_000, |r| p.observe_retired(r));
+        let s = p.stats();
+        assert!(
+            s.other > s.total / 3,
+            "chased pointers dominate: {} irregular of {}",
+            s.other,
+            s.total
+        );
+    }
+}

@@ -12,7 +12,9 @@ pub mod gcc;
 pub mod go;
 pub mod ijpeg;
 pub mod li;
+pub mod listchase;
 pub mod m88ksim;
+pub mod matblock;
 pub mod perl;
 pub mod swim;
 pub mod turb3d;

@@ -57,6 +57,12 @@ pub enum Workload {
     Turb3d,
     /// `fpppp`: huge FP basic blocks with stride-0 spill traffic.
     Fpppp,
+    /// `listchase`: two interleaved pointer-chasing linked lists (post-paper
+    /// stress kernel; not part of the SPEC95-analogue suite of the figures).
+    ListChase,
+    /// `matblock`: blocked dense matrix multiply (post-paper FP kernel; not
+    /// part of the SPEC95-analogue suite of the figures).
+    MatBlock,
 }
 
 impl Workload {
@@ -76,6 +82,30 @@ impl Workload {
             Workload::Applu,
             Workload::Turb3d,
             Workload::Fpppp,
+        ]
+    }
+
+    /// The paper suite plus the post-paper kernels (`listchase`,
+    /// `matblock`).  [`Workload::all`] stays the exact figure suite so the
+    /// paper's numbers are untouched; sweeps and `repro --extended` use this
+    /// superset.
+    #[must_use]
+    pub fn extended() -> [Workload; 14] {
+        [
+            Workload::Go,
+            Workload::M88ksim,
+            Workload::Gcc,
+            Workload::Compress,
+            Workload::Li,
+            Workload::Ijpeg,
+            Workload::Perl,
+            Workload::Vortex,
+            Workload::ListChase,
+            Workload::Swim,
+            Workload::Applu,
+            Workload::Turb3d,
+            Workload::Fpppp,
+            Workload::MatBlock,
         ]
     }
 
@@ -121,6 +151,8 @@ impl Workload {
             Workload::Applu => "applu",
             Workload::Turb3d => "turb3d",
             Workload::Fpppp => "fpppp",
+            Workload::ListChase => "listchase",
+            Workload::MatBlock => "matblock",
         }
     }
 
@@ -129,7 +161,11 @@ impl Workload {
     pub fn is_fp(&self) -> bool {
         matches!(
             self,
-            Workload::Swim | Workload::Applu | Workload::Turb3d | Workload::Fpppp
+            Workload::Swim
+                | Workload::Applu
+                | Workload::Turb3d
+                | Workload::Fpppp
+                | Workload::MatBlock
         )
     }
 
@@ -149,6 +185,8 @@ impl Workload {
             Workload::Applu => kernels::applu::build(scale),
             Workload::Turb3d => kernels::turb3d::build(scale),
             Workload::Fpppp => kernels::fpppp::build(scale),
+            Workload::ListChase => kernels::listchase::build(scale),
+            Workload::MatBlock => kernels::matblock::build(scale),
         }
     }
 }
@@ -205,6 +243,30 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), 12, "names are unique");
         assert_eq!(Workload::Go.to_string(), "go");
+    }
+
+    #[test]
+    fn extended_suite_adds_the_post_paper_kernels() {
+        let extended = Workload::extended();
+        assert_eq!(extended.len(), 14);
+        for w in Workload::all() {
+            assert!(extended.contains(&w), "{w} is part of the extended suite");
+        }
+        assert!(extended.contains(&Workload::ListChase));
+        assert!(extended.contains(&Workload::MatBlock));
+        assert!(!Workload::ListChase.is_fp());
+        assert!(Workload::MatBlock.is_fp());
+        assert!(
+            !Workload::all().contains(&Workload::ListChase),
+            "the paper suite is untouched"
+        );
+        // The new kernels build and terminate like every other workload.
+        for w in [Workload::ListChase, Workload::MatBlock] {
+            let mut emu = sdv_emu::Emulator::new(&w.build(1));
+            emu.run(10_000_000);
+            assert!(emu.halted(), "{w} halts");
+            assert!(emu.retired_count() > 1_000, "{w} does real work");
+        }
     }
 
     #[test]

@@ -160,4 +160,37 @@ proptest! {
         // the scalar arithmetic count.
         prop_assert!(dv.scalar_arith_executed <= base.scalar_arith_executed);
     }
+
+    /// Scheduler-equivalence oracle: on random programs, the event-driven
+    /// wakeup scheduler must issue the *same instruction sequence* — cycle by
+    /// cycle, sequence number by sequence number — as the naive full-window
+    /// scan it replaced, and produce bit-identical statistics.
+    #[test]
+    fn wakeup_scheduler_issues_the_same_sequence_as_the_full_scan_oracle(
+        steps in proptest::collection::vec(step_strategy(), 1..8),
+        iterations in 1u8..20,
+        vectorize in any::<bool>(),
+        wide in any::<bool>(),
+    ) {
+        use sdv::uarch::{Processor, Scheduler};
+        let steps = dedup_strided(steps);
+        let program = build_program(&steps, iterations);
+        let kind = if wide { PortKind::Wide } else { PortKind::Scalar };
+        let cfg = ProcessorConfig::four_way(1, kind).with_vectorization(vectorize);
+
+        let mut wakeup = Processor::new(&cfg, &program);
+        wakeup.record_issue_trace(true);
+        let wakeup_stats = wakeup.run(1_000_000);
+        let wakeup_trace = wakeup.take_issue_trace();
+
+        let mut oracle = Processor::new(&cfg, &program);
+        oracle.set_scheduler(Scheduler::NaiveScan);
+        oracle.record_issue_trace(true);
+        let oracle_stats = oracle.run(1_000_000);
+        let oracle_trace = oracle.take_issue_trace();
+
+        prop_assert!(!wakeup_trace.is_empty(), "something must issue");
+        prop_assert_eq!(&wakeup_trace, &oracle_trace, "issue sequences diverge");
+        prop_assert_eq!(wakeup_stats, oracle_stats, "statistics diverge");
+    }
 }
