@@ -4,7 +4,7 @@
 //! repro [--quick|--standard|--thorough] [--threads N]
 //!       [--table1] [--fig N]... [--headline] [--all] [--extended]
 //!       [--vl L1,L2,...] [--vregs R1,R2,...]
-//!       [--csv PATH] [--cache-dir DIR | --no-cache]
+//!       [--csv PATH] [--timing-json PATH] [--cache-dir DIR | --no-cache]
 //! ```
 //!
 //! With no selection arguments everything is regenerated.  All generators
@@ -42,6 +42,7 @@ struct Options {
     vector_lengths: Option<Vec<usize>>,
     vector_registers: Option<Vec<usize>>,
     csv: Option<std::path::PathBuf>,
+    timing_json: Option<std::path::PathBuf>,
     cache_dir: Option<std::path::PathBuf>,
     no_cache: bool,
 }
@@ -74,6 +75,7 @@ fn parse_args() -> Options {
         vector_lengths: None,
         vector_registers: None,
         csv: None,
+        timing_json: None,
         cache_dir: None,
         no_cache: false,
     };
@@ -117,6 +119,12 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| panic!("--csv requires a path"));
                 opts.csv = Some(path.into());
             }
+            "--timing-json" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--timing-json requires a path"));
+                opts.timing_json = Some(path.into());
+            }
             "--cache-dir" => {
                 let dir = args
                     .next()
@@ -129,7 +137,7 @@ fn parse_args() -> Options {
                     "unknown argument `{other}` \
                      (try --all, --fig N, --table1, --headline, --threads N, \
                       --extended, --vl L1,L2, --vregs R1,R2, --csv PATH, \
-                      --cache-dir DIR, --no-cache)"
+                      --timing-json PATH, --cache-dir DIR, --no-cache)"
                 )
             }
         }
@@ -213,7 +221,12 @@ fn main() {
     }
 
     println!("{}", exp.report());
-    println!("{}", exp.timing());
+    let timing = exp.timing();
+    println!("{timing}");
+    if let Some(path) = &opts.timing_json {
+        std::fs::write(path, report::timing_json(&timing)).expect("timing JSON written");
+        println!("engine timing written to {}", path.display());
+    }
     if !opts.no_cache {
         match exp.persist() {
             Ok(()) => {

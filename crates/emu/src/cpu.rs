@@ -3,7 +3,7 @@
 use crate::memory::SparseMemory;
 use crate::trace::{MemAccess, Retired};
 use sdv_isa::program::STACK_TOP;
-use sdv_isa::{ArchReg, Opcode, Program};
+use sdv_isa::{ArchReg, Inst, Opcode, Program};
 use std::fmt;
 
 /// Errors raised while emulating a program.
@@ -164,6 +164,75 @@ impl Emulator {
         }
         let pc = self.pc;
         let inst = *self.program.inst_at(pc).ok_or(EmuError::InvalidPc(pc))?;
+        Ok(self.exec(pc, inst))
+    }
+
+    /// Retires up to `max_n` instructions in one call, appending the records
+    /// to `out` and returning how many were executed.
+    ///
+    /// This is the batched front-end hand-off: the PC is translated to a text
+    /// index **once** for the whole group and sequential flow advances the
+    /// index directly, instead of re-deriving it from the PC on every
+    /// instruction the way [`Self::step`] does.  With `stop_on_redirect` the
+    /// group additionally ends after a taken control transfer, which aligns
+    /// group boundaries with a fetch group (at most one taken branch per
+    /// group).  The group always ends when the program halts; the `halt`
+    /// instruction itself is retired as the last record and [`Self::halted`]
+    /// turns true.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::Halted`] if the program had already halted before
+    /// the call, and [`EmuError::InvalidPc`] if the PC is outside the text
+    /// segment before any instruction of the group could execute.  A PC that
+    /// leaves the text segment *mid*-group ends the group instead; the next
+    /// call reports the error.
+    pub fn step_group(
+        &mut self,
+        max_n: usize,
+        stop_on_redirect: bool,
+        out: &mut Vec<Retired>,
+    ) -> Result<usize, EmuError> {
+        if self.halted {
+            return Err(EmuError::Halted);
+        }
+        if max_n == 0 {
+            return Ok(0);
+        }
+        let mut idx = self
+            .program
+            .index_of_pc(self.pc)
+            .ok_or(EmuError::InvalidPc(self.pc))?;
+        let mut n = 0;
+        while n < max_n {
+            let Some(&inst) = self.program.insts().get(idx) else {
+                break; // ran off the text segment; the next call errors
+            };
+            let pc = Program::pc_of(idx);
+            let r = self.exec(pc, inst);
+            out.push(r);
+            n += 1;
+            if self.halted {
+                break;
+            }
+            if r.taken {
+                if stop_on_redirect {
+                    break;
+                }
+                match self.program.index_of_pc(r.next_pc) {
+                    Some(target) => idx = target,
+                    None => break, // the next call reports InvalidPc
+                }
+            } else {
+                idx += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Executes one already-fetched instruction at `pc` (the interpreter body
+    /// shared by [`Self::step`] and [`Self::step_group`]).
+    fn exec(&mut self, pc: u64, inst: Inst) -> Retired {
         let src1_value = self.read_src(inst.src1);
         let src2_value = self.read_src(inst.src2);
         let mut next_pc = pc + 4;
@@ -345,7 +414,7 @@ impl Emulator {
         self.pc = next_pc;
         let seq = self.retired;
         self.retired += 1;
-        Ok(Retired {
+        Retired {
             seq,
             pc,
             inst,
@@ -355,7 +424,7 @@ impl Emulator {
             src1_value,
             src2_value,
             dst_value,
-        })
+        }
     }
 
     /// Runs until the program halts or `max_insts` instructions have retired,
@@ -647,6 +716,84 @@ mod tests {
         assert_eq!(n, 8);
         assert_eq!(loads, 0);
         assert_eq!(emu.retired_count(), 8);
+    }
+
+    #[test]
+    fn step_group_matches_per_instruction_stepping() {
+        let build = || {
+            let mut a = Asm::new();
+            let buf = a.data_u64(&[5, 6, 7, 8]);
+            a.li(x(1), buf as i64);
+            a.li(x(2), 0);
+            a.li(x(3), 4);
+            a.label("loop");
+            a.ld(x(4), x(1), 0);
+            a.add(x(2), x(2), x(4));
+            a.addi(x(1), x(1), 8);
+            a.addi(x(3), x(3), -1);
+            a.bne(x(3), x(0), "loop");
+            a.halt();
+            a.finish()
+        };
+        let program = build();
+        let mut reference = Emulator::new(&program);
+        let expected = reference.run(1_000);
+
+        for stop_on_redirect in [false, true] {
+            for group in [1usize, 3, 4, 8] {
+                let mut emu = Emulator::new(&program);
+                let mut got = Vec::new();
+                loop {
+                    match emu.step_group(group, stop_on_redirect, &mut got) {
+                        Ok(_) => {}
+                        Err(EmuError::Halted) => break,
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                    if emu.halted() {
+                        break;
+                    }
+                }
+                assert_eq!(
+                    got, expected,
+                    "group={group} stop_on_redirect={stop_on_redirect}"
+                );
+                assert_eq!(emu.int_reg(x(2)), reference.int_reg(x(2)));
+            }
+        }
+    }
+
+    #[test]
+    fn step_group_stops_on_taken_transfers_when_asked() {
+        let mut a = Asm::new();
+        a.li(x(1), 2);
+        a.label("loop");
+        a.addi(x(1), x(1), -1);
+        a.bne(x(1), x(0), "loop");
+        a.halt();
+        let program = a.finish();
+        let mut emu = Emulator::new(&program);
+        let mut out = Vec::new();
+        // First group: li, addi, bne (taken) — stops at the redirect.
+        let n = emu.step_group(16, true, &mut out).unwrap();
+        assert_eq!(n, 3);
+        assert!(out[2].taken);
+        // Second group runs to the halt and retires it.
+        let n = emu.step_group(16, true, &mut out).unwrap();
+        assert_eq!(n, 3, "addi, bne (not taken), halt");
+        assert!(emu.halted());
+        assert_eq!(emu.step_group(16, true, &mut out), Err(EmuError::Halted));
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn step_group_zero_budget_is_a_no_op() {
+        let mut a = Asm::new();
+        a.halt();
+        let mut emu = Emulator::new(&a.finish());
+        let mut out = Vec::new();
+        assert_eq!(emu.step_group(0, true, &mut out), Ok(0));
+        assert!(out.is_empty());
+        assert!(!emu.halted());
     }
 
     #[test]

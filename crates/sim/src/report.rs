@@ -104,6 +104,63 @@ pub fn timing_csv(timing: &crate::EngineTiming) -> String {
     out
 }
 
+/// Minimal JSON string escaping (labels and workload names are plain ASCII,
+/// but quotes/backslashes must never corrupt the document).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable JSON for the engine's wall-clock accounting — the payload
+/// behind `repro --timing-json` and the CI perf-regression gate
+/// (`tools/timing_diff.py` compares `cycles_per_second` against a committed
+/// `BENCH_*.json` baseline).
+#[must_use]
+pub fn timing_json(timing: &crate::EngineTiming) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"sdv-engine-timing/1\",\n");
+    out.push_str(&format!("  \"cells\": {},\n", timing.cells.len()));
+    out.push_str(&format!(
+        "  \"simulated_cycles\": {},\n",
+        timing.simulated_cycles
+    ));
+    out.push_str(&format!(
+        "  \"wall_seconds\": {},\n",
+        timing.wall.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "  \"session_seconds\": {},\n",
+        timing.session.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "  \"cycles_per_second\": {},\n",
+        timing.cycles_per_second()
+    ));
+    out.push_str("  \"per_cell\": [\n");
+    for (i, cell) in timing.cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"config\": \"{}\", \"workload\": \"{}\", \"cycles\": {}, \
+             \"wall_seconds\": {}, \"cycles_per_second\": {}}}{}\n",
+            json_escape(&cell.label),
+            json_escape(cell.workload.name()),
+            cell.cycles,
+            cell.wall.as_secs_f64(),
+            cell.cycles_per_second(),
+            if i + 1 == timing.cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// CSV for Figure 13: `workload,used1,used2,used3,used4,unused`.
 #[must_use]
 pub fn fig13_csv(fig: &Fig13) -> String {
@@ -235,5 +292,20 @@ mod tests {
         assert!(csv.starts_with("config,workload,cycles,wall_seconds"));
         assert_eq!(csv.lines().count(), 2, "one simulated cell");
         assert!(csv.contains("compress"));
+    }
+
+    #[test]
+    fn timing_json_is_well_formed() {
+        let engine = engine();
+        let _ = fig3(&engine, &[Workload::Compress, Workload::Swim]);
+        let json = timing_json(&engine.timing());
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema\": \"sdv-engine-timing/1\""));
+        assert!(json.contains("\"cells\": 2"));
+        assert!(json.contains("\"cycles_per_second\": "));
+        assert!(json.contains("\"workload\": \"compress\""));
+        // Exactly one per-cell row per simulated cell, comma-separated.
+        assert_eq!(json.matches("\"config\":").count(), 2);
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
     }
 }

@@ -32,12 +32,13 @@
 //!   a count of incomplete scalar producers; completions are scheduled on a
 //!   timing heap and, when they fire, wake their dependents through a
 //!   producer → waiters table.  Entries whose operands are all available sit
-//!   in program-ordered ready/validation queues, so issue touches only
-//!   issuable entries instead of scanning the whole window.  Entries waiting
-//!   on a *vector* element (whose readiness is signalled by the vector data
-//!   path, not by a ROB completion) sit in a small separate queue that is
-//!   re-polled each cycle.  Load/store disambiguation walks an indexed queue
-//!   of in-flight stores rather than the whole ROB prefix.
+//!   in a single program-ordered ready set, tagged with their issue group at
+//!   dispatch; issue is one sorted walk over that set, and a structural
+//!   hazard masks the whole group via a bitmask for the rest of the cycle.
+//!   Entries waiting on a *vector* element (whose readiness is signalled by
+//!   the vector data path, not by a ROB completion) sit in a small separate
+//!   queue that is re-polled each cycle.  Load/store disambiguation walks an
+//!   indexed queue of in-flight stores rather than the whole ROB prefix.
 //! * [`Scheduler::NaiveScan`] is the original full-window scan, retained as a
 //!   reference oracle: both schedulers issue the identical instruction
 //!   sequence cycle for cycle (a property test pins this on random programs),
@@ -56,24 +57,27 @@ use sdv_predictor::BranchPredictor;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
-/// Ready-queue indices: one queue per issue resource, so a structural hazard
-/// detected on one entry lets the whole group be skipped for the rest of the
-/// cycle.  `Q_LOAD`/`Q_STORE` are never masked (loads have per-entry port and
-/// forwarding outcomes; stores always issue), `Q_OTHER` holds classes that
-/// need no functional unit.
-const Q_LOAD: usize = 0;
-const Q_STORE: usize = 1;
-const Q_ALU: usize = 2;
-const Q_MUL: usize = 3;
-const Q_FPADD: usize = 4;
-const Q_FPMUL: usize = 5;
-const Q_OTHER: usize = 6;
-const NUM_READY_QUEUES: usize = 7;
+/// Issue-group indices: one group per issue resource, so a structural hazard
+/// detected on one entry lets the whole group be masked for the rest of the
+/// cycle.  `Q_STORE` is never masked (stores always issue), `Q_LOAD` is
+/// masked only by the parked-backlog fast path (loads otherwise have
+/// per-entry port and forwarding outcomes), `Q_OTHER` holds classes that need
+/// no functional unit, and `Q_VALIDATION` holds vector validations (polled,
+/// never masked, and free of issue bandwidth).  Groups tag entries in the
+/// single program-ordered ready set; masking is a bit in a `u16`.
+const Q_LOAD: u8 = 0;
+const Q_STORE: u8 = 1;
+const Q_ALU: u8 = 2;
+const Q_MUL: u8 = 3;
+const Q_FPADD: u8 = 4;
+const Q_FPMUL: u8 = 5;
+const Q_OTHER: u8 = 6;
+const Q_VALIDATION: u8 = 7;
 
-/// The ready queue an instruction class issues from.  Groups mirror the
+/// The issue group an instruction class issues from.  Groups mirror the
 /// resource pools of [`FuPool`]: every class in a group competes for the same
 /// units, so one failed acquire exhausts the group for the cycle.
-fn ready_queue_of(class: OpClass) -> usize {
+fn issue_group_of(class: OpClass) -> u8 {
     match class {
         OpClass::Load => Q_LOAD,
         OpClass::Store => Q_STORE,
@@ -87,6 +91,25 @@ fn ready_queue_of(class: OpClass) -> usize {
 
 /// Address granule used by the store-overlap prefilter.
 const STORE_LINE_BYTES: u64 = 64;
+
+/// Ready-set keys pack the issue group into the low 3 bits of the sequence
+/// number (`seq << 3 | group`).  The group is constant per entry, so the
+/// packed order is exactly program order, and the per-cycle walk can test the
+/// structural-hazard mask with pure integer ops — no ROB lookup for masked
+/// entries.
+fn ready_key(seq: u64, group: u8) -> u64 {
+    (seq << 3) | u64::from(group)
+}
+
+/// The sequence number of a packed ready-set key.
+fn key_seq(key: u64) -> u64 {
+    key >> 3
+}
+
+/// The issue group of a packed ready-set key.
+fn key_group(key: u64) -> u8 {
+    (key & 0x7) as u8
+}
 
 /// Which issue scheduler drives the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -142,6 +165,9 @@ struct RobEntry {
     has_vec_wait: bool,
     /// Wakeup scoreboard: dependents to wake when this entry completes.
     waiters: Vec<u64>,
+    /// Issue group ([`Q_LOAD`]..[`Q_VALIDATION`]), precomputed at dispatch so
+    /// the issue walk tests the mask with pure integer ops.
+    queue: u8,
     /// Store-epoch at which this load's disambiguation verdict was cached
     /// (`u64::MAX` = never computed).
     disamb_epoch: u64,
@@ -235,17 +261,27 @@ pub struct Processor {
     vdp: Option<VectorDatapath>,
     rob: VecDeque<RobEntry>,
     fetch_queue: VecDeque<FetchedInst>,
+    /// The current emulator group ([`Emulator::step_group`] output), consumed
+    /// as a slice by [`Self::fetch`]: the emulator runs ahead by at most one
+    /// fetch group, and `pending[pending_pos..]` are the retired records not
+    /// yet passed through the predictor and into the fetch queue.  The buffer
+    /// is reused across groups, so the steady state allocates nothing.
+    pending: Vec<Retired>,
+    pending_pos: usize,
     map_table: Vec<SrcMapping>,
     lsq_occupancy: usize,
     /// Sequence numbers of in-flight stores, in program order: the indexed
     /// store queue used for load/store disambiguation.
     store_queue: VecDeque<u64>,
     sched: Scheduler,
-    /// Wakeup scheduler: per-FU-group queues of unissued entries whose
-    /// sources are ready (see the `Q_*` constants).
-    ready: [SeqSet; NUM_READY_QUEUES],
-    /// Wakeup scheduler: unissued validations, polled against the engine.
-    validations: SeqSet,
+    /// Wakeup scheduler: the single program-ordered set of issuable entries —
+    /// unissued instructions whose sources are ready, plus pending
+    /// validations (which are polled in place).  Elements are packed
+    /// [`ready_key`]s (sequence number + issue group), so the per-cycle walk
+    /// is one sorted scan instead of a head merge across per-group queues,
+    /// and a structural hazard masks a whole group via a bit in a `u16`
+    /// without touching the ROB.
+    ready_all: SeqSet,
     /// Wakeup scheduler: entries waiting only on vector elements.
     vec_pending: SeqSet,
     /// Wakeup scheduler: pending completion events `(cycle, producer seq)`.
@@ -308,12 +344,13 @@ impl Processor {
             vdp,
             rob: VecDeque::with_capacity(cfg.rob_size),
             fetch_queue: VecDeque::with_capacity(cfg.fetch_width * 2),
+            pending: Vec::with_capacity(cfg.fetch_width),
+            pending_pos: 0,
             map_table: vec![SrcMapping::Ready; NUM_ARCH_REGS],
             lsq_occupancy: 0,
             store_queue: VecDeque::new(),
             sched: Scheduler::default(),
-            ready: std::array::from_fn(|_| SeqSet::new()),
-            validations: SeqSet::new(),
+            ready_all: SeqSet::new(),
             vec_pending: SeqSet::new(),
             completions: BinaryHeap::new(),
             unknown_stores: SeqSet::new(),
@@ -441,8 +478,14 @@ impl Processor {
             return;
         }
 
-        // Model the instruction-cache access for this fetch group.
-        let latency = self.imem.fetch_latency(self.emu.pc());
+        // Model the instruction-cache access for this fetch group, at the PC
+        // of the next instruction to enter the queue (the head of the pending
+        // group if the emulator has run ahead, the emulator's PC otherwise).
+        let group_pc = self
+            .pending
+            .get(self.pending_pos)
+            .map_or_else(|| self.emu.pc(), |r| r.pc);
+        let latency = self.imem.fetch_latency(group_pc);
         if latency > self.cfg.memory.l1_hit_cycles {
             self.fetch_ready_cycle = self.cycle + latency;
             return;
@@ -450,14 +493,24 @@ impl Processor {
 
         let mut fetched = 0;
         while fetched < self.cfg.fetch_width && self.fetch_queue.len() < capacity {
-            let retired = match self.emu.step() {
-                Ok(r) => r,
-                Err(EmuError::Halted) => {
-                    self.emulator_done = true;
-                    break;
+            // Refill the group buffer from the emulator when it runs dry: one
+            // batched call retires up to a whole fetch group, reusing a single
+            // PC→index translation (and the buffer allocation) per group.
+            if self.pending_pos == self.pending.len() {
+                self.pending.clear();
+                self.pending_pos = 0;
+                let want = (self.cfg.fetch_width - fetched).min(capacity - self.fetch_queue.len());
+                match self.emu.step_group(want, true, &mut self.pending) {
+                    Ok(n) => debug_assert!(n > 0, "a non-empty group was requested"),
+                    Err(EmuError::Halted) => {
+                        self.emulator_done = true;
+                        break;
+                    }
+                    Err(e) => panic!("emulation error during fetch: {e}"),
                 }
-                Err(e) => panic!("emulation error during fetch: {e}"),
-            };
+            }
+            let retired = self.pending[self.pending_pos];
+            self.pending_pos += 1;
             let mut mispredicted = false;
             let mut taken = false;
             if retired.inst.is_control() {
@@ -647,6 +700,11 @@ impl Processor {
             }
         }
         let seq = r.seq;
+        let queue = if matches!(mode, ExecMode::Validation { .. }) {
+            Q_VALIDATION
+        } else {
+            issue_group_of(class)
+        };
         self.rob.push_back(RobEntry {
             retired: r,
             class,
@@ -660,6 +718,7 @@ impl Processor {
             pending_scalar: 0,
             has_vec_wait: false,
             waiters: Vec::new(),
+            queue,
             disamb_epoch: u64::MAX,
             disamb_fwd: false,
         });
@@ -682,8 +741,10 @@ impl Processor {
     /// their waiter, and routes it to the validation / ready / vector-pending
     /// queue its operand state calls for.
     fn classify_unissued(&mut self, seq: u64, idx: usize) {
-        if matches!(self.rob[idx].mode, ExecMode::Validation { .. }) {
-            self.validations.insert(seq);
+        if self.rob[idx].queue == Q_VALIDATION {
+            // Validations are polled in place: they enter the ready set at
+            // dispatch and issue once their element resolves.
+            self.ready_all.insert(ready_key(seq, Q_VALIDATION));
             return;
         }
         let src_scalar = self.rob[idx].src_scalar;
@@ -717,14 +778,14 @@ impl Processor {
         }
     }
 
-    /// Inserts an entry into the ready queue of its issue group.
+    /// Inserts an entry into the ready set.
     fn insert_ready(&mut self, seq: u64, idx: usize) {
-        let queue = ready_queue_of(self.rob[idx].class);
+        let queue = self.rob[idx].queue;
         if queue == Q_LOAD {
             // A fresh ready load has no disambiguation verdict yet.
             self.parked_epoch = None;
         }
-        self.ready[queue].insert(seq);
+        self.ready_all.insert(ready_key(seq, queue));
     }
 
     fn decode_context(r: &Retired) -> DecodeContext {
@@ -876,84 +937,66 @@ impl Processor {
         self.drain_completions();
         self.promote_vec_pending();
 
-        // Walk the pending validations and the per-group ready queues merged
-        // in program order, lazily: the scan stops as soon as the issue width
-        // is exhausted (exactly like the reference scan), and a group whose
+        // Walk the ready set — one sorted vector already merged in program
+        // order — lazily: the scan stops as soon as the issue width is
+        // exhausted (exactly like the reference scan), and a group whose
         // functional units are all busy is masked for the rest of the cycle —
         // every later entry of that group would fail the same structural
-        // hazard, so skipping them is behaviour preserving.  Failed attempts
-        // with per-entry outcomes (loads: ports, MSHRs, disambiguation) are
-        // never masked.
-        const VALIDATION_HEAD: usize = NUM_READY_QUEUES;
-        // Per-queue position cursors: each queue is a sorted vector, so the
-        // merged program-order walk is plain indexed iteration — no searches.
-        // When the current element is removed (it issued), the next one
-        // shifts into its position and the cursor stays put; peers removed at
-        // later positions never precede a cursor, so positions stay valid.
-        let mut cursors = [0usize; NUM_READY_QUEUES + 1];
-        let mut masked = [false; NUM_READY_QUEUES + 1];
-        let queue_head =
-            |sets: &[SeqSet; NUM_READY_QUEUES], validations: &SeqSet, q: usize, pos: usize| {
-                if q == VALIDATION_HEAD {
-                    validations.get(pos)
-                } else {
-                    sets[q].get(pos)
-                }
-            };
+        // hazard, so skipping it is behaviour preserving.  Failed attempts
+        // with per-entry outcomes (loads: ports, MSHRs, disambiguation;
+        // validations: element not resolved) are never masked, the walk just
+        // moves past them.  When the current element is removed (it issued),
+        // the next one shifts into its position and the cursor stays put;
+        // wide-bus peers are removed at later positions only (they are
+        // younger), so the cursor stays valid.
+        let mut pos = 0usize;
+        let mut masked: u16 = 0;
         let mut issued = 0;
         while issued < self.cfg.issue_width {
-            // Pick the oldest head among unmasked groups.
-            let mut group = usize::MAX;
-            let mut seq = u64::MAX;
-            for q in 0..=NUM_READY_QUEUES {
-                if masked[q] {
-                    continue;
-                }
-                if let Some(s) = queue_head(&self.ready, &self.validations, q, cursors[q]) {
-                    if s < seq {
-                        seq = s;
-                        group = q;
-                    }
-                }
-            }
-            if group == usize::MAX {
+            let Some(key) = self.ready_all.get(pos) else {
                 break;
+            };
+            let queue = key_group(key);
+            if masked & (1 << queue) != 0 {
+                // The group's structural hazard was already detected this
+                // cycle; the packed key answers without a ROB lookup.
+                pos += 1;
+                continue;
             }
+            let seq = key_seq(key);
             let Some(idx) = self.index_of_seq(seq) else {
-                cursors[group] += 1;
+                pos += 1;
                 continue;
             };
             if self.rob[idx].issued {
-                // Served as a wide-bus peer earlier this cycle (removal
-                // happened behind the cursor's back is impossible; the entry
-                // is still queued only until the peer loop removes it).
-                cursors[group] += 1;
+                // Served as a wide-bus peer earlier this cycle; it stays in
+                // the set only until the peer loop removes it.
+                pos += 1;
                 continue;
             }
-            if group == VALIDATION_HEAD {
-                let ExecMode::Validation {
-                    vreg,
-                    generation,
-                    offset,
-                } = self.rob[idx].mode
-                else {
-                    unreachable!("validation queue holds only validations");
-                };
-                // Validations complete on their own once the element is ready;
-                // they do not consume issue bandwidth, functional units or
-                // cache ports.
-                if self.validation_ready(vreg, generation, offset) {
-                    let entry = &mut self.rob[idx];
-                    entry.issued = true;
-                    entry.complete_cycle = self.cycle + 1;
-                    self.validations.remove(seq);
-                    self.trace_issue(seq);
-                } else {
-                    cursors[group] += 1;
+            match queue {
+                Q_VALIDATION => {
+                    let ExecMode::Validation {
+                        vreg,
+                        generation,
+                        offset,
+                    } = self.rob[idx].mode
+                    else {
+                        unreachable!("the validation group holds only validations");
+                    };
+                    // Validations complete on their own once the element is
+                    // ready; they do not consume issue bandwidth, functional
+                    // units or cache ports.
+                    if self.validation_ready(vreg, generation, offset) {
+                        let entry = &mut self.rob[idx];
+                        entry.issued = true;
+                        entry.complete_cycle = self.cycle + 1;
+                        self.ready_all.remove(key);
+                        self.trace_issue(seq);
+                    } else {
+                        pos += 1;
+                    }
                 }
-                continue;
-            }
-            match group {
                 Q_STORE => {
                     // Stores only compute their address at issue; memory is
                     // updated at commit.
@@ -964,7 +1007,7 @@ impl Processor {
                         entry.complete_cycle = self.cycle + 1;
                         (entry.addr(), entry.width())
                     };
-                    self.ready[Q_STORE].remove(seq);
+                    self.ready_all.remove(key);
                     self.unknown_stores.remove(seq);
                     self.add_store_lines(addr, width);
                     self.store_epoch += 1;
@@ -974,17 +1017,17 @@ impl Processor {
                 Q_LOAD => {
                     if self.ports.free_this_cycle() == 0 {
                         // Without ports only forwarding loads can issue; if
-                        // every queued load has a valid no-forward verdict
-                        // the whole queue is skipped for the cycle.
+                        // every ready load has a valid no-forward verdict the
+                        // whole group is skipped for the cycle.
                         if self.parked_epoch == Some(self.store_epoch) || self.try_park_loads() {
-                            masked[Q_LOAD] = true;
+                            masked |= 1 << Q_LOAD;
                             continue;
                         }
                     }
                     if self.try_issue_load_wakeup(seq) {
                         issued += 1;
                     } else {
-                        cursors[group] += 1;
+                        pos += 1;
                     }
                 }
                 _ => {
@@ -1004,28 +1047,29 @@ impl Processor {
                         let entry = &mut self.rob[idx];
                         entry.issued = true;
                         entry.complete_cycle = self.cycle + latency;
-                        self.ready[group].remove(seq);
+                        self.ready_all.remove(key);
                         self.push_completion(seq);
                         self.trace_issue(seq);
                         issued += 1;
                     } else {
                         // Structural hazard: every unit of this group is busy
                         // for the rest of the cycle.
-                        masked[group] = true;
+                        masked |= 1 << queue;
                     }
                 }
             }
         }
     }
 
-    /// Attempts to park the ready-load queue: verifies (computing and caching
-    /// where stale) that every queued load has a no-forwarding disambiguation
-    /// verdict at the current store epoch.  Verdict computation has no side
-    /// effects, so this walk is invisible to the oracle semantics.
+    /// Attempts to park the ready-load backlog: verifies (computing and
+    /// caching where stale) that every ready load has a no-forwarding
+    /// disambiguation verdict at the current store epoch.  Verdict
+    /// computation has no side effects, so this walk is invisible to the
+    /// oracle semantics.
     fn try_park_loads(&mut self) -> bool {
         let mut loads = std::mem::take(&mut self.park_scratch);
         loads.clear();
-        loads.extend(self.ready[Q_LOAD].iter().copied());
+        loads.extend(self.ready_loads());
         let mut all_no_forward = true;
         for &seq in &loads {
             let Some(idx) = self.index_of_seq(seq) else {
@@ -1050,6 +1094,17 @@ impl Processor {
             self.parked_epoch = Some(self.store_epoch);
         }
         all_no_forward
+    }
+
+    /// The ready-set members that are scalar-mode loads, in program order
+    /// (the ready set also carries other classes and validations; the packed
+    /// group tag answers the filter without touching the ROB).
+    fn ready_loads(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ready_all
+            .iter()
+            .copied()
+            .filter(|&key| key_group(key) == Q_LOAD)
+            .map(key_seq)
     }
 
     /// Granules (64-byte lines) covered by the access `[addr, addr + width)`.
@@ -1152,7 +1207,7 @@ impl Processor {
                 let entry = &mut self.rob[idx];
                 entry.issued = true;
                 entry.complete_cycle = self.cycle + 1;
-                self.ready[Q_LOAD].remove(seq);
+                self.ready_all.remove(ready_key(seq, Q_LOAD));
                 self.push_completion(seq);
                 self.trace_issue(seq);
                 self.stats.store_forwards += 1;
@@ -1177,27 +1232,31 @@ impl Processor {
             entry.issued = true;
             entry.complete_cycle = done;
         }
-        self.ready[Q_LOAD].remove(seq);
+        self.ready_all.remove(ready_key(seq, Q_LOAD));
         self.push_completion(seq);
         self.trace_issue(seq);
         self.stats.load_accesses += 1;
         self.stats.memory_accesses += 1;
 
         // §3.7: on a wide bus every pending load to the same line is served by
-        // this single access.  Candidates are exactly the load ready queue:
-        // every unissued scalar-mode load whose sources are available.
+        // this single access.  Candidates are exactly the ready scalar-mode
+        // loads: unissued loads whose sources are available.
         let mut words_used = 1;
         if self.ports.kind() == PortKind::Wide {
             let line = self.dmem.line_addr(addr);
             let mut served = Vec::new();
-            for &peer in &self.ready[Q_LOAD] {
+            for &key in &self.ready_all {
                 if served.len() + 1 >= self.cfg.wide_loads_per_access {
                     break;
                 }
+                if key_group(key) != Q_LOAD {
+                    continue;
+                }
+                let peer = key_seq(key);
                 let Some(e) = self.entry_by_seq(peer) else {
                     continue;
                 };
-                if e.issued || !e.is_load() {
+                if e.issued {
                     continue;
                 }
                 if self.dmem.line_addr(e.addr()) != line {
@@ -1214,7 +1273,7 @@ impl Processor {
                 let entry = &mut self.rob[idx];
                 entry.issued = true;
                 entry.complete_cycle = done;
-                self.ready[Q_LOAD].remove(peer);
+                self.ready_all.remove(ready_key(peer, Q_LOAD));
                 self.push_completion(peer);
                 self.trace_issue(peer);
                 self.stats.loads_served_by_peer += 1;
@@ -1232,10 +1291,7 @@ impl Processor {
         if self.sched != Scheduler::Wakeup {
             return;
         }
-        for queue in &mut self.ready {
-            queue.clear();
-        }
-        self.validations.clear();
+        self.ready_all.clear();
         self.vec_pending.clear();
         self.completions.clear();
         self.unknown_stores.clear();

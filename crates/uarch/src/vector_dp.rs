@@ -179,6 +179,13 @@ impl VectorDatapath {
         dmem: &mut DataMemory,
         ports: &mut PortSet,
     ) {
+        // Idle fast path: nothing in flight and nothing to deliver.  (The FU
+        // cycle reset can be skipped too — nothing has issued since the last
+        // reset, and an instance dispatched later this cycle is only stepped
+        // on the following cycle, which runs the full path again.)
+        if self.events.is_empty() && self.instances.is_empty() {
+            return;
+        }
         // 1. Deliver results whose latency has elapsed.
         let mut i = 0;
         while i < self.events.len() {

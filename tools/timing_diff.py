@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare two `repro --timing-json` dumps and fail on a perf regression.
+
+Usage:
+    timing_diff.py BASELINE.json CURRENT.json [--max-regress 0.20]
+
+Both files are `sdv-engine-timing/1` documents.  The check compares the
+headline `cycles_per_second` figure: the job fails when the current run is
+more than `--max-regress` (default 20%) slower than the committed baseline.
+Absolute wall-clock depends on the host, so treat the committed baseline as a
+trajectory marker (refresh it from CI artifacts when hardware or the
+simulator changes deliberately); the gate is meant to catch order-of-magnitude
+hot-path regressions, not CPU-model noise.
+
+Exit codes: 0 ok / improved, 1 regression, 2 usage or malformed input.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"timing_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "sdv-engine-timing/1":
+        print(f"timing_diff: {path}: unexpected schema {doc.get('schema')!r}", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main(argv):
+    args = []
+    max_regress = 0.20
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--max-regress":
+            try:
+                max_regress = float(next(it))
+            except (StopIteration, ValueError):
+                print("timing_diff: --max-regress needs a float", file=sys.stderr)
+                return 2
+        elif a.startswith("--"):
+            print(f"timing_diff: unknown flag {a}", file=sys.stderr)
+            return 2
+        else:
+            args.append(a)
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    base, cur = load(args[0]), load(args[1])
+    base_cps = float(base["cycles_per_second"])
+    cur_cps = float(cur["cycles_per_second"])
+    if base_cps <= 0:
+        print("timing_diff: baseline has no timing data (0 cycles/s); skipping gate")
+        return 0
+
+    ratio = cur_cps / base_cps
+    print(
+        f"timing_diff: baseline {base_cps:,.0f} cycles/s "
+        f"({base['cells']} cells), current {cur_cps:,.0f} cycles/s "
+        f"({cur['cells']} cells) -> {ratio:.2f}x"
+    )
+    if ratio < 1.0 - max_regress:
+        print(
+            f"timing_diff: FAIL — throughput regressed more than "
+            f"{max_regress:.0%} vs the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("timing_diff: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
