@@ -4,7 +4,7 @@
 //! repro [--quick|--standard|--thorough] [--threads N]
 //!       [--table1] [--fig N]... [--headline] [--all] [--extended]
 //!       [--vl L1,L2,...] [--vregs R1,R2,...]
-//!       [--csv PATH] [--timing-json PATH] [--cache-dir DIR | --no-cache]
+//!       [--csv PATH] [--timing-json PATH] [--store-dir DIR | --no-cache]
 //! ```
 //!
 //! With no selection arguments everything is regenerated.  All generators
@@ -17,14 +17,17 @@
 //! threads without changing any result.
 //!
 //! Results additionally persist across invocations: the session's
-//! `CellKey → RunStats` results are written to a versioned cache under
-//! `target/sdv-cache/` (override with `--cache-dir`, disable with
-//! `--no-cache`), so re-running `repro` with an unchanged configuration
-//! serves every cell from disk.  `--vl`/`--vregs` add DV-sizing axes
+//! `CellKey → RunStats` results are merged into a sharded result store under
+//! `target/sdv-store/` (override with `--store-dir`; `--cache-dir` is the
+//! pre-store alias; disable with `--no-cache`), so re-running `repro` with an
+//! unchanged configuration serves every cell from disk, and parallel jobs can
+//! safely share one store directory (see the `sdv-store` tool for `merge`,
+//! `verify`, `gc` and `stats`).  `--vl`/`--vregs` add DV-sizing axes
 //! (vector length in elements, vector-register count) to the Figure 11/12
 //! sweep grid, `--csv PATH` dumps the resulting sweep surface for plotting,
 //! and `--extended` adds the post-paper workloads (linked-list chase,
-//! blocked matmul) to every generator.
+//! blocked matmul, mixed-stride streams, irregular histogram updates) to
+//! every generator.
 //!
 //! The output rows mirror the series plotted in the paper; `EXPERIMENTS.md`
 //! records a paper-vs-measured comparison produced with `--standard`.
@@ -125,10 +128,12 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| panic!("--timing-json requires a path"));
                 opts.timing_json = Some(path.into());
             }
-            "--cache-dir" => {
+            // `--cache-dir` is the pre-store spelling; both point the engine
+            // at the same sharded store directory.
+            "--store-dir" | "--cache-dir" => {
                 let dir = args
                     .next()
-                    .unwrap_or_else(|| panic!("--cache-dir requires a directory"));
+                    .unwrap_or_else(|| panic!("{arg} requires a directory"));
                 opts.cache_dir = Some(dir.into());
             }
             "--no-cache" => opts.no_cache = true,
@@ -137,7 +142,7 @@ fn parse_args() -> Options {
                     "unknown argument `{other}` \
                      (try --all, --fig N, --table1, --headline, --threads N, \
                       --extended, --vl L1,L2, --vregs R1,R2, --csv PATH, \
-                      --timing-json PATH, --cache-dir DIR, --no-cache)"
+                      --timing-json PATH, --store-dir DIR, --no-cache)"
                 )
             }
         }
@@ -158,11 +163,33 @@ fn main() {
         exp = exp.workloads(Workload::extended().to_vec());
     }
     if !opts.no_cache {
+        let defaulted = opts.cache_dir.is_none();
         let dir = opts
             .cache_dir
             .clone()
-            .unwrap_or_else(|| std::path::PathBuf::from("target/sdv-cache"));
+            .unwrap_or_else(|| std::path::PathBuf::from("target/sdv-store"));
         exp = exp.disk_cache(dir);
+        // Pre-store repro versions kept their default cache at
+        // target/sdv-cache/cache.bin; when running against the default store
+        // location, import it so an existing warm cache survives the move.
+        let old_default = std::path::Path::new("target/sdv-cache/cache.bin");
+        if defaulted && old_default.exists() {
+            if let Some(store) = exp.engine().store() {
+                match sdv_sim::cachefile::import_legacy(store, old_default) {
+                    Ok(n) if n > 0 => {
+                        println!(
+                            "imported {n} entries from pre-store {}",
+                            old_default.display()
+                        );
+                    }
+                    Ok(_) => {}
+                    Err(e) => eprintln!(
+                        "warning: could not import pre-store {}: {e}",
+                        old_default.display()
+                    ),
+                }
+            }
+        }
     }
     println!(
         "# Speculative Dynamic Vectorization — reproduction run \
@@ -220,21 +247,23 @@ fn main() {
         println!("sweep surface written to {}", path.display());
     }
 
+    // Persist before printing the report so the store-insert counter is part
+    // of the dedup printout.
+    if !opts.no_cache {
+        match exp.persist() {
+            Ok(()) => {
+                if let Some(dir) = exp.engine().store_dir() {
+                    println!("result store persisted to {}", dir.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not persist the result store: {e}"),
+        }
+    }
     println!("{}", exp.report());
     let timing = exp.timing();
     println!("{timing}");
     if let Some(path) = &opts.timing_json {
         std::fs::write(path, report::timing_json(&timing)).expect("timing JSON written");
         println!("engine timing written to {}", path.display());
-    }
-    if !opts.no_cache {
-        match exp.persist() {
-            Ok(()) => {
-                if let Some(path) = exp.engine().cache_path() {
-                    println!("result cache persisted to {}", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: could not persist the result cache: {e}"),
-        }
     }
 }

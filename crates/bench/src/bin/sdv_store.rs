@@ -1,0 +1,147 @@
+//! Operator tool for the persistent result store.
+//!
+//! ```text
+//! sdv-store fingerprint
+//! sdv-store stats DIR
+//! sdv-store verify DIR
+//! sdv-store merge DEST SRC...
+//! sdv-store gc DIR [--keep-fingerprint HEX]
+//! ```
+//!
+//! * `fingerprint` prints the current build's simulator-behaviour fingerprint
+//!   (hex) — the value CI uses as its store cache key, and the producer id
+//!   under which this binary reads and writes store entries.
+//! * `stats` prints occupancy statistics for a store directory.
+//! * `verify` structurally checks every shard file (magic, version, framing,
+//!   key placement) and exits non-zero on corruption — run it after restoring
+//!   a store from a CI cache.
+//! * `merge` merges result sets into `DEST`: each `SRC` may be another store
+//!   directory (e.g. a parallel job's) or a legacy single-file `cache.bin`.
+//!   Entries written by other builds are skipped, never replayed.
+//! * `gc` deletes shard files whose fingerprint differs from the kept one
+//!   (default: the current build's) plus abandoned temp files.
+//!
+//! All subcommands operate under the current build's fingerprint, so numbers
+//! produced by older simulators can never leak into new sessions.
+//!
+//! Exit codes: 0 success, 1 `verify` found corruption, 2 command-line error
+//! (a usage banner is printed), 3 runtime I/O failure (message only — the
+//! command line was fine).
+
+use sdv_sim::cachefile;
+use sdv_store::Store;
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "usage: sdv-store fingerprint\n\
+       sdv-store stats DIR\n\
+       sdv-store verify DIR\n\
+       sdv-store merge DEST SRC...\n\
+       sdv-store gc DIR [--keep-fingerprint HEX]";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("sdv-store: {message}\n{USAGE}");
+    std::process::exit(2)
+}
+
+/// A runtime failure on a well-formed command line: no usage banner, and a
+/// distinct exit code so callers can tell it from operator error (2) and
+/// from `verify`-found corruption (1).
+fn io_error(message: &str) -> ! {
+    eprintln!("sdv-store: {message}");
+    std::process::exit(3)
+}
+
+fn open(dir: &Path) -> Store {
+    Store::open(dir, cachefile::simulator_fingerprint())
+        .unwrap_or_else(|e| io_error(&format!("cannot open store {}: {e}", dir.display())))
+}
+
+fn stats(dir: &Path) {
+    let store = open(dir);
+    let stats = store
+        .stats()
+        .unwrap_or_else(|e| io_error(&format!("cannot read store {}: {e}", dir.display())));
+    println!(
+        "store {} (fingerprint {:016x}):\n  {stats}",
+        dir.display(),
+        store.fingerprint()
+    );
+}
+
+fn verify(dir: &Path) {
+    let store = open(dir);
+    let report = store
+        .verify()
+        .unwrap_or_else(|e| io_error(&format!("cannot read store {}: {e}", dir.display())));
+    println!("verify {}: {report}", dir.display());
+    if !report.is_ok() {
+        std::process::exit(1);
+    }
+}
+
+fn merge(dest: &Path, sources: &[PathBuf]) {
+    if sources.is_empty() {
+        usage_error("merge needs at least one SRC");
+    }
+    let store = open(dest);
+    for src in sources {
+        // An absent SRC would otherwise read as an empty store and "merge"
+        // zero entries successfully — a typo must fail loudly instead.
+        if !src.exists() {
+            usage_error(&format!("merge source {} does not exist", src.display()));
+        }
+        if src.is_file() {
+            match cachefile::import_legacy(&store, src) {
+                Ok(inserted) => {
+                    println!(
+                        "merged legacy file {}: {inserted} entries inserted",
+                        src.display()
+                    );
+                }
+                Err(e) => io_error(&format!("cannot import {}: {e}", src.display())),
+            }
+        } else {
+            match store.merge_from(src) {
+                Ok(report) => println!("merged store {}: {report}", src.display()),
+                Err(e) => io_error(&format!("cannot merge {}: {e}", src.display())),
+            }
+        }
+    }
+}
+
+fn gc(dir: &Path, keep: Option<&str>) {
+    let keep = match keep {
+        None => cachefile::simulator_fingerprint(),
+        Some(hex) => u64::from_str_radix(hex.trim_start_matches("0x"), 16)
+            .unwrap_or_else(|_| usage_error(&format!("`{hex}` is not a hex fingerprint"))),
+    };
+    let store = open(dir);
+    let report = store
+        .gc(keep)
+        .unwrap_or_else(|e| io_error(&format!("cannot gc {}: {e}", dir.display())));
+    println!(
+        "gc {} (kept fingerprint {keep:016x}): {report}",
+        dir.display()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first().map(|(cmd, rest)| (cmd.as_str(), rest)) {
+        Some(("fingerprint", [])) => {
+            println!("{:016x}", cachefile::simulator_fingerprint());
+        }
+        Some(("stats", [dir])) => stats(Path::new(dir)),
+        Some(("verify", [dir])) => verify(Path::new(dir)),
+        Some(("merge", [dest, sources @ ..])) => {
+            let sources: Vec<PathBuf> = sources.iter().map(PathBuf::from).collect();
+            merge(Path::new(dest), &sources);
+        }
+        Some(("gc", [dir])) => gc(Path::new(dir), None),
+        Some(("gc", [dir, flag, hex])) if flag == "--keep-fingerprint" => {
+            gc(Path::new(dir), Some(hex));
+        }
+        Some((other, _)) => usage_error(&format!("unknown or malformed subcommand `{other}`")),
+        None => usage_error("a subcommand is required"),
+    }
+}

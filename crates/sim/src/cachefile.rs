@@ -1,20 +1,35 @@
-//! The on-disk result cache behind [`crate::RunEngine`].
+//! Serialization glue between [`crate::RunEngine`] and the persistent result
+//! store, plus the *legacy* single-file cache format it replaced.
 //!
-//! `CellKey → RunStats` entries are persisted as a small versioned binary
-//! file so repeated `repro` invocations (and CI jobs that run several tools
-//! over the same grid) reuse earlier sessions instead of re-simulating.
+//! `CellKey → RunStats` entries persist in an [`sdv_store::Store`] (a sharded
+//! directory of versioned binary files) so repeated `repro` invocations — and
+//! CI jobs seeding developer machines — reuse earlier sessions instead of
+//! re-simulating.  This module owns the two pieces the generic store does not
+//! know about:
 //!
-//! Keys are stored as 128-bit content hashes of the full `CellKey`
-//! (configuration, workload, budget), computed with two differently-seeded
-//! FNV-1a hashers — a stable algorithm, unlike `DefaultHasher`, so hashes
-//! survive toolchain updates.  A configuration change therefore simply misses
-//! the cache; a format change bumps the internal `CACHE_VERSION` constant,
-//! which discards the file wholesale; and the header additionally records a
-//! *simulator fingerprint* — a hash of the statistics two canonical cells
-//! produce with the current binary — so editing the model invalidates caches
-//! written by earlier builds instead of silently replaying their numbers.
-//! Every numeric field of `RunStats` is an integer counter, so the round
-//! trip is exact — a disk hit returns bit-identical statistics.
+//! * **Key and payload encoding** — [`key_hash`] turns a full `CellKey`
+//!   (configuration, workload, budget) into a 128-bit content hash computed
+//!   with two differently-seeded FNV-1a hashers (a stable algorithm, unlike
+//!   `DefaultHasher`, so hashes survive toolchain updates), and
+//!   [`stats_to_bytes`]/[`stats_from_bytes`] round-trip `RunStats` payloads.
+//!   Every numeric field of `RunStats` is an integer counter, so the round
+//!   trip is exact — a store hit returns bit-identical statistics.
+//! * **Behaviour fingerprinting** — [`simulator_fingerprint`] hashes the
+//!   statistics two canonical cells produce with the current binary, so
+//!   editing the model invalidates results written by earlier builds instead
+//!   of silently replaying their numbers.  The store records it per shard
+//!   file (folded with the payload version, so a layout bump also
+//!   invalidates); the legacy format records [`legacy_fingerprint`] — seeded
+//!   exactly as pre-store builds seeded it — in its header, so genuine old
+//!   `cache.bin` files still import when the model behaviour is unchanged.
+//!
+//! A configuration change therefore simply misses the store; a payload-layout
+//! change bumps `CACHE_VERSION`; and results from a different build are
+//! invisible.
+//!
+//! The pre-store format — one `cache.bin` per directory — survives as a read
+//! path: [`import_legacy`] merges such a file into a store, and `RunEngine`
+//! invokes it automatically when it finds one next to its store directory.
 
 use crate::engine::CellKey;
 use crate::{PortKind, ProcessorConfig, Workload};
@@ -64,33 +79,88 @@ pub fn key_hash(key: &CellKey) -> u128 {
     (u128::from(hi.finish()) << 64) | u128::from(lo.finish())
 }
 
-/// A behavioural fingerprint of the simulator in this binary: the full
-/// statistics of two tiny canonical cells (one vectorizing, one scalar),
-/// hashed.  Any model change that alters what those cells measure yields a
-/// different fingerprint and discards caches written by other builds.
-/// Computed once per process (a few milliseconds).
+/// The behaviour hash behind both fingerprints: the full statistics of two
+/// tiny canonical cells (one vectorizing, one scalar), hashed under `seed`.
+/// Any model change that alters what those cells measure yields a different
+/// hash.  Costs a few milliseconds per distinct seed.
+fn behaviour_hash(seed: u64) -> u64 {
+    let mut h = Fnv1a::seeded(seed);
+    for (cfg, workload) in [
+        (
+            ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true),
+            Workload::Compress,
+        ),
+        (
+            ProcessorConfig::four_way(2, PortKind::Scalar),
+            Workload::Swim,
+        ),
+    ] {
+        let stats = sdv_uarch::simulate(&cfg, &workload.build(1), 3_000);
+        let mut ser = Ser { buf: Vec::new() };
+        write_stats(&mut ser, &stats);
+        h.write(&ser.buf);
+    }
+    h.finish()
+}
+
+/// The store's producer fingerprint for this binary: the behaviour hash,
+/// additionally seeded with the payload version so a serialization-layout
+/// bump makes shards written with an older layout invisible rather than
+/// misdecoded.  Computed once per process.
 #[must_use]
 pub fn simulator_fingerprint() -> u64 {
     static FINGERPRINT: OnceLock<u64> = OnceLock::new();
-    *FINGERPRINT.get_or_init(|| {
-        let mut h = Fnv1a::seeded(0xf1);
-        for (cfg, workload) in [
-            (
-                ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true),
-                Workload::Compress,
-            ),
-            (
-                ProcessorConfig::four_way(2, PortKind::Scalar),
-                Workload::Swim,
-            ),
-        ] {
-            let stats = sdv_uarch::simulate(&cfg, &workload.build(1), 3_000);
-            let mut ser = Ser { buf: Vec::new() };
-            write_stats(&mut ser, &stats);
-            h.write(&ser.buf);
-        }
-        h.finish()
-    })
+    *FINGERPRINT.get_or_init(|| behaviour_hash(0xf1 ^ u64::from(CACHE_VERSION)))
+}
+
+/// The fingerprint the *legacy* single-file format records in its header:
+/// seeded exactly as the pre-store builds seeded it (the format carries the
+/// layout version as a separate header field), so a `cache.bin` written by an
+/// older build with bit-identical model behaviour still imports.
+#[must_use]
+pub fn legacy_fingerprint() -> u64 {
+    static FINGERPRINT: OnceLock<u64> = OnceLock::new();
+    *FINGERPRINT.get_or_init(|| behaviour_hash(0xf1))
+}
+
+/// Serializes one [`RunStats`] into the byte payload persisted per cell.
+#[must_use]
+pub fn stats_to_bytes(stats: &RunStats) -> Vec<u8> {
+    let mut s = Ser { buf: Vec::new() };
+    write_stats(&mut s, stats);
+    s.buf
+}
+
+/// Decodes a payload written by [`stats_to_bytes`].  Returns `None` on
+/// truncation or trailing bytes, so damaged store entries can only ever cause
+/// a miss, never wrong statistics.
+#[must_use]
+pub fn stats_from_bytes(bytes: &[u8]) -> Option<RunStats> {
+    let mut d = De { buf: bytes };
+    let stats = read_stats(&mut d)?;
+    if d.buf.is_empty() {
+        Some(stats)
+    } else {
+        None
+    }
+}
+
+/// Imports a legacy single-file cache (the pre-store `cache.bin` format) into
+/// `store`, returning how many entries were new to it.  A file written by a
+/// different build — cache version or simulator fingerprint mismatch — is
+/// stale and imports nothing.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing the store; reading a missing or
+/// malformed legacy file is not an error (it imports zero entries).
+pub fn import_legacy(store: &sdv_store::Store, path: &Path) -> io::Result<u64> {
+    let entries = read_cache(path);
+    let batch: Vec<(u128, Vec<u8>)> = entries
+        .iter()
+        .map(|(&hash, stats)| (hash, stats_to_bytes(stats)))
+        .collect();
+    Ok(store.put_batch(&batch)?.inserted)
 }
 
 // ---------------------------------------------------------------- writing
@@ -188,10 +258,13 @@ fn write_stats(s: &mut Ser, r: &RunStats) {
     });
 }
 
-/// Writes a cache file holding this session's entries plus any `retained`
-/// entries from a previously loaded cache that the session did not revisit —
-/// persisting a narrow session must never shrink a broader cache.  Written
-/// atomically via a sibling temp file.
+/// Writes a *legacy* single-file cache holding this session's entries plus
+/// any `retained` entries from a previously loaded cache that the session did
+/// not revisit.  Written atomically via a sibling temp file.
+///
+/// The engine no longer writes this format — sessions persist into the
+/// sharded store — but the writer is kept so the [`import_legacy`] path stays
+/// honestly testable against real files.
 pub fn write_cache(
     path: &Path,
     entries: &HashMap<CellKey, RunStats>,
@@ -212,7 +285,7 @@ pub fn write_cache(
     let mut s = Ser { buf: Vec::new() };
     s.buf.extend_from_slice(MAGIC);
     s.u32(CACHE_VERSION);
-    s.u64(simulator_fingerprint());
+    s.u64(legacy_fingerprint());
     s.u64((hashed.len() + carried.len()) as u64);
     for (hash, stats) in hashed.into_iter().chain(carried) {
         s.u64(hash as u64);
@@ -339,7 +412,7 @@ fn read_stats(d: &mut De) -> Option<RunStats> {
     Some(r)
 }
 
-/// Loads a cache file; returns an empty map when the file is missing,
+/// Loads a legacy cache file; returns an empty map when the file is missing,
 /// truncated, from a different cache version, or written by a build whose
 /// simulator fingerprint differs (the results would be stale).
 #[must_use]
@@ -362,7 +435,7 @@ pub fn read_cache(path: &Path) -> HashMap<u128, RunStats> {
     if d.u32() != Some(CACHE_VERSION) {
         return HashMap::new();
     }
-    if d.u64() != Some(simulator_fingerprint()) {
+    if d.u64() != Some(legacy_fingerprint()) {
         return HashMap::new();
     }
     let Some(count) = d.u64() else {
@@ -435,6 +508,56 @@ mod tests {
     fn fingerprint_is_stable_within_a_build() {
         assert_eq!(simulator_fingerprint(), simulator_fingerprint());
         assert_ne!(simulator_fingerprint(), 0);
+        assert_eq!(legacy_fingerprint(), legacy_fingerprint());
+        assert_ne!(
+            legacy_fingerprint(),
+            simulator_fingerprint(),
+            "the store fingerprint folds in the payload version; the legacy \
+             header fingerprint must stay exactly what pre-store builds wrote"
+        );
+    }
+
+    #[test]
+    fn stats_payloads_round_trip_bit_exactly() {
+        let (_, stats) = sample();
+        let bytes = stats_to_bytes(&stats);
+        assert_eq!(stats_from_bytes(&bytes), Some(stats.clone()));
+        // Truncated or over-long payloads must miss, never misdecode.
+        assert_eq!(stats_from_bytes(&bytes[..bytes.len() - 1]), None);
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(stats_from_bytes(&long), None);
+        // The scalar sample exercises the `None` arms of the option fields.
+        let scalar = sdv_uarch::simulate(
+            &ProcessorConfig::four_way(1, crate::PortKind::Scalar),
+            &Workload::Swim.build(1),
+            3_000,
+        );
+        assert_eq!(stats_from_bytes(&stats_to_bytes(&scalar)), Some(scalar));
+    }
+
+    #[test]
+    fn legacy_files_import_into_a_store() {
+        let dir = std::env::temp_dir().join(format!("sdv-legacy-import-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (key, stats) = sample();
+        let legacy = dir.join("cache.bin");
+        let mut entries = HashMap::new();
+        entries.insert(key.clone(), stats.clone());
+        write_cache(&legacy, &entries, &HashMap::new()).expect("legacy file written");
+
+        let store =
+            sdv_store::Store::open(dir.join("store"), simulator_fingerprint()).expect("store");
+        assert_eq!(import_legacy(&store, &legacy).expect("imported"), 1);
+        let payload = store.get(key_hash(&key)).expect("entry present");
+        assert_eq!(stats_from_bytes(&payload), Some(stats));
+        // Re-importing is idempotent, and a missing file imports nothing.
+        assert_eq!(import_legacy(&store, &legacy).expect("re-imported"), 0);
+        assert_eq!(
+            import_legacy(&store, &dir.join("absent.bin")).expect("no-op"),
+            0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -463,7 +586,7 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(MAGIC);
         bytes.extend_from_slice(&CACHE_VERSION.to_le_bytes());
-        bytes.extend_from_slice(&(simulator_fingerprint() ^ 1).to_le_bytes());
+        bytes.extend_from_slice(&(legacy_fingerprint() ^ 1).to_le_bytes());
         bytes.extend_from_slice(&0u64.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
         assert!(

@@ -48,15 +48,21 @@ pub struct CellKey {
     pub max_insts: u64,
 }
 
-/// Session counters: how much work the engine was asked for vs. actually did.
+/// Session counters: how much work the engine was asked for vs. actually did,
+/// and how effective the attached persistent store was.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineReport {
     /// Cells requested by generators (including repeats).
     pub requested: u64,
     /// Unique cells actually simulated.
     pub simulated: u64,
-    /// Unique cells served from the persistent on-disk cache.
-    pub from_disk: u64,
+    /// Unique cells served from the persistent result store.
+    pub store_hits: u64,
+    /// Unique cells the store was probed for but did not hold (each one then
+    /// had to be simulated).
+    pub store_misses: u64,
+    /// Entries [`RunEngine::persist`] newly added to the store this session.
+    pub store_inserts: u64,
 }
 
 impl EngineReport {
@@ -64,6 +70,14 @@ impl EngineReport {
     #[must_use]
     pub fn deduplicated(&self) -> u64 {
         self.requested.saturating_sub(self.simulated)
+    }
+
+    /// Fraction of store probes that hit, if any probes happened — the
+    /// "100% store hits" signal of a fully warmed re-run.
+    #[must_use]
+    pub fn store_hit_rate(&self) -> Option<f64> {
+        let probes = self.store_hits + self.store_misses;
+        (probes > 0).then(|| self.store_hits as f64 / probes as f64)
     }
 }
 
@@ -76,8 +90,17 @@ impl std::fmt::Display for EngineReport {
             self.deduplicated(),
             self.requested
         )?;
-        if self.from_disk > 0 {
-            write!(f, " ({} from the on-disk cache)", self.from_disk)?;
+        if let Some(rate) = self.store_hit_rate() {
+            write!(
+                f,
+                " (store: {} hits, {} misses, {} inserts — {:.0}% hit rate)",
+                self.store_hits,
+                self.store_misses,
+                self.store_inserts,
+                rate * 100.0
+            )?;
+        } else if self.store_inserts > 0 {
+            write!(f, " (store: {} inserts)", self.store_inserts)?;
         }
         Ok(())
     }
@@ -183,12 +206,13 @@ pub struct RunEngine {
     cache: Mutex<HashMap<CellKey, RunStats>>,
     requested: AtomicU64,
     simulated: AtomicU64,
-    from_disk: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_inserts: AtomicU64,
     timing: Mutex<EngineTiming>,
     created: Instant,
-    /// Entries loaded from the persistent cache, keyed by content hash, and
-    /// the path to write the session back to.
-    disk: Option<(PathBuf, HashMap<u128, RunStats>)>,
+    /// The persistent result store sessions are served from and persisted to.
+    store: Option<sdv_store::Store>,
 }
 
 impl RunEngine {
@@ -201,46 +225,86 @@ impl RunEngine {
             cache: Mutex::new(HashMap::new()),
             requested: AtomicU64::new(0),
             simulated: AtomicU64::new(0),
-            from_disk: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_inserts: AtomicU64::new(0),
             timing: Mutex::new(EngineTiming::default()),
             created: Instant::now(),
-            disk: None,
+            store: None,
         }
     }
 
-    /// Attaches a persistent on-disk cache: previously persisted results in
-    /// `dir` are served without re-simulation, and [`Self::persist`] writes
-    /// the session's results back.  Entries are invalidated by content-hash
-    /// mismatch (any configuration/workload/budget change misses) and the
-    /// whole file by a cache-version bump.
+    /// Attaches the sharded persistent result store in `dir`: previously
+    /// persisted results are served without re-simulation, and
+    /// [`Self::persist`] merges the session's results back in.  Entries are
+    /// invalidated by content-hash mismatch (any configuration/workload/budget
+    /// change misses) and whole shards by a simulator-behaviour fingerprint
+    /// mismatch (results from a different build are invisible).
+    ///
+    /// A legacy single-file `cache.bin` found in `dir` is imported into the
+    /// store on attach, so pre-store cache directories keep their contents.
+    /// Failure to open the store degrades to running without one (a warning
+    /// is printed); results are identical either way.
     #[must_use]
     pub fn with_disk_cache(mut self, dir: impl Into<PathBuf>) -> Self {
-        let path = dir.into().join("cache.bin");
-        let loaded = cachefile::read_cache(&path);
-        self.disk = Some((path, loaded));
+        let dir = dir.into();
+        match sdv_store::Store::open(&dir, cachefile::simulator_fingerprint()) {
+            Ok(store) => {
+                let legacy = dir.join("cache.bin");
+                if legacy.exists() {
+                    if let Err(e) = cachefile::import_legacy(&store, &legacy) {
+                        eprintln!(
+                            "warning: could not import legacy cache {}: {e}",
+                            legacy.display()
+                        );
+                    }
+                }
+                self.store = Some(store);
+            }
+            Err(e) => eprintln!(
+                "warning: could not open result store {}: {e} (running uncached)",
+                dir.display()
+            ),
+        }
         self
     }
 
-    /// The cache file path, when a disk cache is attached.
+    /// The attached result store's directory, if one is attached.
     #[must_use]
-    pub fn cache_path(&self) -> Option<&Path> {
-        self.disk.as_ref().map(|(path, _)| path.as_path())
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(sdv_store::Store::dir)
     }
 
-    /// Writes every memoized result of this session back to the attached
-    /// cache file, carrying over previously persisted entries this session
-    /// did not revisit (a narrow run never shrinks a broad cache).
+    /// The attached result store itself (e.g. to `verify` or `stats` it).
+    #[must_use]
+    pub fn store(&self) -> Option<&sdv_store::Store> {
+        self.store.as_ref()
+    }
+
+    /// Merges every memoized result of this session into the attached store.
+    /// Entries other sessions persisted concurrently survive (each shard
+    /// write is a read–merge–write under the shard's writer lock), so a
+    /// narrow run never shrinks a broad store.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from writing the cache file.  Does nothing when
-    /// no disk cache is attached.
+    /// Propagates I/O errors from writing shard files.  Does nothing when no
+    /// store is attached.
     pub fn persist(&self) -> std::io::Result<()> {
-        let Some((path, loaded)) = &self.disk else {
+        let Some(store) = &self.store else {
             return Ok(());
         };
-        let cache = self.cache.lock().expect("engine cache poisoned");
-        cachefile::write_cache(path, &cache, loaded)
+        let batch: Vec<(u128, Vec<u8>)> = {
+            let cache = self.cache.lock().expect("engine cache poisoned");
+            cache
+                .iter()
+                .map(|(key, stats)| (cachefile::key_hash(key), cachefile::stats_to_bytes(stats)))
+                .collect()
+        };
+        let put = store.put_batch(&batch)?;
+        self.store_inserts
+            .fetch_add(put.inserted, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Wall-clock accounting for the cells this engine actually simulated.
@@ -283,7 +347,9 @@ impl RunEngine {
         EngineReport {
             requested: self.requested.load(Ordering::Relaxed),
             simulated: self.simulated.load(Ordering::Relaxed),
-            from_disk: self.from_disk.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_misses: self.store_misses.load(Ordering::Relaxed),
+            store_inserts: self.store_inserts.load(Ordering::Relaxed),
         }
     }
 
@@ -350,7 +416,7 @@ impl RunEngine {
         let keys: Vec<CellKey> = cells.iter().map(|(c, w)| self.key(c, *w)).collect();
 
         // Collect the unique cells this batch actually needs to simulate;
-        // cells present in the persistent cache are promoted to the session
+        // cells present in the persistent store are promoted to the session
         // cache without simulation.
         let misses: Vec<CellKey> = {
             let mut cache = self.cache.lock().expect("engine cache poisoned");
@@ -360,12 +426,16 @@ impl RunEngine {
                 if cache.contains_key(key) || !seen.insert(key.clone()) {
                     continue;
                 }
-                if let Some((_, disk)) = &self.disk {
-                    if let Some(stats) = disk.get(&cachefile::key_hash(key)) {
-                        cache.insert(key.clone(), stats.clone());
-                        self.from_disk.fetch_add(1, Ordering::Relaxed);
+                if let Some(store) = &self.store {
+                    if let Some(stats) = store
+                        .get(cachefile::key_hash(key))
+                        .and_then(|payload| cachefile::stats_from_bytes(&payload))
+                    {
+                        cache.insert(key.clone(), stats);
+                        self.store_hits.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
+                    self.store_misses.fetch_add(1, Ordering::Relaxed);
                 }
                 misses.push(key.clone());
             }
@@ -518,7 +588,7 @@ mod tests {
     }
 
     #[test]
-    fn disk_cache_round_trips_between_engines() {
+    fn disk_store_round_trips_between_engines() {
         let dir = std::env::temp_dir().join(format!("sdv-engine-cache-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
@@ -526,18 +596,32 @@ mod tests {
         let writer = RunEngine::new(rc()).with_disk_cache(&dir);
         let fresh = writer.run_cell(&cfg, Workload::Swim);
         assert_eq!(writer.report().simulated, 1);
-        assert_eq!(writer.report().from_disk, 0);
-        writer.persist().expect("cache persisted");
-        assert!(writer.cache_path().expect("path set").exists());
+        assert_eq!(writer.report().store_hits, 0);
+        assert_eq!(writer.report().store_misses, 1);
+        assert_eq!(writer.report().store_hit_rate(), Some(0.0));
+        writer.persist().expect("store persisted");
+        assert_eq!(writer.report().store_inserts, 1);
+        assert_eq!(writer.store_dir(), Some(dir.as_path()));
+        let store = writer.store().expect("store attached");
+        assert!(store.verify().expect("verify runs").is_ok());
+        assert_eq!(store.stats().expect("stats run").entries, 1);
 
         let reader = RunEngine::new(rc()).with_disk_cache(&dir);
         let cached = reader.run_cell(&cfg, Workload::Swim);
-        assert_eq!(cached, fresh, "disk hits are bit-identical");
+        assert_eq!(cached, fresh, "store hits are bit-identical");
         let report = reader.report();
         assert_eq!(report.simulated, 0, "nothing was re-simulated");
-        assert_eq!(report.from_disk, 1);
-        assert!(report.to_string().contains("on-disk"));
-        assert_eq!(reader.timing().cells.len(), 0, "disk hits are not timed");
+        assert_eq!(report.store_hits, 1);
+        assert_eq!(report.store_misses, 0);
+        assert_eq!(report.store_hit_rate(), Some(1.0));
+        assert!(report.to_string().contains("100% hit rate"), "{report}");
+        assert_eq!(reader.timing().cells.len(), 0, "store hits are not timed");
+        reader.persist().expect("store persisted");
+        assert_eq!(
+            reader.report().store_inserts,
+            0,
+            "a fully warmed session adds nothing"
+        );
 
         // A different budget is a different content hash: full miss — and
         // persisting this narrow session must not evict the earlier entry.
@@ -548,16 +632,42 @@ mod tests {
         .with_disk_cache(&dir);
         let _ = other.run_cell(&cfg, Workload::Swim);
         assert_eq!(other.report().simulated, 1);
-        assert_eq!(other.report().from_disk, 0);
-        other.persist().expect("cache persisted");
+        assert_eq!(other.report().store_hits, 0);
+        other.persist().expect("store persisted");
 
         let merged = RunEngine::new(rc()).with_disk_cache(&dir);
         let _ = merged.run_cell(&cfg, Workload::Swim);
         assert_eq!(
-            merged.report().from_disk,
+            merged.report().store_hits,
             1,
             "the original entry survived the narrow session's persist"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_cache_files_are_imported_on_attach() {
+        let dir = std::env::temp_dir().join(format!("sdv-engine-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+        let key = CellKey {
+            config: cfg.clone(),
+            workload: Workload::Compress,
+            scale: rc().scale,
+            max_insts: rc().max_insts,
+        };
+        let stats = super::simulate_cell(&key).0;
+        let mut entries = HashMap::new();
+        entries.insert(key, stats.clone());
+        cachefile::write_cache(&dir.join("cache.bin"), &entries, &HashMap::new())
+            .expect("legacy cache written");
+
+        // Attaching the store imports the legacy file: the cell hits.
+        let engine = RunEngine::new(rc()).with_disk_cache(&dir);
+        let served = engine.run_cell(&cfg, Workload::Compress);
+        assert_eq!(served, stats, "legacy entries are served bit-identically");
+        assert_eq!(engine.report().simulated, 0);
+        assert_eq!(engine.report().store_hits, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,963 @@
+//! A sharded, mergeable, concurrency-safe result store.
+//!
+//! The simulation layer persists `content-hash → serialized result` entries so
+//! repeated experiment runs (and CI jobs seeding developer machines) reuse
+//! earlier sessions instead of re-simulating.  This crate provides the storage
+//! substrate: it knows nothing about simulators or statistics — keys are
+//! opaque 128-bit content hashes and values are opaque byte payloads — which
+//! keeps it reusable and keeps the dependency arrow pointing the right way
+//! (`sdv-sim` layers its serialization *on top* of the store).
+//!
+//! # Layout
+//!
+//! A store is a directory of up to 256 *shard* files, `shard-00.bin` …
+//! `shard-ff.bin`, where an entry lives in the shard named by the top byte of
+//! its key.  Each shard file is a small versioned binary blob:
+//!
+//! ```text
+//! magic "SDVS" | version u32 | fingerprint u64 | count u64
+//!   count × ( key_lo u64 | key_hi u64 | payload_len u32 | payload bytes )
+//! ```
+//!
+//! The `fingerprint` identifies the *producer behaviour* (for the simulator:
+//! a hash of what two canonical cells measure with the current build).  A
+//! store is always opened for one fingerprint; shard files written by a
+//! different producer are invisible to readers, replaced on write, and
+//! reclaimed by [`Store::gc`].
+//!
+//! # Concurrency
+//!
+//! * **Readers are lock-free**: they only ever `read()` shard files, which are
+//!   replaced atomically (write-temp + `rename`), so a reader sees either the
+//!   old or the new shard, never a torn one.  Loaded shards are memoized
+//!   in-process behind per-shard `RwLock`s.
+//! * **Writers serialize per shard** through an OS advisory lock on a sibling
+//!   `shard-XX.lock` file: a write is *read–merge–write* under the lock, so
+//!   two processes populating the same store concurrently both land all of
+//!   their entries.  The kernel owns lock lifetime — a crashed writer's lock
+//!   is released automatically, with no staleness heuristics or stealing.
+//!
+//! # Example
+//!
+//! ```
+//! use sdv_store::Store;
+//!
+//! let dir = std::env::temp_dir().join(format!("sdv-store-doc-{}", std::process::id()));
+//! let store = Store::open(&dir, 0xfeed).unwrap();
+//! store.put_batch(&[((0x42u128 << 120) | 7, b"payload".to_vec())]).unwrap();
+//! assert_eq!(store.get((0x42u128 << 120) | 7).as_deref(), Some(&b"payload"[..]));
+//! assert!(store.verify().unwrap().is_ok());
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::RwLock;
+
+const MAGIC: &[u8; 4] = b"SDVS";
+/// Bump whenever the shard-file layout changes; older files become stale.
+const STORE_VERSION: u32 = 1;
+/// Number of shard files a store fans out over (keyed by the key's top byte).
+pub const SHARDS: usize = 256;
+/// Age (by file mtime) beyond which a leftover `.tmp.*` file is presumed
+/// abandoned by a crashed writer and reclaimed by [`Store::gc`].  A live
+/// shard write holds its temp file for milliseconds, so a healthy one never
+/// comes close to this.
+const TEMP_STALE: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// The in-memory form of one shard: opaque payloads keyed by content hash.
+type ShardEntries = HashMap<u128, Vec<u8>>;
+
+/// The index of the shard holding `key`: its most significant byte.
+#[must_use]
+pub fn shard_of(key: u128) -> usize {
+    (key >> 120) as usize
+}
+
+fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:02x}.bin"))
+}
+
+// -------------------------------------------------------------- shard files
+
+/// One parsed shard file: who wrote it and what it holds.
+struct ShardFile {
+    fingerprint: u64,
+    entries: HashMap<u128, Vec<u8>>,
+}
+
+/// A bounds-checked little-endian reader over a shard file's bytes.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let (head, rest) = self
+            .buf
+            .split_at_checked(n)
+            .ok_or_else(|| format!("truncated at a {n}-byte field ({} left)", self.buf.len()))?;
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+fn parse_shard(bytes: &[u8]) -> Result<ShardFile, String> {
+    let mut c = Cursor { buf: bytes };
+    if c.take(4)? != MAGIC {
+        return Err("bad magic".into());
+    }
+    let version = c.u32()?;
+    if version != STORE_VERSION {
+        return Err(format!("version {version}, expected {STORE_VERSION}"));
+    }
+    let fingerprint = c.u64()?;
+    let count = c.u64()?;
+    let mut entries = HashMap::new();
+    for i in 0..count {
+        let err = |e| format!("entry {i}: {e}");
+        let lo = c.u64().map_err(err)?;
+        let hi = c.u64().map_err(err)?;
+        let len = c.u32().map_err(err)?;
+        let payload = c.take(len as usize).map_err(err)?;
+        let key = (u128::from(hi) << 64) | u128::from(lo);
+        if entries.insert(key, payload.to_vec()).is_some() {
+            return Err(format!("duplicate key {key:#034x}"));
+        }
+    }
+    if !c.buf.is_empty() {
+        return Err(format!(
+            "{} trailing bytes after {count} entries",
+            c.buf.len()
+        ));
+    }
+    Ok(ShardFile {
+        fingerprint,
+        entries,
+    })
+}
+
+fn serialize_shard(fingerprint: u64, entries: &HashMap<u128, Vec<u8>>) -> Vec<u8> {
+    // Deterministic entry order so byte-identical content produces
+    // byte-identical files (useful for CI cache stability and debugging).
+    let mut keys: Vec<&u128> = entries.keys().collect();
+    keys.sort_unstable();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&STORE_VERSION.to_le_bytes());
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for key in keys {
+        let payload = &entries[key];
+        out.extend_from_slice(&(*key as u64).to_le_bytes());
+        out.extend_from_slice(&((key >> 64) as u64).to_le_bytes());
+        out.extend_from_slice(
+            &u32::try_from(payload.len())
+                .expect("payload fits u32")
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Reads a shard file from disk; `Ok(None)` when it does not exist.
+fn read_shard(path: &Path) -> io::Result<Option<Result<ShardFile, String>>> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(Some(parse_shard(&bytes))),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+// -------------------------------------------------------------- write locks
+
+/// Whether a temp file at `path` is old enough (by mtime) to be treated as
+/// abandoned by a crashed writer.  `false` when the file is gone or its age
+/// cannot be determined — never presume abandonment without evidence.
+fn is_stale(path: &Path) -> bool {
+    fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
+        .is_some_and(|age| age >= TEMP_STALE)
+}
+
+/// An exclusive per-shard writer lock: an OS advisory lock on a sibling
+/// `.lock` file, released when the handle drops.  The kernel owns the lock's
+/// lifetime, so a crashed holder releases automatically — no staleness
+/// heuristics, no stealing, no ownership races.  The zero-byte lock *files*
+/// stay on disk permanently; they are never deleted, because removing a name
+/// while another writer holds the inode's lock would let a third writer lock
+/// a fresh inode under the same name and break mutual exclusion.
+struct ShardLock {
+    _file: fs::File,
+}
+
+fn lock_shard(dir: &Path, shard: usize) -> io::Result<ShardLock> {
+    let file = fs::OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(dir.join(format!("shard-{shard:02x}.lock")))?;
+    // Blocks until the current holder releases (or its process dies).
+    file.lock()?;
+    Ok(ShardLock { _file: file })
+}
+
+// ------------------------------------------------------------------ reports
+
+/// What [`Store::put_batch`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PutReport {
+    /// Entries that were new to the store.
+    pub inserted: u64,
+    /// Entries whose key was already present (the new payload wins).
+    pub updated: u64,
+    /// Entries discarded from shard files written by a different producer
+    /// fingerprint (their results are stale by definition).
+    pub discarded_stale: u64,
+}
+
+/// What [`Store::merge_from`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Source shard files read.
+    pub shards_read: u64,
+    /// Entries newly inserted into the destination.
+    pub inserted: u64,
+    /// Entries whose key the destination already held.
+    pub updated: u64,
+    /// Source entries skipped because their shard was written by a different
+    /// producer fingerprint.
+    pub skipped_stale: u64,
+}
+
+impl std::fmt::Display for MergeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} shard files read: {} entries inserted, {} already present, {} stale skipped",
+            self.shards_read, self.inserted, self.updated, self.skipped_stale
+        )
+    }
+}
+
+/// What [`Store::gc`] reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Shard files kept (their fingerprint matched).
+    pub kept_shards: u64,
+    /// Entries across the kept shard files.
+    pub kept_entries: u64,
+    /// Stale shard files deleted (foreign fingerprint, foreign version, or
+    /// unparseable).
+    pub removed_shards: u64,
+    /// Entries across the deleted shard files (0 for unparseable files).
+    pub removed_entries: u64,
+    /// Leftover temp files deleted (only ones older than the writer
+    /// abandonment threshold — live writers' pending temps survive, and
+    /// lock files are never touched).
+    pub removed_strays: u64,
+}
+
+impl std::fmt::Display for GcReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kept {} shard files ({} entries); removed {} stale shard files \
+             ({} entries) and {} stray temp/lock files",
+            self.kept_shards,
+            self.kept_entries,
+            self.removed_shards,
+            self.removed_entries,
+            self.removed_strays
+        )
+    }
+}
+
+/// The outcome of a structural [`Store::verify`] pass.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Shard files parsed with the store's fingerprint.
+    pub shards: u64,
+    /// Entries across those shards.
+    pub entries: u64,
+    /// Structurally valid shard files with a foreign fingerprint (stale but
+    /// harmless — [`Store::gc`] reclaims them).
+    pub stale_shards: u64,
+    /// Structural problems found; empty for a healthy store.
+    pub errors: Vec<String>,
+}
+
+impl VerifyReport {
+    /// `true` when no structural problem was found.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} shard files, {} entries, {} stale shard files: {}",
+            self.shards,
+            self.entries,
+            self.stale_shards,
+            if self.is_ok() {
+                "OK".to_string()
+            } else {
+                format!("{} error(s)", self.errors.len())
+            }
+        )?;
+        for e in &self.errors {
+            write!(f, "\n  - {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate size/occupancy statistics for a store directory.
+#[derive(Debug, Clone, Default)]
+pub struct StoreStats {
+    /// Shard files carrying the store's fingerprint.
+    pub shards: u64,
+    /// Entries across those shards.
+    pub entries: u64,
+    /// Total payload bytes across those entries.
+    pub payload_bytes: u64,
+    /// Total size of all shard files on disk (stale ones included).
+    pub file_bytes: u64,
+    /// Structurally valid shard files with a foreign fingerprint.
+    pub stale_shards: u64,
+    /// Entries across the stale shards.
+    pub stale_entries: u64,
+    /// Entry count of the fullest live shard.
+    pub largest_shard_entries: u64,
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} entries ({} payload bytes) across {} shard files \
+             ({} bytes on disk; fullest shard holds {}); \
+             {} stale shard files carrying {} entries",
+            self.entries,
+            self.payload_bytes,
+            self.shards,
+            self.file_bytes,
+            self.largest_shard_entries,
+            self.stale_shards,
+            self.stale_entries
+        )
+    }
+}
+
+// -------------------------------------------------------------------- store
+
+/// A handle on one store directory, opened for one producer fingerprint.
+///
+/// The handle may be shared freely across threads; see the crate docs for the
+/// concurrency model.
+pub struct Store {
+    dir: PathBuf,
+    fingerprint: u64,
+    /// Per-shard memo of the last loaded disk state (`None` = not loaded).
+    shards: Vec<RwLock<Option<ShardEntries>>>,
+}
+
+impl Store {
+    /// Opens (creating if necessary) the store directory `dir` for entries
+    /// produced under `fingerprint`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure to create the directory.
+    pub fn open(dir: impl Into<PathBuf>, fingerprint: u64) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Store {
+            dir,
+            fingerprint,
+            shards: (0..SHARDS).map(|_| RwLock::new(None)).collect(),
+        })
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The producer fingerprint this handle reads and writes.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Loads the shard holding `key` (once) and returns the entry's payload.
+    ///
+    /// Shard files written under a different fingerprint, or unparseable ones,
+    /// read as empty — stale or damaged data can only ever cause a miss.
+    #[must_use]
+    pub fn get(&self, key: u128) -> Option<Vec<u8>> {
+        let slot = &self.shards[shard_of(key)];
+        {
+            let loaded = slot.read().expect("shard memo poisoned");
+            if let Some(entries) = loaded.as_ref() {
+                return entries.get(&key).cloned();
+            }
+        }
+        let mut loaded = slot.write().expect("shard memo poisoned");
+        if loaded.is_none() {
+            *loaded = Some(self.load_shard(shard_of(key)));
+        }
+        loaded.as_ref().expect("just loaded").get(&key).cloned()
+    }
+
+    /// Reads a shard's live entries from disk (empty on absence, foreign
+    /// fingerprint, or parse failure).
+    fn load_shard(&self, shard: usize) -> HashMap<u128, Vec<u8>> {
+        match read_shard(&shard_path(&self.dir, shard)) {
+            Ok(Some(Ok(file))) if file.fingerprint == self.fingerprint => file.entries,
+            _ => HashMap::new(),
+        }
+    }
+
+    /// Inserts a batch of entries, merging with whatever each touched shard
+    /// already holds on disk (a read–merge–write per shard under the shard's
+    /// writer lock).  Untouched shards are not rewritten, and a batch that
+    /// adds nothing new to a shard leaves its file untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; on error some shards of the batch may already
+    /// have been written (each individual shard stays consistent).
+    pub fn put_batch(&self, entries: &[(u128, Vec<u8>)]) -> io::Result<PutReport> {
+        let mut by_shard: HashMap<usize, Vec<&(u128, Vec<u8>)>> = HashMap::new();
+        for entry in entries {
+            by_shard.entry(shard_of(entry.0)).or_default().push(entry);
+        }
+        let mut report = PutReport::default();
+        let mut shards: Vec<usize> = by_shard.keys().copied().collect();
+        shards.sort_unstable(); // deterministic lock order
+        for shard in shards {
+            let path = shard_path(&self.dir, shard);
+            let _lock = lock_shard(&self.dir, shard)?;
+            let (mut merged, on_disk_fresh) = match read_shard(&path)? {
+                Some(Ok(file)) if file.fingerprint == self.fingerprint => (file.entries, true),
+                Some(Ok(file)) => {
+                    report.discarded_stale += file.entries.len() as u64;
+                    (HashMap::new(), false)
+                }
+                Some(Err(_)) | None => (HashMap::new(), false),
+            };
+            let mut changed = !on_disk_fresh;
+            for (key, payload) in &by_shard[&shard] {
+                match merged.insert(*key, payload.clone()) {
+                    None => {
+                        report.inserted += 1;
+                        changed = true;
+                    }
+                    Some(old) => {
+                        report.updated += 1;
+                        changed |= old != *payload;
+                    }
+                }
+            }
+            if changed {
+                let bytes = serialize_shard(self.fingerprint, &merged);
+                let tmp = self
+                    .dir
+                    .join(format!("shard-{shard:02x}.tmp.{}", std::process::id()));
+                fs::write(&tmp, bytes)?;
+                fs::rename(&tmp, &path)?;
+            }
+            *self.shards[shard].write().expect("shard memo poisoned") = Some(merged);
+        }
+        Ok(report)
+    }
+
+    /// Merges every live entry of the store directory `src` into this store.
+    ///
+    /// Source shards written under a different fingerprint are skipped (their
+    /// results are stale for this producer); unparseable source shards are
+    /// skipped silently.  `merge(A, B)` and `merge(B, A)` into empty stores
+    /// produce the same entry *set* whenever A and B agree on shared keys —
+    /// which content-hashed deterministic results always do.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from reading `src` or writing this store.
+    pub fn merge_from(&self, src: &Path) -> io::Result<MergeReport> {
+        let mut report = MergeReport::default();
+        for shard in 0..SHARDS {
+            let Some(parsed) = read_shard(&shard_path(src, shard))? else {
+                continue;
+            };
+            report.shards_read += 1;
+            let Ok(file) = parsed else { continue };
+            if file.fingerprint != self.fingerprint {
+                report.skipped_stale += file.entries.len() as u64;
+                continue;
+            }
+            let batch: Vec<(u128, Vec<u8>)> = file.entries.into_iter().collect();
+            let put = self.put_batch(&batch)?;
+            report.inserted += put.inserted;
+            report.updated += put.updated;
+        }
+        Ok(report)
+    }
+
+    /// Every live entry of the store (the shards carrying this handle's
+    /// fingerprint), read fresh from disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from reading shard files.
+    pub fn entries(&self) -> io::Result<HashMap<u128, Vec<u8>>> {
+        let mut out = HashMap::new();
+        for shard in 0..SHARDS {
+            if let Some(Ok(file)) = read_shard(&shard_path(&self.dir, shard))? {
+                if file.fingerprint == self.fingerprint {
+                    out.extend(file.entries);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deletes shard files whose fingerprint differs from `keep` (plus
+    /// unparseable shards and abandoned temp files; lock files are never
+    /// touched) and reports what was reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from listing or deleting files.
+    pub fn gc(&self, keep: u64) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        for item in fs::read_dir(&self.dir)? {
+            let path = item?.path();
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            if !name.starts_with("shard-") {
+                continue;
+            }
+            if name.ends_with(".lock") {
+                // Never delete lock files: a writer may hold the OS lock on
+                // that inode right now, and a fresh inode under the same name
+                // would let a third writer in beside it.
+                continue;
+            }
+            if !name.ends_with(".bin") {
+                // A leftover `.tmp.<pid>` of a crashed writer.  Only reclaim
+                // provably old ones: a concurrent writer's pending temp file
+                // must survive a gc that races it.
+                if is_stale(&path) {
+                    fs::remove_file(&path)?;
+                    report.removed_strays += 1;
+                }
+                continue;
+            }
+            match read_shard(&path)? {
+                Some(Ok(file)) if file.fingerprint == keep => {
+                    report.kept_shards += 1;
+                    report.kept_entries += file.entries.len() as u64;
+                }
+                Some(Ok(file)) => {
+                    fs::remove_file(&path)?;
+                    report.removed_shards += 1;
+                    report.removed_entries += file.entries.len() as u64;
+                }
+                Some(Err(_)) => {
+                    fs::remove_file(&path)?;
+                    report.removed_shards += 1;
+                }
+                None => {}
+            }
+        }
+        for slot in &self.shards {
+            *slot.write().expect("shard memo poisoned") = None;
+        }
+        Ok(report)
+    }
+
+    /// Structurally verifies every shard file of the store: magic, version,
+    /// entry framing, no trailing bytes, and every key living in the shard its
+    /// top byte names.  Stale-but-valid shards (foreign fingerprint) are
+    /// counted, not flagged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; structural problems are *reported*, not
+    /// returned as errors.
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let mut report = VerifyReport::default();
+        for shard in 0..SHARDS {
+            let path = shard_path(&self.dir, shard);
+            let Some(parsed) = read_shard(&path)? else {
+                continue;
+            };
+            match parsed {
+                Err(e) => report.errors.push(format!("{}: {e}", path.display())),
+                Ok(file) => {
+                    for key in file.entries.keys() {
+                        if shard_of(*key) != shard {
+                            report.errors.push(format!(
+                                "{}: key {key:#034x} belongs in shard {:02x}",
+                                path.display(),
+                                shard_of(*key)
+                            ));
+                        }
+                    }
+                    if file.fingerprint == self.fingerprint {
+                        report.shards += 1;
+                        report.entries += file.entries.len() as u64;
+                    } else {
+                        report.stale_shards += 1;
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Aggregate occupancy statistics (reads every shard file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from reading shard files.
+    pub fn stats(&self) -> io::Result<StoreStats> {
+        let mut stats = StoreStats::default();
+        for shard in 0..SHARDS {
+            let path = shard_path(&self.dir, shard);
+            let Some(parsed) = read_shard(&path)? else {
+                continue;
+            };
+            stats.file_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            let Ok(file) = parsed else { continue };
+            if file.fingerprint == self.fingerprint {
+                stats.shards += 1;
+                stats.entries += file.entries.len() as u64;
+                stats.payload_bytes += file.entries.values().map(|p| p.len() as u64).sum::<u64>();
+                stats.largest_shard_entries =
+                    stats.largest_shard_entries.max(file.entries.len() as u64);
+            } else {
+                stats.stale_shards += 1;
+                stats.stale_entries += file.entries.len() as u64;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("fingerprint", &format_args!("{:#018x}", self.fingerprint))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sdv-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(shard: u8, low: u64) -> u128 {
+        (u128::from(shard) << 120) | u128::from(low)
+    }
+
+    #[test]
+    fn round_trips_across_shards_and_reopens() {
+        let dir = tmp_dir("roundtrip");
+        let store = Store::open(&dir, 1).unwrap();
+        let batch: Vec<(u128, Vec<u8>)> = (0..50u64)
+            .map(|i| (key((i * 7) as u8, i), vec![i as u8; (i % 13) as usize]))
+            .collect();
+        let put = store.put_batch(&batch).unwrap();
+        assert_eq!(put.inserted, 50);
+        assert_eq!(put.updated, 0);
+        for (k, v) in &batch {
+            assert_eq!(store.get(*k).as_ref(), Some(v));
+        }
+        // A fresh handle reads the same data from disk.
+        let again = Store::open(&dir, 1).unwrap();
+        for (k, v) in &batch {
+            assert_eq!(again.get(*k).as_ref(), Some(v));
+        }
+        assert_eq!(again.entries().unwrap().len(), 50);
+        assert!(store.get(key(9, 0xdead)).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entries_land_in_the_shard_their_top_byte_names() {
+        let dir = tmp_dir("shards");
+        let store = Store::open(&dir, 1).unwrap();
+        store
+            .put_batch(&[
+                (key(0x00, 1), vec![1]),
+                (key(0xab, 2), vec![2]),
+                (key(0xff, 3), vec![3]),
+            ])
+            .unwrap();
+        for shard in [0x00, 0xab, 0xff] {
+            assert!(shard_path(&dir, shard).exists(), "shard {shard:02x}");
+        }
+        let shard_files = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".bin")
+            })
+            .count();
+        assert_eq!(shard_files, 3, "only touched shards get files");
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.shards, 3);
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.largest_shard_entries, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrites_are_merges_not_replacements() {
+        let dir = tmp_dir("merge-write");
+        let a = Store::open(&dir, 1).unwrap();
+        a.put_batch(&[(key(5, 1), vec![1])]).unwrap();
+        // A second handle (fresh memo, same dir) adds a different entry to the
+        // same shard; the first entry must survive.
+        let b = Store::open(&dir, 1).unwrap();
+        let put = b.put_batch(&[(key(5, 2), vec![2])]).unwrap();
+        assert_eq!(put.inserted, 1);
+        let c = Store::open(&dir, 1).unwrap();
+        assert_eq!(c.get(key(5, 1)), Some(vec![1]));
+        assert_eq!(c.get(key(5, 2)), Some(vec![2]));
+        // Re-putting identical content does not grow anything.
+        let put = c.put_batch(&[(key(5, 1), vec![1])]).unwrap();
+        assert_eq!(put.inserted, 0);
+        assert_eq!(put.updated, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_fingerprints_are_invisible_and_replaced() {
+        let dir = tmp_dir("fingerprint");
+        let old = Store::open(&dir, 1).unwrap();
+        old.put_batch(&[(key(7, 1), vec![1]), (key(8, 2), vec![2])])
+            .unwrap();
+        let new = Store::open(&dir, 2).unwrap();
+        assert!(new.get(key(7, 1)).is_none(), "stale entries never hit");
+        assert!(new.entries().unwrap().is_empty());
+        // Writing shard 7 under the new fingerprint discards the stale file's
+        // contents; shard 8 stays stale until gc.
+        let put = new.put_batch(&[(key(7, 3), vec![3])]).unwrap();
+        assert_eq!(put.discarded_stale, 1);
+        let stats = new.stats().unwrap();
+        assert_eq!((stats.shards, stats.entries), (1, 1));
+        assert_eq!((stats.stale_shards, stats.stale_entries), (1, 1));
+        let gc = new.gc(2).unwrap();
+        assert_eq!(gc.kept_shards, 1);
+        assert_eq!(gc.removed_shards, 1);
+        assert_eq!(gc.removed_entries, 1);
+        assert!(new.get(key(8, 2)).is_none());
+        assert_eq!(new.stats().unwrap().stale_shards, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_from_unions_two_stores() {
+        let dir_a = tmp_dir("merge-a");
+        let dir_b = tmp_dir("merge-b");
+        let a = Store::open(&dir_a, 1).unwrap();
+        let b = Store::open(&dir_b, 1).unwrap();
+        a.put_batch(&[(key(1, 1), vec![1]), (key(2, 2), vec![2])])
+            .unwrap();
+        b.put_batch(&[(key(2, 2), vec![2]), (key(3, 3), vec![3])])
+            .unwrap();
+        let report = a.merge_from(&dir_b).unwrap();
+        assert_eq!(report.inserted, 1);
+        assert_eq!(report.updated, 1);
+        assert_eq!(report.skipped_stale, 0);
+        assert_eq!(a.entries().unwrap().len(), 3);
+        assert!(report.to_string().contains("1 entries inserted"));
+        // Merging a store written under a different fingerprint imports nothing.
+        let foreign_dir = tmp_dir("merge-f");
+        let foreign = Store::open(&foreign_dir, 9).unwrap();
+        foreign.put_batch(&[(key(4, 4), vec![4])]).unwrap();
+        let report = a.merge_from(&foreign_dir).unwrap();
+        assert_eq!(report.inserted, 0);
+        assert_eq!(report.skipped_stale, 1);
+        for d in [&dir_a, &dir_b, &foreign_dir] {
+            fs::remove_dir_all(d).unwrap();
+        }
+    }
+
+    #[test]
+    fn verify_flags_corruption_and_misplaced_keys() {
+        let dir = tmp_dir("verify");
+        let store = Store::open(&dir, 1).unwrap();
+        store
+            .put_batch(&[(key(1, 1), vec![1]), (key(2, 2), vec![2])])
+            .unwrap();
+        let report = store.verify().unwrap();
+        assert!(report.is_ok(), "{report}");
+        assert_eq!((report.shards, report.entries), (2, 2));
+        // Truncate one shard: verify must flag it.
+        let victim = shard_path(&dir, 1);
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() - 1]).unwrap();
+        let report = store.verify().unwrap();
+        assert!(!report.is_ok());
+        assert_eq!(report.errors.len(), 1);
+        assert!(report.to_string().contains("error"), "{report}");
+        // A key stored in the wrong shard is also flagged.
+        let mut wrong = HashMap::new();
+        wrong.insert(key(9, 9), vec![9]);
+        fs::write(shard_path(&dir, 2), serialize_shard(1, &wrong)).unwrap();
+        let report = store.verify().unwrap();
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| e.contains("belongs in shard 09")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_lose_no_entries() {
+        let dir = tmp_dir("concurrent");
+        let threads = 8;
+        let per_thread = 40u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let dir = dir.clone();
+                scope.spawn(move || {
+                    let store = Store::open(&dir, 1).unwrap();
+                    // Every thread hits the same few shards to force lock
+                    // contention and read–merge–write races.
+                    let batch: Vec<(u128, Vec<u8>)> = (0..per_thread)
+                        .map(|i| (key((i % 4) as u8, t * 1_000 + i), vec![t as u8]))
+                        .collect();
+                    store.put_batch(&batch).unwrap();
+                });
+            }
+        });
+        let store = Store::open(&dir, 1).unwrap();
+        assert_eq!(
+            store.entries().unwrap().len() as u64,
+            threads * per_thread,
+            "read–merge–write under the shard lock must not lose entries"
+        );
+        assert!(store.verify().unwrap().is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Backdates a file's mtime past the writer-abandonment threshold.
+    fn age(path: &Path) {
+        let old = std::time::SystemTime::now() - (TEMP_STALE + std::time::Duration::from_secs(30));
+        let f = fs::OpenOptions::new().write(true).open(path).unwrap();
+        f.set_times(fs::FileTimes::new().set_modified(old)).unwrap();
+    }
+
+    #[test]
+    fn gc_reclaims_abandoned_temps_but_never_locks() {
+        let dir = tmp_dir("gc-strays");
+        let store = Store::open(&dir, 1).unwrap();
+        store.put_batch(&[(key(1, 1), vec![1])]).unwrap();
+        fs::write(dir.join("shard-02.tmp.999"), b"half a write").unwrap();
+        fs::write(dir.join("shard-03.tmp.998"), b"in flight").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"left alone").unwrap();
+        age(&dir.join("shard-02.tmp.999"));
+        age(&dir.join("shard-01.lock"));
+        let report = store.gc(1).unwrap();
+        assert_eq!(report.removed_strays, 1, "only the abandoned temp goes");
+        assert_eq!(report.kept_shards, 1);
+        assert!(
+            dir.join("shard-03.tmp.998").exists(),
+            "a fresh temp may belong to a live writer and must survive gc"
+        );
+        assert!(
+            dir.join("shard-01.lock").exists(),
+            "lock files are never deleted, however old: a held OS lock lives \
+             on the inode, and a fresh inode under the same name would break \
+             mutual exclusion"
+        );
+        assert!(dir.join("unrelated.txt").exists());
+        assert!(report.to_string().contains("stray"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leftover_lock_files_from_dead_writers_do_not_block() {
+        let dir = tmp_dir("dead-lock");
+        let store = Store::open(&dir, 1).unwrap();
+        // A crashed writer leaves the lock *file* behind, but the OS released
+        // its advisory lock with the process — a new writer must sail through.
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("shard-05.lock"), b"").unwrap();
+        store.put_batch(&[(key(5, 1), vec![1])]).unwrap();
+        assert_eq!(store.get(key(5, 1)), Some(vec![1]));
+        // Acquisition is a real OS lock: while one handle holds it, a second
+        // try_lock on the same file fails; after release it succeeds.
+        let held = lock_shard(&dir, 6).unwrap();
+        let probe = fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(dir.join("shard-06.lock"))
+            .unwrap();
+        assert!(
+            probe.try_lock().is_err(),
+            "the shard lock is held, so a contender must not acquire"
+        );
+        drop(held);
+        assert!(probe.try_lock().is_ok(), "released on drop");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_is_healthy() {
+        let dir = tmp_dir("empty");
+        let store = Store::open(&dir, 1).unwrap();
+        assert!(store.verify().unwrap().is_ok());
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.entries, 0);
+        assert!(stats.to_string().contains("0 entries"));
+        assert!(store.entries().unwrap().is_empty());
+        assert!(format!("{store:?}").contains("Store"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

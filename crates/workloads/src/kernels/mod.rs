@@ -10,12 +10,14 @@ pub mod compress;
 pub mod fpppp;
 pub mod gcc;
 pub mod go;
+pub mod histo;
 pub mod ijpeg;
 pub mod li;
 pub mod listchase;
 pub mod m88ksim;
 pub mod matblock;
 pub mod perl;
+pub mod stridemix;
 pub mod swim;
 pub mod turb3d;
 pub mod vortex;

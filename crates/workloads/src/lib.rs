@@ -63,6 +63,14 @@ pub enum Workload {
     /// `matblock`: blocked dense matrix multiply (post-paper FP kernel; not
     /// part of the SPEC95-analogue suite of the figures).
     MatBlock,
+    /// `stridemix`: alternating unit-stride and large-stride streams
+    /// (post-paper mixed-stride kernel; not part of the SPEC95-analogue
+    /// suite of the figures).
+    StrideMix,
+    /// `histo`: data-dependent irregular histogram updates (post-paper
+    /// irregular-update kernel; not part of the SPEC95-analogue suite of the
+    /// figures).
+    Histo,
 }
 
 impl Workload {
@@ -86,11 +94,11 @@ impl Workload {
     }
 
     /// The paper suite plus the post-paper kernels (`listchase`,
-    /// `matblock`).  [`Workload::all`] stays the exact figure suite so the
-    /// paper's numbers are untouched; sweeps and `repro --extended` use this
-    /// superset.
+    /// `stridemix`, `histo`, `matblock`).  [`Workload::all`] stays the exact
+    /// figure suite so the paper's numbers are untouched; sweeps and
+    /// `repro --extended` use this superset.
     #[must_use]
-    pub fn extended() -> [Workload; 14] {
+    pub fn extended() -> [Workload; 16] {
         [
             Workload::Go,
             Workload::M88ksim,
@@ -101,6 +109,8 @@ impl Workload {
             Workload::Perl,
             Workload::Vortex,
             Workload::ListChase,
+            Workload::StrideMix,
+            Workload::Histo,
             Workload::Swim,
             Workload::Applu,
             Workload::Turb3d,
@@ -153,6 +163,8 @@ impl Workload {
             Workload::Fpppp => "fpppp",
             Workload::ListChase => "listchase",
             Workload::MatBlock => "matblock",
+            Workload::StrideMix => "stridemix",
+            Workload::Histo => "histo",
         }
     }
 
@@ -187,6 +199,8 @@ impl Workload {
             Workload::Fpppp => kernels::fpppp::build(scale),
             Workload::ListChase => kernels::listchase::build(scale),
             Workload::MatBlock => kernels::matblock::build(scale),
+            Workload::StrideMix => kernels::stridemix::build(scale),
+            Workload::Histo => kernels::histo::build(scale),
         }
     }
 }
@@ -248,20 +262,33 @@ mod tests {
     #[test]
     fn extended_suite_adds_the_post_paper_kernels() {
         let extended = Workload::extended();
-        assert_eq!(extended.len(), 14);
+        assert_eq!(extended.len(), 16);
         for w in Workload::all() {
             assert!(extended.contains(&w), "{w} is part of the extended suite");
         }
-        assert!(extended.contains(&Workload::ListChase));
-        assert!(extended.contains(&Workload::MatBlock));
+        let post_paper = [
+            Workload::ListChase,
+            Workload::MatBlock,
+            Workload::StrideMix,
+            Workload::Histo,
+        ];
+        for w in post_paper {
+            assert!(extended.contains(&w), "{w} is in the extended suite");
+            assert!(
+                !Workload::all().contains(&w),
+                "the paper suite is untouched by {w}"
+            );
+        }
         assert!(!Workload::ListChase.is_fp());
         assert!(Workload::MatBlock.is_fp());
-        assert!(
-            !Workload::all().contains(&Workload::ListChase),
-            "the paper suite is untouched"
-        );
+        assert!(!Workload::StrideMix.is_fp());
+        assert!(!Workload::Histo.is_fp());
+        let mut names: Vec<&str> = extended.iter().map(Workload::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16, "extended names are unique");
         // The new kernels build and terminate like every other workload.
-        for w in [Workload::ListChase, Workload::MatBlock] {
+        for w in post_paper {
             let mut emu = sdv_emu::Emulator::new(&w.build(1));
             emu.run(10_000_000);
             assert!(emu.halted(), "{w} halts");

@@ -13,6 +13,7 @@
 //!   vectorization engine (Table of Loads, VRMT, vector register file).
 //! * [`uarch`] — the cycle-level out-of-order superscalar pipeline.
 //! * [`workloads`] — synthetic SPEC95-analogue kernels.
+//! * [`store`] — the sharded, mergeable, concurrency-safe result store.
 //! * [`sim`] — experiment configurations, runners and figure generators.
 //!
 //! # Quickstart
@@ -34,5 +35,6 @@ pub use sdv_isa as isa;
 pub use sdv_mem as mem;
 pub use sdv_predictor as predictor;
 pub use sdv_sim as sim;
+pub use sdv_store as store;
 pub use sdv_uarch as uarch;
 pub use sdv_workloads as workloads;

@@ -1,0 +1,173 @@
+//! Integration tests for the persistent result store: property-based
+//! round-trips, merge commutativity, the legacy import path, and concurrent
+//! engine sessions sharing one store directory.
+
+use proptest::prelude::*;
+use sdv::sim::{cachefile, PortKind, ProcessorConfig, RunConfig, RunEngine, Workload};
+use sdv::store::Store;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sdv-store-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds a deterministic payload from a seed (length varies with the seed so
+/// framing across entries of different sizes is exercised).
+fn payload(seed: u64) -> Vec<u8> {
+    (0..(seed % 47)).map(|i| (seed ^ i) as u8).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Whatever mix of keys lands in whatever shards, every entry written in
+    /// one session is read back bit-identically by a fresh handle.
+    #[test]
+    fn put_get_round_trips_across_shards(
+        seeds in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..40)
+    ) {
+        let dir = tmp_dir("proptest");
+        let entries: HashMap<u128, Vec<u8>> = seeds
+            .iter()
+            .map(|&(hi, lo)| (((u128::from(hi)) << 64) | u128::from(lo), payload(hi ^ lo)))
+            .collect();
+        let batch: Vec<(u128, Vec<u8>)> = entries.iter().map(|(k, v)| (*k, v.clone())).collect();
+        let writer = Store::open(&dir, 0x5d).unwrap();
+        let put = writer.put_batch(&batch).unwrap();
+        prop_assert_eq!(put.inserted as usize, entries.len());
+        let reader = Store::open(&dir, 0x5d).unwrap();
+        for (key, value) in &entries {
+            let got = reader.get(*key);
+            prop_assert_eq!(got.as_ref(), Some(value));
+        }
+        prop_assert!(reader.verify().unwrap().is_ok());
+        prop_assert_eq!(reader.entries().unwrap(), entries);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Merging two stores is commutative on the entry *set*: merge(A,B) and
+    /// merge(B,A) into empty destinations hold exactly the same entries.
+    #[test]
+    fn merge_is_commutative(
+        a_seeds in proptest::collection::vec(any::<u64>(), 1..24),
+        b_seeds in proptest::collection::vec(any::<u64>(), 1..24),
+    ) {
+        let to_batch = |seeds: &[u64]| -> Vec<(u128, Vec<u8>)> {
+            seeds
+                .iter()
+                // Shift into the top byte too, so entries spread over shards;
+                // shared seeds between A and B produce *identical* payloads,
+                // the deterministic-producer property real results have.
+                .map(|&s| (((u128::from(s)) << 64) | u128::from(s >> 8), payload(s)))
+                .collect()
+        };
+        let (dir_a, dir_b) = (tmp_dir("comm-a"), tmp_dir("comm-b"));
+        Store::open(&dir_a, 1).unwrap().put_batch(&to_batch(&a_seeds)).unwrap();
+        Store::open(&dir_b, 1).unwrap().put_batch(&to_batch(&b_seeds)).unwrap();
+
+        let dir_ab = tmp_dir("comm-ab");
+        let ab = Store::open(&dir_ab, 1).unwrap();
+        ab.merge_from(&dir_a).unwrap();
+        ab.merge_from(&dir_b).unwrap();
+
+        let dir_ba = tmp_dir("comm-ba");
+        let ba = Store::open(&dir_ba, 1).unwrap();
+        ba.merge_from(&dir_b).unwrap();
+        ba.merge_from(&dir_a).unwrap();
+
+        prop_assert_eq!(ab.entries().unwrap(), ba.entries().unwrap());
+        prop_assert!(ab.verify().unwrap().is_ok());
+        for dir in [&dir_a, &dir_b, &dir_ab, &dir_ba] {
+            std::fs::remove_dir_all(dir).unwrap();
+        }
+    }
+}
+
+fn quick() -> RunConfig {
+    RunConfig {
+        scale: 1,
+        max_insts: 8_000,
+    }
+}
+
+/// A legacy single-file `cache.bin` dropped into a store directory is
+/// imported on attach: its cells hit without any simulation.
+#[test]
+fn legacy_cache_file_seeds_a_fresh_store() {
+    let dir = tmp_dir("legacy");
+    let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+
+    // Produce a real result and write it in the legacy format only.
+    let producer = RunEngine::new(quick());
+    let stats = producer.run_cell(&cfg, Workload::Swim);
+    let key = sdv::sim::CellKey {
+        config: cfg.clone(),
+        workload: Workload::Swim,
+        scale: quick().scale,
+        max_insts: quick().max_insts,
+    };
+    let mut entries = HashMap::new();
+    entries.insert(key, stats.clone());
+    cachefile::write_cache(&dir.join("cache.bin"), &entries, &HashMap::new())
+        .expect("legacy cache written");
+
+    let engine = RunEngine::new(quick()).with_disk_cache(&dir);
+    assert_eq!(engine.run_cell(&cfg, Workload::Swim), stats);
+    let report = engine.report();
+    assert_eq!(report.simulated, 0, "the legacy entry was imported and hit");
+    assert_eq!(report.store_hits, 1);
+    assert!(engine.store().expect("attached").verify().unwrap().is_ok());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Two engine sessions populating one store directory concurrently corrupt
+/// nothing: `verify` passes afterwards and a third session replays the union
+/// of their work entirely from the store.
+#[test]
+fn concurrent_engine_sessions_share_one_store() {
+    let dir = tmp_dir("concurrent-engines");
+    let vector = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+    let scalar = ProcessorConfig::four_way(2, PortKind::Scalar);
+    // Overlapping workload sets: `Compress` is raced by both sessions, and
+    // determinism guarantees both compute identical bytes for it.
+    let suite_a = [Workload::Compress, Workload::Swim, Workload::Li];
+    let suite_b = [Workload::Compress, Workload::Go, Workload::Gcc];
+
+    std::thread::scope(|scope| {
+        for (suite, cfg) in [(suite_a, &vector), (suite_b, &vector), (suite_a, &scalar)] {
+            let dir = dir.clone();
+            scope.spawn(move || {
+                let engine = RunEngine::new(quick())
+                    .with_threads(2)
+                    .with_disk_cache(&dir);
+                let _ = engine.suite(&suite, cfg);
+                engine.persist().expect("concurrent persist succeeds");
+            });
+        }
+    });
+
+    let store = Store::open(&dir, cachefile::simulator_fingerprint()).unwrap();
+    assert!(store.verify().unwrap().is_ok(), "no corruption");
+    assert_eq!(
+        store.entries().unwrap().len(),
+        5 + 3,
+        "the union of both vector suites plus the scalar suite"
+    );
+
+    // A fresh session replays everything from the store: 100% hits.
+    let replay = RunEngine::new(quick()).with_disk_cache(&dir);
+    let _ = replay.suites(&suite_a, &[vector.clone(), scalar.clone()]);
+    let _ = replay.suite(&suite_b, &vector);
+    let report = replay.report();
+    assert_eq!(report.simulated, 0, "everything came from the store");
+    assert_eq!(report.store_hits, 8);
+    assert_eq!(report.store_hit_rate(), Some(1.0));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
