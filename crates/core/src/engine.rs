@@ -196,6 +196,10 @@ pub struct VectorizationEngine {
     /// Backward-branch commits since the last full release scan (the scan is
     /// throttled because it walks every allocated register).
     release_pending: u32,
+    /// Reusable buffers for the release scan (it runs on the decode/commit
+    /// fast path, so it must not allocate per invocation).
+    release_scratch: Vec<VregId>,
+    reclaim_scratch: Vec<VregId>,
     stats: DvStats,
 }
 
@@ -218,6 +222,8 @@ impl VectorizationEngine {
             map_refs: vec![0; cfg.vector_registers],
             gmrbb: 0,
             release_pending: 0,
+            release_scratch: Vec::new(),
+            reclaim_scratch: Vec::new(),
             stats: DvStats::default(),
         }
     }
@@ -735,33 +741,37 @@ impl VectorizationEngine {
     /// Applies the register freeing rules and reclaims registers that are no
     /// longer referenced by any table.  Returns the number of registers released.
     pub fn release_registers(&mut self) -> usize {
-        let released = self.vrf.release_eligible(self.gmrbb);
+        let mut released = std::mem::take(&mut self.release_scratch);
+        self.vrf.release_eligible_into(self.gmrbb, &mut released);
         for &id in &released {
             self.forget_register(id);
         }
-        let mut reclaimed = released.len();
+        let reclaimed = released.len();
+        self.release_scratch = released;
 
         // Reference scan: registers whose VRMT entry has been replaced and that
         // no logical register maps to any more can never be validated again;
         // reclaim them once the vector data path has finished with them.
-        let candidates: Vec<VregId> = self
-            .vrf
-            .allocated_ids()
-            .filter(|&id| !self.vrmt.references(id) && !self.map_references(id))
-            .filter(|&id| {
-                self.vrf
-                    .get(id)
-                    .elements()
-                    .iter()
-                    .all(|e| e.ready || e.poisoned)
-                    && self.vrf.get(id).elements().iter().all(|e| !e.used)
-            })
-            .collect();
-        for id in candidates {
+        let mut candidates = std::mem::take(&mut self.reclaim_scratch);
+        candidates.clear();
+        candidates.extend(
+            self.vrf
+                .allocated_ids()
+                .filter(|&id| !self.vrmt.references(id) && !self.map_references(id))
+                .filter(|&id| {
+                    self.vrf
+                        .get(id)
+                        .elements()
+                        .iter()
+                        .all(|e| (e.ready || e.poisoned) && !e.used)
+                }),
+        );
+        for &id in &candidates {
             self.vrf.force_release(id);
             self.forget_register(id);
-            reclaimed += 1;
         }
+        let reclaimed = reclaimed + candidates.len();
+        self.reclaim_scratch = candidates;
         reclaimed
     }
 

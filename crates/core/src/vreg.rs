@@ -192,6 +192,15 @@ pub struct VectorRegisterFile {
     /// (release scans, store-coherence checks) iterates this instead of the
     /// backing array.
     allocated_set: BTreeSet<u32>,
+    /// Conservative union of every allocated register's address range: the
+    /// §3.6 store check rejects stores outside it without walking the
+    /// allocated set (the overwhelmingly common case).  Widened exactly on
+    /// [`VectorRegisterFile::set_addr_range`]; releasing a ranged register
+    /// only marks it stale (`addr_union_dirty`), and the next check rebuilds.
+    addr_union: Option<(u64, u64)>,
+    addr_union_dirty: bool,
+    /// Reusable snapshot buffer for scans that release while iterating.
+    scan_scratch: Vec<u32>,
 }
 
 impl VectorRegisterFile {
@@ -221,6 +230,9 @@ impl VectorRegisterFile {
             allocation_failures: 0,
             free_set: (0..count as u32).collect(),
             allocated_set: BTreeSet::new(),
+            addr_union: None,
+            addr_union_dirty: false,
+            scan_scratch: Vec::new(),
         }
     }
 
@@ -303,7 +315,13 @@ impl VectorRegisterFile {
 
     /// Records the address range covered by a vectorized load.
     pub fn set_addr_range(&mut self, id: VregId, first: u64, last: u64) {
-        self.get_mut(id).addr_range = Some((first.min(last), first.max(last)));
+        let range = (first.min(last), first.max(last));
+        self.get_mut(id).addr_range = Some(range);
+        // Widening the union is exact; narrowing happens lazily on release.
+        self.addr_union = match self.addr_union {
+            Some((lo, hi)) => Some((lo.min(range.0), hi.max(range.1))),
+            None => Some(range),
+        };
     }
 
     /// Marks element `offset` as computed (R flag).
@@ -360,6 +378,10 @@ impl VectorRegisterFile {
 
     /// Marks `id` unallocated and returns it to the free list.
     fn release_slot(&mut self, id: VregId) {
+        if self.regs[id.index()].addr_range.is_some() {
+            // The union may have narrowed; rebuild on the next store check.
+            self.addr_union_dirty = true;
+        }
         self.regs[id.index()].allocated = false;
         self.allocated_set.remove(&(id.0));
         self.free_set.insert(id.0);
@@ -384,18 +406,48 @@ impl VectorRegisterFile {
     /// Applies the freeing rules to every allocated register; returns the
     /// registers released.
     pub fn release_eligible(&mut self, gmrbb: u64) -> Vec<VregId> {
-        let ids: Vec<VregId> = self.allocated_ids().collect();
-        ids.into_iter()
-            .filter(|&id| self.try_release(id, gmrbb))
-            .collect()
+        let mut out = Vec::new();
+        self.release_eligible_into(gmrbb, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`VectorRegisterFile::release_eligible`]:
+    /// clears `out` and fills it with the released registers, reusing an
+    /// internal snapshot buffer for the walk.
+    pub fn release_eligible_into(&mut self, gmrbb: u64, out: &mut Vec<VregId>) {
+        out.clear();
+        let mut ids = std::mem::take(&mut self.scan_scratch);
+        ids.clear();
+        ids.extend(self.allocated_set.iter().copied());
+        for &i in &ids {
+            let id = VregId(i);
+            if self.try_release(id, gmrbb) {
+                out.push(id);
+            }
+        }
+        self.scan_scratch = ids;
     }
 
     /// Registers (allocated, with an address range) whose range overlaps the
-    /// store `[addr, addr + width)` — the §3.6 coherence check.  Walks the
-    /// allocated set only.
+    /// store `[addr, addr + width)` — the §3.6 coherence check.  A lazily
+    /// maintained union of all allocated ranges rejects non-overlapping
+    /// stores (the overwhelmingly common case) in O(1); only stores inside
+    /// the union walk the allocated set.
     #[must_use]
-    pub fn conflicting_registers(&self, addr: u64, width: u64) -> Vec<VregId> {
+    pub fn conflicting_registers(&mut self, addr: u64, width: u64) -> Vec<VregId> {
         let end = addr + width.max(1) - 1;
+        if self.addr_union_dirty {
+            self.addr_union = self
+                .allocated_set
+                .iter()
+                .filter_map(|&i| self.regs[i as usize].addr_range)
+                .reduce(|(lo0, hi0), (lo1, hi1)| (lo0.min(lo1), hi0.max(hi1)));
+            self.addr_union_dirty = false;
+        }
+        match self.addr_union {
+            Some((lo, hi)) if addr <= hi && end >= lo => {}
+            _ => return Vec::new(),
+        }
         self.allocated_set
             .iter()
             .filter_map(|&i| {

@@ -125,6 +125,18 @@ impl DataMemory {
         }
     }
 
+    /// Completion cycle of the next outstanding miss to retire, if any.
+    ///
+    /// The MSHR file is kept sorted by completion cycle, so this is a front
+    /// peek.  The macro-stepping main loop uses it as a wakeup candidate when
+    /// the pipeline is frozen on an outstanding miss; entries whose
+    /// `done_cycle` has already passed (but have not yet been lazily retired)
+    /// are still reported, which only makes the candidate conservative.
+    #[must_use]
+    pub fn next_miss_done_cycle(&self) -> Option<u64> {
+        self.outstanding.front().map(|m| m.done_cycle)
+    }
+
     /// Performs one data access starting at cycle `now`.
     ///
     /// Returns the cycle at which the data is available (for loads) or the

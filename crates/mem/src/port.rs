@@ -123,6 +123,15 @@ impl PortSet {
         self.stats.cycles += 1;
     }
 
+    /// Bulk-charges `n` idle cycles to the occupancy statistics, exactly as
+    /// if [`PortSet::begin_cycle`] had been called `n` times with no grant in
+    /// between.  Used by the macro-stepping main loop to skip over stall
+    /// windows while keeping Figure 12's occupancy denominator bit-identical
+    /// to the per-cycle path.
+    pub fn add_idle_cycles(&mut self, n: u64) {
+        self.stats.cycles += n;
+    }
+
     /// Tries to start an access this cycle.  Returns `false` (and records a
     /// conflict) if every port has already been used.
     pub fn try_acquire(&mut self) -> bool {

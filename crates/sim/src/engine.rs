@@ -194,12 +194,32 @@ impl std::fmt::Display for EngineTiming {
     }
 }
 
+/// How many newly simulated results accumulate before [`RunEngine`] persists
+/// them to an attached store on its own (see
+/// [`RunEngine::with_persist_every`]).
+pub const DEFAULT_PERSIST_EVERY: u64 = 64;
+
 /// Deduplicating, memoizing, parallel executor for simulation cells.
 ///
 /// The engine owns the run budget ([`RunConfig`]) so that every generator
 /// built on top of it shares one memo space.  Results are deterministic and
 /// independent of the thread count: unique cells are simulated in first-seen
 /// order slots and each individual simulation is single-threaded.
+///
+/// ```
+/// use sdv_sim::{PortKind, ProcessorConfig, RunConfig, RunEngine, Workload};
+///
+/// let engine = RunEngine::new(RunConfig::quick()).with_threads(2);
+/// let cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+/// let first = engine.run_cell(&cfg, Workload::Compress);
+/// let again = engine.run_cell(&cfg, Workload::Compress); // memo hit
+/// assert_eq!(first, again);
+/// assert_eq!(engine.report().simulated, 1);
+/// ```
+///
+/// Attach a store directory with [`Self::with_disk_cache`] to reuse results
+/// across processes; long sweeps then persist automatically every
+/// [`DEFAULT_PERSIST_EVERY`] new results (see [`Self::with_persist_every`]).
 pub struct RunEngine {
     rc: RunConfig,
     threads: usize,
@@ -213,6 +233,10 @@ pub struct RunEngine {
     created: Instant,
     /// The persistent result store sessions are served from and persisted to.
     store: Option<sdv_store::Store>,
+    /// Persist automatically once this many new results accumulate (0 = off).
+    persist_every: u64,
+    /// Newly simulated results not yet flushed by a periodic persist.
+    unpersisted: AtomicU64,
 }
 
 impl RunEngine {
@@ -231,6 +255,8 @@ impl RunEngine {
             timing: Mutex::new(EngineTiming::default()),
             created: Instant::now(),
             store: None,
+            persist_every: DEFAULT_PERSIST_EVERY,
+            unpersisted: AtomicU64::new(0),
         }
     }
 
@@ -266,6 +292,21 @@ impl RunEngine {
                 dir.display()
             ),
         }
+        self
+    }
+
+    /// Sets the periodic-persist window: with a store attached, the engine
+    /// calls [`Self::persist`] on its own every time `n` new results have
+    /// accumulated, so a crashed or killed sweep loses at most one window of
+    /// simulation work.  `0` disables the automatic flush (results are then
+    /// only written by an explicit [`Self::persist`] call).  The default is
+    /// [`DEFAULT_PERSIST_EVERY`].
+    ///
+    /// A failed automatic flush prints a warning and keeps simulating; the
+    /// final explicit [`Self::persist`] still reports such errors.
+    #[must_use]
+    pub fn with_persist_every(mut self, n: u64) -> Self {
+        self.persist_every = n;
         self
     }
 
@@ -487,9 +528,30 @@ impl RunEngine {
             }
         }
         self.simulated.fetch_add(newly_cached, Ordering::Relaxed);
-        keys.iter()
+        let results = keys
+            .iter()
             .map(|k| cache.get(k).expect("requested cell present").clone())
-            .collect()
+            .collect();
+        drop(cache); // `persist` re-locks the session cache
+        self.maybe_persist(newly_cached);
+        results
+    }
+
+    /// Periodic-persist bookkeeping: flushes the session cache to the store
+    /// once enough new results have accumulated (see
+    /// [`Self::with_persist_every`]).
+    fn maybe_persist(&self, newly_cached: u64) {
+        if self.store.is_none() || self.persist_every == 0 || newly_cached == 0 {
+            return;
+        }
+        let pending = newly_cached + self.unpersisted.fetch_add(newly_cached, Ordering::Relaxed);
+        if pending < self.persist_every {
+            return;
+        }
+        self.unpersisted.store(0, Ordering::Relaxed);
+        if let Err(e) = self.persist() {
+            eprintln!("warning: periodic persist failed: {e} (will retry at the final flush)");
+        }
     }
 }
 
@@ -585,6 +647,42 @@ mod tests {
         assert!(timing.slowest().is_some());
         let text = timing.to_string();
         assert!(text.contains("cycles/s"), "{text}");
+    }
+
+    #[test]
+    fn periodic_persist_flushes_without_an_explicit_call() {
+        let dir = std::env::temp_dir().join(format!("sdv-engine-periodic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+
+        // Window of 2: the first cell stays unflushed, the second batch
+        // crosses the window and persists both on its own.
+        let engine = RunEngine::new(rc())
+            .with_disk_cache(&dir)
+            .with_persist_every(2);
+        let _ = engine.run_cell(&cfg, Workload::Compress);
+        assert_eq!(engine.report().store_inserts, 0, "below the window");
+        let _ = engine.run_cell(&cfg, Workload::Swim);
+        assert_eq!(
+            engine.report().store_inserts,
+            2,
+            "crossing the window flushes every accumulated result"
+        );
+
+        // A crashed sweep (no explicit persist) left both cells durable.
+        let reader = RunEngine::new(rc()).with_disk_cache(&dir);
+        let _ = reader.run_cell(&cfg, Workload::Compress);
+        let _ = reader.run_cell(&cfg, Workload::Swim);
+        assert_eq!(reader.report().store_hits, 2);
+        assert_eq!(reader.report().simulated, 0);
+
+        // `0` disables the automatic flush entirely.
+        let manual = RunEngine::new(rc())
+            .with_disk_cache(&dir)
+            .with_persist_every(0);
+        let _ = manual.run_cell(&cfg, Workload::Li);
+        assert_eq!(manual.report().store_inserts, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub mod report;
 pub mod runner;
 pub mod table1;
 
-pub use engine::{CellKey, CellTiming, EngineReport, EngineTiming, RunEngine};
+pub use engine::{
+    CellKey, CellTiming, EngineReport, EngineTiming, RunEngine, DEFAULT_PERSIST_EVERY,
+};
 pub use experiment::Experiment;
 pub use figures::*;
 pub use grid::{CellSpec, SweepGrid};

@@ -10,6 +10,13 @@
 //! The main entry points are [`Processor`] (stateful, lets you inspect the
 //! architectural state afterwards) and the [`simulate`] convenience function.
 //!
+//! Two toggles select between fast and reference loops, both bit-identical
+//! by construction and pinned by property tests: [`Scheduler`] picks the
+//! issue engine (event-driven wakeup vs. the naive full scan) and
+//! [`Stepping`] picks the clock discipline (macro-stepped jumps over proven
+//! stall windows vs. ticking every cycle).  See the `pipeline` module docs
+//! for the proof obligations behind each.
+//!
 //! ```
 //! use sdv_isa::{ArchReg, Asm};
 //! use sdv_mem::PortKind;
@@ -50,6 +57,6 @@ pub mod vector_dp;
 
 pub use config::{ConfigBuilder, FuClassConfig, FuConfig, UarchConfig, DEFAULT_BUS_WORDS};
 pub use fu::FuPool;
-pub use pipeline::{simulate, Processor, Scheduler};
+pub use pipeline::{simulate, Processor, Scheduler, Stepping};
 pub use stats::RunStats;
 pub use vector_dp::VectorDatapath;

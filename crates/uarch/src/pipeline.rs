@@ -43,6 +43,29 @@
 //!   reference oracle: both schedulers issue the identical instruction
 //!   sequence cycle for cycle (a property test pins this on random programs),
 //!   so every statistic the simulator reports is bit-identical between them.
+//!
+//! # Macro-stepping
+//!
+//! On top of the event-driven scheduler the main loop is itself event driven
+//! ([`Stepping::MacroStep`], the default):
+//!
+//! * **Event-driven commit** — commit tracks the earliest cycle at which the
+//!   ROB head could possibly retire (its completion cycle when issued, the
+//!   next cycle otherwise) and is skipped entirely until then, instead of
+//!   probing the head every tick.  The skipped calls are provably pure, so
+//!   this applies under both schedulers and both stepping modes.
+//! * **Clock jumps** — when the machine is provably idle (fetch blocked or
+//!   stalled, nothing issuable in the ready set, no vector instance touching
+//!   memory), the loop consults the pending wakeup sources — the completion
+//!   heap, the ROB head's completion cycle, the vector data path's
+//!   element-ready events, the MSHR done-cycle deque and the front end's
+//!   ready cycle — and advances the clock straight to the earliest of them,
+//!   bulk-charging the per-cycle statistics (port-occupancy denominator,
+//!   decode-blocked cycles) for the skipped window.  Every counter stays
+//!   bit-identical to the per-cycle path, which survives as
+//!   [`Stepping::PerCycle`]; a property test pins trace-and-stats equality of
+//!   the two modes on random programs, and `tests/golden_stats.rs` holds the
+//!   full per-workload counter sets.
 
 use crate::config::UarchConfig;
 use crate::fu::FuPool;
@@ -119,6 +142,38 @@ pub enum Scheduler {
     Wakeup,
     /// The original O(window) per-cycle scan, kept as a reference oracle.
     NaiveScan,
+}
+
+/// How the main loop advances the simulated clock.
+///
+/// Both modes produce bit-identical statistics and issue traces (pinned by a
+/// property test on random programs and by the golden-stats suite);
+/// [`Stepping::MacroStep`] only skips cycles it can prove would have been
+/// no-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Stepping {
+    /// Jump the clock over provably idle stall windows (the default).
+    ///
+    /// Requires [`Scheduler::Wakeup`]; under [`Scheduler::NaiveScan`] the
+    /// loop silently ticks per cycle (the naive scheduler has no event state
+    /// to consult).
+    #[default]
+    MacroStep,
+    /// Tick every cycle, kept as the reference oracle.
+    PerCycle,
+}
+
+/// Outcome of a single ready-load issue attempt in the wakeup walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoadAttempt {
+    /// The load issued (by port access or store forwarding).
+    Issued,
+    /// The load cannot issue this cycle, but the failure is specific to this
+    /// load (busy port, pending forward, full MSHRs) — keep walking.
+    Retry,
+    /// An older store's address is unknown, which blocks this load *and*
+    /// every younger load; the walk masks the whole load group.
+    BlockedOnUnknownStore,
 }
 
 /// How a dispatched instruction will be executed.
@@ -313,6 +368,15 @@ pub struct Processor {
     /// Optional issue trace `(cycle, seq)` for scheduler-equivalence tests.
     issue_trace: Option<Vec<(u64, u64)>>,
     cycle: u64,
+    stepping: Stepping,
+    /// Event-driven commit: the earliest cycle at which the ROB head could
+    /// retire, maintained by [`Self::commit`].  Commit is skipped entirely
+    /// before this cycle — the skipped probes are provably pure.
+    commit_gate: u64,
+    /// Macro-step telemetry: number of clock jumps taken.
+    macro_jumps: u64,
+    /// Macro-step telemetry: total cycles skipped by clock jumps.
+    macro_skipped_cycles: u64,
     /// No fetch before this cycle (I-cache miss or redirect penalty).
     fetch_ready_cycle: u64,
     /// Sequence number of an unresolved mispredicted branch blocking fetch.
@@ -362,6 +426,10 @@ impl Processor {
             vec_scratch: Vec::new(),
             issue_trace: None,
             cycle: 0,
+            stepping: Stepping::default(),
+            commit_gate: 0,
+            macro_jumps: 0,
+            macro_skipped_cycles: 0,
             fetch_ready_cycle: 0,
             fetch_blocked_on: None,
             emulator_done: false,
@@ -382,6 +450,27 @@ impl Processor {
     #[must_use]
     pub fn scheduler(&self) -> Scheduler {
         self.sched
+    }
+
+    /// Selects how the main loop advances the clock.  Call before
+    /// [`Self::run`]; both modes produce bit-identical results.
+    pub fn set_stepping(&mut self, stepping: Stepping) {
+        self.stepping = stepping;
+    }
+
+    /// The active clock-stepping mode.
+    #[must_use]
+    pub fn stepping(&self) -> Stepping {
+        self.stepping
+    }
+
+    /// Macro-stepping telemetry: `(clock jumps taken, total cycles skipped)`.
+    ///
+    /// Purely informational — deliberately *not* part of [`RunStats`], which
+    /// is compared bit-for-bit between stepping modes.
+    #[must_use]
+    pub fn macro_step_telemetry(&self) -> (u64, u64) {
+        (self.macro_jumps, self.macro_skipped_cycles)
     }
 
     /// Enables (or disables) recording of the issue trace: one `(cycle, seq)`
@@ -419,7 +508,9 @@ impl Processor {
         while self.stats.committed < max_insts && !self.finished() {
             self.cycle += 1;
             self.begin_cycle();
-            self.commit();
+            if self.cycle >= self.commit_gate {
+                self.commit();
+            }
             self.issue();
             self.step_vector();
             self.dispatch();
@@ -431,6 +522,9 @@ impl Processor {
                 self.rob.len(),
                 self.fetch_queue.len()
             );
+            if self.stepping == Stepping::MacroStep {
+                self.try_macro_step(max_insts);
+            }
         }
         self.finalize();
         self.stats.clone()
@@ -613,12 +707,18 @@ impl Processor {
         let r = fetched.retired;
         let class = r.inst.op.class();
 
-        // Ask the vectorization engine what this instruction becomes.
-        let outcome = if let Some(engine) = self.engine.as_mut() {
-            let ctx = Self::decode_context(&r);
-            engine.decode(&ctx)
-        } else {
-            DecodeOutcome::Scalar
+        // Ask the vectorization engine what this instruction becomes.  For a
+        // non-vectorizable instruction with no destination (stores, branches,
+        // nops) the engine's decode is a no-op by construction, so the
+        // context build and the call are skipped outright.
+        let outcome = match self.engine.as_mut() {
+            Some(engine)
+                if class == OpClass::Load || class.is_vectorizable() || r.inst.dst.is_some() =>
+            {
+                let ctx = Self::decode_context(&r);
+                engine.decode(&ctx)
+            }
+            _ => DecodeOutcome::Scalar,
         };
 
         // Record source dependences *before* updating the destination mapping.
@@ -1024,10 +1124,16 @@ impl Processor {
                             continue;
                         }
                     }
-                    if self.try_issue_load_wakeup(seq) {
-                        issued += 1;
-                    } else {
-                        pos += 1;
+                    match self.try_issue_load_wakeup(seq) {
+                        LoadAttempt::Issued => issued += 1,
+                        LoadAttempt::Retry => pos += 1,
+                        // An older store's address is unknown.  The walk is in
+                        // program order, so that store is also older than every
+                        // later ready load: they would all fail the same
+                        // disambiguation check, and no store can issue later in
+                        // this walk (stores issue in program order too, so a
+                        // still-unknown store is not ready this cycle).
+                        LoadAttempt::BlockedOnUnknownStore => masked |= 1 << Q_LOAD,
                     }
                 }
                 _ => {
@@ -1176,7 +1282,12 @@ impl Processor {
         (true, None)
     }
 
-    fn try_issue_load_wakeup(&mut self, seq: u64) -> bool {
+    /// Attempts to issue one ready scalar-mode load this cycle.
+    ///
+    /// [`LoadAttempt::BlockedOnUnknownStore`] singles out the one failure the
+    /// issue walk can generalise: an older store's address is still unknown,
+    /// which dooms every younger ready load to the same verdict.
+    fn try_issue_load_wakeup(&mut self, seq: u64) -> LoadAttempt {
         let ports_exhausted = self.ports.free_this_cycle() == 0;
         if ports_exhausted {
             // Without a port the load can only issue by store forwarding; a
@@ -1184,7 +1295,7 @@ impl Processor {
             // unchanged) rejects it in O(1).
             let entry = self.entry_by_seq(seq).expect("load is in flight");
             if entry.disamb_epoch == self.store_epoch && !entry.disamb_fwd {
-                return false;
+                return LoadAttempt::Retry;
             }
         }
         let (addrs_known, forward) = self.older_store_state_indexed(seq);
@@ -1195,7 +1306,7 @@ impl Processor {
             entry.disamb_fwd = addrs_known && forward.is_some();
         }
         if !addrs_known {
-            return false;
+            return LoadAttempt::BlockedOnUnknownStore;
         }
         if let Some(store_seq) = forward {
             // Store-to-load forwarding: the data comes from the LSQ.
@@ -1211,20 +1322,20 @@ impl Processor {
                 self.push_completion(seq);
                 self.trace_issue(seq);
                 self.stats.store_forwards += 1;
-                return true;
+                return LoadAttempt::Issued;
             }
-            return false;
+            return LoadAttempt::Retry;
         }
         if self.ports.free_this_cycle() == 0 {
-            return false;
+            return LoadAttempt::Retry;
         }
         let addr = self.entry_by_seq(seq).expect("load is in flight").addr();
         if !self.ports.try_acquire() {
-            return false;
+            return LoadAttempt::Retry;
         }
         let Some(done) = self.dmem.access(addr, false, self.cycle) else {
             // All MSHRs busy: the port grant is wasted and the load retries.
-            return false;
+            return LoadAttempt::Retry;
         };
         {
             let idx = self.index_of_seq(seq).expect("load is in flight");
@@ -1282,7 +1393,7 @@ impl Processor {
             self.wide_stats
                 .record(words_used.min(self.cfg.line_words()));
         }
-        true
+        LoadAttempt::Issued
     }
 
     /// Rebuilds the wakeup state from the ROB after a squash re-opened
@@ -1575,6 +1686,16 @@ impl Processor {
             self.last_commit_cycle = self.cycle;
         }
         self.stats.cycles = self.cycle;
+        // Event-driven commit: nothing can retire before the head completes.
+        // An issued head pins the gate to its completion cycle; an unissued
+        // or retry-blocked head (store waiting on a port/MSHR, an empty ROB,
+        // leftover completed entries past the commit width) re-probes next
+        // cycle.  The head and its completion cycle can only change inside
+        // this function, so the gate stays valid while commit is skipped.
+        self.commit_gate = match self.rob.front() {
+            Some(head) if !head.completed(self.cycle) && head.issued => head.complete_cycle,
+            _ => self.cycle + 1,
+        };
     }
 
     fn retire(&mut self, entry: &RobEntry) {
@@ -1626,6 +1747,156 @@ impl Processor {
         if entry.is_mem() {
             self.lsq_occupancy -= 1;
         }
+    }
+
+    // -------------------------------------------------------- macro-stepping
+
+    /// Clock jump: when every pipeline stage is provably inert until the next
+    /// pending event, advance the clock straight to that event instead of
+    /// ticking through the idle window cycle by cycle.
+    ///
+    /// The proof obligations, checked in order:
+    ///
+    /// * no active vector instance (instances touch the data cache and the
+    ///   vector FUs every cycle);
+    /// * nothing issuable: every live ready-set entry is a validation whose
+    ///   element is unresolved (non-validation entries retry with side
+    ///   effects — port grants, MSHR probes, FU acquires — every cycle), and
+    ///   no vector-pending entry is already satisfied;
+    /// * dispatch cannot make progress (empty fetch queue, full ROB/LSQ, or
+    ///   the §3.2 scalar-operand block — the blocked cycles are bulk-charged);
+    /// * fetch cannot make progress before its wake cycle
+    ///   ([`Self::fetch_wake_cycle`]).
+    ///
+    /// Everything those stages read is frozen over the window except state
+    /// driven by the wakeup sources collected below (completion heap, ROB
+    /// head completion, vector element-ready events, MSHR fills, the front
+    /// end's ready cycle), so jumping to the earliest of them is exact: the
+    /// skipped cycles would have mutated nothing but the bulk-charged
+    /// per-cycle statistics.  With no pending event the jump is declined and
+    /// the loop ticks on, preserving the no-progress assertion's ability to
+    /// catch genuine deadlocks.
+    fn try_macro_step(&mut self, max_insts: u64) {
+        if self.sched != Scheduler::Wakeup || self.stats.committed >= max_insts || self.finished() {
+            return;
+        }
+        if self.vdp.as_ref().is_some_and(|v| v.active_instances() > 0) {
+            return;
+        }
+        for &key in &self.ready_all {
+            let Some(idx) = self.index_of_seq(key_seq(key)) else {
+                continue; // no longer in flight: inert
+            };
+            if self.rob[idx].issued {
+                continue; // wide-bus peer leftover: inert
+            }
+            if key_group(key) != Q_VALIDATION {
+                return; // would retry (with side effects) every cycle
+            }
+            let ExecMode::Validation {
+                vreg,
+                generation,
+                offset,
+            } = self.rob[idx].mode
+            else {
+                unreachable!("the validation group holds only validations");
+            };
+            if self.validation_ready(vreg, generation, offset) {
+                return; // issues next cycle
+            }
+        }
+        for &seq in &self.vec_pending {
+            let Some(idx) = self.index_of_seq(seq) else {
+                continue;
+            };
+            let src_vec = self.rob[idx].src_vec;
+            if self.vec_sources_satisfied(&src_vec) {
+                return; // promoted (and issuable) next cycle
+            }
+        }
+        // Dispatch: the inputs of every break condition are frozen over the
+        // window — fetch is inert, commit is gated, nothing issues, and a
+        // producer completing in-window is a wakeup source below.  A §3.2
+        // scalar-operand block charges one decode-blocked cycle per skipped
+        // cycle, exactly like the per-cycle path.
+        let mut charge_decode_block = false;
+        if let Some(front) = self.fetch_queue.front() {
+            if self.rob.len() < self.cfg.rob_size
+                && !(front.retired.inst.is_mem() && self.lsq_occupancy >= self.cfg.lsq_size)
+            {
+                if self.cfg.block_on_scalar_operand && self.would_block_on_scalar(&front.retired) {
+                    charge_decode_block = true;
+                } else {
+                    return; // dispatch progresses next cycle
+                }
+            }
+        }
+
+        // The machine is idle: find the earliest pending wakeup source.
+        // Retire finished MSHR entries first (normally done lazily inside
+        // `DataMemory::access`, so this is invisible) so a long-completed
+        // miss cannot pin the bound to the past forever.
+        self.dmem.retire_misses(self.cycle);
+        let mut bound = u64::MAX;
+        if let Some(&Reverse((when, _))) = self.completions.peek() {
+            bound = bound.min(when);
+        }
+        if let Some(head) = self.rob.front() {
+            if head.issued {
+                bound = bound.min(head.complete_cycle);
+            }
+        }
+        if let Some(when) = self.vdp.as_ref().and_then(VectorDatapath::next_event_cycle) {
+            bound = bound.min(when);
+        }
+        if let Some(when) = self.dmem.next_miss_done_cycle() {
+            bound = bound.min(when);
+        }
+        if let Some(when) = self.fetch_wake_cycle() {
+            bound = bound.min(when);
+        }
+        if bound == u64::MAX || bound <= self.cycle + 1 {
+            return; // no pending event, or the next cycle is the event
+        }
+
+        // Jump to the cycle before the event: the loop's increment lands on
+        // it and the event fires through the normal per-cycle machinery.
+        let skipped = bound - self.cycle - 1;
+        self.ports.add_idle_cycles(skipped);
+        if charge_decode_block {
+            self.stats.decode_blocked_cycles += skipped;
+        }
+        self.macro_jumps += 1;
+        self.macro_skipped_cycles += skipped;
+        self.cycle = bound - 1;
+    }
+
+    /// The next cycle at which [`Self::fetch`] could mutate state, assuming
+    /// the rest of the pipeline is frozen.  `None` means fetch is inert until
+    /// some other event (dispatch progress, an issue) unfreezes it.
+    fn fetch_wake_cycle(&self) -> Option<u64> {
+        if self.emulator_done {
+            return None;
+        }
+        if let Some(seq) = self.fetch_blocked_on {
+            if self.fetch_queue.iter().any(|f| f.retired.seq == seq) {
+                return None; // the branch has not even dispatched
+            }
+            if let Some(entry) = self.entry_by_seq(seq) {
+                // An issued branch resolves when fetch first observes its
+                // completion; an unissued one is frozen with the scheduler.
+                return entry
+                    .issued
+                    .then(|| self.fetch_ready_cycle.max(entry.complete_cycle));
+            }
+            // Already committed: fetch clears the block (and may fetch) as
+            // soon as the ready cycle arrives.
+            return Some(self.fetch_ready_cycle.max(self.cycle + 1));
+        }
+        if self.fetch_queue.len() >= self.cfg.fetch_width * 2 {
+            return None; // full queue: frozen until dispatch drains it
+        }
+        Some(self.fetch_ready_cycle.max(self.cycle + 1))
     }
 
     /// §3.6: a store hit the address range of a vector register.  Every younger
@@ -2043,5 +2314,86 @@ mod tests {
         let program = a.finish();
         let cfg = UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true);
         assert_schedulers_agree(&program, &cfg, 1_000_000);
+    }
+
+    /// Runs `program` under both stepping modes with the issue trace enabled
+    /// and asserts identical traces and statistics; returns the macro-step
+    /// telemetry so callers can additionally assert the fast path fired.
+    fn assert_steppings_agree(program: &Program, cfg: &UarchConfig, max_insts: u64) -> (u64, u64) {
+        let mut macro_step = Processor::new(cfg, program);
+        assert_eq!(macro_step.stepping(), Stepping::MacroStep, "default mode");
+        macro_step.record_issue_trace(true);
+        let macro_stats = macro_step.run(max_insts);
+        let macro_trace = macro_step.take_issue_trace();
+
+        let mut per_cycle = Processor::new(cfg, program);
+        per_cycle.set_stepping(Stepping::PerCycle);
+        per_cycle.record_issue_trace(true);
+        let per_cycle_stats = per_cycle.run(max_insts);
+        let per_cycle_trace = per_cycle.take_issue_trace();
+
+        assert_eq!(
+            per_cycle.macro_step_telemetry(),
+            (0, 0),
+            "per-cycle never jumps"
+        );
+        assert_eq!(macro_trace, per_cycle_trace, "issue sequences must match");
+        assert_eq!(macro_stats, per_cycle_stats, "statistics must be identical");
+        macro_step.macro_step_telemetry()
+    }
+
+    #[test]
+    fn macro_step_matches_per_cycle_on_kernels() {
+        let mut total_jumps = 0;
+        for vect in [false, true] {
+            for kind in [PortKind::Scalar, PortKind::Wide] {
+                let cfg = UarchConfig::four_way(1, kind).with_vectorization(vect);
+                total_jumps += assert_steppings_agree(&strided_sum(300), &cfg, 100_000).0;
+                total_jumps += assert_steppings_agree(&four_stream_sum(100), &cfg, 100_000).0;
+                total_jumps += assert_steppings_agree(&pointer_chase(64), &cfg, 100_000).0;
+            }
+        }
+        assert!(
+            total_jumps > 0,
+            "the clock-jump fast path must actually fire"
+        );
+    }
+
+    #[test]
+    fn macro_step_matches_per_cycle_under_store_squashes() {
+        let mut a = Asm::new();
+        let buf = a.data_u64(&vec![1u64; 128]);
+        let (p, v, c) = (x(1), x(2), x(3));
+        a.li(p, buf as i64);
+        a.li(c, 127);
+        a.label("loop");
+        a.ld(v, p, 0);
+        a.addi(v, v, 1);
+        a.sd(v, p, 8);
+        a.addi(p, p, 8);
+        a.addi(c, c, -1);
+        a.bne(c, ArchReg::ZERO, "loop");
+        a.halt();
+        let program = a.finish();
+        let cfg = UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+        assert_steppings_agree(&program, &cfg, 1_000_000);
+    }
+
+    #[test]
+    fn macro_step_jumps_over_a_pointer_chase() {
+        // A serial pointer chase is the canonical frozen-pipeline workload:
+        // every load misses or waits on the previous one, so the window
+        // between completions is provably idle and the clock must jump.
+        let program = pointer_chase(256);
+        let cfg = UarchConfig::four_way(1, PortKind::Scalar);
+        let mut proc = Processor::new(&cfg, &program);
+        let stats = proc.run(1_000_000);
+        let (jumps, skipped) = proc.macro_step_telemetry();
+        assert!(jumps > 0, "a pointer chase must trigger clock jumps");
+        assert!(skipped > 0);
+        assert!(
+            skipped < stats.cycles,
+            "skipped cycles are a strict subset of simulated cycles"
+        );
     }
 }

@@ -96,6 +96,18 @@ impl VectorDatapath {
         self.instances.len()
     }
 
+    /// Cycle of the earliest pending element-ready event, if any.
+    ///
+    /// Only a valid "next thing happens here" bound while
+    /// [`VectorDatapath::active_instances`] is zero: an active instance
+    /// touches the data cache and functional units *every* cycle, so a frozen
+    /// pipeline may not skip over it.  The macro-stepping main loop checks
+    /// that before consulting this.
+    #[must_use]
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.events.iter().map(|e| e.cycle).min()
+    }
+
     /// Total element computations started so far.
     #[must_use]
     pub fn elements_started(&self) -> u64 {

@@ -193,4 +193,37 @@ proptest! {
         prop_assert_eq!(&wakeup_trace, &oracle_trace, "issue sequences diverge");
         prop_assert_eq!(wakeup_stats, oracle_stats, "statistics diverge");
     }
+
+    /// Stepping-equivalence oracle: macro-stepping (the default, which jumps
+    /// the clock over provably idle stall windows) must issue the same
+    /// instruction sequence — cycle by cycle — and produce bit-identical
+    /// statistics as the per-cycle reference loop on random programs.
+    #[test]
+    fn macro_stepping_matches_the_per_cycle_loop(
+        steps in proptest::collection::vec(step_strategy(), 1..8),
+        iterations in 1u8..20,
+        vectorize in any::<bool>(),
+        wide in any::<bool>(),
+    ) {
+        use sdv::uarch::{Processor, Stepping};
+        let steps = dedup_strided(steps);
+        let program = build_program(&steps, iterations);
+        let kind = if wide { PortKind::Wide } else { PortKind::Scalar };
+        let cfg = ProcessorConfig::four_way(1, kind).with_vectorization(vectorize);
+
+        let mut macro_step = Processor::new(&cfg, &program);
+        macro_step.record_issue_trace(true);
+        let macro_stats = macro_step.run(1_000_000);
+        let macro_trace = macro_step.take_issue_trace();
+
+        let mut per_cycle = Processor::new(&cfg, &program);
+        per_cycle.set_stepping(Stepping::PerCycle);
+        per_cycle.record_issue_trace(true);
+        let per_cycle_stats = per_cycle.run(1_000_000);
+        let per_cycle_trace = per_cycle.take_issue_trace();
+
+        prop_assert!(!macro_trace.is_empty(), "something must issue");
+        prop_assert_eq!(&macro_trace, &per_cycle_trace, "issue sequences diverge");
+        prop_assert_eq!(macro_stats, per_cycle_stats, "statistics diverge");
+    }
 }

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo's docs resolve.
+
+Usage:
+    check_links.py [FILE_OR_DIR ...]
+
+With no arguments, checks every tracked-looking markdown file: `*.md` at the
+repo root plus everything under `docs/`.  For each `[text](target)` link the
+target must exist on disk, resolved relative to the file containing the link.
+`http(s)://` and `mailto:` targets are skipped (CI must not depend on the
+network); `#anchor` fragments are stripped before the existence check, and
+pure-anchor links are skipped.
+
+Exit codes: 0 all links resolve, 1 at least one broken link.
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+SKIP = ("http://", "https://", "mailto:")
+
+
+def files_to_check(argv):
+    if argv:
+        out = []
+        for arg in argv:
+            if os.path.isdir(arg):
+                for root, _, names in os.walk(arg):
+                    out.extend(os.path.join(root, n) for n in names if n.endswith(".md"))
+            else:
+                out.append(arg)
+        return out
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    out = [
+        os.path.join(root, n)
+        for n in sorted(os.listdir(root))
+        if n.endswith(".md")
+    ]
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for sub, _, names in os.walk(docs):
+            out.extend(os.path.join(sub, n) for n in sorted(names) if n.endswith(".md"))
+    return out
+
+
+def main(argv):
+    broken = 0
+    checked = 0
+    for path in files_to_check(argv):
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"check_links: cannot read {path}: {e}", file=sys.stderr)
+            return 1
+        base = os.path.dirname(path)
+        for m in LINK.finditer(text):
+            target = m.group(1)
+            if target.startswith(SKIP) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            checked += 1
+            if not os.path.exists(os.path.join(base, target)):
+                line = text.count("\n", 0, m.start()) + 1
+                print(f"check_links: {path}:{line}: broken link -> {m.group(1)}")
+                broken += 1
+    print(f"check_links: {checked} links checked, {broken} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
-"""Compare two `repro --timing-json` dumps and fail on a perf regression.
+"""Gate a `repro --timing-json` dump against a perf trajectory.
 
 Usage:
-    timing_diff.py BASELINE.json CURRENT.json [--max-regress 0.20]
+    timing_diff.py BASELINE.json [BASELINE2.json ...] CURRENT.json \
+        [--max-regress 0.20]
 
-Both files are `sdv-engine-timing/1` documents.  The check compares the
-headline `cycles_per_second` figure: the job fails when the current run is
-more than `--max-regress` (default 20%) slower than the committed baseline.
-Absolute wall-clock depends on the host, so treat the committed baseline as a
-trajectory marker (refresh it from CI artifacts when hardware or the
-simulator changes deliberately); the gate is meant to catch order-of-magnitude
-hot-path regressions, not CPU-model noise.
+All files are `sdv-engine-timing/1` documents.  The last positional argument
+is the current run; every earlier one is a committed trajectory point
+(`BENCH_pr4.json`, `BENCH_pr6.json`, ...).  The check compares the headline
+`cycles_per_second` figure against the BEST trajectory point — the gate must
+not loosen when a later baseline happens to be slower than an earlier one.
+The job fails when the current run is more than `--max-regress` (default 20%)
+slower than that best point.
+
+Absolute wall-clock depends on the host, so treat the committed trajectory as
+markers (refresh from CI artifacts when hardware or the simulator changes
+deliberately); the gate is meant to catch order-of-magnitude hot-path
+regressions, not CPU-model noise.
 
 Exit codes: 0 ok / improved, 1 regression, 2 usage or malformed input.
 """
@@ -48,27 +54,32 @@ def main(argv):
             return 2
         else:
             args.append(a)
-    if len(args) != 2:
+    if len(args) < 2:
         print(__doc__, file=sys.stderr)
         return 2
 
-    base, cur = load(args[0]), load(args[1])
-    base_cps = float(base["cycles_per_second"])
+    baselines = [(path, load(path)) for path in args[:-1]]
+    cur = load(args[-1])
     cur_cps = float(cur["cycles_per_second"])
-    if base_cps <= 0:
-        print("timing_diff: baseline has no timing data (0 cycles/s); skipping gate")
+
+    scored = [(float(doc["cycles_per_second"]), path, doc) for path, doc in baselines]
+    for cps, path, _ in scored:
+        print(f"timing_diff: trajectory {path}: {cps:,.0f} cycles/s")
+    best_cps, best_path, best = max(scored)
+    if best_cps <= 0:
+        print("timing_diff: trajectory has no timing data (0 cycles/s); skipping gate")
         return 0
 
-    ratio = cur_cps / base_cps
+    ratio = cur_cps / best_cps
     print(
-        f"timing_diff: baseline {base_cps:,.0f} cycles/s "
-        f"({base['cells']} cells), current {cur_cps:,.0f} cycles/s "
+        f"timing_diff: best trajectory point {best_path} at {best_cps:,.0f} "
+        f"cycles/s ({best['cells']} cells), current {cur_cps:,.0f} cycles/s "
         f"({cur['cells']} cells) -> {ratio:.2f}x"
     )
     if ratio < 1.0 - max_regress:
         print(
             f"timing_diff: FAIL — throughput regressed more than "
-            f"{max_regress:.0%} vs the committed baseline",
+            f"{max_regress:.0%} vs the best committed trajectory point",
             file=sys.stderr,
         )
         return 1
