@@ -1,0 +1,392 @@
+//! Basic-block control-flow graph construction.
+//!
+//! Leaders are the program entry, every target of a branch or jump, and every
+//! instruction following a control transfer or `halt`.  Indirect jumps
+//! (`jr`/`jalr`) have statically unknown targets; the graph records them and
+//! every analysis built on top treats their successor set conservatively (any
+//! block may follow).
+
+use crate::diag::{Diag, Rule};
+use sdv_isa::{OpClass, Program};
+
+/// One basic block: a maximal straight-line run of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Index of the first instruction of the block.
+    pub start: usize,
+    /// Exclusive index of the last instruction of the block.
+    pub end: usize,
+    /// Indices (into [`Cfg::blocks`]) of the statically known successors.
+    pub succs: Vec<usize>,
+    /// Whether the block ends in an indirect jump (`jr`/`jalr`): its real
+    /// successor set is unknown, so analyses must assume any block.
+    pub indirect: bool,
+}
+
+impl Block {
+    /// Number of instructions in the block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the block holds no instructions (never true for built graphs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The control-flow graph of a [`Program`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in text order; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// `reachable[b]` — block `b` can execute on some path from the entry.
+    pub reachable: Vec<bool>,
+    /// Number of back edges (loop-closing edges found by depth-first search
+    /// over reachable blocks).
+    pub back_edges: usize,
+    /// Whether any reachable block ends in an indirect jump.
+    pub has_indirect: bool,
+    /// Structural findings collected while building the graph (bad control
+    /// targets, fall-off-the-end paths, missing reachable `halt`).
+    pub diags: Vec<Diag>,
+}
+
+impl Cfg {
+    /// Builds the control-flow graph of `program`.
+    #[must_use]
+    pub fn build(program: &Program) -> Self {
+        let insts = program.insts();
+        let n = insts.len();
+        let mut diags = Vec::new();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                reachable: Vec::new(),
+                back_edges: 0,
+                has_indirect: false,
+                diags: vec![Diag::new(
+                    Rule::NoReachableHalt,
+                    None,
+                    "the program is empty: no halt can execute",
+                )],
+            };
+        }
+
+        // Decode every control target once; remember the bad ones.
+        let mut targets: Vec<Option<usize>> = vec![None; n];
+        for (i, inst) in insts.iter().enumerate() {
+            let class = inst.class();
+            if !matches!(class, OpClass::Branch | OpClass::Jump) {
+                continue;
+            }
+            // `jr`/`jalr` compute their target from a register.
+            if class == OpClass::Jump && inst.src1.is_some() {
+                continue;
+            }
+            let pc = inst.imm;
+            match u64::try_from(pc)
+                .ok()
+                .and_then(|pc| program.index_of_pc(pc))
+            {
+                Some(t) => targets[i] = Some(t),
+                None => diags.push(Diag::new(
+                    Rule::BadControlTarget,
+                    Some(Program::pc_of(i)),
+                    format!("`{inst}` targets {pc:#x}, outside the text segment"),
+                )),
+            }
+        }
+
+        // Leaders: entry, control targets, instruction after a control/halt.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (i, inst) in insts.iter().enumerate() {
+            if let Some(t) = targets[i] {
+                leader[t] = true;
+            }
+            let ends_block = inst.is_control() || matches!(inst.class(), OpClass::Halt);
+            if ends_block && i + 1 < n {
+                leader[i + 1] = true;
+            }
+        }
+
+        // Cut the text at the leaders.
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for (i, &is_leader) in leader.iter().enumerate() {
+            if i > start && is_leader {
+                blocks.push(Block {
+                    start,
+                    end: i,
+                    succs: Vec::new(),
+                    indirect: false,
+                });
+                start = i;
+            }
+        }
+        blocks.push(Block {
+            start,
+            end: n,
+            succs: Vec::new(),
+            indirect: false,
+        });
+        for (b, block) in blocks.iter().enumerate() {
+            for slot in &mut block_of[block.start..block.end] {
+                *slot = b;
+            }
+        }
+
+        // Successor edges.
+        let num_blocks = blocks.len();
+        for block in &mut blocks {
+            let last = block.end - 1;
+            let inst = &insts[last];
+            let last_pc = Program::pc_of(last);
+            match inst.class() {
+                OpClass::Halt => {}
+                OpClass::Branch => {
+                    if let Some(t) = targets[last] {
+                        block.succs.push(block_of[t]);
+                    }
+                    if last + 1 < n {
+                        let fall = block_of[last + 1];
+                        if !block.succs.contains(&fall) {
+                            block.succs.push(fall);
+                        }
+                    } else {
+                        diags.push(Diag::new(
+                            Rule::FallsOffEnd,
+                            Some(last_pc),
+                            format!("`{inst}` can fall through past the end of the text segment"),
+                        ));
+                    }
+                }
+                OpClass::Jump => {
+                    if inst.src1.is_some() {
+                        block.indirect = true;
+                    } else if let Some(t) = targets[last] {
+                        block.succs.push(block_of[t]);
+                    }
+                }
+                _ => {
+                    if last + 1 < n {
+                        block.succs.push(block_of[last + 1]);
+                    } else {
+                        diags.push(Diag::new(
+                            Rule::FallsOffEnd,
+                            Some(last_pc),
+                            "execution runs past the end of the text segment".to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Reachability from the entry.  An indirect jump may land anywhere, so
+        // reaching one makes every block reachable (conservative).
+        let mut reachable = vec![false; num_blocks];
+        let mut stack = vec![0usize];
+        let mut indirect_seen = false;
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut reachable[b], true) {
+                continue;
+            }
+            if blocks[b].indirect && !std::mem::replace(&mut indirect_seen, true) {
+                stack.extend(0..num_blocks);
+            }
+            stack.extend(blocks[b].succs.iter().copied());
+        }
+
+        // Back edges over the reachable subgraph (iterative DFS; an edge to a
+        // block still on the DFS stack closes a loop).  Indirect edges are not
+        // counted — their target set is unknown.
+        let mut color = vec![0u8; num_blocks]; // 0 white, 1 gray, 2 black
+        let mut back_edges = 0usize;
+        let mut dfs: Vec<(usize, usize)> = Vec::new();
+        for root in 0..num_blocks {
+            if !reachable[root] || color[root] != 0 {
+                continue;
+            }
+            dfs.push((root, 0));
+            color[root] = 1;
+            while let Some(&mut (b, ref mut next)) = dfs.last_mut() {
+                if *next < blocks[b].succs.len() {
+                    let s = blocks[b].succs[*next];
+                    *next += 1;
+                    match color[s] {
+                        0 => {
+                            color[s] = 1;
+                            dfs.push((s, 0));
+                        }
+                        1 => back_edges += 1,
+                        _ => {}
+                    }
+                } else {
+                    color[b] = 2;
+                    dfs.pop();
+                }
+            }
+        }
+
+        let has_indirect = (0..num_blocks).any(|b| reachable[b] && blocks[b].indirect);
+
+        // A program that cannot reach a halt never terminates cleanly.
+        let halt_reachable = (0..num_blocks).any(|b| {
+            reachable[b]
+                && (blocks[b].start..blocks[b].end)
+                    .any(|i| matches!(insts[i].class(), OpClass::Halt))
+        });
+        if !halt_reachable {
+            diags.push(Diag::new(
+                Rule::NoReachableHalt,
+                None,
+                "no halt instruction is reachable from the entry",
+            ));
+        }
+
+        // Unreachable blocks are suspicious (dead code or a wrong target).
+        for (b, block) in blocks.iter().enumerate() {
+            if !reachable[b] {
+                diags.push(Diag::new(
+                    Rule::UnreachableBlock,
+                    Some(Program::pc_of(block.start)),
+                    format!(
+                        "basic block at {:#x}..{:#x} can never execute",
+                        Program::pc_of(block.start),
+                        Program::pc_of(block.end - 1)
+                    ),
+                ));
+            }
+        }
+
+        Cfg {
+            blocks,
+            reachable,
+            back_edges,
+            has_indirect,
+            diags,
+        }
+    }
+
+    /// Number of basic blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the graph has no blocks (only for empty programs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterates over the indices of reachable blocks.
+    pub fn reachable_blocks(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.blocks.len()).filter(|&b| self.reachable[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_isa::{ArchReg, Asm};
+
+    fn loop_program() -> Program {
+        let mut a = Asm::new();
+        let (i, s) = (ArchReg::int(1), ArchReg::int(2));
+        a.li(i, 8);
+        a.li(s, 0);
+        a.label("loop");
+        a.add(s, s, i);
+        a.addi(i, i, -1);
+        a.bne(i, ArchReg::ZERO, "loop");
+        a.halt();
+        a.finish()
+    }
+
+    #[test]
+    fn loop_has_three_blocks_and_one_back_edge() {
+        let cfg = Cfg::build(&loop_program());
+        assert_eq!(cfg.len(), 3, "prologue, loop body, epilogue");
+        assert_eq!(cfg.back_edges, 1);
+        assert!(cfg.reachable.iter().all(|&r| r));
+        assert!(cfg.diags.is_empty(), "{:?}", cfg.diags);
+        // The loop block branches to itself and falls through to the halt.
+        let body = &cfg.blocks[1];
+        assert!(body.succs.contains(&1) && body.succs.contains(&2));
+    }
+
+    #[test]
+    fn straight_line_program_is_one_block() {
+        let mut a = Asm::new();
+        a.li(ArchReg::int(1), 1);
+        a.halt();
+        let cfg = Cfg::build(&a.finish());
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.back_edges, 0);
+        assert!(cfg.diags.is_empty());
+    }
+
+    #[test]
+    fn unreachable_code_is_flagged() {
+        let mut a = Asm::new();
+        a.li(ArchReg::int(1), 1);
+        a.j("end");
+        a.li(ArchReg::int(2), 2); // dead
+        a.label("end");
+        a.halt();
+        let cfg = Cfg::build(&a.finish());
+        assert!(
+            cfg.diags.iter().any(|d| d.rule == Rule::UnreachableBlock),
+            "{:?}",
+            cfg.diags
+        );
+    }
+
+    #[test]
+    fn missing_halt_is_an_error() {
+        let mut a = Asm::new();
+        let i = ArchReg::int(1);
+        a.li(i, 1);
+        a.label("spin");
+        a.addi(i, i, 1);
+        a.j("spin");
+        let cfg = Cfg::build(&a.finish());
+        assert!(cfg.diags.iter().any(|d| d.rule == Rule::NoReachableHalt));
+    }
+
+    #[test]
+    fn fall_off_the_end_is_an_error() {
+        let mut a = Asm::new();
+        a.li(ArchReg::int(1), 1);
+        a.addi(ArchReg::int(1), ArchReg::int(1), 1);
+        let cfg = Cfg::build(&a.finish());
+        assert!(cfg.diags.iter().any(|d| d.rule == Rule::FallsOffEnd));
+    }
+
+    #[test]
+    fn bad_branch_target_is_an_error() {
+        use sdv_isa::{Inst, Opcode};
+        let mut a = Asm::new();
+        a.push(Inst::branch(
+            Opcode::Beq,
+            ArchReg::ZERO,
+            ArchReg::ZERO,
+            0x10, // below TEXT_BASE
+        ));
+        a.halt();
+        let cfg = Cfg::build(&a.finish());
+        assert!(cfg.diags.iter().any(|d| d.rule == Rule::BadControlTarget));
+    }
+
+    #[test]
+    fn empty_program_reports_no_halt() {
+        let cfg = Cfg::build(&Program::default());
+        assert!(cfg.is_empty());
+        assert!(cfg.diags.iter().any(|d| d.rule == Rule::NoReachableHalt));
+    }
+}

@@ -1,0 +1,296 @@
+//! Register dataflow passes over the CFG.
+//!
+//! Two classic bit-vector analyses over the flat 64-register space
+//! (`sdv_isa::NUM_ARCH_REGS` fits one `u64` mask per program point):
+//!
+//! * **May-initialized** (forward, union join): a register is in the set when
+//!   *some* path from the entry writes it.  A use of a register outside the
+//!   set reads garbage on every path — a definite [`Rule::UseBeforeDef`]
+//!   error, never a false positive.
+//! * **Liveness** (backward, union join): used to bound the maximum number of
+//!   simultaneously live registers — the static register-pressure component
+//!   of the resource envelope.
+//!
+//! Both treat an indirect jump (`jr`/`jalr`) conservatively: it may transfer
+//! to any block, which *enlarges* the may-init sets (fewer reported errors,
+//! still sound) and *enlarges* liveness (higher pressure bound, still an
+//! upper bound).
+
+use crate::cfg::Cfg;
+use crate::diag::{Diag, Rule};
+use sdv_isa::{ArchReg, Program};
+
+/// Bit for a register in a 64-bit register set.
+fn bit(reg: ArchReg) -> u64 {
+    1u64 << reg.flat_index()
+}
+
+/// Registers defined before the first instruction executes: the hard-wired
+/// zero register and the stack pointer (the emulator seeds `sp = STACK_TOP`).
+#[must_use]
+pub fn entry_defined() -> u64 {
+    bit(ArchReg::ZERO) | bit(ArchReg::SP)
+}
+
+/// Runs the forward may-initialized pass and reports every use of a register
+/// that no path has written.
+#[must_use]
+pub fn check_use_before_def(program: &Program, cfg: &Cfg) -> Vec<Diag> {
+    let insts = program.insts();
+    let n_blocks = cfg.blocks.len();
+    if n_blocks == 0 {
+        return Vec::new();
+    }
+
+    // Per-block gen set (registers the block itself writes) computed on the
+    // fly inside the transfer; the fixpoint only needs the block out-sets.
+    let mut in_sets = vec![0u64; n_blocks];
+    let mut out_sets = vec![0u64; n_blocks];
+    in_sets[0] = entry_defined();
+
+    let transfer = |b: usize, mut set: u64| -> u64 {
+        for inst in &insts[cfg.blocks[b].start..cfg.blocks[b].end] {
+            if let Some(d) = inst.defs() {
+                set |= bit(d);
+            }
+        }
+        set
+    };
+
+    // Union-join fixpoint.  An indirect block feeds every block.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let indirect_out: u64 = (0..n_blocks)
+            .filter(|&b| cfg.reachable[b] && cfg.blocks[b].indirect)
+            .map(|b| out_sets[b])
+            .fold(0, |acc, s| acc | s);
+        for b in 0..n_blocks {
+            let mut input = if b == 0 { entry_defined() } else { 0 };
+            if cfg.has_indirect {
+                input |= indirect_out;
+            }
+            for (pred, &pred_out) in cfg.blocks.iter().zip(&out_sets) {
+                if pred.succs.contains(&b) {
+                    input |= pred_out;
+                }
+            }
+            let out = transfer(b, input);
+            if input != in_sets[b] || out != out_sets[b] {
+                in_sets[b] = input;
+                out_sets[b] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Final reporting pass over reachable blocks with the fixpoint in-sets.
+    let mut diags = Vec::new();
+    for b in cfg.reachable_blocks() {
+        let mut set = in_sets[b];
+        let block = &cfg.blocks[b];
+        for (off, inst) in insts[block.start..block.end].iter().enumerate() {
+            let pc = Program::pc_of(block.start + off);
+            for used in inst.uses() {
+                if bit(used) & set == 0 {
+                    diags.push(Diag::new(
+                        Rule::UseBeforeDef,
+                        Some(pc),
+                        format!("`{inst}` reads {used}, which no path has written"),
+                    ));
+                }
+            }
+            if let Some(d) = inst.defs() {
+                if d.is_zero() {
+                    diags.push(Diag::new(
+                        Rule::WriteToZero,
+                        Some(pc),
+                        format!("`{inst}` writes the hard-wired zero register"),
+                    ));
+                }
+                set |= bit(d);
+            }
+        }
+    }
+    diags
+}
+
+/// Backward liveness: the maximum number of simultaneously live registers at
+/// any program point of a reachable block (the zero register never counts).
+///
+/// This is a static *upper bound* on architectural register pressure: every
+/// register the bound excludes is dead (its value can never be observed), so
+/// no execution needs more live values at once.
+#[must_use]
+pub fn max_live_registers(program: &Program, cfg: &Cfg) -> usize {
+    let insts = program.insts();
+    let n_blocks = cfg.blocks.len();
+    if n_blocks == 0 {
+        return 0;
+    }
+
+    let mut live_in = vec![0u64; n_blocks];
+    let mut live_out = vec![0u64; n_blocks];
+    let zero = bit(ArchReg::ZERO);
+
+    let transfer = |b: usize, mut live: u64| -> u64 {
+        for i in (cfg.blocks[b].start..cfg.blocks[b].end).rev() {
+            let inst = &insts[i];
+            if let Some(d) = inst.defs() {
+                live &= !bit(d);
+            }
+            for used in inst.uses() {
+                live |= bit(used);
+            }
+        }
+        live & !zero
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let all_in: u64 = (0..n_blocks)
+            .filter(|&b| cfg.reachable[b])
+            .map(|b| live_in[b])
+            .fold(0, |acc, s| acc | s);
+        for b in (0..n_blocks).rev() {
+            let mut out = 0u64;
+            for &s in &cfg.blocks[b].succs {
+                out |= live_in[s];
+            }
+            if cfg.blocks[b].indirect {
+                out |= all_in;
+            }
+            let input = transfer(b, out);
+            if out != live_out[b] || input != live_in[b] {
+                live_out[b] = out;
+                live_in[b] = input;
+                changed = true;
+            }
+        }
+    }
+
+    // Walk each reachable block backward once more, tracking the set size at
+    // every point.
+    let mut max_live = 0usize;
+    for b in cfg.reachable_blocks() {
+        let mut live = live_out[b];
+        max_live = max_live.max(live.count_ones() as usize);
+        for i in (cfg.blocks[b].start..cfg.blocks[b].end).rev() {
+            let inst = &insts[i];
+            if let Some(d) = inst.defs() {
+                live &= !bit(d);
+            }
+            for used in inst.uses() {
+                live |= bit(used);
+            }
+            live &= !zero;
+            max_live = max_live.max(live.count_ones() as usize);
+        }
+    }
+    max_live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_isa::Asm;
+
+    fn x(n: u8) -> ArchReg {
+        ArchReg::int(n)
+    }
+
+    #[test]
+    fn clean_loop_has_no_findings() {
+        let mut a = Asm::new();
+        let (i, s) = (x(1), x(2));
+        a.li(i, 4);
+        a.li(s, 0);
+        a.label("loop");
+        a.add(s, s, i);
+        a.addi(i, i, -1);
+        a.bne(i, ArchReg::ZERO, "loop");
+        a.halt();
+        let p = a.finish();
+        let cfg = Cfg::build(&p);
+        assert!(check_use_before_def(&p, &cfg).is_empty());
+        // i and s live across the loop.
+        assert!(max_live_registers(&p, &cfg) >= 2);
+    }
+
+    #[test]
+    fn use_before_def_is_reported_once_per_use_site() {
+        let mut a = Asm::new();
+        a.add(x(1), x(2), x(3)); // x2 and x3 never written
+        a.halt();
+        let p = a.finish();
+        let diags = check_use_before_def(&p, &Cfg::build(&p));
+        let ubd: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::UseBeforeDef)
+            .collect();
+        assert_eq!(ubd.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn a_def_on_one_path_suppresses_the_error() {
+        // may-init: x1 is written on the taken path only; the join keeps it,
+        // so the later use is not a *definite* error.
+        let mut a = Asm::new();
+        a.li(x(2), 1);
+        a.beq(x(2), ArchReg::ZERO, "skip");
+        a.li(x(1), 7);
+        a.label("skip");
+        a.add(x(3), x(1), x(2));
+        a.halt();
+        let p = a.finish();
+        let diags = check_use_before_def(&p, &Cfg::build(&p));
+        assert!(
+            diags.iter().all(|d| d.rule != Rule::UseBeforeDef),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn sp_and_zero_are_predefined() {
+        let mut a = Asm::new();
+        a.ld(x(1), ArchReg::SP, -8);
+        a.add(x(2), x(1), ArchReg::ZERO);
+        a.halt();
+        let p = a.finish();
+        let diags = check_use_before_def(&p, &Cfg::build(&p));
+        assert!(
+            diags.iter().all(|d| d.rule != Rule::UseBeforeDef),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn writes_to_zero_are_flagged() {
+        let mut a = Asm::new();
+        a.li(ArchReg::ZERO, 5);
+        a.halt();
+        let p = a.finish();
+        let diags = check_use_before_def(&p, &Cfg::build(&p));
+        assert!(diags.iter().any(|d| d.rule == Rule::WriteToZero));
+    }
+
+    #[test]
+    fn pressure_is_bounded_by_the_register_file() {
+        let mut a = Asm::new();
+        for n in 1..20u8 {
+            a.li(x(n), i64::from(n));
+        }
+        let acc = x(20);
+        a.li(acc, 0);
+        for n in 1..20u8 {
+            a.add(acc, acc, x(n));
+        }
+        a.halt();
+        let p = a.finish();
+        let cfg = Cfg::build(&p);
+        let live = max_live_registers(&p, &cfg);
+        assert!(live >= 19, "all the li results are live at once: {live}");
+        assert!(live <= sdv_isa::NUM_ARCH_REGS);
+    }
+}

@@ -1,0 +1,223 @@
+//! The per-workload resource envelope.
+//!
+//! An [`Envelope`] is a set of *conservative static bounds* on what a program
+//! can do at run time: every quantity is an over-approximation (or an exact
+//! static count), never an estimate.  `tests/analysis_properties.rs` holds the
+//! repo to that: simulated [`RunStats`] of every in-tree kernel must stay
+//! inside its envelope.
+//!
+//! [`RunStats`]: ../../sdv_uarch/struct.RunStats.html
+
+use crate::cfg::Cfg;
+use crate::dataflow;
+use crate::interval::{self, DeclaredRegions, FootprintAnalysis};
+use sdv_isa::{OpClass, Program};
+
+/// Conservative static resource bounds for one program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Static instruction count (exact).
+    pub static_insts: usize,
+    /// Static loads + stores (exact).
+    pub static_mem_ops: usize,
+    /// Number of basic blocks (exact).
+    pub blocks: usize,
+    /// Number of *reachable* basic blocks (exact on the CFG abstraction).
+    pub reachable_blocks: usize,
+    /// Loop back-edge count of the reachable CFG (exact on the abstraction).
+    pub back_edges: usize,
+    /// Inclusive hull of every statically bounded memory access, when at
+    /// least one access resolved.
+    pub footprint: Option<(u64, u64)>,
+    /// Whether some access could not be bounded: the true footprint may
+    /// exceed [`Envelope::footprint`] (which then only covers the resolved
+    /// accesses).  Containment checks must treat the footprint as the whole
+    /// address space in this case.
+    pub footprint_unbounded: bool,
+    /// The declared address regions (text, data hull, stack region).
+    pub declared: DeclaredRegions,
+    /// Upper bound on the number of simultaneously live architectural
+    /// registers at any point of any execution.
+    pub max_live_regs: usize,
+    /// Upper bound on the dynamic fraction of instructions eligible for the
+    /// paper's §3 dynamic vectorization (loads and arithmetic).  Computed as
+    /// the maximum over every *prefix* of every reachable basic block of the
+    /// prefix's vectorizable fraction — a weighted average over executed
+    /// block prefixes can never exceed its largest term, so no run (even one
+    /// truncated mid-block by an instruction budget) can beat this bound.
+    pub vectorizable_bound: f64,
+    /// Whether the program contains a reachable indirect jump (`jr`/`jalr`).
+    pub has_indirect: bool,
+}
+
+impl Envelope {
+    /// Computes the envelope of `program` over its CFG and footprint pass.
+    #[must_use]
+    pub fn compute(program: &Program, cfg: &Cfg, footprint: &FootprintAnalysis) -> Self {
+        let insts = program.insts();
+        let mut vector_bound = 0.0f64;
+        for b in cfg.reachable_blocks() {
+            let block = &cfg.blocks[b];
+            let mut vectorizable = 0usize;
+            for (len, i) in (block.start..block.end).enumerate() {
+                if insts[i].class().is_vectorizable() {
+                    vectorizable += 1;
+                }
+                let frac = vectorizable as f64 / (len + 1) as f64;
+                vector_bound = vector_bound.max(frac);
+            }
+        }
+        Envelope {
+            static_insts: insts.len(),
+            static_mem_ops: insts
+                .iter()
+                .filter(|i| matches!(i.class(), OpClass::Load | OpClass::Store))
+                .count(),
+            blocks: cfg.len(),
+            reachable_blocks: cfg.reachable_blocks().count(),
+            back_edges: cfg.back_edges,
+            footprint: footprint.resolved,
+            footprint_unbounded: footprint.unbounded,
+            declared: interval::DeclaredRegions::of(program),
+            max_live_regs: dataflow::max_live_registers(program, cfg),
+            vectorizable_bound: vector_bound,
+            has_indirect: cfg.has_indirect,
+        }
+    }
+
+    /// Whether the inclusive dynamic address range `lo..=hi` is contained in
+    /// the static footprint (trivially true when the footprint is unbounded —
+    /// the bound is conservative, never exact).
+    #[must_use]
+    pub fn contains_range(&self, lo: u64, hi: u64) -> bool {
+        if self.footprint_unbounded {
+            return true;
+        }
+        match self.footprint {
+            Some((a, b)) => a <= lo && hi <= b,
+            None => false, // a program with no static accesses accessed memory
+        }
+    }
+
+    /// Renders the envelope as a JSON object with a stable schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let footprint = match self.footprint {
+            Some((lo, hi)) => format!("{{\"lo\":\"{lo:#x}\",\"hi\":\"{hi:#x}\"}}"),
+            None => "null".to_string(),
+        };
+        let data = match self.declared.data {
+            Some((lo, hi)) => format!("{{\"lo\":\"{lo:#x}\",\"hi\":\"{hi:#x}\"}}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"static_insts\":{},\"static_mem_ops\":{},\"blocks\":{},\
+             \"reachable_blocks\":{},\"back_edges\":{},\"footprint\":{footprint},\
+             \"footprint_unbounded\":{},\"declared_data\":{data},\
+             \"max_live_regs\":{},\"vectorizable_bound\":{:.6},\"has_indirect\":{}}}",
+            self.static_insts,
+            self.static_mem_ops,
+            self.blocks,
+            self.reachable_blocks,
+            self.back_edges,
+            self.footprint_unbounded,
+            self.max_live_regs,
+            self.vectorizable_bound,
+            self.has_indirect,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::interval::analyze_footprint;
+    use sdv_isa::{ArchReg, Asm};
+
+    fn envelope_of(p: &Program) -> Envelope {
+        let cfg = Cfg::build(p);
+        let fp = analyze_footprint(p, &cfg);
+        Envelope::compute(p, &cfg, &fp)
+    }
+
+    #[test]
+    fn straight_line_fixed_accesses_have_an_exact_interval() {
+        let mut a = Asm::new();
+        let buf = a.alloc(64, 8);
+        a.li(ArchReg::int(1), buf as i64);
+        a.ld(ArchReg::int(2), ArchReg::int(1), 0);
+        a.sd(ArchReg::int(2), ArchReg::int(1), 8);
+        a.halt();
+        let e = envelope_of(&a.finish());
+        assert!(!e.footprint_unbounded);
+        assert_eq!(e.footprint, Some((buf, buf + 8 + 7)));
+        assert!(e.contains_range(buf, buf + 7));
+        assert!(!e.contains_range(buf, buf + 100));
+        assert_eq!(e.static_mem_ops, 2);
+        assert_eq!(e.back_edges, 0);
+    }
+
+    #[test]
+    fn vectorizable_bound_is_a_prefix_maximum() {
+        // Block: ld, add (vectorizable) then sd (not).  The best prefix is
+        // the first two instructions -> bound 1.0, even though the whole
+        // block's fraction is 2/3: a run truncated after the add would have
+        // dynamic fraction 1.0.
+        let mut a = Asm::new();
+        let buf = a.alloc(16, 8);
+        a.li(ArchReg::int(1), buf as i64);
+        a.ld(ArchReg::int(2), ArchReg::int(1), 0);
+        a.add(ArchReg::int(2), ArchReg::int(2), ArchReg::int(2));
+        a.sd(ArchReg::int(2), ArchReg::int(1), 8);
+        a.halt();
+        let e = envelope_of(&a.finish());
+        assert!((e.vectorizable_bound - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_control_program_has_zero_vector_bound() {
+        let mut a = Asm::new();
+        a.halt();
+        let e = envelope_of(&a.finish());
+        assert_eq!(e.vectorizable_bound, 0.0);
+        assert_eq!(e.static_mem_ops, 0);
+        assert!(e.footprint.is_none());
+        assert!(e.contains_range(0, 0) == e.footprint_unbounded);
+    }
+
+    #[test]
+    fn unbounded_footprint_contains_everything() {
+        let mut a = Asm::new();
+        let keys = a.data_u64(&[8, 16]);
+        a.li(ArchReg::int(1), keys as i64);
+        a.ld(ArchReg::int(2), ArchReg::int(1), 0);
+        a.ld(ArchReg::int(3), ArchReg::int(2), 0); // data-dependent
+        a.halt();
+        let e = envelope_of(&a.finish());
+        assert!(e.footprint_unbounded);
+        assert!(e.contains_range(0, u64::MAX));
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let mut a = Asm::new();
+        a.halt();
+        let json = envelope_of(&a.finish()).to_json();
+        for key in [
+            "\"static_insts\"",
+            "\"static_mem_ops\"",
+            "\"blocks\"",
+            "\"reachable_blocks\"",
+            "\"back_edges\"",
+            "\"footprint\"",
+            "\"footprint_unbounded\"",
+            "\"declared_data\"",
+            "\"max_live_regs\"",
+            "\"vectorizable_bound\"",
+            "\"has_indirect\"",
+        ] {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Interval abstract interpretation of address formation.
+//!
+//! A forward pass over the CFG tracks one interval per integer register
+//! (floating-point registers never form addresses in this ISA).  The domain
+//! is deliberately small — constants, `addi`/`add`/`sub`/`slli`/`mul`
+//! arithmetic, everything else goes to ⊤ — with widening on loop joins, so
+//! the pass terminates quickly and its results are *conservative by
+//! construction*: every address a real execution can form lies inside the
+//! interval the pass reports (or the pass reports "unbounded").
+//!
+//! Two consumers:
+//!
+//! * the **static memory footprint** of the resource envelope: the hull of
+//!   every load/store address interval, or unbounded if any access has a ⊤ or
+//!   widened base (typical for data-dependent addressing, e.g. `histo`);
+//! * the [`Rule::OutOfFootprint`] diagnostic: an access whose interval is
+//!   *bounded* and *entirely outside* the program's declared address space
+//!   (data segments, stack region, text) can only ever touch garbage.
+
+use crate::cfg::Cfg;
+use crate::diag::{Diag, Rule};
+use sdv_isa::{ArchReg, OpClass, Opcode, Program, NUM_INT_REGS, STACK_TOP, TEXT_BASE};
+
+/// How far below [`STACK_TOP`] the envelope considers "the stack".  The ISA
+/// has no frame conventions, so any SP-relative access below this margin is
+/// treated as escaping the declared footprint.
+pub const STACK_REGION_BYTES: u64 = 1 << 20;
+
+/// Join count after which a block's input interval is widened to unbounded in
+/// the direction it grew (loop counters and walking pointers reach here).
+const WIDEN_AFTER: u32 = 3;
+
+/// Saturation sentinels: any bound at or beyond these is "unbounded" in that
+/// direction.  Kept well inside `i128` so interval arithmetic cannot wrap.
+const LO_SENTINEL: i128 = i128::MIN / 4;
+const HI_SENTINEL: i128 = i128::MAX / 4;
+
+/// An abstract register value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ival {
+    /// Nothing known.
+    Top,
+    /// The value lies in `lo..=hi` (bounds clamped to the sentinels).
+    Range(i128, i128),
+}
+
+impl Ival {
+    const fn constant(v: i128) -> Self {
+        Ival::Range(v, v)
+    }
+
+    fn clamp(lo: i128, hi: i128) -> Self {
+        if lo <= LO_SENTINEL && hi >= HI_SENTINEL {
+            Ival::Top
+        } else {
+            Ival::Range(lo.max(LO_SENTINEL), hi.min(HI_SENTINEL))
+        }
+    }
+
+    fn join(self, other: Ival) -> Ival {
+        match (self, other) {
+            (Ival::Top, _) | (_, Ival::Top) => Ival::Top,
+            (Ival::Range(a, b), Ival::Range(c, d)) => Ival::Range(a.min(c), b.max(d)),
+        }
+    }
+
+    /// Widen `self` (the old input) against `other` (the new input): any
+    /// bound that moved goes straight to its sentinel.
+    fn widen(self, other: Ival) -> Ival {
+        match (self, other) {
+            (Ival::Top, _) | (_, Ival::Top) => Ival::Top,
+            (Ival::Range(a, b), Ival::Range(c, d)) => {
+                let lo = if c < a { LO_SENTINEL } else { a };
+                let hi = if d > b { HI_SENTINEL } else { b };
+                Ival::Range(lo, hi)
+            }
+        }
+    }
+
+    fn add(self, other: Ival) -> Ival {
+        match (self, other) {
+            (Ival::Range(a, b), Ival::Range(c, d)) => {
+                Ival::clamp(a.saturating_add(c), b.saturating_add(d))
+            }
+            _ => Ival::Top,
+        }
+    }
+
+    fn sub(self, other: Ival) -> Ival {
+        match (self, other) {
+            (Ival::Range(a, b), Ival::Range(c, d)) => {
+                Ival::clamp(a.saturating_sub(d), b.saturating_sub(c))
+            }
+            _ => Ival::Top,
+        }
+    }
+
+    fn mul(self, other: Ival) -> Ival {
+        match (self, other) {
+            (Ival::Range(a, b), Ival::Range(c, d)) => {
+                let corners = [
+                    a.saturating_mul(c),
+                    a.saturating_mul(d),
+                    b.saturating_mul(c),
+                    b.saturating_mul(d),
+                ];
+                let lo = corners.iter().copied().min().expect("four corners");
+                let hi = corners.iter().copied().max().expect("four corners");
+                Ival::clamp(lo, hi)
+            }
+            _ => Ival::Top,
+        }
+    }
+
+    fn shl(self, amount: i64) -> Ival {
+        if !(0..64).contains(&amount) {
+            return Ival::Top;
+        }
+        self.mul(Ival::constant(1i128 << amount))
+    }
+
+    /// The interval as concrete `u64` address bounds, or `None` when either
+    /// bound is widened/⊤/negative (negative values wrap to huge addresses).
+    fn as_addr_bounds(self) -> Option<(u64, u64)> {
+        match self {
+            Ival::Top => None,
+            Ival::Range(lo, hi) => {
+                if lo <= LO_SENTINEL || hi >= HI_SENTINEL || lo < 0 {
+                    None
+                } else {
+                    Some((u64::try_from(lo).ok()?, u64::try_from(hi).ok()?))
+                }
+            }
+        }
+    }
+}
+
+/// Per-block abstract state: one interval per integer register.
+type State = [Ival; NUM_INT_REGS];
+
+fn entry_state() -> State {
+    // The emulator zero-initialises every integer register and seeds the
+    // stack pointer, so the entry state is fully known.
+    let mut s = [Ival::constant(0); NUM_INT_REGS];
+    s[ArchReg::SP.number() as usize] = Ival::constant(i128::from(STACK_TOP));
+    s
+}
+
+fn join_states(a: &State, b: &State) -> State {
+    std::array::from_fn(|r| a[r].join(b[r]))
+}
+
+fn widen_states(old: &State, new: &State) -> State {
+    std::array::from_fn(|r| old[r].widen(new[r]))
+}
+
+fn read(state: &State, reg: Option<ArchReg>) -> Ival {
+    match reg {
+        Some(r) if r.is_int() => {
+            if r.is_zero() {
+                Ival::constant(0)
+            } else {
+                state[r.number() as usize]
+            }
+        }
+        _ => Ival::Top,
+    }
+}
+
+fn write(state: &mut State, reg: ArchReg, value: Ival) {
+    if reg.is_int() && !reg.is_zero() {
+        state[reg.number() as usize] = value;
+    }
+}
+
+/// Abstractly executes one instruction.
+fn transfer_inst(inst: &sdv_isa::Inst, pc: u64, state: &mut State) {
+    let Some(dst) = inst.dst else { return };
+    if dst.is_fp() {
+        return;
+    }
+    let s1 = read(state, inst.src1);
+    let s2 = read(state, inst.src2);
+    let imm = Ival::constant(i128::from(inst.imm));
+    let value = match inst.op {
+        Opcode::Li => imm,
+        Opcode::Addi => s1.add(imm),
+        Opcode::Add => s1.add(s2),
+        Opcode::Sub => s1.sub(s2),
+        Opcode::Slli => s1.shl(inst.imm),
+        Opcode::Mul => s1.mul(s2),
+        // The link registers of jal/jalr hold the constant return PC.
+        Opcode::Jal | Opcode::Jalr => Ival::constant(i128::from(pc) + 4),
+        _ => Ival::Top,
+    };
+    write(state, dst, value);
+}
+
+/// One statically resolved (or unresolved) memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessInterval {
+    /// Instruction index of the access.
+    pub index: usize,
+    /// Inclusive address bounds, when the base interval is bounded.
+    pub bounds: Option<(u64, u64)>,
+    /// Whether the access is a store.
+    pub is_store: bool,
+}
+
+/// The result of the address-formation pass.
+#[derive(Debug, Clone)]
+pub struct FootprintAnalysis {
+    /// Inclusive hull of every *bounded* access interval (`None` when the
+    /// program performs no bounded access).
+    pub resolved: Option<(u64, u64)>,
+    /// Whether some access could not be bounded (⊤ or widened base): the true
+    /// footprint is then unbounded and only the declared regions limit it.
+    pub unbounded: bool,
+    /// Every reachable memory access with its interval.
+    pub accesses: Vec<AccessInterval>,
+    /// [`Rule::OutOfFootprint`] findings.
+    pub diags: Vec<Diag>,
+}
+
+/// The program's declared address regions: text, data hull and stack region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeclaredRegions {
+    /// `[TEXT_BASE, end)` of the instruction image.
+    pub text: (u64, u64),
+    /// Hull of the data segments, if any were declared.
+    pub data: Option<(u64, u64)>,
+    /// `[STACK_TOP - STACK_REGION_BYTES, STACK_TOP]`.
+    pub stack: (u64, u64),
+}
+
+impl DeclaredRegions {
+    /// Computes the declared regions of `program`.
+    #[must_use]
+    pub fn of(program: &Program) -> Self {
+        let data = program
+            .data_segments()
+            .iter()
+            .map(|s| (s.addr, s.end()))
+            .reduce(|(lo, hi), (a, b)| (lo.min(a), hi.max(b)));
+        DeclaredRegions {
+            text: (TEXT_BASE, Program::pc_of(program.len())),
+            data,
+            stack: (STACK_TOP - STACK_REGION_BYTES, STACK_TOP),
+        }
+    }
+
+    /// Whether `lo..=hi` overlaps any declared region.
+    #[must_use]
+    pub fn overlaps(&self, lo: u64, hi: u64) -> bool {
+        let hit = |(a, b): (u64, u64)| lo < b && hi >= a;
+        hit(self.text) || self.data.is_some_and(hit) || hit(self.stack)
+    }
+}
+
+/// Runs the interval pass and derives the footprint and its diagnostics.
+#[must_use]
+pub fn analyze_footprint(program: &Program, cfg: &Cfg) -> FootprintAnalysis {
+    let insts = program.insts();
+    let n_blocks = cfg.blocks.len();
+    let mut result = FootprintAnalysis {
+        resolved: None,
+        unbounded: false,
+        accesses: Vec::new(),
+        diags: Vec::new(),
+    };
+    if n_blocks == 0 {
+        return result;
+    }
+
+    // Fixpoint with widening on the block input states.
+    let mut in_states: Vec<Option<State>> = vec![None; n_blocks];
+    let mut joins = vec![0u32; n_blocks];
+    in_states[0] = Some(entry_state());
+    let mut worklist = vec![0usize];
+    while let Some(b) = worklist.pop() {
+        let Some(input) = in_states[b] else { continue };
+        let mut state = input;
+        let block = &cfg.blocks[b];
+        for (off, inst) in insts[block.start..block.end].iter().enumerate() {
+            transfer_inst(inst, Program::pc_of(block.start + off), &mut state);
+        }
+        let succs: Vec<usize> = if cfg.blocks[b].indirect {
+            // An indirect jump can land anywhere; feed every reachable block.
+            cfg.reachable_blocks().collect()
+        } else {
+            cfg.blocks[b].succs.clone()
+        };
+        for s in succs {
+            let merged = match &in_states[s] {
+                None => state,
+                Some(old) => {
+                    let joined = join_states(old, &state);
+                    if joined == *old {
+                        continue;
+                    }
+                    joins[s] += 1;
+                    if joins[s] >= WIDEN_AFTER {
+                        widen_states(old, &joined)
+                    } else {
+                        joined
+                    }
+                }
+            };
+            if in_states[s].as_ref() != Some(&merged) {
+                in_states[s] = Some(merged);
+                worklist.push(s);
+            }
+        }
+    }
+
+    // Final pass: resolve every reachable access against the fixpoint states.
+    let regions = DeclaredRegions::of(program);
+    for b in cfg.reachable_blocks() {
+        let Some(input) = in_states[b] else { continue };
+        let mut state = input;
+        let block = &cfg.blocks[b];
+        for (off, inst) in insts[block.start..block.end].iter().enumerate() {
+            let i = block.start + off;
+            if matches!(inst.class(), OpClass::Load | OpClass::Store) {
+                let width = inst.op.mem_width().map_or(1, |w| w.bytes());
+                let addr = read(&state, inst.src1).add(Ival::constant(i128::from(inst.imm)));
+                let bounds = addr
+                    .as_addr_bounds()
+                    .and_then(|(lo, hi)| Some((lo, hi.checked_add(width - 1)?)));
+                match bounds {
+                    Some((lo, hi)) => {
+                        result.resolved = Some(match result.resolved {
+                            None => (lo, hi),
+                            Some((a, b)) => (a.min(lo), b.max(hi)),
+                        });
+                        if !regions.overlaps(lo, hi) {
+                            result.diags.push(Diag::new(
+                                Rule::OutOfFootprint,
+                                Some(Program::pc_of(i)),
+                                format!(
+                                    "`{inst}` accesses {lo:#x}..={hi:#x}, outside every \
+                                     declared region (data, stack, text)"
+                                ),
+                            ));
+                        }
+                    }
+                    None => result.unbounded = true,
+                }
+                result.accesses.push(AccessInterval {
+                    index: i,
+                    bounds,
+                    is_store: inst.is_store(),
+                });
+            }
+            transfer_inst(inst, Program::pc_of(i), &mut state);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdv_isa::Asm;
+
+    fn x(n: u8) -> ArchReg {
+        ArchReg::int(n)
+    }
+
+    #[test]
+    fn fixed_offset_accesses_resolve_exactly() {
+        let mut a = Asm::new();
+        let buf = a.alloc(64, 8);
+        a.li(x(1), buf as i64);
+        a.ld(x(2), x(1), 16);
+        a.sd(x(2), x(1), 24);
+        a.halt();
+        let p = a.finish();
+        let fp = analyze_footprint(&p, &Cfg::build(&p));
+        assert!(!fp.unbounded);
+        assert_eq!(fp.resolved, Some((buf + 16, buf + 24 + 7)));
+        assert!(fp.diags.is_empty(), "{:?}", fp.diags);
+    }
+
+    #[test]
+    fn loop_walked_pointer_widen_to_unbounded() {
+        let mut a = Asm::new();
+        let buf = a.alloc(256, 8);
+        let (p_, n, v) = (x(1), x(2), x(3));
+        a.li(p_, buf as i64);
+        a.li(n, 32);
+        a.label("loop");
+        a.ld(v, p_, 0);
+        a.addi(p_, p_, 8);
+        a.addi(n, n, -1);
+        a.bne(n, ArchReg::ZERO, "loop");
+        a.halt();
+        let p = a.finish();
+        let fp = analyze_footprint(&p, &Cfg::build(&p));
+        // Without relational loop-trip analysis the walking pointer widens:
+        // the footprint must be reported as unbounded, never as a wrong
+        // narrow interval.
+        assert!(fp.unbounded);
+        assert!(fp.diags.is_empty(), "{:?}", fp.diags);
+    }
+
+    #[test]
+    fn store_outside_every_declared_region_is_flagged() {
+        let mut a = Asm::new();
+        let _ = a.alloc(64, 8);
+        a.li(x(1), 0x40); // below text, below data, not stack
+        a.sd(ArchReg::ZERO, x(1), 0);
+        a.halt();
+        let p = a.finish();
+        let fp = analyze_footprint(&p, &Cfg::build(&p));
+        assert_eq!(
+            fp.diags
+                .iter()
+                .filter(|d| d.rule == Rule::OutOfFootprint)
+                .count(),
+            1,
+            "{:?}",
+            fp.diags
+        );
+    }
+
+    #[test]
+    fn stack_relative_accesses_are_inside_the_envelope() {
+        let mut a = Asm::new();
+        a.sd(ArchReg::ZERO, ArchReg::SP, -16);
+        a.ld(x(1), ArchReg::SP, -16);
+        a.halt();
+        let p = a.finish();
+        let fp = analyze_footprint(&p, &Cfg::build(&p));
+        assert!(fp.diags.is_empty(), "{:?}", fp.diags);
+        assert_eq!(fp.resolved, Some((STACK_TOP - 16, STACK_TOP - 16 + 7)));
+    }
+
+    #[test]
+    fn data_dependent_addresses_are_unbounded_not_wrong() {
+        let mut a = Asm::new();
+        let keys = a.data_u64(&[1, 2, 3]);
+        let (k, idx) = (x(1), x(2));
+        a.li(k, keys as i64);
+        a.ld(idx, k, 0); // load a key
+        a.slli(idx, idx, 3);
+        a.ld(x(3), idx, 0); // data-dependent address
+        a.halt();
+        let p = a.finish();
+        let fp = analyze_footprint(&p, &Cfg::build(&p));
+        assert!(fp.unbounded, "loaded values are ⊤");
+        assert!(fp.diags.is_empty(), "⊤ addresses are never flagged");
+    }
+
+    #[test]
+    fn declared_regions_cover_text_data_and_stack() {
+        let mut a = Asm::new();
+        let buf = a.alloc(128, 8);
+        a.halt();
+        let p = a.finish();
+        let r = DeclaredRegions::of(&p);
+        assert!(r.overlaps(TEXT_BASE, TEXT_BASE));
+        assert!(r.overlaps(buf, buf + 8));
+        assert!(r.overlaps(STACK_TOP - 64, STACK_TOP - 64));
+        assert!(!r.overlaps(0x10, 0x20));
+    }
+}

@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
                     ..DvConfig::default()
                 })
                 .build();
-            b.iter(|| RunEngine::new(rc).run_cell(&cfg, Workload::Applu))
+            b.iter(|| RunEngine::new(rc).run_cell(&cfg, Workload::Applu));
         });
     }
     group.finish();

@@ -12,7 +12,7 @@ use sdv_bench::bench_experiment;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("fig01_stride_distribution", |b| {
-        b.iter(|| bench_experiment().fig1())
+        b.iter(|| bench_experiment().fig1());
     });
 }
 

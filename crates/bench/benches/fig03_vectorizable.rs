@@ -12,7 +12,7 @@ use sdv_bench::bench_experiment;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("fig03_vectorizable", |b| {
-        b.iter(|| bench_experiment().fig3())
+        b.iter(|| bench_experiment().fig3());
     });
 }
 

@@ -12,7 +12,7 @@ use sdv_bench::bench_experiment;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("fig07_blocking_ipc", |b| {
-        b.iter(|| bench_experiment().fig7())
+        b.iter(|| bench_experiment().fig7());
     });
 }
 

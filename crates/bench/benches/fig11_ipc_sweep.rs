@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let sweep = bench_experiment().sweep(&grid);
             format!("{}", Fig11(&sweep))
-        })
+        });
     });
 }
 

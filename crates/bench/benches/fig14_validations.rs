@@ -12,7 +12,7 @@ use sdv_bench::bench_experiment;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("fig14_validations", |b| {
-        b.iter(|| bench_experiment().fig14())
+        b.iter(|| bench_experiment().fig14());
     });
 }
 

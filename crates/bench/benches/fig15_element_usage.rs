@@ -12,7 +12,7 @@ use sdv_bench::bench_experiment;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("fig15_element_usage", |b| {
-        b.iter(|| bench_experiment().fig15())
+        b.iter(|| bench_experiment().fig15());
     });
 }
 

@@ -12,7 +12,7 @@ use sdv_bench::bench_experiment;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("headline_speedup", |b| {
-        b.iter(|| bench_experiment().headline())
+        b.iter(|| bench_experiment().headline());
     });
 }
 

@@ -83,20 +83,20 @@ fn emulate_grouped(max_insts: u64, group: usize) -> u64 {
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("memhot");
     group.bench_function("cache_hits_fastpath", |b| {
-        b.iter(|| cache_stream_hits(CacheModel::FastPath))
+        b.iter(|| cache_stream_hits(CacheModel::FastPath));
     });
     group.bench_function("cache_hits_naive", |b| {
-        b.iter(|| cache_stream_hits(CacheModel::NaiveScan))
+        b.iter(|| cache_stream_hits(CacheModel::NaiveScan));
     });
     group.bench_function("cache_misses_fastpath", |b| {
-        b.iter(|| cache_stream_misses(CacheModel::FastPath))
+        b.iter(|| cache_stream_misses(CacheModel::FastPath));
     });
     group.bench_function("cache_misses_naive", |b| {
-        b.iter(|| cache_stream_misses(CacheModel::NaiveScan))
+        b.iter(|| cache_stream_misses(CacheModel::NaiveScan));
     });
     group.bench_function("emulate_step", |b| b.iter(|| emulate_stepwise(30_000)));
     group.bench_function("emulate_step_group4", |b| {
-        b.iter(|| emulate_grouped(30_000, 4))
+        b.iter(|| emulate_grouped(30_000, 4));
     });
     group.finish();
 }

@@ -44,5 +44,5 @@ pub mod reg;
 pub use asm::Asm;
 pub use inst::Inst;
 pub use op::{MemWidth, OpClass, Opcode};
-pub use program::{DataSegment, Program, INST_BYTES, TEXT_BASE};
+pub use program::{DataSegment, Program, DATA_BASE, INST_BYTES, STACK_TOP, TEXT_BASE};
 pub use reg::{ArchReg, RegClass, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};

@@ -521,10 +521,10 @@ mod tests {
     fn stats_payloads_round_trip_bit_exactly() {
         let (_, stats) = sample();
         let bytes = stats_to_bytes(&stats);
-        assert_eq!(stats_from_bytes(&bytes), Some(stats.clone()));
+        assert_eq!(stats_from_bytes(&bytes), Some(stats));
         // Truncated or over-long payloads must miss, never misdecode.
         assert_eq!(stats_from_bytes(&bytes[..bytes.len() - 1]), None);
-        let mut long = bytes.clone();
+        let mut long = bytes;
         long.push(0);
         assert_eq!(stats_from_bytes(&long), None);
         // The scalar sample exercises the `None` arms of the option fields.

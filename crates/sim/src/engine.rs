@@ -25,8 +25,10 @@
 use crate::cachefile;
 use crate::runner::{RunConfig, SuiteResult};
 use crate::{ProcessorConfig, Workload};
+use sdv_isa::Program;
 use sdv_uarch::RunStats;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -237,6 +239,9 @@ pub struct RunEngine {
     persist_every: u64,
     /// Newly simulated results not yet flushed by a periodic persist.
     unpersisted: AtomicU64,
+    /// Pre-flight verdicts memoized by program content hash: `None` = clean,
+    /// `Some(summary)` = rejected with that error summary.
+    preflight: Mutex<HashMap<u64, Option<String>>>,
 }
 
 impl RunEngine {
@@ -257,6 +262,7 @@ impl RunEngine {
             store: None,
             persist_every: DEFAULT_PERSIST_EVERY,
             unpersisted: AtomicU64::new(0),
+            preflight: Mutex::new(HashMap::new()),
         }
     }
 
@@ -403,6 +409,52 @@ impl RunEngine {
         }
     }
 
+    /// Statically checks `workload` (built at this engine's scale) before any
+    /// cycle is spent on it, memoized by program *content* hash: two workloads
+    /// that build the same program share one verdict, and re-checking is a
+    /// map lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns the summary of every error-severity `sdv-analyze` finding when
+    /// the program fails [`preflight_program`].
+    pub fn preflight(&self, workload: Workload) -> Result<(), String> {
+        let program = workload.build(self.rc.scale);
+        let hash = program_hash(&program);
+        if let Some(verdict) = self
+            .preflight
+            .lock()
+            .expect("engine preflight memo poisoned")
+            .get(&hash)
+        {
+            return match verdict {
+                None => Ok(()),
+                Some(summary) => Err(summary.clone()),
+            };
+        }
+        let verdict = preflight_program(&program)
+            .err()
+            .map(|e| format!("{workload}: {e}"));
+        self.preflight
+            .lock()
+            .expect("engine preflight memo poisoned")
+            .insert(hash, verdict.clone());
+        match verdict {
+            None => Ok(()),
+            Some(summary) => Err(summary),
+        }
+    }
+
+    /// Number of distinct programs the pre-flight memo holds (diagnostics /
+    /// test introspection).
+    #[must_use]
+    pub fn preflight_cached_programs(&self) -> usize {
+        self.preflight
+            .lock()
+            .expect("engine preflight memo poisoned")
+            .len()
+    }
+
     /// Simulates one cell (through the cache).
     #[must_use]
     pub fn run_cell(&self, cfg: &ProcessorConfig, workload: Workload) -> RunStats {
@@ -450,6 +502,14 @@ impl RunEngine {
     /// cache is only consulted at batch start), but results stay correct and
     /// [`Self::report`] still counts each unique cell once: `simulated`
     /// tracks cells entering the cache, not simulations performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell's workload fails the static [`Self::preflight`] check
+    /// (an in-tree [`Workload`] never does — `sdv-analyze`'s kernel test and
+    /// the CI `check` step pin that).  Cells served from the session cache or
+    /// the store skip the pre-flight: their programs already passed it when
+    /// first simulated.
     #[must_use]
     pub fn run_cells(&self, cells: &[(ProcessorConfig, Workload)]) -> Vec<RunStats> {
         self.requested
@@ -482,6 +542,17 @@ impl RunEngine {
             }
             misses
         };
+
+        // Pre-flight every workload about to be simulated: statically broken
+        // programs are rejected before any simulation budget is spent.
+        let mut checked = HashSet::new();
+        for key in &misses {
+            if checked.insert(key.workload) {
+                if let Err(summary) = self.preflight(key.workload) {
+                    panic!("run engine pre-flight rejected {summary}");
+                }
+            }
+        }
 
         // Simulate the misses into index-addressed slots: result order (and
         // content) is identical whatever the thread count.
@@ -565,6 +636,37 @@ impl std::fmt::Debug for RunEngine {
     }
 }
 
+/// Content hash of a program: instructions plus the initial data image.
+/// Workloads that assemble the same program share one pre-flight verdict.
+fn program_hash(program: &Program) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    program.insts().hash(&mut h);
+    for seg in program.data_segments() {
+        seg.addr.hash(&mut h);
+        seg.bytes.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The static check behind [`RunEngine::preflight`]: runs `sdv-analyze` over
+/// `program` and summarizes any error-severity findings.
+///
+/// # Errors
+///
+/// Returns a `; `-joined summary of every error-severity diagnostic.
+pub fn preflight_program(program: &Program) -> Result<(), String> {
+    let errors: Vec<String> = sdv_analyze::check(program)
+        .iter()
+        .filter(|d| d.severity == sdv_analyze::Severity::Error)
+        .map(std::string::ToString::to_string)
+        .collect();
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.join("; "))
+    }
+}
+
 /// The one place a cell becomes a simulation.
 fn simulate_cell(key: &CellKey) -> (RunStats, Duration) {
     let start = Instant::now();
@@ -606,7 +708,7 @@ mod tests {
         let cells = vec![
             (cfg.clone(), Workload::Compress),
             (cfg.clone(), Workload::Swim),
-            (cfg.clone(), Workload::Compress),
+            (cfg, Workload::Compress),
         ];
         let stats = engine.run_cells(&cells);
         assert_eq!(stats.len(), 3);
@@ -767,6 +869,48 @@ mod tests {
         assert_eq!(engine.report().simulated, 0);
         assert_eq!(engine.report().store_hits, 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn preflight_accepts_every_workload_and_memoizes_by_content() {
+        let engine = RunEngine::new(rc());
+        let all = Workload::extended();
+        for &w in &all {
+            engine.preflight(w).expect("in-tree kernels are clean");
+        }
+        let cached = engine.preflight_cached_programs();
+        assert!(cached >= 1 && cached <= all.len());
+        for &w in &all {
+            engine.preflight(w).expect("memo hit stays clean");
+        }
+        assert_eq!(
+            engine.preflight_cached_programs(),
+            cached,
+            "re-checks are content-hash memo hits"
+        );
+    }
+
+    #[test]
+    fn preflight_rejects_a_broken_program() {
+        use sdv_isa::{ArchReg, Asm};
+        let mut a = Asm::new();
+        a.add(ArchReg::int(1), ArchReg::int(2), ArchReg::int(3)); // x2, x3 never written
+        a.halt();
+        let err = super::preflight_program(&a.finish()).expect_err("use-before-def is an error");
+        assert!(err.contains("use-before-def"), "{err}");
+    }
+
+    #[test]
+    fn run_cells_preflights_each_program_once() {
+        let engine = RunEngine::new(rc());
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+        let _ = engine.run_cell(&cfg, Workload::Compress);
+        assert_eq!(engine.preflight_cached_programs(), 1);
+        // Cache hit: no new simulation, no new pre-flight entry.
+        let _ = engine.run_cell(&cfg, Workload::Compress);
+        // Different config, same workload: new cell, same program verdict.
+        let _ = engine.run_cell(&cfg.with_vectorization(true), Workload::Compress);
+        assert_eq!(engine.preflight_cached_programs(), 1);
     }
 
     #[test]

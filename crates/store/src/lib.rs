@@ -64,8 +64,9 @@ pub const SHARDS: usize = 256;
 /// Age (by file mtime) beyond which a leftover `.tmp.*` file is presumed
 /// abandoned by a crashed writer and reclaimed by [`Store::gc`].  A live
 /// shard write holds its temp file for milliseconds, so a healthy one never
-/// comes close to this.
-const TEMP_STALE: std::time::Duration = std::time::Duration::from_secs(30);
+/// comes close to this; anything younger is presumed in flight and left
+/// alone (gc must never race a live writer's rename).
+pub const GC_TEMP_MAX_AGE: std::time::Duration = std::time::Duration::from_secs(30);
 
 /// The in-memory form of one shard: opaque payloads keyed by content hash.
 type ShardEntries = HashMap<u128, Vec<u8>>;
@@ -194,7 +195,7 @@ fn is_stale(path: &Path) -> bool {
         .and_then(|m| m.modified())
         .ok()
         .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
-        .is_some_and(|age| age >= TEMP_STALE)
+        .is_some_and(|age| age >= GC_TEMP_MAX_AGE)
 }
 
 /// An exclusive per-shard writer lock: an OS advisory lock on a sibling
@@ -885,9 +886,38 @@ mod tests {
         fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// [`GC_TEMP_MAX_AGE`] is the exact staleness threshold: a temp file is
+    /// live strictly below it, reclaimable at or beyond it, and a missing
+    /// file is never presumed abandoned.
+    #[test]
+    fn gc_temp_max_age_is_the_staleness_threshold() {
+        let dir = tmp_dir("gc-threshold");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard-00.tmp.1");
+        fs::write(&path, b"half a write").unwrap();
+        assert!(!is_stale(&path), "a fresh temp file is presumed live");
+
+        let backdate = |by: std::time::Duration| {
+            let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_times(fs::FileTimes::new().set_modified(std::time::SystemTime::now() - by))
+                .unwrap();
+        };
+        backdate(GC_TEMP_MAX_AGE - std::time::Duration::from_secs(5));
+        assert!(!is_stale(&path), "just under the threshold is still live");
+        backdate(GC_TEMP_MAX_AGE + std::time::Duration::from_secs(5));
+        assert!(is_stale(&path), "past the threshold is reclaimable");
+
+        assert!(
+            !is_stale(&dir.join("never-existed.tmp.2")),
+            "absence of evidence is not abandonment"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
     /// Backdates a file's mtime past the writer-abandonment threshold.
     fn age(path: &Path) {
-        let old = std::time::SystemTime::now() - (TEMP_STALE + std::time::Duration::from_secs(30));
+        let old =
+            std::time::SystemTime::now() - (GC_TEMP_MAX_AGE + std::time::Duration::from_secs(30));
         let f = fs::OpenOptions::new().write(true).open(path).unwrap();
         f.set_times(fs::FileTimes::new().set_modified(old)).unwrap();
     }

@@ -208,10 +208,6 @@ struct RobEntry {
     issued: bool,
     complete_cycle: u64,
     store_addr_known: bool,
-    /// Kept for debugging dumps; the redirect logic tracks the blocking branch
-    /// by sequence number instead.
-    #[allow(dead_code)]
-    mispredicted: bool,
     src_scalar: [Option<u64>; 2],
     src_vec: [Option<(VregId, u64, usize)>; 2],
     /// Wakeup scoreboard: number of scalar producers not yet complete.
@@ -267,12 +263,6 @@ impl RobEntry {
     }
 }
 
-#[derive(Debug, Clone)]
-struct FetchedInst {
-    retired: Retired,
-    mispredicted: bool,
-}
-
 /// The processor model: a superscalar out-of-order core, optionally extended
 /// with the speculative dynamic vectorization mechanism.
 ///
@@ -315,7 +305,7 @@ pub struct Processor {
     engine: Option<VectorizationEngine>,
     vdp: Option<VectorDatapath>,
     rob: VecDeque<RobEntry>,
-    fetch_queue: VecDeque<FetchedInst>,
+    fetch_queue: VecDeque<Retired>,
     /// The current emulator group ([`Emulator::step_group`] output), consumed
     /// as a slice by [`Self::fetch`]: the emulator runs ahead by at most one
     /// fetch group, and `pending[pending_pos..]` are the retired records not
@@ -553,7 +543,7 @@ impl Processor {
         }
         if let Some(seq) = self.fetch_blocked_on {
             // Waiting for a mispredicted branch to resolve.
-            if self.fetch_queue.iter().any(|f| f.retired.seq == seq) {
+            if self.fetch_queue.iter().any(|f| f.seq == seq) {
                 return; // not even dispatched yet
             }
             if let Some(entry) = self.entry_by_seq(seq) {
@@ -639,10 +629,7 @@ impl Processor {
                 }
             }
             let seq = retired.seq;
-            self.fetch_queue.push_back(FetchedInst {
-                retired,
-                mispredicted,
-            });
+            self.fetch_queue.push_back(retired);
             fetched += 1;
             if mispredicted {
                 self.fetch_blocked_on = Some(seq);
@@ -665,12 +652,12 @@ impl Processor {
             if self.rob.len() >= self.cfg.rob_size {
                 break;
             }
-            if front.retired.inst.is_mem() && self.lsq_occupancy >= self.cfg.lsq_size {
+            if front.inst.is_mem() && self.lsq_occupancy >= self.cfg.lsq_size {
                 break;
             }
             // §3.2: an instruction about to be vectorized with a scalar operand
             // whose value is not available blocks decode.
-            if self.cfg.block_on_scalar_operand && self.would_block_on_scalar(&front.retired) {
+            if self.cfg.block_on_scalar_operand && self.would_block_on_scalar(front) {
                 self.stats.decode_blocked_cycles += 1;
                 break;
             }
@@ -703,8 +690,7 @@ impl Processor {
         })
     }
 
-    fn dispatch_one(&mut self, fetched: FetchedInst) {
-        let r = fetched.retired;
+    fn dispatch_one(&mut self, r: Retired) {
         let class = r.inst.op.class();
 
         // Ask the vectorization engine what this instruction becomes.  For a
@@ -812,7 +798,6 @@ impl Processor {
             issued: false,
             complete_cycle: 0,
             store_addr_known: false,
-            mispredicted: fetched.mispredicted,
             src_scalar,
             src_vec,
             pending_scalar: 0,
@@ -1822,9 +1807,9 @@ impl Processor {
         let mut charge_decode_block = false;
         if let Some(front) = self.fetch_queue.front() {
             if self.rob.len() < self.cfg.rob_size
-                && !(front.retired.inst.is_mem() && self.lsq_occupancy >= self.cfg.lsq_size)
+                && !(front.inst.is_mem() && self.lsq_occupancy >= self.cfg.lsq_size)
             {
-                if self.cfg.block_on_scalar_operand && self.would_block_on_scalar(&front.retired) {
+                if self.cfg.block_on_scalar_operand && self.would_block_on_scalar(front) {
                     charge_decode_block = true;
                 } else {
                     return; // dispatch progresses next cycle
@@ -1879,7 +1864,7 @@ impl Processor {
             return None;
         }
         if let Some(seq) = self.fetch_blocked_on {
-            if self.fetch_queue.iter().any(|f| f.retired.seq == seq) {
+            if self.fetch_queue.iter().any(|f| f.seq == seq) {
                 return None; // the branch has not even dispatched
             }
             if let Some(entry) = self.entry_by_seq(seq) {

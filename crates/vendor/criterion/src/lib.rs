@@ -139,6 +139,9 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one parameterised benchmark inside the group.
+    // By-value `id` mirrors crates.io criterion's signature; callers must
+    // keep compiling unchanged against either implementation.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),

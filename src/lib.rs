@@ -6,6 +6,7 @@
 //! single dependency:
 //!
 //! * [`isa`] — the SDV instruction set and the embedded assembler.
+//! * [`analyze`] — static analysis: CFG, dataflow, resource envelopes.
 //! * [`emu`] — the functional emulator that produces dynamic instruction streams.
 //! * [`mem`] — cache/memory-hierarchy timing models (scalar and wide buses).
 //! * [`predictor`] — branch prediction (gshare + BTB + RAS).
@@ -29,6 +30,7 @@
 //! assert!(stats.committed_validations > 0);
 //! ```
 
+pub use sdv_analyze as analyze;
 pub use sdv_core as core;
 pub use sdv_emu as emu;
 pub use sdv_isa as isa;

@@ -163,7 +163,7 @@ fn concurrent_engine_sessions_share_one_store() {
 
     // A fresh session replays everything from the store: 100% hits.
     let replay = RunEngine::new(quick()).with_disk_cache(&dir);
-    let _ = replay.suites(&suite_a, &[vector.clone(), scalar.clone()]);
+    let _ = replay.suites(&suite_a, &[vector.clone(), scalar]);
     let _ = replay.suite(&suite_b, &vector);
     let report = replay.report();
     assert_eq!(report.simulated, 0, "everything came from the store");
