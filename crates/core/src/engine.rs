@@ -307,6 +307,15 @@ impl VectorizationEngine {
         self.reg_map[reg.flat_index()]
     }
 
+    /// Batched form of [`Self::current_mapping`]: resolves both source
+    /// operands of one instruction in a single call.  The pipeline's group
+    /// dispatch uses this to take one mapping pass per instruction instead
+    /// of re-querying each register for every predicate it evaluates.
+    #[must_use]
+    pub fn current_mappings(&self, srcs: [Option<ArchReg>; 2]) -> [Option<(VregId, usize)>; 2] {
+        srcs.map(|reg| reg.and_then(|r| self.reg_map[r.flat_index()]))
+    }
+
     /// Whether element `offset` of `vreg` has been computed (its R flag is set).
     #[must_use]
     pub fn element_ready(&self, vreg: VregId, offset: usize) -> bool {

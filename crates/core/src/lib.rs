@@ -45,6 +45,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod slotset;
 pub mod stats;
 pub mod tl;
 pub mod vreg;

@@ -1,7 +1,7 @@
 //! The vector register file with per-element V/R/U/F flags (Figure 8) and the
 //! allocation / freeing rules of §3.3.
 
-use std::collections::BTreeSet;
+use crate::slotset::SlotSet;
 
 /// Identifier of a vector register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -187,11 +187,11 @@ pub struct VectorRegisterFile {
     /// Free list: indices of unallocated registers.  Kept ordered so that
     /// allocation always picks the lowest-numbered free register — the same
     /// choice the original linear scan made.
-    free_set: BTreeSet<u32>,
+    free_set: SlotSet,
     /// Indices of allocated registers, ordered; every whole-file walk
     /// (release scans, store-coherence checks) iterates this instead of the
     /// backing array.
-    allocated_set: BTreeSet<u32>,
+    allocated_set: SlotSet,
     /// Conservative union of every allocated register's address range: the
     /// §3.6 store check rejects stores outside it without walking the
     /// allocated set (the overwhelmingly common case).  Widened exactly on
@@ -228,8 +228,8 @@ impl VectorRegisterFile {
             unbounded,
             usage: ElementUsage::default(),
             allocation_failures: 0,
-            free_set: (0..count as u32).collect(),
-            allocated_set: BTreeSet::new(),
+            free_set: SlotSet::full(count),
+            allocated_set: SlotSet::new(),
             addr_union: None,
             addr_union_dirty: false,
             scan_scratch: Vec::new(),
@@ -383,7 +383,7 @@ impl VectorRegisterFile {
             self.addr_union_dirty = true;
         }
         self.regs[id.index()].allocated = false;
-        self.allocated_set.remove(&(id.0));
+        self.allocated_set.remove(id.0);
         self.free_set.insert(id.0);
     }
 
@@ -418,7 +418,7 @@ impl VectorRegisterFile {
         out.clear();
         let mut ids = std::mem::take(&mut self.scan_scratch);
         ids.clear();
-        ids.extend(self.allocated_set.iter().copied());
+        ids.extend(self.allocated_set.iter());
         for &i in &ids {
             let id = VregId(i);
             if self.try_release(id, gmrbb) {
@@ -440,7 +440,7 @@ impl VectorRegisterFile {
             self.addr_union = self
                 .allocated_set
                 .iter()
-                .filter_map(|&i| self.regs[i as usize].addr_range)
+                .filter_map(|i| self.regs[i as usize].addr_range)
                 .reduce(|(lo0, hi0), (lo1, hi1)| (lo0.min(lo1), hi0.max(hi1)));
             self.addr_union_dirty = false;
         }
@@ -450,7 +450,7 @@ impl VectorRegisterFile {
         }
         self.allocated_set
             .iter()
-            .filter_map(|&i| {
+            .filter_map(|i| {
                 self.regs[i as usize]
                     .addr_range
                     .and_then(|(first, last)| (addr <= last && end >= first).then_some(VregId(i)))
@@ -460,7 +460,7 @@ impl VectorRegisterFile {
 
     /// All currently allocated registers, in index order.
     pub fn allocated_ids(&self) -> impl Iterator<Item = VregId> + '_ {
-        self.allocated_set.iter().map(|&i| VregId(i))
+        self.allocated_set.iter().map(VregId)
     }
 
     /// Releases every allocated register, recording usage (end of simulation).

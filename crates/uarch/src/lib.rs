@@ -10,12 +10,14 @@
 //! The main entry points are [`Processor`] (stateful, lets you inspect the
 //! architectural state afterwards) and the [`simulate`] convenience function.
 //!
-//! Two toggles select between fast and reference loops, both bit-identical
+//! Three toggles select between fast and reference loops, all bit-identical
 //! by construction and pinned by property tests: [`Scheduler`] picks the
-//! issue engine (event-driven wakeup vs. the naive full scan) and
-//! [`Stepping`] picks the clock discipline (macro-stepped jumps over proven
-//! stall windows vs. ticking every cycle).  See the `pipeline` module docs
-//! for the proof obligations behind each.
+//! issue engine (event-driven wakeup vs. the naive full scan), [`Stepping`]
+//! picks the clock discipline (macro-stepped jumps over proven stall windows
+//! vs. ticking every cycle), and [`BusyPath`] picks the busy-cycle loop
+//! structure (batched group dispatch and run-retire commit vs. the
+//! entry-at-a-time reference loops).  See the `pipeline` module docs for the
+//! proof obligations behind each.
 //!
 //! ```
 //! use sdv_isa::{ArchReg, Asm};
@@ -49,14 +51,17 @@
 //! ```
 
 pub mod config;
+pub mod fastmap;
 pub mod fu;
 pub mod pipeline;
+pub mod rob;
 pub mod seqset;
 pub mod stats;
 pub mod vector_dp;
 
 pub use config::{ConfigBuilder, FuClassConfig, FuConfig, UarchConfig, DEFAULT_BUS_WORDS};
 pub use fu::FuPool;
-pub use pipeline::{simulate, Processor, Scheduler, Stepping};
+pub use pipeline::{simulate, BusyPath, Processor, Scheduler, Stepping};
+pub use rob::WaiterStats;
 pub use stats::RunStats;
 pub use vector_dp::VectorDatapath;

@@ -24,9 +24,12 @@
 //!
 //! # Scheduling
 //!
-//! The ROB is an indexed ring buffer ([`std::collections::VecDeque`] addressed
-//! by sequence number in O(1)).  Two interchangeable issue schedulers drive
-//! it:
+//! The ROB is a struct-of-arrays ring ([`crate::rob::Rob`]) indexed directly
+//! by sequence number: in-flight instructions occupy a contiguous sequence
+//! range, so `seq & mask` addresses a slot in O(1) and the busy-loop probes
+//! (`issued`, `complete_cycle`, the issue-group tag) touch dense scalar lanes
+//! instead of striding over ~150-byte entries.  Two interchangeable issue
+//! schedulers drive it:
 //!
 //! * [`Scheduler::Wakeup`] (the default) is event driven.  Each entry carries
 //!   a count of incomplete scalar producers; completions are scheduled on a
@@ -66,9 +69,35 @@
 //!   [`Stepping::PerCycle`]; a property test pins trace-and-stats equality of
 //!   the two modes on random programs, and `tests/golden_stats.rs` holds the
 //!   full per-workload counter sets.
+//!
+//! # Busy paths
+//!
+//! A third toggle, [`BusyPath`], selects how the two busy-cycle stage loops
+//! are structured (both on the same SoA storage, bit-identical by the same
+//! proptest discipline as the scheduler and stepping toggles):
+//!
+//! * [`BusyPath::Batched`] (the default) dispatches a whole fetch group at a
+//!   time — the per-instruction engine interactions stay serial (VRMT decode
+//!   order is architectural), but the wakeup-scoreboard setup is deferred to
+//!   one classification pass over the group with a single waiter-arena append
+//!   run per producer — and commits maximal ready runs from the ROB head with
+//!   one stats flush and one head advance per run.
+//! * [`BusyPath::Legacy`] keeps the original entry-at-a-time dispatch and
+//!   commit loop structure as the reference oracle.
+//!
+//! The equivalence argument for batched dispatch: deferring classification is
+//! safe because nothing between the first and last instruction of a dispatch
+//! group can change a producer's completion state (issue ran earlier in the
+//! cycle), and `vec_sources_satisfied` is monotonic.  For run-retire commit:
+//! a maximal run of completed non-store entries at the head retires with no
+//! per-entry observable in between — stores, the only committing instructions
+//! with side effects that can gate or squash (§3.6), always terminate a run
+//! and go through the one-at-a-time path.
 
 use crate::config::UarchConfig;
+use crate::fastmap::FastMap;
 use crate::fu::FuPool;
+use crate::rob::{Rob, RobCold, WaiterArena, WaiterStats, NO_WAITER};
 use crate::seqset::SeqSet;
 use crate::stats::RunStats;
 use crate::vector_dp::VectorDatapath;
@@ -78,7 +107,7 @@ use sdv_isa::{OpClass, Program, NUM_ARCH_REGS};
 use sdv_mem::{DataMemory, InstMemory, PortKind, PortSet, WideBusStats};
 use sdv_predictor::BranchPredictor;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Issue-group indices: one group per issue resource, so a structural hazard
 /// detected on one entry lets the whole group be masked for the rest of the
@@ -163,6 +192,21 @@ pub enum Stepping {
     PerCycle,
 }
 
+/// How the busy-cycle stage loops (dispatch, commit) are structured.
+///
+/// Both paths run on the same struct-of-arrays ROB and produce bit-identical
+/// issue traces and statistics (pinned by the `soa_matches_aos` property test
+/// on random programs and squash storms, and by the golden-stats suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BusyPath {
+    /// Group dispatch (one classification pass and one waiter-arena append
+    /// run per producer) plus run-retire commit (the default).
+    #[default]
+    Batched,
+    /// Entry-at-a-time dispatch and commit, kept as the reference oracle.
+    Legacy,
+}
+
 /// Outcome of a single ready-load issue attempt in the wakeup walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LoadAttempt {
@@ -176,15 +220,19 @@ enum LoadAttempt {
     BlockedOnUnknownStore,
 }
 
-/// How a dispatched instruction will be executed.
+/// How a dispatched instruction will be executed (part of the cold ROB
+/// payload, [`RobCold`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ExecMode {
+pub enum ExecMode {
     /// Normal scalar execution.
     Scalar,
     /// The instruction only validates a vector element.
     Validation {
+        /// The vector register holding the speculated element.
         vreg: VregId,
+        /// The register generation the element belongs to.
         generation: u64,
+        /// The element offset within the register.
         offset: usize,
     },
 }
@@ -198,69 +246,6 @@ enum SrcMapping {
     Rob(u64),
     /// Produced speculatively as a vector element.
     VecElem(VregId, u64, usize),
-}
-
-#[derive(Debug, Clone)]
-struct RobEntry {
-    retired: Retired,
-    class: OpClass,
-    mode: ExecMode,
-    issued: bool,
-    complete_cycle: u64,
-    store_addr_known: bool,
-    src_scalar: [Option<u64>; 2],
-    src_vec: [Option<(VregId, u64, usize)>; 2],
-    /// Wakeup scoreboard: number of scalar producers not yet complete.
-    pending_scalar: u8,
-    /// Wakeup scoreboard: the entry has vector sources that must be polled.
-    has_vec_wait: bool,
-    /// Wakeup scoreboard: dependents to wake when this entry completes.
-    waiters: Vec<u64>,
-    /// Issue group ([`Q_LOAD`]..[`Q_VALIDATION`]), precomputed at dispatch so
-    /// the issue walk tests the mask with pure integer ops.
-    queue: u8,
-    /// Store-epoch at which this load's disambiguation verdict was cached
-    /// (`u64::MAX` = never computed).
-    disamb_epoch: u64,
-    /// Cached verdict: the load had an older overlapping known-address store
-    /// (i.e. it could issue by forwarding, without a cache port).
-    disamb_fwd: bool,
-}
-
-impl RobEntry {
-    fn seq(&self) -> u64 {
-        self.retired.seq
-    }
-
-    fn is_load(&self) -> bool {
-        self.retired.inst.is_load()
-    }
-
-    fn is_store(&self) -> bool {
-        self.retired.inst.is_store()
-    }
-
-    fn is_mem(&self) -> bool {
-        self.retired.inst.is_mem()
-    }
-
-    fn addr(&self) -> u64 {
-        self.retired.mem.map_or(0, |m| m.addr)
-    }
-
-    fn width(&self) -> u64 {
-        self.retired.mem.map_or(0, |m| m.width)
-    }
-
-    fn completed(&self, cycle: u64) -> bool {
-        self.issued && cycle >= self.complete_cycle
-    }
-
-    /// Whether this entry's result can wake scalar dependents (only entries
-    /// with a non-zero scalar destination ever appear in the map table).
-    fn wakes_dependents(&self) -> bool {
-        matches!(self.mode, ExecMode::Scalar) && self.retired.inst.dst.is_some_and(|d| !d.is_zero())
-    }
 }
 
 /// The processor model: a superscalar out-of-order core, optionally extended
@@ -304,7 +289,11 @@ pub struct Processor {
     fus: FuPool,
     engine: Option<VectorizationEngine>,
     vdp: Option<VectorDatapath>,
-    rob: VecDeque<RobEntry>,
+    rob: Rob,
+    /// Pooled waiter lists (one per producer, headed by the ROB's
+    /// `waiter_head` lane): pre-sized so steady-state dispatch never touches
+    /// the heap.
+    waiters: WaiterArena,
     fetch_queue: VecDeque<Retired>,
     /// The current emulator group ([`Emulator::step_group`] output), consumed
     /// as a slice by [`Self::fetch`]: the emulator runs ahead by at most one
@@ -319,6 +308,7 @@ pub struct Processor {
     /// store queue used for load/store disambiguation.
     store_queue: VecDeque<u64>,
     sched: Scheduler,
+    busy_path: BusyPath,
     /// Wakeup scheduler: the single program-ordered set of issuable entries —
     /// unissued instructions whose sources are ready, plus pending
     /// validations (which are polled in place).  Elements are packed
@@ -337,7 +327,7 @@ pub struct Processor {
     /// 64-byte granules covered by in-flight stores with known addresses,
     /// with reference counts: a load whose granules miss this map cannot
     /// overlap any in-flight store, skipping the exact walk entirely.
-    store_lines: HashMap<u64, u32>,
+    store_lines: FastMap<u64, u32>,
     /// Bumped whenever a store's address becomes known (store issue, squash
     /// rebuild): loads cache their disambiguation verdict against it.  A
     /// "cannot issue without a port" verdict can only be invalidated by a
@@ -351,10 +341,16 @@ pub struct Processor {
     parked_epoch: Option<u64>,
     /// Reusable scratch buffer for the parking walk.
     park_scratch: Vec<u64>,
-    /// Recycled waiter vectors (avoids an allocation per producer).
-    waiter_pool: Vec<Vec<u64>>,
     /// Reusable scratch buffer for the vector-pending poll.
     vec_scratch: Vec<u64>,
+    /// Reusable scratch buffer for draining waiter lists.
+    wake_scratch: Vec<u64>,
+    /// Reusable scratch buffer for wide-bus peer loads.
+    peer_scratch: Vec<u64>,
+    /// Group-dispatch scratch: `(producer, dependent)` wakeup edges.
+    edge_scratch: Vec<(u64, u64)>,
+    /// Group-dispatch scratch: the dependents of one producer.
+    dep_scratch: Vec<u64>,
     /// Optional issue trace `(cycle, seq)` for scheduler-equivalence tests.
     issue_trace: Option<Vec<(u64, u64)>>,
     cycle: u64,
@@ -396,7 +392,10 @@ impl Processor {
             fus: FuPool::new(cfg.scalar_fus),
             engine,
             vdp,
-            rob: VecDeque::with_capacity(cfg.rob_size),
+            rob: Rob::new(cfg.rob_size),
+            // Hard bound: every live waiter node's dependent is in flight and
+            // holds at most two source edges, so 2 × window nodes suffice.
+            waiters: WaiterArena::with_capacity(2 * cfg.rob_size),
             fetch_queue: VecDeque::with_capacity(cfg.fetch_width * 2),
             pending: Vec::with_capacity(cfg.fetch_width),
             pending_pos: 0,
@@ -404,16 +403,20 @@ impl Processor {
             lsq_occupancy: 0,
             store_queue: VecDeque::new(),
             sched: Scheduler::default(),
+            busy_path: BusyPath::default(),
             ready_all: SeqSet::new(),
             vec_pending: SeqSet::new(),
             completions: BinaryHeap::new(),
             unknown_stores: SeqSet::new(),
-            store_lines: HashMap::new(),
+            store_lines: FastMap::default(),
             store_epoch: 0,
             parked_epoch: None,
             park_scratch: Vec::new(),
-            waiter_pool: Vec::new(),
             vec_scratch: Vec::new(),
+            wake_scratch: Vec::new(),
+            peer_scratch: Vec::new(),
+            edge_scratch: Vec::new(),
+            dep_scratch: Vec::new(),
             issue_trace: None,
             cycle: 0,
             stepping: Stepping::default(),
@@ -452,6 +455,25 @@ impl Processor {
     #[must_use]
     pub fn stepping(&self) -> Stepping {
         self.stepping
+    }
+
+    /// Selects how the busy-cycle stage loops are structured.  Call before
+    /// [`Self::run`]; both paths produce bit-identical results.
+    pub fn set_busy_path(&mut self, path: BusyPath) {
+        self.busy_path = path;
+    }
+
+    /// The active busy-path mode.
+    #[must_use]
+    pub fn busy_path(&self) -> BusyPath {
+        self.busy_path
+    }
+
+    /// Waiter-arena pool statistics — the hook behind the
+    /// zero-allocation-after-warmup test.
+    #[must_use]
+    pub fn waiter_stats(&self) -> WaiterStats {
+        self.waiters.stats()
     }
 
     /// Macro-stepping telemetry: `(clock jumps taken, total cycles skipped)`.
@@ -546,10 +568,10 @@ impl Processor {
             if self.fetch_queue.iter().any(|f| f.seq == seq) {
                 return; // not even dispatched yet
             }
-            if let Some(entry) = self.entry_by_seq(seq) {
-                if entry.completed(self.cycle) {
+            if self.rob.contains(seq) {
+                if self.rob.completed(seq, self.cycle) {
                     self.fetch_ready_cycle =
-                        (entry.complete_cycle + self.cfg.redirect_penalty).max(self.cycle);
+                        (self.rob.complete_cycle(seq) + self.cfg.redirect_penalty).max(self.cycle);
                     self.fetch_blocked_on = None;
                 }
                 return;
@@ -644,26 +666,73 @@ impl Processor {
     // ------------------------------------------------------------- dispatch
 
     fn dispatch(&mut self) {
+        match self.busy_path {
+            BusyPath::Batched => self.dispatch_batched(),
+            BusyPath::Legacy => self.dispatch_legacy(),
+        }
+    }
+
+    /// Whether the front-of-queue instruction can dispatch this cycle.
+    /// Charges the §3.2 decode-block statistic when that is what stops it.
+    fn can_dispatch_front(&mut self) -> bool {
+        let Some(front) = self.fetch_queue.front() else {
+            return false;
+        };
+        if self.rob.len() >= self.cfg.rob_size {
+            return false;
+        }
+        if front.inst.is_mem() && self.lsq_occupancy >= self.cfg.lsq_size {
+            return false;
+        }
+        // §3.2: an instruction about to be vectorized with a scalar operand
+        // whose value is not available blocks decode.
+        if self.cfg.block_on_scalar_operand && self.would_block_on_scalar(front) {
+            self.stats.decode_blocked_cycles += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Reference busy path: dispatch and classify one instruction at a time.
+    fn dispatch_legacy(&mut self) {
         let mut dispatched = 0;
         while dispatched < self.cfg.issue_width {
-            let Some(front) = self.fetch_queue.front() else {
-                break;
-            };
-            if self.rob.len() >= self.cfg.rob_size {
-                break;
-            }
-            if front.inst.is_mem() && self.lsq_occupancy >= self.cfg.lsq_size {
-                break;
-            }
-            // §3.2: an instruction about to be vectorized with a scalar operand
-            // whose value is not available blocks decode.
-            if self.cfg.block_on_scalar_operand && self.would_block_on_scalar(front) {
-                self.stats.decode_blocked_cycles += 1;
+            if !self.can_dispatch_front() {
                 break;
             }
             let fetched = self.fetch_queue.pop_front().expect("front exists");
-            self.dispatch_one(fetched);
+            let seq = self.dispatch_core(fetched);
+            if self.sched == Scheduler::Wakeup {
+                self.classify_unissued(seq);
+            }
             dispatched += 1;
+        }
+    }
+
+    /// Batched busy path: dispatch a whole fetch group, then classify the
+    /// group in one pass ([`Self::classify_group`]).
+    ///
+    /// The per-instruction half of dispatch is untouched — engine decode
+    /// (VRMT lookups are stateful), map-table updates, the §3.2 block check
+    /// and the Figure-10 window stay in fetch order, so the I$/predictor
+    /// interaction and all architectural decisions are identical to the
+    /// legacy path.  Only the wakeup-scoreboard bookkeeping is deferred,
+    /// which is safe because nothing in the rest of the group can change a
+    /// producer's completion state (issue ran earlier in the cycle) and
+    /// `vec_sources_satisfied` is monotonic.
+    fn dispatch_batched(&mut self) {
+        let first = self.rob.tail();
+        let mut dispatched = 0;
+        while dispatched < self.cfg.issue_width {
+            if !self.can_dispatch_front() {
+                break;
+            }
+            let fetched = self.fetch_queue.pop_front().expect("front exists");
+            self.dispatch_core(fetched);
+            dispatched += 1;
+        }
+        if dispatched > 0 && self.sched == Scheduler::Wakeup {
+            self.classify_group(first);
         }
     }
 
@@ -674,23 +743,26 @@ impl Processor {
         if !r.inst.op.class().is_vectorizable() || r.inst.is_load() {
             return false;
         }
+        // One batched VRMT pass over both sources instead of up to four
+        // point lookups.
         let srcs = [r.inst.src1, r.inst.src2];
-        let any_vector = srcs
-            .iter()
-            .flatten()
-            .any(|reg| engine.current_mapping(*reg).is_some());
-        if !any_vector {
+        let maps = engine.current_mappings(srcs);
+        if !maps.iter().any(Option::is_some) {
             return false;
         }
         // Does any non-vector source still depend on an incomplete in-flight producer?
-        srcs.iter().flatten().any(|reg| {
-            engine.current_mapping(*reg).is_none()
-                && matches!(self.map_table[reg.flat_index()], SrcMapping::Rob(seq)
-                    if self.entry_by_seq(seq).is_some_and(|e| !e.completed(self.cycle)))
+        srcs.iter().zip(&maps).any(|(reg, map)| {
+            reg.is_some()
+                && map.is_none()
+                && matches!(self.map_table[reg.expect("checked").flat_index()], SrcMapping::Rob(seq)
+                    if self.rob.contains(seq) && !self.rob.completed(seq, self.cycle))
         })
     }
 
-    fn dispatch_one(&mut self, r: Retired) {
+    /// The per-instruction half of dispatch, shared by both busy paths:
+    /// engine decode, rename, Figure-10 accounting and the ROB push.
+    /// Wakeup-scoreboard classification is the caller's job.
+    fn dispatch_core(&mut self, r: Retired) -> u64 {
         let class = r.inst.op.class();
 
         // Ask the vectorization engine what this instruction becomes.  For a
@@ -791,81 +863,117 @@ impl Processor {
         } else {
             issue_group_of(class)
         };
-        self.rob.push_back(RobEntry {
-            retired: r,
-            class,
-            mode,
-            issued: false,
-            complete_cycle: 0,
-            store_addr_known: false,
-            src_scalar,
-            src_vec,
-            pending_scalar: 0,
-            has_vec_wait: false,
-            waiters: Vec::new(),
+        self.rob.push(
+            RobCold {
+                retired: r,
+                class,
+                mode,
+                src_scalar,
+                src_vec,
+            },
             queue,
-            disamb_epoch: u64::MAX,
-            disamb_fwd: false,
-        });
-        if self.sched == Scheduler::Wakeup {
-            self.register_dispatched(seq);
-        }
+        );
+        seq
     }
 
-    /// Wakeup scheduler: classify a freshly dispatched entry into the ready /
-    /// vector-pending / waiting state and register it with its producers.
-    fn register_dispatched(&mut self, seq: u64) {
-        let idx = self
-            .index_of_seq(seq)
-            .expect("entry was just pushed onto the ROB");
-        self.classify_unissued(seq, idx);
-    }
-
-    /// Shared scoreboard classification (used at dispatch and by the squash
-    /// rebuild): counts incomplete scalar producers, registers this entry as
-    /// their waiter, and routes it to the validation / ready / vector-pending
-    /// queue its operand state calls for.
-    fn classify_unissued(&mut self, seq: u64, idx: usize) {
-        if self.rob[idx].queue == Q_VALIDATION {
+    /// Shared scoreboard classification (used at legacy dispatch and by the
+    /// squash rebuild): counts incomplete scalar producers, registers this
+    /// entry as their waiter, and routes it to the validation / ready /
+    /// vector-pending queue its operand state calls for.
+    fn classify_unissued(&mut self, seq: u64) {
+        if self.rob.queue(seq) == Q_VALIDATION {
             // Validations are polled in place: they enter the ready set at
             // dispatch and issue once their element resolves.
             self.ready_all.insert(ready_key(seq, Q_VALIDATION));
             return;
         }
-        let src_scalar = self.rob[idx].src_scalar;
-        let src_vec = self.rob[idx].src_vec;
+        let cold = self.rob.cold(seq);
+        let (src_scalar, src_vec) = (cold.src_scalar, cold.src_vec);
         let mut pending: u8 = 0;
         for producer in src_scalar.into_iter().flatten() {
-            if let Some(pidx) = self.index_of_seq(producer) {
-                if !self.rob[pidx].completed(self.cycle) {
-                    pending += 1;
-                    if self.rob[pidx].waiters.capacity() == 0 {
-                        if let Some(recycled) = self.waiter_pool.pop() {
-                            self.rob[pidx].waiters = recycled;
-                        }
-                    }
-                    self.rob[pidx].waiters.push(seq);
-                }
+            if self.rob.contains(producer) && !self.rob.completed(producer, self.cycle) {
+                pending += 1;
+                let head = self.rob.waiter_head(producer);
+                let head = self.waiters.push(head, seq);
+                let _ = self.rob.swap_waiter_head(producer, head);
             }
         }
         let has_vec_wait = self.engine.is_some() && src_vec.iter().any(Option::is_some);
-        {
-            let e = &mut self.rob[idx];
-            e.pending_scalar = pending;
-            e.has_vec_wait = has_vec_wait;
-        }
+        self.rob.set_pending_scalar(seq, pending);
+        self.rob.set_has_vec_wait(seq, has_vec_wait);
         if pending == 0 {
             if has_vec_wait && !self.vec_sources_satisfied(&src_vec) {
                 self.vec_pending.insert(seq);
             } else {
-                self.insert_ready(seq, idx);
+                self.insert_ready(seq);
             }
         }
     }
 
+    /// Group classification: one pass over a freshly dispatched group
+    /// (`first..tail`) computing pending counts and ready-set membership,
+    /// gathering wakeup edges, then one waiter-arena append run per producer
+    /// instead of one push per edge.  Fresh sequence numbers are maximal, so
+    /// every ready/vector-pending insert is a plain tail append.
+    fn classify_group(&mut self, first: u64) {
+        let mut edges = std::mem::take(&mut self.edge_scratch);
+        edges.clear();
+        for seq in first..self.rob.tail() {
+            let queue = self.rob.queue(seq);
+            if queue == Q_VALIDATION {
+                self.ready_all.extend_back(ready_key(seq, Q_VALIDATION));
+                continue;
+            }
+            let cold = self.rob.cold(seq);
+            let (src_scalar, src_vec) = (cold.src_scalar, cold.src_vec);
+            let mut pending: u8 = 0;
+            for producer in src_scalar.into_iter().flatten() {
+                if self.rob.contains(producer) && !self.rob.completed(producer, self.cycle) {
+                    pending += 1;
+                    edges.push((producer, seq));
+                }
+            }
+            let has_vec_wait = self.engine.is_some() && src_vec.iter().any(Option::is_some);
+            self.rob.set_pending_scalar(seq, pending);
+            self.rob.set_has_vec_wait(seq, has_vec_wait);
+            if pending == 0 {
+                if has_vec_wait && !self.vec_sources_satisfied(&src_vec) {
+                    self.vec_pending.extend_back(seq);
+                } else {
+                    if queue == Q_LOAD {
+                        // A fresh ready load has no disambiguation verdict yet.
+                        self.parked_epoch = None;
+                    }
+                    self.ready_all.extend_back(ready_key(seq, queue));
+                }
+            }
+        }
+        // Bulk wakeup-scoreboard setup: group the edges by producer (a fetch
+        // group holds at most 2 × issue width of them) and append each
+        // producer's run in one arena call.  List order differs from the
+        // legacy per-push order, which is invisible: waking only decrements
+        // counts and inserts into sorted sets.
+        edges.sort_unstable();
+        let mut deps = std::mem::take(&mut self.dep_scratch);
+        let mut i = 0;
+        while i < edges.len() {
+            let producer = edges[i].0;
+            deps.clear();
+            while i < edges.len() && edges[i].0 == producer {
+                deps.push(edges[i].1);
+                i += 1;
+            }
+            let head = self.rob.waiter_head(producer);
+            let head = self.waiters.push_run(head, &deps);
+            let _ = self.rob.swap_waiter_head(producer, head);
+        }
+        self.dep_scratch = deps;
+        self.edge_scratch = edges;
+    }
+
     /// Inserts an entry into the ready set.
-    fn insert_ready(&mut self, seq: u64, idx: usize) {
-        let queue = self.rob[idx].queue;
+    fn insert_ready(&mut self, seq: u64) {
+        let queue = self.rob.queue(seq);
         if queue == Q_LOAD {
             // A fresh ready load has no disambiguation verdict yet.
             self.parked_epoch = None;
@@ -899,15 +1007,14 @@ impl Processor {
 
     // ---------------------------------------------------------------- issue
 
-    fn sources_ready(&self, entry: &RobEntry) -> bool {
-        for seq in entry.src_scalar.into_iter().flatten() {
-            if let Some(producer) = self.entry_by_seq(seq) {
-                if !producer.completed(self.cycle) {
-                    return false;
-                }
+    fn sources_ready(&self, seq: u64) -> bool {
+        let cold = self.rob.cold(seq);
+        for producer in cold.src_scalar.into_iter().flatten() {
+            if self.rob.contains(producer) && !self.rob.completed(producer, self.cycle) {
+                return false;
             }
         }
-        self.vec_sources_satisfied(&entry.src_vec)
+        self.vec_sources_satisfied(&cold.src_vec)
     }
 
     /// The vector half of [`Self::sources_ready`]: every vector source element
@@ -949,10 +1056,24 @@ impl Processor {
 
     /// Schedules the wakeup of `seq`'s dependents at its completion cycle.
     fn push_completion(&mut self, seq: u64) {
-        let entry = self.entry_by_seq(seq).expect("entry just issued");
-        if entry.wakes_dependents() {
-            self.completions.push(Reverse((entry.complete_cycle, seq)));
+        if self.rob.cold(seq).wakes_dependents() {
+            self.completions
+                .push(Reverse((self.rob.complete_cycle(seq), seq)));
         }
+    }
+
+    /// Drains `seq`'s waiter list (if any) through [`Self::wake_dependents`],
+    /// returning the nodes to the arena.
+    fn wake_waiters_of(&mut self, seq: u64) {
+        let head = self.rob.swap_waiter_head(seq, NO_WAITER);
+        if head == NO_WAITER {
+            return;
+        }
+        let mut deps = std::mem::take(&mut self.wake_scratch);
+        deps.clear();
+        self.waiters.drain_into(head, &mut deps);
+        self.wake_dependents(&deps);
+        self.wake_scratch = deps;
     }
 
     /// Fires every completion event due this cycle, decrementing dependents'
@@ -963,11 +1084,10 @@ impl Processor {
                 break;
             }
             let Reverse((_, producer)) = self.completions.pop().expect("peeked");
-            let Some(pidx) = self.index_of_seq(producer) else {
+            if !self.rob.contains(producer) {
                 continue; // committed; its waiters were woken at commit
-            };
-            let deps = std::mem::take(&mut self.rob[pidx].waiters);
-            self.wake_dependents(&deps);
+            }
+            self.wake_waiters_of(producer);
         }
     }
 
@@ -975,22 +1095,19 @@ impl Processor {
     /// are now all available enter a ready queue.
     fn wake_dependents(&mut self, deps: &[u64]) {
         for &dep in deps {
-            let Some(idx) = self.index_of_seq(dep) else {
-                continue;
-            };
-            let entry = &mut self.rob[idx];
-            if entry.issued {
+            if !self.rob.contains(dep) || self.rob.issued(dep) {
                 continue;
             }
-            entry.pending_scalar = entry.pending_scalar.saturating_sub(1);
-            if entry.pending_scalar > 0 {
+            let pending = self.rob.pending_scalar(dep).saturating_sub(1);
+            self.rob.set_pending_scalar(dep, pending);
+            if pending > 0 {
                 continue;
             }
-            let src_vec = entry.src_vec;
-            if entry.has_vec_wait && !self.vec_sources_satisfied(&src_vec) {
+            let src_vec = self.rob.cold(dep).src_vec;
+            if self.rob.has_vec_wait(dep) && !self.vec_sources_satisfied(&src_vec) {
                 self.vec_pending.insert(dep);
             } else {
-                self.insert_ready(dep, idx);
+                self.insert_ready(dep);
             }
         }
     }
@@ -1005,14 +1122,14 @@ impl Processor {
         candidates.clear();
         candidates.extend(self.vec_pending.iter().copied());
         for seq in candidates.iter().copied() {
-            let Some(idx) = self.index_of_seq(seq) else {
+            if !self.rob.contains(seq) {
                 self.vec_pending.remove(seq);
                 continue;
-            };
-            let src_vec = self.rob[idx].src_vec;
+            }
+            let src_vec = self.rob.cold(seq).src_vec;
             if self.vec_sources_satisfied(&src_vec) {
                 self.vec_pending.remove(seq);
-                self.insert_ready(seq, idx);
+                self.insert_ready(seq);
             }
         }
         self.vec_scratch = candidates;
@@ -1049,11 +1166,11 @@ impl Processor {
                 continue;
             }
             let seq = key_seq(key);
-            let Some(idx) = self.index_of_seq(seq) else {
+            if !self.rob.contains(seq) {
                 pos += 1;
                 continue;
-            };
-            if self.rob[idx].issued {
+            }
+            if self.rob.issued(seq) {
                 // Served as a wide-bus peer earlier this cycle; it stays in
                 // the set only until the peer loop removes it.
                 pos += 1;
@@ -1065,7 +1182,7 @@ impl Processor {
                         vreg,
                         generation,
                         offset,
-                    } = self.rob[idx].mode
+                    } = self.rob.cold(seq).mode
                     else {
                         unreachable!("the validation group holds only validations");
                     };
@@ -1073,9 +1190,8 @@ impl Processor {
                     // ready; they do not consume issue bandwidth, functional
                     // units or cache ports.
                     if self.validation_ready(vreg, generation, offset) {
-                        let entry = &mut self.rob[idx];
-                        entry.issued = true;
-                        entry.complete_cycle = self.cycle + 1;
+                        self.rob.set_issued(seq, true);
+                        self.rob.set_complete_cycle(seq, self.cycle + 1);
                         self.ready_all.remove(key);
                         self.trace_issue(seq);
                     } else {
@@ -1085,13 +1201,10 @@ impl Processor {
                 Q_STORE => {
                     // Stores only compute their address at issue; memory is
                     // updated at commit.
-                    let (addr, width) = {
-                        let entry = &mut self.rob[idx];
-                        entry.issued = true;
-                        entry.store_addr_known = true;
-                        entry.complete_cycle = self.cycle + 1;
-                        (entry.addr(), entry.width())
-                    };
+                    self.rob.set_issued(seq, true);
+                    self.rob.set_store_addr_known(seq, true);
+                    self.rob.set_complete_cycle(seq, self.cycle + 1);
+                    let (addr, width) = (self.rob.addr(seq), self.rob.width(seq));
                     self.ready_all.remove(key);
                     self.unknown_stores.remove(seq);
                     self.add_store_lines(addr, width);
@@ -1122,7 +1235,7 @@ impl Processor {
                     }
                 }
                 _ => {
-                    let class = self.rob[idx].class;
+                    let class = self.rob.cold(seq).class;
                     if let Some(latency) = self.fus.try_issue(class) {
                         if matches!(
                             class,
@@ -1135,9 +1248,8 @@ impl Processor {
                         ) {
                             self.stats.scalar_arith_executed += 1;
                         }
-                        let entry = &mut self.rob[idx];
-                        entry.issued = true;
-                        entry.complete_cycle = self.cycle + latency;
+                        self.rob.set_issued(seq, true);
+                        self.rob.set_complete_cycle(seq, self.cycle + latency);
                         self.ready_all.remove(key);
                         self.push_completion(seq);
                         self.trace_issue(seq);
@@ -1163,19 +1275,15 @@ impl Processor {
         loads.extend(self.ready_loads());
         let mut all_no_forward = true;
         for &seq in &loads {
-            let Some(idx) = self.index_of_seq(seq) else {
-                continue;
-            };
-            if self.rob[idx].issued {
+            if !self.rob.contains(seq) || self.rob.issued(seq) {
                 continue;
             }
-            if self.rob[idx].disamb_epoch != self.store_epoch {
+            if self.rob.disamb_epoch(seq) != self.store_epoch {
                 let (known, forward) = self.older_store_state_indexed(seq);
-                let entry = &mut self.rob[idx];
-                entry.disamb_epoch = self.store_epoch;
-                entry.disamb_fwd = known && forward.is_some();
+                self.rob
+                    .set_disamb(seq, self.store_epoch, known && forward.is_some());
             }
-            if self.rob[idx].disamb_fwd {
+            if self.rob.disamb_fwd(seq) {
                 all_no_forward = false;
                 break;
             }
@@ -1246,8 +1354,7 @@ impl Processor {
         if self.unknown_stores.any_below(load_seq) {
             return (false, None);
         }
-        let load = self.entry_by_seq(load_seq).expect("load is in flight");
-        let (laddr, lwidth) = (load.addr(), load.width());
+        let (laddr, lwidth) = (self.rob.addr(load_seq), self.rob.width(load_seq));
         if !self.may_overlap_store(laddr, lwidth) {
             return (true, None);
         }
@@ -1255,9 +1362,11 @@ impl Processor {
             if store_seq >= load_seq {
                 continue; // younger than the load
             }
-            let e = self.entry_by_seq(store_seq).expect("store is in flight");
-            debug_assert!(e.store_addr_known, "unknown stores were filtered above");
-            let (saddr, swidth) = (e.addr(), e.width());
+            debug_assert!(
+                self.rob.store_addr_known(store_seq),
+                "unknown stores were filtered above"
+            );
+            let (saddr, swidth) = (self.rob.addr(store_seq), self.rob.width(store_seq));
             if saddr < laddr + lwidth && laddr < saddr + swidth {
                 // Youngest overlapping store; all older addresses are known,
                 // so the search can stop here.
@@ -1278,31 +1387,23 @@ impl Processor {
             // Without a port the load can only issue by store forwarding; a
             // cached no-forward verdict (valid while the known-store set is
             // unchanged) rejects it in O(1).
-            let entry = self.entry_by_seq(seq).expect("load is in flight");
-            if entry.disamb_epoch == self.store_epoch && !entry.disamb_fwd {
+            if self.rob.disamb_epoch(seq) == self.store_epoch && !self.rob.disamb_fwd(seq) {
                 return LoadAttempt::Retry;
             }
         }
         let (addrs_known, forward) = self.older_store_state_indexed(seq);
-        {
-            let idx = self.index_of_seq(seq).expect("load is in flight");
-            let entry = &mut self.rob[idx];
-            entry.disamb_epoch = self.store_epoch;
-            entry.disamb_fwd = addrs_known && forward.is_some();
-        }
+        self.rob
+            .set_disamb(seq, self.store_epoch, addrs_known && forward.is_some());
         if !addrs_known {
             return LoadAttempt::BlockedOnUnknownStore;
         }
         if let Some(store_seq) = forward {
             // Store-to-load forwarding: the data comes from the LSQ.
-            let store_done = self
-                .entry_by_seq(store_seq)
-                .is_some_and(|s| s.completed(self.cycle));
+            let store_done =
+                self.rob.contains(store_seq) && self.rob.completed(store_seq, self.cycle);
             if store_done {
-                let idx = self.index_of_seq(seq).expect("load is in flight");
-                let entry = &mut self.rob[idx];
-                entry.issued = true;
-                entry.complete_cycle = self.cycle + 1;
+                self.rob.set_issued(seq, true);
+                self.rob.set_complete_cycle(seq, self.cycle + 1);
                 self.ready_all.remove(ready_key(seq, Q_LOAD));
                 self.push_completion(seq);
                 self.trace_issue(seq);
@@ -1314,7 +1415,7 @@ impl Processor {
         if self.ports.free_this_cycle() == 0 {
             return LoadAttempt::Retry;
         }
-        let addr = self.entry_by_seq(seq).expect("load is in flight").addr();
+        let addr = self.rob.addr(seq);
         if !self.ports.try_acquire() {
             return LoadAttempt::Retry;
         }
@@ -1322,12 +1423,8 @@ impl Processor {
             // All MSHRs busy: the port grant is wasted and the load retries.
             return LoadAttempt::Retry;
         };
-        {
-            let idx = self.index_of_seq(seq).expect("load is in flight");
-            let entry = &mut self.rob[idx];
-            entry.issued = true;
-            entry.complete_cycle = done;
-        }
+        self.rob.set_issued(seq, true);
+        self.rob.set_complete_cycle(seq, done);
         self.ready_all.remove(ready_key(seq, Q_LOAD));
         self.push_completion(seq);
         self.trace_issue(seq);
@@ -1340,7 +1437,8 @@ impl Processor {
         let mut words_used = 1;
         if self.ports.kind() == PortKind::Wide {
             let line = self.dmem.line_addr(addr);
-            let mut served = Vec::new();
+            let mut served = std::mem::take(&mut self.peer_scratch);
+            served.clear();
             for &key in &self.ready_all {
                 if served.len() + 1 >= self.cfg.wide_loads_per_access {
                     break;
@@ -1349,13 +1447,10 @@ impl Processor {
                     continue;
                 }
                 let peer = key_seq(key);
-                let Some(e) = self.entry_by_seq(peer) else {
-                    continue;
-                };
-                if e.issued {
+                if !self.rob.contains(peer) || self.rob.issued(peer) {
                     continue;
                 }
-                if self.dmem.line_addr(e.addr()) != line {
+                if self.dmem.line_addr(self.rob.addr(peer)) != line {
                     continue;
                 }
                 let (known, fwd) = self.older_store_state_indexed(peer);
@@ -1365,16 +1460,15 @@ impl Processor {
                 served.push(peer);
             }
             for &peer in &served {
-                let idx = self.index_of_seq(peer).expect("peer is in flight");
-                let entry = &mut self.rob[idx];
-                entry.issued = true;
-                entry.complete_cycle = done;
+                self.rob.set_issued(peer, true);
+                self.rob.set_complete_cycle(peer, done);
                 self.ready_all.remove(ready_key(peer, Q_LOAD));
                 self.push_completion(peer);
                 self.trace_issue(peer);
                 self.stats.loads_served_by_peer += 1;
             }
             words_used += served.len();
+            self.peer_scratch = served;
             self.wide_stats
                 .record(words_used.min(self.cfg.line_words()));
         }
@@ -1393,38 +1487,30 @@ impl Processor {
         self.unknown_stores.clear();
         self.store_lines.clear();
         self.store_epoch += 1;
-        for idx in 0..self.rob.len() {
-            self.rob[idx].waiters.clear();
+        for seq in self.rob.seqs() {
+            let _ = self.rob.swap_waiter_head(seq, NO_WAITER);
         }
-        for &store_seq in &self.store_queue {
-            let entry = self
-                .entry_by_seq(store_seq)
-                .expect("store queue holds in-flight stores");
-            if !entry.store_addr_known {
+        self.waiters.reset();
+        for pos in 0..self.store_queue.len() {
+            let store_seq = self.store_queue[pos];
+            if self.rob.store_addr_known(store_seq) {
+                let (addr, width) = (self.rob.addr(store_seq), self.rob.width(store_seq));
+                self.add_store_lines(addr, width);
+            } else {
                 self.unknown_stores.insert(store_seq);
             }
         }
-        let known_lines: Vec<(u64, u64)> = self
-            .store_queue
-            .iter()
-            .filter_map(|&s| {
-                let e = self.entry_by_seq(s).expect("in-flight store");
-                e.store_addr_known.then(|| (e.addr(), e.width()))
-            })
-            .collect();
-        for (addr, width) in known_lines {
-            self.add_store_lines(addr, width);
-        }
-        for idx in 0..self.rob.len() {
-            let seq = self.rob[idx].seq();
-            if self.rob[idx].issued {
-                if self.rob[idx].complete_cycle > self.cycle && self.rob[idx].wakes_dependents() {
+        for seq in self.rob.seqs() {
+            if self.rob.issued(seq) {
+                if self.rob.complete_cycle(seq) > self.cycle
+                    && self.rob.cold(seq).wakes_dependents()
+                {
                     self.completions
-                        .push(Reverse((self.rob[idx].complete_cycle, seq)));
+                        .push(Reverse((self.rob.complete_cycle(seq), seq)));
                 }
                 continue;
             }
-            self.classify_unissued(seq, idx);
+            self.classify_unissued(seq);
         }
     }
 
@@ -1433,10 +1519,10 @@ impl Processor {
     /// Reference scheduler: the original per-cycle scan over the whole window.
     fn issue_naive(&mut self) {
         let mut issued = 0;
-        let mut idx = 0;
-        while idx < self.rob.len() && issued < self.cfg.issue_width {
-            if self.rob[idx].issued {
-                idx += 1;
+        let mut seq = self.rob.head();
+        while seq < self.rob.tail() && issued < self.cfg.issue_width {
+            if self.rob.issued(seq) {
+                seq += 1;
                 continue;
             }
             // Validations complete on their own once the element is ready; they
@@ -1445,32 +1531,30 @@ impl Processor {
                 vreg,
                 generation,
                 offset,
-            } = self.rob[idx].mode
+            } = self.rob.cold(seq).mode
             {
                 if self.validation_ready(vreg, generation, offset) {
-                    let seq = self.rob[idx].seq();
-                    self.rob[idx].issued = true;
-                    self.rob[idx].complete_cycle = self.cycle + 1;
+                    self.rob.set_issued(seq, true);
+                    self.rob.set_complete_cycle(seq, self.cycle + 1);
                     self.trace_issue(seq);
                 }
-                idx += 1;
+                seq += 1;
                 continue;
             }
-            if !self.sources_ready(&self.rob[idx]) {
-                idx += 1;
+            if !self.sources_ready(seq) {
+                seq += 1;
                 continue;
             }
-            let class = self.rob[idx].class;
-            if self.rob[idx].is_store() {
+            let class = self.rob.cold(seq).class;
+            if class == OpClass::Store {
                 // Stores only compute their address at issue; memory is updated at commit.
-                let seq = self.rob[idx].seq();
-                self.rob[idx].issued = true;
-                self.rob[idx].store_addr_known = true;
-                self.rob[idx].complete_cycle = self.cycle + 1;
+                self.rob.set_issued(seq, true);
+                self.rob.set_store_addr_known(seq, true);
+                self.rob.set_complete_cycle(seq, self.cycle + 1);
                 self.trace_issue(seq);
                 issued += 1;
-            } else if self.rob[idx].is_load() {
-                if self.try_issue_load_naive(idx) {
+            } else if class == OpClass::Load {
+                if self.try_issue_load_naive(seq) {
                     issued += 1;
                 }
             } else {
@@ -1486,52 +1570,48 @@ impl Processor {
                     ) {
                         self.stats.scalar_arith_executed += 1;
                     }
-                    let seq = self.rob[idx].seq();
-                    self.rob[idx].issued = true;
-                    self.rob[idx].complete_cycle = self.cycle + latency;
+                    self.rob.set_issued(seq, true);
+                    self.rob.set_complete_cycle(seq, self.cycle + latency);
                     self.trace_issue(seq);
                     issued += 1;
                 }
             }
-            idx += 1;
+            seq += 1;
         }
     }
 
-    /// Whether every store older than `idx` has a known address, and, if one of
-    /// them overlaps this load, returns its index for forwarding (naive
-    /// reverse walk over the ROB prefix).
-    fn older_store_state_naive(&self, idx: usize) -> (bool, Option<usize>) {
-        let load = &self.rob[idx];
-        let (laddr, lwidth) = (load.addr(), load.width());
+    /// Whether every store older than `load_seq` has a known address, and, if
+    /// one of them overlaps this load, returns its sequence number for
+    /// forwarding (naive reverse walk over the ROB prefix).
+    fn older_store_state_naive(&self, load_seq: u64) -> (bool, Option<u64>) {
+        let (laddr, lwidth) = (self.rob.addr(load_seq), self.rob.width(load_seq));
         let mut forward = None;
-        for j in (0..idx).rev() {
-            let e = &self.rob[j];
-            if !e.is_store() {
+        for store_seq in (self.rob.head()..load_seq).rev() {
+            if self.rob.cold(store_seq).class != OpClass::Store {
                 continue;
             }
-            if !e.store_addr_known {
+            if !self.rob.store_addr_known(store_seq) {
                 return (false, None);
             }
-            let (saddr, swidth) = (e.addr(), e.width());
+            let (saddr, swidth) = (self.rob.addr(store_seq), self.rob.width(store_seq));
             let overlap = saddr < laddr + lwidth && laddr < saddr + swidth;
             if overlap && forward.is_none() {
-                forward = Some(j);
+                forward = Some(store_seq);
             }
         }
         (true, forward)
     }
 
-    fn try_issue_load_naive(&mut self, idx: usize) -> bool {
-        let (addrs_known, forward) = self.older_store_state_naive(idx);
+    fn try_issue_load_naive(&mut self, seq: u64) -> bool {
+        let (addrs_known, forward) = self.older_store_state_naive(seq);
         if !addrs_known {
             return false;
         }
-        if let Some(store_idx) = forward {
+        if let Some(store_seq) = forward {
             // Store-to-load forwarding: the data comes from the LSQ.
-            if self.rob[store_idx].completed(self.cycle) {
-                let seq = self.rob[idx].seq();
-                self.rob[idx].issued = true;
-                self.rob[idx].complete_cycle = self.cycle + 1;
+            if self.rob.completed(store_seq, self.cycle) {
+                self.rob.set_issued(seq, true);
+                self.rob.set_complete_cycle(seq, self.cycle + 1);
                 self.trace_issue(seq);
                 self.stats.store_forwards += 1;
                 return true;
@@ -1541,7 +1621,7 @@ impl Processor {
         if self.ports.free_this_cycle() == 0 {
             return false;
         }
-        let addr = self.rob[idx].addr();
+        let addr = self.rob.addr(seq);
         if !self.ports.try_acquire() {
             return false;
         }
@@ -1549,9 +1629,8 @@ impl Processor {
             // All MSHRs busy: the port grant is wasted and the load retries.
             return false;
         };
-        let seq = self.rob[idx].seq();
-        self.rob[idx].issued = true;
-        self.rob[idx].complete_cycle = done;
+        self.rob.set_issued(seq, true);
+        self.rob.set_complete_cycle(seq, done);
         self.trace_issue(seq);
         self.stats.load_accesses += 1;
         self.stats.memory_accesses += 1;
@@ -1561,37 +1640,39 @@ impl Processor {
         let mut words_used = 1;
         if self.ports.kind() == PortKind::Wide {
             let line = self.dmem.line_addr(addr);
-            let mut served = Vec::new();
-            for j in 0..self.rob.len() {
+            let mut served = std::mem::take(&mut self.peer_scratch);
+            served.clear();
+            for peer in self.rob.seqs() {
                 if served.len() + 1 >= self.cfg.wide_loads_per_access {
                     break;
                 }
-                if j == idx || self.rob[j].issued || !self.rob[j].is_load() {
+                if peer == seq || self.rob.issued(peer) {
                     continue;
                 }
-                if self.dmem.line_addr(self.rob[j].addr()) != line {
+                let cold = self.rob.cold(peer);
+                if cold.class != OpClass::Load || !matches!(cold.mode, ExecMode::Scalar) {
                     continue;
                 }
-                if !matches!(self.rob[j].mode, ExecMode::Scalar) {
+                if self.dmem.line_addr(self.rob.addr(peer)) != line {
                     continue;
                 }
-                if !self.sources_ready(&self.rob[j]) {
+                if !self.sources_ready(peer) {
                     continue;
                 }
-                let (known, fwd) = self.older_store_state_naive(j);
+                let (known, fwd) = self.older_store_state_naive(peer);
                 if !known || fwd.is_some() {
                     continue;
                 }
-                served.push(j);
+                served.push(peer);
             }
-            for &j in &served {
-                let seq = self.rob[j].seq();
-                self.rob[j].issued = true;
-                self.rob[j].complete_cycle = done;
-                self.trace_issue(seq);
+            for &peer in &served {
+                self.rob.set_issued(peer, true);
+                self.rob.set_complete_cycle(peer, done);
+                self.trace_issue(peer);
                 self.stats.loads_served_by_peer += 1;
             }
             words_used += served.len();
+            self.peer_scratch = served;
             self.wide_stats
                 .record(words_used.min(self.cfg.line_words()));
         }
@@ -1609,87 +1690,237 @@ impl Processor {
     // --------------------------------------------------------------- commit
 
     fn commit(&mut self) {
+        match self.busy_path {
+            BusyPath::Batched => self.commit_runs(),
+            BusyPath::Legacy => self.commit_legacy(),
+        }
+    }
+
+    /// Commits a completed store at the ROB head: port/MSHR acquire, the
+    /// §3.6 coherence check (and squash), then the one-entry retire.
+    /// Returns `false` when the store cannot commit this cycle.
+    fn commit_store_at_head(&mut self, stores: &mut usize) -> bool {
+        let head = self.rob.head();
+        let store_limit = if self.cfg.vectorization_enabled() {
+            self.cfg.store_commit_limit
+        } else {
+            self.cfg.commit_width
+        };
+        if *stores >= store_limit {
+            return false;
+        }
+        if self.ports.free_this_cycle() == 0 || !self.ports.try_acquire() {
+            return false;
+        }
+        let (addr, width) = (self.rob.addr(head), self.rob.width(head));
+        if self.dmem.access(addr, true, self.cycle).is_none() {
+            return false; // all MSHRs busy; retry next cycle
+        }
+        self.stats.memory_accesses += 1;
+        *stores += 1;
+        let mut squash = false;
+        if let Some(engine) = self.engine.as_mut() {
+            squash = engine.commit_store(addr, width).squash;
+        }
+        if squash {
+            self.squash_younger_than_front();
+        }
+        let popped = self.store_queue.pop_front();
+        debug_assert_eq!(popped, Some(head), "stores commit in order");
+        if self.sched == Scheduler::Wakeup && self.rob.store_addr_known(head) {
+            // Removing a store can only remove a forwarding source,
+            // never create one, so cached no-forward verdicts (and
+            // the parked queue) stay valid: no epoch bump.
+            self.remove_store_lines(addr, width);
+        }
+        if self.sched == Scheduler::Wakeup {
+            // The completion event for this entry is due this cycle but
+            // only fires during issue; waking the dependents now (still
+            // before the issue scan) is equivalent.
+            self.wake_waiters_of(head);
+        }
+        let cold = self.rob.pop_front().expect("front exists");
+        self.retire(&cold);
+        self.last_commit_cycle = self.cycle;
+        true
+    }
+
+    /// Reference busy path: the original entry-at-a-time commit loop.
+    fn commit_legacy(&mut self) {
         let mut committed = 0;
         let mut stores = 0;
         while committed < self.cfg.commit_width {
-            let Some(entry) = self.rob.front() else { break };
-            if !entry.completed(self.cycle) {
+            if self.rob.is_empty() {
                 break;
             }
-            if entry.is_store() {
-                let store_limit = if self.cfg.vectorization_enabled() {
-                    self.cfg.store_commit_limit
-                } else {
-                    self.cfg.commit_width
-                };
-                if stores >= store_limit {
+            let head = self.rob.head();
+            if !self.rob.completed(head, self.cycle) {
+                break;
+            }
+            if self.rob.queue(head) == Q_STORE {
+                if !self.commit_store_at_head(&mut stores) {
                     break;
                 }
-                if self.ports.free_this_cycle() == 0 || !self.ports.try_acquire() {
-                    break;
+            } else {
+                if self.sched == Scheduler::Wakeup {
+                    self.wake_waiters_of(head);
                 }
-                let (addr, width) = (entry.addr(), entry.width());
-                if self.dmem.access(addr, true, self.cycle).is_none() {
-                    break; // all MSHRs busy; retry next cycle
-                }
-                self.stats.memory_accesses += 1;
-                stores += 1;
-                let mut squash = false;
-                if let Some(engine) = self.engine.as_mut() {
-                    squash = engine.commit_store(addr, width).squash;
-                }
-                if squash {
-                    self.squash_younger_than_front();
-                }
+                let cold = self.rob.pop_front().expect("front exists");
+                self.retire(&cold);
+                self.last_commit_cycle = self.cycle;
             }
-            let mut entry = self.rob.pop_front().expect("front exists");
-            if entry.is_store() {
-                let popped = self.store_queue.pop_front();
-                debug_assert_eq!(popped, Some(entry.seq()), "stores commit in order");
-                if self.sched == Scheduler::Wakeup && entry.store_addr_known {
-                    // Removing a store can only remove a forwarding source,
-                    // never create one, so cached no-forward verdicts (and
-                    // the parked queue) stay valid: no epoch bump.
-                    self.remove_store_lines(entry.addr(), entry.width());
-                }
-            }
-            if self.sched == Scheduler::Wakeup && !entry.waiters.is_empty() {
-                // The completion event for this entry is due this cycle but
-                // only fires during issue; waking the dependents now (still
-                // before the issue scan) is equivalent.
-                let waiters = std::mem::take(&mut entry.waiters);
-                self.wake_dependents(&waiters);
-                entry.waiters = waiters;
-            }
-            // Recycle the waiter allocation instead of freeing it.
-            if entry.waiters.capacity() > 0 && self.waiter_pool.len() < 256 {
-                entry.waiters.clear();
-                self.waiter_pool.push(std::mem::take(&mut entry.waiters));
-            }
-            self.retire(&entry);
             committed += 1;
-            self.last_commit_cycle = self.cycle;
         }
         self.stats.cycles = self.cycle;
-        // Event-driven commit: nothing can retire before the head completes.
-        // An issued head pins the gate to its completion cycle; an unissued
-        // or retry-blocked head (store waiting on a port/MSHR, an empty ROB,
-        // leftover completed entries past the commit width) re-probes next
-        // cycle.  The head and its completion cycle can only change inside
-        // this function, so the gate stays valid while commit is skipped.
-        self.commit_gate = match self.rob.front() {
-            Some(head) if !head.completed(self.cycle) && head.issued => head.complete_cycle,
-            _ => self.cycle + 1,
+        self.recompute_commit_gate();
+    }
+
+    /// Batched busy path: drain maximal ready runs of non-store entries from
+    /// the ROB head (one stats flush and one head advance per run); stores —
+    /// the only committing instructions whose side effects can gate or
+    /// squash — terminate every run and commit one at a time.
+    fn commit_runs(&mut self) {
+        let width = self.cfg.commit_width;
+        let mut committed = 0usize;
+        let mut stores = 0usize;
+        while committed < width {
+            if self.rob.is_empty() {
+                break;
+            }
+            let head = self.rob.head();
+            let tail = self.rob.tail();
+            let max_run = (width - committed) as u64;
+            let mut run = 0u64;
+            while run < max_run {
+                let seq = head + run;
+                if seq >= tail
+                    || self.rob.queue(seq) == Q_STORE
+                    || !self.rob.completed(seq, self.cycle)
+                {
+                    break;
+                }
+                run += 1;
+            }
+            if run > 0 {
+                self.retire_run(head, run);
+                committed += run as usize;
+                continue;
+            }
+            if !self.rob.completed(head, self.cycle) {
+                break;
+            }
+            // A completed store heads the window.
+            if !self.commit_store_at_head(&mut stores) {
+                break;
+            }
+            committed += 1;
+        }
+        self.stats.cycles = self.cycle;
+        self.recompute_commit_gate();
+    }
+
+    /// Retires the completed non-store run `head..head + run`: per-entry
+    /// engine/rename actions stay in program order, the counter updates are
+    /// accumulated in registers and flushed once, and the head advances once.
+    fn retire_run(&mut self, head: u64, run: u64) {
+        let mut loads = 0u64;
+        let mut control = 0u64;
+        let mut validations = 0u64;
+        for seq in head..head + run {
+            if self.sched == Scheduler::Wakeup {
+                self.wake_waiters_of(seq);
+            }
+            let (mode, dst, is_load, is_mem, is_control, pc, taken, next_pc) = {
+                let cold = self.rob.cold(seq);
+                (
+                    cold.mode,
+                    cold.retired.inst.dst,
+                    cold.retired.inst.is_load(),
+                    cold.retired.inst.is_mem(),
+                    cold.retired.inst.is_control(),
+                    cold.retired.pc,
+                    cold.retired.taken,
+                    cold.retired.next_pc,
+                )
+            };
+            if is_load {
+                loads += 1;
+            }
+            if is_control {
+                control += 1;
+            }
+            match mode {
+                ExecMode::Validation {
+                    vreg,
+                    generation,
+                    offset,
+                } => {
+                    validations += 1;
+                    if let Some(engine) = self.engine.as_mut() {
+                        engine.commit_validation(vreg, offset, dst.filter(|d| !d.is_zero()));
+                    }
+                    if let Some(vdp) = self.vdp.as_mut() {
+                        vdp.note_validation(vreg, generation, offset);
+                    }
+                }
+                ExecMode::Scalar => {
+                    if let (Some(engine), Some(dst)) = (self.engine.as_mut(), dst) {
+                        if !dst.is_zero() && !is_control {
+                            engine.commit_scalar_write(dst);
+                        }
+                    }
+                }
+            }
+            if is_control {
+                if let Some(engine) = self.engine.as_mut() {
+                    engine.commit_control(pc, taken, next_pc);
+                }
+            }
+            // Release the rename mapping if this instruction still owns it.
+            if let Some(dst) = dst {
+                if self.map_table[dst.flat_index()] == SrcMapping::Rob(seq) {
+                    self.map_table[dst.flat_index()] = SrcMapping::Ready;
+                }
+            }
+            if is_mem {
+                self.lsq_occupancy -= 1;
+            }
+        }
+        self.rob.advance_head(run);
+        self.stats.committed += run;
+        self.stats.committed_loads += loads;
+        self.stats.committed_control += control;
+        self.stats.committed_validations += validations;
+        self.stats.committed_vector_mode += validations;
+        self.last_commit_cycle = self.cycle;
+    }
+
+    /// Event-driven commit: nothing can retire before the head completes.
+    /// An issued head pins the gate to its completion cycle; an unissued
+    /// or retry-blocked head (store waiting on a port/MSHR, an empty ROB,
+    /// leftover completed entries past the commit width) re-probes next
+    /// cycle.  The head and its completion cycle can only change inside
+    /// commit, so the gate stays valid while commit is skipped.
+    fn recompute_commit_gate(&mut self) {
+        self.commit_gate = if self.rob.is_empty() {
+            self.cycle + 1
+        } else {
+            let head = self.rob.head();
+            if !self.rob.completed(head, self.cycle) && self.rob.issued(head) {
+                self.rob.complete_cycle(head)
+            } else {
+                self.cycle + 1
+            }
         };
     }
 
-    fn retire(&mut self, entry: &RobEntry) {
+    fn retire(&mut self, entry: &RobCold) {
         let r = &entry.retired;
         self.stats.committed += 1;
-        if entry.is_load() {
+        if r.inst.is_load() {
             self.stats.committed_loads += 1;
         }
-        if entry.is_store() {
+        if r.inst.is_store() {
             self.stats.committed_stores += 1;
         }
         if r.inst.is_control() {
@@ -1729,7 +1960,7 @@ impl Processor {
                 self.map_table[dst.flat_index()] = SrcMapping::Ready;
             }
         }
-        if entry.is_mem() {
+        if r.inst.is_mem() {
             self.lsq_occupancy -= 1;
         }
     }
@@ -1769,10 +2000,11 @@ impl Processor {
             return;
         }
         for &key in &self.ready_all {
-            let Some(idx) = self.index_of_seq(key_seq(key)) else {
+            let seq = key_seq(key);
+            if !self.rob.contains(seq) {
                 continue; // no longer in flight: inert
-            };
-            if self.rob[idx].issued {
+            }
+            if self.rob.issued(seq) {
                 continue; // wide-bus peer leftover: inert
             }
             if key_group(key) != Q_VALIDATION {
@@ -1782,7 +2014,7 @@ impl Processor {
                 vreg,
                 generation,
                 offset,
-            } = self.rob[idx].mode
+            } = self.rob.cold(seq).mode
             else {
                 unreachable!("the validation group holds only validations");
             };
@@ -1791,10 +2023,10 @@ impl Processor {
             }
         }
         for &seq in &self.vec_pending {
-            let Some(idx) = self.index_of_seq(seq) else {
+            if !self.rob.contains(seq) {
                 continue;
-            };
-            let src_vec = self.rob[idx].src_vec;
+            }
+            let src_vec = self.rob.cold(seq).src_vec;
             if self.vec_sources_satisfied(&src_vec) {
                 return; // promoted (and issuable) next cycle
             }
@@ -1826,9 +2058,10 @@ impl Processor {
         if let Some(&Reverse((when, _))) = self.completions.peek() {
             bound = bound.min(when);
         }
-        if let Some(head) = self.rob.front() {
-            if head.issued {
-                bound = bound.min(head.complete_cycle);
+        if !self.rob.is_empty() {
+            let head = self.rob.head();
+            if self.rob.issued(head) {
+                bound = bound.min(self.rob.complete_cycle(head));
             }
         }
         if let Some(when) = self.vdp.as_ref().and_then(VectorDatapath::next_event_cycle) {
@@ -1867,12 +2100,13 @@ impl Processor {
             if self.fetch_queue.iter().any(|f| f.seq == seq) {
                 return None; // the branch has not even dispatched
             }
-            if let Some(entry) = self.entry_by_seq(seq) {
+            if self.rob.contains(seq) {
                 // An issued branch resolves when fetch first observes its
                 // completion; an unissued one is frozen with the scheduler.
-                return entry
-                    .issued
-                    .then(|| self.fetch_ready_cycle.max(entry.complete_cycle));
+                return self
+                    .rob
+                    .issued(seq)
+                    .then(|| self.fetch_ready_cycle.max(self.rob.complete_cycle(seq)));
             }
             // Already committed: fetch clears the block (and may fetch) as
             // soon as the ready cycle arrives.
@@ -1887,11 +2121,12 @@ impl Processor {
     /// §3.6: a store hit the address range of a vector register.  Every younger
     /// in-flight instruction re-executes and the front end pays a redirect.
     fn squash_younger_than_front(&mut self) {
-        for entry in self.rob.iter_mut().skip(1) {
-            if !matches!(entry.class, OpClass::Store) || !entry.issued {
-                entry.issued = false;
-                entry.store_addr_known = false;
-                entry.complete_cycle = 0;
+        for seq in self.rob.seqs().skip(1) {
+            let keep = self.rob.queue(seq) == Q_STORE && self.rob.issued(seq);
+            if !keep {
+                self.rob.set_issued(seq, false);
+                self.rob.set_store_addr_known(seq, false);
+                self.rob.set_complete_cycle(seq, 0);
             }
         }
         self.fetch_ready_cycle = self
@@ -1901,19 +2136,6 @@ impl Processor {
     }
 
     // -------------------------------------------------------------- helpers
-
-    fn index_of_seq(&self, seq: u64) -> Option<usize> {
-        let front = self.rob.front()?.seq();
-        if seq < front {
-            return None;
-        }
-        let idx = (seq - front) as usize;
-        (idx < self.rob.len()).then_some(idx)
-    }
-
-    fn entry_by_seq(&self, seq: u64) -> Option<&RobEntry> {
-        self.index_of_seq(seq).map(|idx| &self.rob[idx])
-    }
 
     fn finalize(&mut self) {
         if let Some(engine) = self.engine.as_mut() {
@@ -2299,6 +2521,91 @@ mod tests {
         let program = a.finish();
         let cfg = UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true);
         assert_schedulers_agree(&program, &cfg, 1_000_000);
+    }
+
+    /// Runs `program` under both busy paths (batched group dispatch +
+    /// run-retire commit vs the entry-at-a-time reference loops) with the
+    /// issue trace enabled and asserts identical traces and statistics,
+    /// under both schedulers.
+    fn assert_busy_paths_agree(program: &Program, cfg: &UarchConfig, max_insts: u64) {
+        for sched in [Scheduler::Wakeup, Scheduler::NaiveScan] {
+            let mut batched = Processor::new(cfg, program);
+            assert_eq!(batched.busy_path(), BusyPath::Batched, "default path");
+            batched.set_scheduler(sched);
+            batched.record_issue_trace(true);
+            let batched_stats = batched.run(max_insts);
+            let batched_trace = batched.take_issue_trace();
+
+            let mut legacy = Processor::new(cfg, program);
+            legacy.set_busy_path(BusyPath::Legacy);
+            legacy.set_scheduler(sched);
+            legacy.record_issue_trace(true);
+            let legacy_stats = legacy.run(max_insts);
+            let legacy_trace = legacy.take_issue_trace();
+
+            assert_eq!(
+                batched_trace, legacy_trace,
+                "issue sequences must match under {sched:?}"
+            );
+            assert_eq!(
+                batched_stats, legacy_stats,
+                "statistics must be identical under {sched:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn busy_paths_agree_on_kernels() {
+        for vect in [false, true] {
+            for kind in [PortKind::Scalar, PortKind::Wide] {
+                let cfg = UarchConfig::four_way(1, kind).with_vectorization(vect);
+                assert_busy_paths_agree(&strided_sum(300), &cfg, 100_000);
+                assert_busy_paths_agree(&four_stream_sum(100), &cfg, 100_000);
+                assert_busy_paths_agree(&pointer_chase(64), &cfg, 100_000);
+            }
+        }
+    }
+
+    #[test]
+    fn busy_paths_agree_under_store_squashes() {
+        // The store-coherence loop drives squash_younger_than_front and the
+        // scheduler rebuild through both dispatch/commit structures.
+        let mut a = Asm::new();
+        let buf = a.data_u64(&vec![1u64; 128]);
+        let (p, v, c) = (x(1), x(2), x(3));
+        a.li(p, buf as i64);
+        a.li(c, 127);
+        a.label("loop");
+        a.ld(v, p, 0);
+        a.addi(v, v, 1);
+        a.sd(v, p, 8);
+        a.addi(p, p, 8);
+        a.addi(c, c, -1);
+        a.bne(c, ArchReg::ZERO, "loop");
+        a.halt();
+        let program = a.finish();
+        let cfg = UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+        assert_busy_paths_agree(&program, &cfg, 1_000_000);
+    }
+
+    #[test]
+    fn steady_state_dispatch_allocates_no_waiter_nodes() {
+        // The waiter arena is sized for the hard bound (two source edges per
+        // in-flight instruction), so a full run — warmup included — must
+        // never grow its node pool, while actually exercising it.
+        let program = four_stream_sum(2_000);
+        let cfg = UarchConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+        let mut proc = Processor::new(&cfg, &program);
+        let stats = proc.run(1_000_000);
+        assert!(stats.committed > 0);
+        let waiters = proc.waiter_stats();
+        assert!(waiters.pushes > 0, "the wakeup scoreboard was exercised");
+        assert_eq!(
+            waiters.heap_growths, 0,
+            "steady-state dispatch must not allocate waiter nodes (pool capacity {})",
+            waiters.capacity
+        );
+        assert_eq!(waiters.live, 0, "every waiter list drained by halt");
     }
 
     /// Runs `program` under both stepping modes with the issue trace enabled

@@ -49,6 +49,18 @@ impl SeqSet {
         }
     }
 
+    /// Appends `seq`, which must be strictly greater than every element
+    /// already present — the group-dispatch fast path: freshly dispatched
+    /// instructions carry the largest sequence numbers, so their ready-set
+    /// inserts are plain tail pushes instead of binary-search shifts.
+    pub fn extend_back(&mut self, seq: u64) {
+        debug_assert!(
+            self.items.last().is_none_or(|&last| last < seq),
+            "extend_back requires ascending keys"
+        );
+        self.items.push(seq);
+    }
+
     /// Removes `seq`; returns `true` if it was present.
     pub fn remove(&mut self, seq: u64) -> bool {
         match self.items.binary_search(&seq) {
@@ -127,5 +139,16 @@ mod tests {
         assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![1, 3, 7, 9]);
         s.clear();
         assert_eq!(s.first(), None);
+    }
+
+    #[test]
+    fn extend_back_appends_in_order() {
+        let mut s = SeqSet::new();
+        s.insert(4);
+        s.extend_back(9);
+        s.extend_back(12);
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![4, 9, 12]);
+        assert!(!s.insert(9), "extended elements are regular members");
+        assert!(s.remove(9));
     }
 }

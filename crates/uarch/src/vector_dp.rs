@@ -12,10 +12,10 @@
 //!   functional unit (units are fully pipelined).
 
 use crate::config::FuConfig;
+use crate::fastmap::FastMap;
 use crate::fu::FuPool;
 use sdv_core::{NewVectorInstance, Operand, VectorOpKind, VectorizationEngine, VregId};
 use sdv_mem::{DataMemory, PortKind, PortSet, WideBusStats};
-use std::collections::HashMap;
 
 /// One element-completion event scheduled for a future cycle.
 #[derive(Debug, Clone, Copy)]
@@ -65,7 +65,7 @@ pub struct VectorDatapath {
     events: Vec<ReadyEvent>,
     /// Open Figure-13 accounting records, grouped by destination register so
     /// validations only touch the handful of accesses of their own register.
-    records: HashMap<VregId, Vec<AccessRecord>>,
+    records: FastMap<VregId, Vec<AccessRecord>>,
     /// Histogram of already-resolved accesses by number of useful words.
     resolved: Vec<u64>,
     /// Total element computations started (loads and arithmetic).
@@ -83,7 +83,7 @@ impl VectorDatapath {
             vl: vector_length,
             instances: Vec::new(),
             events: Vec::new(),
-            records: HashMap::new(),
+            records: FastMap::default(),
             resolved: vec![0; vector_length + 1],
             elements_started: 0,
             line_accesses: 0,

@@ -421,6 +421,56 @@ fn run_stats_match_the_pre_refactor_build_exactly() {
     }
 }
 
+/// Every golden cell through the legacy busy path: the entry-at-a-time
+/// dispatch/commit reference loops must reproduce the full golden counter
+/// sets bit-for-bit (the default batched path is pinned by
+/// `run_stats_match_the_pre_refactor_build_exactly` above).
+#[test]
+fn legacy_busy_path_matches_the_golden_stats_on_every_cell() {
+    for &(
+        label,
+        workload,
+        cycles,
+        committed,
+        validations,
+        mem,
+        arith,
+        mispred,
+        used,
+        not_used,
+        not_comp,
+        released,
+    ) in GOLDEN
+    {
+        let cfg = config(label);
+        let program = workload.build(SCALE);
+        let mut proc = sdv::uarch::Processor::new(&cfg, &program);
+        proc.set_busy_path(sdv::uarch::BusyPath::Legacy);
+        let stats = proc.run(MAX_INSTS);
+        let ctx = format!("legacy busy path {label}/{workload}");
+        assert_eq!(stats.cycles, cycles, "{ctx}: cycles");
+        assert_eq!(stats.committed, committed, "{ctx}: committed");
+        assert_eq!(
+            stats.committed_validations, validations,
+            "{ctx}: validations"
+        );
+        assert_eq!(stats.memory_accesses, mem, "{ctx}: memory accesses");
+        assert_eq!(
+            stats.scalar_arith_executed, arith,
+            "{ctx}: scalar arithmetic"
+        );
+        assert_eq!(stats.mispredictions, mispred, "{ctx}: mispredictions");
+        let usage = stats.element_usage.unwrap_or_default();
+        assert_eq!(usage.computed_used, used, "{ctx}: elements computed+used");
+        assert_eq!(usage.computed_not_used, not_used, "{ctx}: computed, unused");
+        assert_eq!(usage.not_computed, not_comp, "{ctx}: never computed");
+        assert_eq!(
+            usage.registers_released, released,
+            "{ctx}: registers released"
+        );
+    }
+}
+
 /// The same cells through the oracle scheduler: the naive full-window scan
 /// must reproduce the identical golden numbers.
 #[test]

@@ -106,6 +106,27 @@ fn dedup_strided(steps: Vec<Step>) -> Vec<Step> {
         .collect()
 }
 
+/// Builds a store-coherence storm: the loop strided-loads an array while
+/// storing `offset` slots ahead of the read pointer, so every vectorized
+/// load pattern keeps colliding with committed stores (§3.6) and the
+/// pipeline squashes and rebuilds its scheduler over and over.
+fn build_squash_storm(offset: u8, iterations: u8) -> Program {
+    let mut a = Asm::new();
+    let array = a.data_u64(&vec![1u64; 256]);
+    let (p, v, c) = (ArchReg::int(1), ArchReg::int(2), ArchReg::int(3));
+    a.li(p, array as i64);
+    a.li(c, i64::from(iterations.max(1)) * 8);
+    a.label("loop");
+    a.ld(v, p, 0);
+    a.addi(v, v, 1);
+    a.sd(v, p, i64::from(offset) * 8);
+    a.addi(p, p, 8);
+    a.addi(c, c, -1);
+    a.bne(c, ArchReg::ZERO, "loop");
+    a.halt();
+    a.finish()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
@@ -192,6 +213,53 @@ proptest! {
         prop_assert!(!wakeup_trace.is_empty(), "something must issue");
         prop_assert_eq!(&wakeup_trace, &oracle_trace, "issue sequences diverge");
         prop_assert_eq!(wakeup_stats, oracle_stats, "statistics diverge");
+    }
+
+    /// Busy-path-equivalence oracle (`SoA ≡ AoS`): the batched busy path —
+    /// struct-of-arrays ROB lanes, group dispatch with bulk waiter-arena
+    /// setup, run-retire commit — must issue the same instruction sequence,
+    /// cycle by cycle, and produce bit-identical statistics as the legacy
+    /// entry-at-a-time loops, on random programs *and* on store-coherence
+    /// squash storms (§3.6 squashes rebuild the whole scoreboard, which is
+    /// where a struct-of-arrays port would drift first).
+    #[test]
+    fn soa_matches_aos(
+        steps in proptest::collection::vec(step_strategy(), 1..8),
+        iterations in 1u8..20,
+        vectorize in any::<bool>(),
+        wide in any::<bool>(),
+        storm in any::<bool>(),
+        storm_offset in 1u8..4,
+    ) {
+        use sdv::uarch::{BusyPath, Processor, Scheduler};
+        let steps = dedup_strided(steps);
+        let program = if storm {
+            build_squash_storm(storm_offset, iterations)
+        } else {
+            build_program(&steps, iterations)
+        };
+        let kind = if wide { PortKind::Wide } else { PortKind::Scalar };
+        let cfg = ProcessorConfig::four_way(1, kind).with_vectorization(vectorize);
+
+        for sched in [Scheduler::Wakeup, Scheduler::NaiveScan] {
+            let mut batched = Processor::new(&cfg, &program);
+            prop_assert_eq!(batched.busy_path(), BusyPath::Batched, "default path");
+            batched.set_scheduler(sched);
+            batched.record_issue_trace(true);
+            let batched_stats = batched.run(1_000_000);
+            let batched_trace = batched.take_issue_trace();
+
+            let mut legacy = Processor::new(&cfg, &program);
+            legacy.set_busy_path(BusyPath::Legacy);
+            legacy.set_scheduler(sched);
+            legacy.record_issue_trace(true);
+            let legacy_stats = legacy.run(1_000_000);
+            let legacy_trace = legacy.take_issue_trace();
+
+            prop_assert!(!batched_trace.is_empty(), "something must issue");
+            prop_assert_eq!(&batched_trace, &legacy_trace, "issue sequences diverge");
+            prop_assert_eq!(batched_stats, legacy_stats, "statistics diverge");
+        }
     }
 
     /// Stepping-equivalence oracle: macro-stepping (the default, which jumps

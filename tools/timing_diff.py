@@ -4,6 +4,7 @@
 Usage:
     timing_diff.py BASELINE.json [BASELINE2.json ...] CURRENT.json \
         [--max-regress 0.20]
+    timing_diff.py --self-check
 
 All files are `sdv-engine-timing/1` documents.  The last positional argument
 is the current run; every earlier one is a committed trajectory point
@@ -11,14 +12,20 @@ is the current run; every earlier one is a committed trajectory point
 `cycles_per_second` figure against the BEST trajectory point — the gate must
 not loosen when a later baseline happens to be slower than an earlier one.
 The job fails when the current run is more than `--max-regress` (default 20%)
-slower than that best point.
+slower than that best point.  On failure the report names the worst-regressing
+per-cell `config×workload` pair against that best point, so the log localises
+the hot-path regression instead of only flagging the aggregate.
 
 Absolute wall-clock depends on the host, so treat the committed trajectory as
 markers (refresh from CI artifacts when hardware or the simulator changes
 deliberately); the gate is meant to catch order-of-magnitude hot-path
 regressions, not CPU-model noise.
 
-Exit codes: 0 ok / improved, 1 regression, 2 usage or malformed input.
+`--self-check` runs the built-in unit test over synthetic documents (gate
+pass, gate fail, worst-cell attribution) and exits 0 when all pass.
+
+Exit codes: 0 ok / improved / self-check passed, 1 regression, 2 usage or
+malformed input.
 """
 
 import json
@@ -38,28 +45,35 @@ def load(path):
     return doc
 
 
-def main(argv):
-    args = []
-    max_regress = 0.20
-    it = iter(argv[1:])
-    for a in it:
-        if a == "--max-regress":
-            try:
-                max_regress = float(next(it))
-            except (StopIteration, ValueError):
-                print("timing_diff: --max-regress needs a float", file=sys.stderr)
-                return 2
-        elif a.startswith("--"):
-            print(f"timing_diff: unknown flag {a}", file=sys.stderr)
-            return 2
-        else:
-            args.append(a)
-    if len(args) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
+def worst_cell_regression(best, cur):
+    """The per-cell `config×workload` pair that regressed hardest vs `best`.
 
-    baselines = [(path, load(path)) for path in args[:-1]]
-    cur = load(args[-1])
+    Matches cells by (config, workload) and compares per-cell
+    `cycles_per_second`; returns `(ratio, config, workload, best_cps,
+    cur_cps)` for the smallest current/best ratio, or `None` when the
+    documents share no comparable cell.
+    """
+    best_cells = {
+        (c["config"], c["workload"]): float(c["cycles_per_second"])
+        for c in best.get("per_cell", [])
+        if float(c.get("cycles_per_second", 0)) > 0
+    }
+    worst = None
+    for c in cur.get("per_cell", []):
+        key = (c["config"], c["workload"])
+        base_cps = best_cells.get(key)
+        if base_cps is None:
+            continue
+        cur_cps = float(c["cycles_per_second"])
+        ratio = cur_cps / base_cps
+        if worst is None or ratio < worst[0]:
+            worst = (ratio, key[0], key[1], base_cps, cur_cps)
+    return worst
+
+
+def run_gate(baseline_paths, current_path, max_regress):
+    baselines = [(path, load(path)) for path in baseline_paths]
+    cur = load(current_path)
     cur_cps = float(cur["cycles_per_second"])
 
     scored = [(float(doc["cycles_per_second"]), path, doc) for path, doc in baselines]
@@ -82,9 +96,108 @@ def main(argv):
             f"{max_regress:.0%} vs the best committed trajectory point",
             file=sys.stderr,
         )
+        worst = worst_cell_regression(best, cur)
+        if worst is not None:
+            w_ratio, config, workload, b_cps, c_cps = worst
+            print(
+                f"timing_diff: worst cell {config}/{workload}: "
+                f"{b_cps:,.0f} -> {c_cps:,.0f} cycles/s ({w_ratio:.2f}x)",
+                file=sys.stderr,
+            )
         return 1
     print("timing_diff: ok")
     return 0
+
+
+def _doc(cps, cells):
+    """A minimal synthetic sdv-engine-timing/1 document for the self-check."""
+    return {
+        "schema": "sdv-engine-timing/1",
+        "cells": len(cells),
+        "cycles_per_second": cps,
+        "per_cell": [
+            {"config": cfg, "workload": wl, "cycles_per_second": cell_cps}
+            for (cfg, wl, cell_cps) in cells
+        ],
+    }
+
+
+def self_check():
+    base = _doc(
+        1_000_000.0,
+        [
+            ("1pV", "swim", 500_000.0),
+            ("1pV", "applu", 800_000.0),
+            ("4pnoIM", "swim", 2_000_000.0),
+        ],
+    )
+
+    # Worst-cell attribution picks the hardest-hit pair, not the first.
+    cur = _doc(
+        700_000.0,
+        [
+            ("1pV", "swim", 450_000.0),  # 0.90x
+            ("1pV", "applu", 200_000.0),  # 0.25x  <- worst
+            ("4pnoIM", "swim", 1_900_000.0),  # 0.95x
+            ("8pV", "swim", 1.0),  # no baseline cell: ignored
+        ],
+    )
+    worst = worst_cell_regression(base, cur)
+    assert worst is not None, "comparable cells exist"
+    ratio, config, workload, b_cps, c_cps = worst
+    assert (config, workload) == ("1pV", "applu"), f"wrong worst cell {config}/{workload}"
+    assert abs(ratio - 0.25) < 1e-9, f"wrong ratio {ratio}"
+    assert (b_cps, c_cps) == (800_000.0, 200_000.0)
+
+    # Cells missing from the baseline never count.
+    assert worst_cell_regression(_doc(1.0, []), cur) is None
+
+    # Zero-throughput baseline cells are skipped rather than divided by.
+    zero_base = _doc(1_000_000.0, [("1pV", "swim", 0.0), ("1pV", "applu", 100.0)])
+    worst = worst_cell_regression(zero_base, cur)
+    assert worst is not None and worst[1:3] == ("1pV", "applu")
+
+    # End-to-end: the aggregate gate itself, via temp files.
+    import os
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        b_path = os.path.join(tmp, "base.json")
+        c_path = os.path.join(tmp, "cur.json")
+        with open(b_path, "w", encoding="utf-8") as f:
+            json.dump(base, f)
+        with open(c_path, "w", encoding="utf-8") as f:
+            json.dump(cur, f)
+        assert run_gate([b_path], c_path, max_regress=0.20) == 1, "0.7x must fail the 20% gate"
+        assert run_gate([b_path], c_path, max_regress=0.50) == 0, "0.7x passes a 50% gate"
+
+    print("timing_diff: self-check ok")
+    return 0
+
+
+def main(argv):
+    args = []
+    max_regress = 0.20
+    it = iter(argv[1:])
+    for a in it:
+        if a == "--max-regress":
+            try:
+                max_regress = float(next(it))
+            except (StopIteration, ValueError):
+                print("timing_diff: --max-regress needs a float", file=sys.stderr)
+                return 2
+        elif a == "--self-check":
+            return self_check()
+        elif a.startswith("--"):
+            print(f"timing_diff: unknown flag {a}", file=sys.stderr)
+            return 2
+        else:
+            args.append(a)
+    if len(args) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    return run_gate(args[:-1], args[-1], max_regress)
 
 
 if __name__ == "__main__":
