@@ -5,6 +5,7 @@
 //!       [--table1] [--fig N]... [--headline] [--all] [--extended]
 //!       [--vl L1,L2,...] [--vregs R1,R2,...]
 //!       [--csv PATH] [--timing-json PATH] [--store-dir DIR | --no-cache]
+//!       [--fail-fast] [--max-retries N]
 //! ```
 //!
 //! With no selection arguments everything is regenerated.  All generators
@@ -29,6 +30,14 @@
 //! blocked matmul, mixed-stride streams, irregular histogram updates) to
 //! every generator.
 //!
+//! The run is *supervised*: a cell that panics or exceeds its cycle budget is
+//! recorded as failed while every other cell still completes, the failures
+//! are summarised at the end, and the exit code is 1 exactly when cells
+//! failed (`--fail-fast` instead stops at the first generator with a failed
+//! cell).  Store I/O is retried with backoff (`--max-retries N`, default 2);
+//! an unusable `--store-dir` degrades to in-memory caching with a warning
+//! rather than aborting the sweep.
+//!
 //! The output rows mirror the series plotted in the paper; `EXPERIMENTS.md`
 //! records a paper-vs-measured comparison produced with `--standard`.
 
@@ -48,6 +57,8 @@ struct Options {
     timing_json: Option<std::path::PathBuf>,
     cache_dir: Option<std::path::PathBuf>,
     no_cache: bool,
+    fail_fast: bool,
+    max_retries: Option<u32>,
 }
 
 /// Parses a `--vl`/`--vregs` style comma-separated list of positive sizes.
@@ -81,6 +92,8 @@ fn parse_args() -> Options {
         timing_json: None,
         cache_dir: None,
         no_cache: false,
+        fail_fast: false,
+        max_retries: None,
     };
     let mut args = std::env::args().skip(1).peekable();
     let mut any_selection = false;
@@ -137,12 +150,20 @@ fn parse_args() -> Options {
                 opts.cache_dir = Some(dir.into());
             }
             "--no-cache" => opts.no_cache = true,
+            "--fail-fast" => opts.fail_fast = true,
+            "--max-retries" => {
+                opts.max_retries =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        panic!("--max-retries requires a non-negative integer")
+                    }));
+            }
             other => {
                 panic!(
                     "unknown argument `{other}` \
                      (try --all, --fig N, --table1, --headline, --threads N, \
                       --extended, --vl L1,L2, --vregs R1,R2, --csv PATH, \
-                      --timing-json PATH, --store-dir DIR, --no-cache)"
+                      --timing-json PATH, --store-dir DIR, --no-cache, \
+                      --fail-fast, --max-retries N)"
                 )
             }
         }
@@ -155,12 +176,39 @@ fn parse_args() -> Options {
     opts
 }
 
+/// Prints the per-cell failure details, if any; returns whether there were
+/// failures.
+fn report_failures(exp: &Experiment) -> bool {
+    let failures = exp.failures();
+    if failures.is_empty() {
+        return false;
+    }
+    eprintln!("repro: {} cell(s) FAILED this run:", failures.len());
+    for failure in &failures {
+        eprintln!("repro:   {failure}");
+    }
+    true
+}
+
+/// Under `--fail-fast`, stops the run at the first generator that produced a
+/// failed cell (the default is to finish the sweep and report at the end).
+fn check_fail_fast(exp: &Experiment, fail_fast: bool) {
+    if fail_fast && exp.report().failed_cells > 0 {
+        report_failures(exp);
+        eprintln!("repro: --fail-fast: stopping at the first failed cell");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let rc = opts.run;
     let mut exp = Experiment::new(rc).threads(opts.threads);
     if opts.extended {
         exp = exp.workloads(Workload::extended().to_vec());
+    }
+    if let Some(retries) = opts.max_retries {
+        exp = exp.max_retries(retries);
     }
     if !opts.no_cache {
         let defaulted = opts.cache_dir.is_none();
@@ -235,16 +283,19 @@ fn main() {
                 "figure {other} is not a measured figure (2, 4, 5, 6 and 8 are block diagrams)"
             ),
         }
+        check_fail_fast(&exp, opts.fail_fast);
     }
 
     if opts.headline {
         println!("{}", exp.headline());
+        check_fail_fast(&exp, opts.fail_fast);
     }
 
     if let Some(path) = &opts.csv {
         let sweep = sweep.get_or_insert_with(|| exp.sweep(&grid));
         std::fs::write(path, report::sweep_csv(sweep)).expect("CSV written");
         println!("sweep surface written to {}", path.display());
+        check_fail_fast(&exp, opts.fail_fast);
     }
 
     // Persist before printing the report so the store-insert counter is part
@@ -259,11 +310,19 @@ fn main() {
             Err(e) => eprintln!("warning: could not persist the result store: {e}"),
         }
     }
+    if exp.engine().store_degraded() {
+        println!("note: the result store was degraded mid-run; this session's results were not persisted");
+    }
     println!("{}", exp.report());
     let timing = exp.timing();
     println!("{timing}");
     if let Some(path) = &opts.timing_json {
         std::fs::write(path, report::timing_json(&timing)).expect("timing JSON written");
         println!("engine timing written to {}", path.display());
+    }
+    // The sweep completed (every healthy cell ran); the exit code still
+    // reports that some cells failed.
+    if report_failures(&exp) {
+        std::process::exit(1);
     }
 }

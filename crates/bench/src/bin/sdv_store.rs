@@ -4,6 +4,7 @@
 //! sdv-store fingerprint
 //! sdv-store stats DIR
 //! sdv-store verify DIR
+//! sdv-store repair DIR
 //! sdv-store merge DEST SRC...
 //! sdv-store gc DIR [--keep-fingerprint HEX]
 //! ```
@@ -13,8 +14,13 @@
 //!   under which this binary reads and writes store entries.
 //! * `stats` prints occupancy statistics for a store directory.
 //! * `verify` structurally checks every shard file (magic, version, framing,
-//!   key placement) and exits non-zero on corruption — run it after restoring
-//!   a store from a CI cache.
+//!   per-entry checksums, key placement) and exits non-zero on corruption —
+//!   run it after restoring a store from a CI cache.
+//! * `repair` salvages every intact entry of a damaged store: corrupt bytes
+//!   are quarantined under `DIR/quarantine/`, each damaged shard is rewritten
+//!   atomically from its surviving entries, and legacy-format shards are
+//!   upgraded in place.  Only provably-corrupt entries are lost — a follow-up
+//!   `verify` is clean.
 //! * `merge` merges result sets into `DEST`: each `SRC` may be another store
 //!   directory (e.g. a parallel job's) or a legacy single-file `cache.bin`.
 //!   Entries written by other builds are skipped, never replayed.
@@ -35,6 +41,7 @@ use std::path::{Path, PathBuf};
 const USAGE: &str = "usage: sdv-store fingerprint\n\
        sdv-store stats DIR\n\
        sdv-store verify DIR\n\
+       sdv-store repair DIR\n\
        sdv-store merge DEST SRC...\n\
        sdv-store gc DIR [--keep-fingerprint HEX]";
 
@@ -77,6 +84,14 @@ fn verify(dir: &Path) {
     if !report.is_ok() {
         std::process::exit(1);
     }
+}
+
+fn repair(dir: &Path) {
+    let store = open(dir);
+    let report = store
+        .repair()
+        .unwrap_or_else(|e| io_error(&format!("cannot repair store {}: {e}", dir.display())));
+    println!("repair {}: {report}", dir.display());
 }
 
 fn merge(dest: &Path, sources: &[PathBuf]) {
@@ -133,6 +148,7 @@ fn main() {
         }
         Some(("stats", [dir])) => stats(Path::new(dir)),
         Some(("verify", [dir])) => verify(Path::new(dir)),
+        Some(("repair", [dir])) => repair(Path::new(dir)),
         Some(("merge", [dest, sources @ ..])) => {
             let sources: Vec<PathBuf> = sources.iter().map(PathBuf::from).collect();
             merge(Path::new(dest), &sources);

@@ -1,0 +1,175 @@
+//! End-to-end tests for the `sdv-store` CLI's corruption workflow: a golden
+//! damaged-store fixture is verified (exit 1), repaired (exit 0, salvaging
+//! every intact entry and quarantining the damaged bytes), and verified again
+//! (exit 0) — pinning the exit-code contract, the repair semantics, *and* the
+//! on-disk shard format (the fixture bytes are regenerated in-test and must
+//! match the committed files byte for byte).
+//!
+//! Regenerate the fixtures after a deliberate format change with
+//! `SDV_REGEN_FIXTURES=1 cargo test -p sdv-bench --test store_cli`.
+
+use sdv_store::{serialize_shard, serialize_shard_v1};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// The fixture's producer fingerprint: fixed, so the committed bytes never
+/// depend on the current build (the CLI still verifies and repairs foreign
+/// shards — they are merely "stale", not corrupt).
+const FIXTURE_FP: u64 = 0xfeed;
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sdv-store"))
+        .args(args)
+        .output()
+        .expect("sdv-store runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf-8 stderr")
+}
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/store")
+}
+
+/// Shard `ab`, current version: five entries, with a bit flipped inside the
+/// third entry's payload (a media-corruption casualty the CRC catches).
+fn fixture_bytes_ab() -> Vec<u8> {
+    let entries: HashMap<u128, Vec<u8>> = (0..5u32)
+        .map(|i| {
+            let key = (0xab_u128 << 120) | u128::from(i);
+            let payload = vec![u8::try_from(i * 3 + 1).unwrap(); 5 + i as usize];
+            (key, payload)
+        })
+        .collect();
+    let mut bytes = serialize_shard(FIXTURE_FP, &entries);
+    // Header 24, entries key-sorted with sizes 29 and 30 before the victim;
+    // its payload starts 24 framing bytes further in.
+    bytes[24 + 29 + 30 + 24] ^= 1;
+    bytes
+}
+
+/// Shard `cd`, legacy version 1 (CRC-less), structurally clean: `repair`
+/// must upgrade it in place without losing an entry.
+fn fixture_bytes_cd() -> Vec<u8> {
+    let entries: HashMap<u128, Vec<u8>> = (0..3u32)
+        .map(|i| ((0xcd_u128 << 120) | u128::from(i), vec![0xcd; 4]))
+        .collect();
+    serialize_shard_v1(FIXTURE_FP, &entries)
+}
+
+/// The committed fixture must equal the bytes the current code generates —
+/// this is the format pin: any serialization change shows up as a byte diff
+/// here before it can silently invalidate real stores.
+#[test]
+fn golden_fixture_matches_the_current_shard_format() {
+    let dir = fixture_dir();
+    if std::env::var_os("SDV_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("shard-ab.bin"), fixture_bytes_ab()).unwrap();
+        std::fs::write(dir.join("shard-cd.bin"), fixture_bytes_cd()).unwrap();
+    }
+    let committed_ab = std::fs::read(dir.join("shard-ab.bin")).expect("committed fixture");
+    let committed_cd = std::fs::read(dir.join("shard-cd.bin")).expect("committed fixture");
+    assert_eq!(
+        committed_ab,
+        fixture_bytes_ab(),
+        "shard format drifted (v2)"
+    );
+    assert_eq!(
+        committed_cd,
+        fixture_bytes_cd(),
+        "shard format drifted (v1)"
+    );
+}
+
+/// Copies the golden fixture into a scratch store directory.
+fn scratch_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sdv-store-cli-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for shard in ["shard-ab.bin", "shard-cd.bin"] {
+        std::fs::copy(fixture_dir().join(shard), dir.join(shard)).unwrap();
+    }
+    dir
+}
+
+/// The headline acceptance flow: verify flags the damage (exit 1), repair
+/// salvages every intact entry and quarantines the corrupt bytes (exit 0),
+/// and a second verify is clean (exit 0).
+#[test]
+fn verify_repair_verify_on_the_golden_fixture() {
+    let dir = scratch_store("repair");
+    let dir_s = dir.to_str().unwrap();
+
+    let out = run(&["verify", dir_s]);
+    assert_eq!(out.status.code(), Some(1), "damage means exit 1");
+    let text = stdout(&out);
+    assert!(text.contains("1 corrupt entry"), "{text}");
+    assert!(text.contains("entry 2: crc mismatch"), "{text}");
+    assert!(text.contains("legacy v1 shard file"), "{text}");
+
+    let out = run(&["repair", dir_s]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2 repaired"), "{text}");
+    assert!(text.contains("7 entries recovered"), "{text}");
+    assert!(text.contains("1 quarantined"), "{text}");
+    assert!(text.contains("1 legacy shard(s) upgraded"), "{text}");
+
+    // The damaged bytes survive, exactly the victim entry's 31 bytes.
+    let quarantined = std::fs::read(dir.join("quarantine/shard-ab.bad")).unwrap();
+    assert_eq!(quarantined.len(), 31);
+
+    let out = run(&["verify", dir_s]);
+    assert!(
+        out.status.success(),
+        "verify is clean after repair: {}",
+        stdout(&out)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("OK"), "{text}");
+    assert!(
+        !text.contains("legacy"),
+        "the v1 shard was upgraded: {text}"
+    );
+
+    // Repairing a healthy store is a no-op.
+    let out = run(&["repair", dir_s]);
+    assert!(out.status.success());
+    assert!(
+        stdout(&out).contains("2 clean, 0 repaired"),
+        "{}",
+        stdout(&out)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Exit-code and usage contract for the new subcommand.
+#[test]
+fn repair_usage_and_io_errors_keep_the_exit_contract() {
+    let out = run(&["repair"]);
+    assert_eq!(out.status.code(), Some(2), "missing DIR is a usage error");
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+
+    let out = run(&["repair", "x", "y"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "extra operands are a usage error"
+    );
+
+    // A path that cannot even be created is a runtime I/O failure (3).
+    let out = run(&["repair", "/proc/does-not-exist/store"]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("cannot"), "{}", stderr(&out));
+}

@@ -30,9 +30,31 @@ use sdv_uarch::RunStats;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Recovers the guarded data from a possibly-poisoned lock.
+///
+/// Worker-cell panics are caught by the supervisor before they can unwind
+/// through a held engine lock, but a panic elsewhere (a caller thread dying
+/// mid-batch) must not deadlock or poison every later session sharing the
+/// engine — the guarded structures here (memo maps, counters, timing) are
+/// valid at every lock release point, so recovering the data is sound.
+fn recover<T>(result: Result<T, PoisonError<T>>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The content identity of one simulation: configuration, workload and budget.
 ///
@@ -50,6 +72,53 @@ pub struct CellKey {
     pub max_insts: u64,
 }
 
+/// Why a supervised cell failed instead of producing statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CellFailure {
+    /// The simulation exceeded its per-cell cycle-budget watchdog
+    /// (see [`RunEngine::with_cycle_budget`]).
+    CycleBudget,
+    /// The simulation panicked (a modelling bug or a poisoned input).
+    Panic,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellFailure::CycleBudget => write!(f, "cycle-budget exceeded"),
+            CellFailure::Panic => write!(f, "panic"),
+        }
+    }
+}
+
+/// Per-cell diagnostics for a supervised simulation that failed.
+///
+/// The supervisor ([`RunEngine::run_cells`]) catches the failure, records it,
+/// and keeps the rest of the sweep going; callers read the tally from
+/// [`EngineReport::failed_cells`] and the details from
+/// [`RunEngine::failures`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// The configuration label (`1pV`, `4pnoIM`, …).
+    pub label: String,
+    /// The workload that failed.
+    pub workload: Workload,
+    /// How the cell failed.
+    pub kind: CellFailure,
+    /// The panic message (or watchdog diagnostic).
+    pub message: String,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell {}/{} FAILED ({}): {}",
+            self.label, self.workload, self.kind, self.message
+        )
+    }
+}
+
 /// Session counters: how much work the engine was asked for vs. actually did,
 /// and how effective the attached persistent store was.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,6 +127,9 @@ pub struct EngineReport {
     pub requested: u64,
     /// Unique cells actually simulated.
     pub simulated: u64,
+    /// Unique cells whose supervised simulation failed (panic or watchdog);
+    /// details via [`RunEngine::failures`].
+    pub failed_cells: u64,
     /// Unique cells served from the persistent result store.
     pub store_hits: u64,
     /// Unique cells the store was probed for but did not hold (each one then
@@ -103,6 +175,14 @@ impl std::fmt::Display for EngineReport {
             )?;
         } else if self.store_inserts > 0 {
             write!(f, " (store: {} inserts)", self.store_inserts)?;
+        }
+        if self.failed_cells > 0 {
+            write!(
+                f,
+                "; {} cell{} FAILED",
+                self.failed_cells,
+                if self.failed_cells == 1 { "" } else { "s" }
+            )?;
         }
         Ok(())
     }
@@ -201,6 +281,10 @@ impl std::fmt::Display for EngineTiming {
 /// [`RunEngine::with_persist_every`]).
 pub const DEFAULT_PERSIST_EVERY: u64 = 64;
 
+/// Default bounded-retry count for transient store I/O failures during
+/// [`RunEngine::persist`] (see [`RunEngine::with_max_retries`]).
+pub const DEFAULT_MAX_RETRIES: u32 = 2;
+
 /// Deduplicating, memoizing, parallel executor for simulation cells.
 ///
 /// The engine owns the run budget ([`RunConfig`]) so that every generator
@@ -242,7 +326,29 @@ pub struct RunEngine {
     /// Pre-flight verdicts memoized by program content hash: `None` = clean,
     /// `Some(summary)` = rejected with that error summary.
     preflight: Mutex<HashMap<u64, Option<String>>>,
+    /// Per-cell watchdog: a supervised simulation may spend at most this many
+    /// simulated cycles (`u64::MAX` = unbounded).
+    cycle_budget: u64,
+    /// Retries (with exponential backoff) for transient store I/O failures
+    /// during [`Self::persist`].
+    max_retries: u32,
+    /// Failed cells, memoized so a panicking cell is attempted exactly once
+    /// per session.
+    failed: Mutex<HashMap<CellKey, CellError>>,
+    failed_cells: AtomicU64,
+    /// Set when the store proved unusable (unwritable, corrupt, full): the
+    /// engine then runs on in-memory caching only — a loud warning is printed
+    /// exactly once when this trips.
+    store_disabled: AtomicBool,
+    /// Test seam: runs inside the supervised worker before each simulation
+    /// (fault injection for the supervision machinery itself).
+    cell_hook: Option<CellHook>,
 }
+
+/// A callback run inside the supervised worker before each cell simulation —
+/// the fault-injection seam for the supervision machinery itself (see
+/// [`RunEngine::with_cell_hook`]).
+pub type CellHook = Arc<dyn Fn(&CellKey) + Send + Sync>;
 
 impl RunEngine {
     /// Creates a serial engine with the given run budget.
@@ -263,6 +369,12 @@ impl RunEngine {
             persist_every: DEFAULT_PERSIST_EVERY,
             unpersisted: AtomicU64::new(0),
             preflight: Mutex::new(HashMap::new()),
+            cycle_budget: u64::MAX,
+            max_retries: DEFAULT_MAX_RETRIES,
+            failed: Mutex::new(HashMap::new()),
+            failed_cells: AtomicU64::new(0),
+            store_disabled: AtomicBool::new(false),
+            cell_hook: None,
         }
     }
 
@@ -294,10 +406,50 @@ impl RunEngine {
                 self.store = Some(store);
             }
             Err(e) => eprintln!(
-                "warning: could not open result store {}: {e} (running uncached)",
+                "warning: cannot use result store {}: {e}\n\
+                 warning: falling back to in-memory caching only — results are \
+                 correct but will not persist across runs (check that the path \
+                 is a writable directory)",
                 dir.display()
             ),
         }
+        self
+    }
+
+    /// Attaches an already-open [`sdv_store::Store`] (the seam supervision
+    /// and degradation tests use to inject fault-plan-backed stores; no
+    /// legacy-cache import happens here).
+    #[must_use]
+    pub fn with_store(mut self, store: sdv_store::Store) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Sets the per-cell watchdog budget in *simulated cycles*: a supervised
+    /// cell that exceeds it fails with [`CellFailure::CycleBudget`] instead
+    /// of hanging the sweep.  `u64::MAX` (the default) never fires; normal
+    /// runs are bit-identical either way.
+    #[must_use]
+    pub fn with_cycle_budget(mut self, max_cycles: u64) -> Self {
+        self.cycle_budget = max_cycles;
+        self
+    }
+
+    /// Sets how many times [`Self::persist`] retries a failed store write
+    /// (with exponential backoff) before giving up.  The default is
+    /// [`DEFAULT_MAX_RETRIES`].
+    #[must_use]
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Test seam: `hook` runs inside the supervised worker immediately before
+    /// each simulation, so tests can inject panics or delays into specific
+    /// cells and prove the supervision machinery contains them.
+    #[must_use]
+    pub fn with_cell_hook(mut self, hook: CellHook) -> Self {
+        self.cell_hook = Some(hook);
         self
     }
 
@@ -308,24 +460,54 @@ impl RunEngine {
     /// only written by an explicit [`Self::persist`] call).  The default is
     /// [`DEFAULT_PERSIST_EVERY`].
     ///
-    /// A failed automatic flush prints a warning and keeps simulating; the
-    /// final explicit [`Self::persist`] still reports such errors.
+    /// An automatic flush that still fails after its retries degrades the
+    /// engine to in-memory caching ([`Self::store_degraded`]) and keeps
+    /// simulating.
     #[must_use]
     pub fn with_persist_every(mut self, n: u64) -> Self {
         self.persist_every = n;
         self
     }
 
-    /// The attached result store's directory, if one is attached.
+    /// The attached result store's directory, if one is attached (and not
+    /// degraded away).
     #[must_use]
     pub fn store_dir(&self) -> Option<&Path> {
-        self.store.as_ref().map(sdv_store::Store::dir)
+        self.store().map(sdv_store::Store::dir)
     }
 
-    /// The attached result store itself (e.g. to `verify` or `stats` it).
+    /// The attached result store itself (e.g. to `verify` or `stats` it);
+    /// `None` when no store is attached or the engine degraded to in-memory
+    /// caching.
     #[must_use]
     pub fn store(&self) -> Option<&sdv_store::Store> {
+        if self.store_disabled.load(Ordering::Relaxed) {
+            return None;
+        }
         self.store.as_ref()
+    }
+
+    /// Whether the engine gave up on its store and now caches in memory only
+    /// (the store directory proved unwritable, corrupt, or full).
+    #[must_use]
+    pub fn store_degraded(&self) -> bool {
+        self.store_disabled.load(Ordering::Relaxed)
+    }
+
+    /// Degrades to in-memory-only caching, warning loudly exactly once.
+    fn degrade_store(&self, why: &std::io::Error) {
+        if !self.store_disabled.swap(true, Ordering::SeqCst) {
+            let dir = self
+                .store
+                .as_ref()
+                .map(|s| s.dir().display().to_string())
+                .unwrap_or_default();
+            eprintln!(
+                "warning: result store {dir} is unusable ({why}); \
+                 DEGRADING to in-memory caching only — the sweep continues, \
+                 but results from this session will not persist"
+            );
+        }
     }
 
     /// Merges every memoized result of this session into the attached store.
@@ -333,31 +515,52 @@ impl RunEngine {
     /// write is a read–merge–write under the shard's writer lock), so a
     /// narrow run never shrinks a broad store.
     ///
+    /// Transient I/O failures are retried up to [`Self::with_max_retries`]
+    /// times with exponential backoff before the error surfaces.
+    ///
     /// # Errors
     ///
-    /// Propagates I/O errors from writing shard files.  Does nothing when no
-    /// store is attached.
+    /// Propagates the last I/O error once retries are exhausted.  Does
+    /// nothing when no store is attached (or the engine degraded to
+    /// in-memory caching).
     pub fn persist(&self) -> std::io::Result<()> {
-        let Some(store) = &self.store else {
+        let Some(store) = self.store() else {
             return Ok(());
         };
         let batch: Vec<(u128, Vec<u8>)> = {
-            let cache = self.cache.lock().expect("engine cache poisoned");
+            let cache = recover(self.cache.lock());
             cache
                 .iter()
                 .map(|(key, stats)| (cachefile::key_hash(key), cachefile::stats_to_bytes(stats)))
                 .collect()
         };
-        let put = store.put_batch(&batch)?;
-        self.store_inserts
-            .fetch_add(put.inserted, Ordering::Relaxed);
-        Ok(())
+        let mut delay = Duration::from_millis(10);
+        let mut attempt = 0u32;
+        loop {
+            match store.put_batch(&batch) {
+                Ok(put) => {
+                    self.store_inserts
+                        .fetch_add(put.inserted, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(e) if attempt < self.max_retries => {
+                    attempt += 1;
+                    eprintln!(
+                        "warning: store persist failed ({e}); retry {attempt}/{} in {:?}",
+                        self.max_retries, delay
+                    );
+                    std::thread::sleep(delay);
+                    delay = delay.saturating_mul(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Wall-clock accounting for the cells this engine actually simulated.
     #[must_use]
     pub fn timing(&self) -> EngineTiming {
-        let mut timing = self.timing.lock().expect("engine timing poisoned").clone();
+        let mut timing = recover(self.timing.lock()).clone();
         timing.session = self.created.elapsed();
         timing
     }
@@ -394,10 +597,22 @@ impl RunEngine {
         EngineReport {
             requested: self.requested.load(Ordering::Relaxed),
             simulated: self.simulated.load(Ordering::Relaxed),
+            failed_cells: self.failed_cells.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_misses: self.store_misses.load(Ordering::Relaxed),
             store_inserts: self.store_inserts.load(Ordering::Relaxed),
         }
+    }
+
+    /// Every cell whose supervised simulation failed this session, sorted by
+    /// configuration label and workload (deterministic order for reports).
+    #[must_use]
+    pub fn failures(&self) -> Vec<CellError> {
+        let mut failures: Vec<CellError> = recover(self.failed.lock()).values().cloned().collect();
+        failures.sort_by(|a, b| {
+            (&a.label, a.workload.to_string()).cmp(&(&b.label, b.workload.to_string()))
+        });
+        failures
     }
 
     fn key(&self, cfg: &ProcessorConfig, workload: Workload) -> CellKey {
@@ -421,12 +636,7 @@ impl RunEngine {
     pub fn preflight(&self, workload: Workload) -> Result<(), String> {
         let program = workload.build(self.rc.scale);
         let hash = program_hash(&program);
-        if let Some(verdict) = self
-            .preflight
-            .lock()
-            .expect("engine preflight memo poisoned")
-            .get(&hash)
-        {
+        if let Some(verdict) = recover(self.preflight.lock()).get(&hash) {
             return match verdict {
                 None => Ok(()),
                 Some(summary) => Err(summary.clone()),
@@ -435,10 +645,7 @@ impl RunEngine {
         let verdict = preflight_program(&program)
             .err()
             .map(|e| format!("{workload}: {e}"));
-        self.preflight
-            .lock()
-            .expect("engine preflight memo poisoned")
-            .insert(hash, verdict.clone());
+        recover(self.preflight.lock()).insert(hash, verdict.clone());
         match verdict {
             None => Ok(()),
             Some(summary) => Err(summary),
@@ -449,10 +656,7 @@ impl RunEngine {
     /// test introspection).
     #[must_use]
     pub fn preflight_cached_programs(&self) -> usize {
-        self.preflight
-            .lock()
-            .expect("engine preflight memo poisoned")
-            .len()
+        recover(self.preflight.lock()).len()
     }
 
     /// Simulates one cell (through the cache).
@@ -495,7 +699,12 @@ impl RunEngine {
     ///
     /// Cells already in the session cache are not re-simulated; cells repeated
     /// within the batch are simulated once.  The unique misses execute on up
-    /// to [`Self::threads`] worker threads.
+    /// to [`Self::threads`] worker threads, each simulation *supervised*: a
+    /// panicking or watchdog-stopped cell is caught, recorded as a
+    /// [`CellError`] (tallied in [`EngineReport::failed_cells`], detailed by
+    /// [`Self::failures`]), and returns all-zero [`RunStats`] in its input
+    /// slot — the rest of the batch completes normally, and the failed cell
+    /// is not retried within the session.
     ///
     /// The engine may itself be shared across caller threads.  Two concurrent
     /// batches that overlap can redundantly simulate an in-flight cell (the
@@ -518,16 +727,19 @@ impl RunEngine {
 
         // Collect the unique cells this batch actually needs to simulate;
         // cells present in the persistent store are promoted to the session
-        // cache without simulation.
+        // cache without simulation, and cells that already failed this
+        // session are not attempted again.
         let misses: Vec<CellKey> = {
-            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            let failed = recover(self.failed.lock());
+            let mut cache = recover(self.cache.lock());
             let mut seen = HashSet::new();
             let mut misses = Vec::new();
             for key in &keys {
-                if cache.contains_key(key) || !seen.insert(key.clone()) {
+                if cache.contains_key(key) || failed.contains_key(key) || !seen.insert(key.clone())
+                {
                     continue;
                 }
-                if let Some(store) = &self.store {
+                if let Some(store) = self.store() {
                     if let Some(stats) = store
                         .get(cachefile::key_hash(key))
                         .and_then(|payload| cachefile::stats_from_bytes(&payload))
@@ -556,12 +768,13 @@ impl RunEngine {
 
         // Simulate the misses into index-addressed slots: result order (and
         // content) is identical whatever the thread count.
-        let slots: Vec<OnceLock<(RunStats, Duration)>> =
-            misses.iter().map(|_| OnceLock::new()).collect();
+        type CellOutcome = Result<(RunStats, Duration), CellError>;
+        let slots: Vec<OnceLock<CellOutcome>> = misses.iter().map(|_| OnceLock::new()).collect();
         let workers = self.threads.min(misses.len());
         if workers <= 1 {
             for (key, slot) in misses.iter().zip(&slots) {
-                slot.set(simulate_cell(key)).expect("slot written once");
+                slot.set(self.supervised_simulate(key))
+                    .expect("slot written once");
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -571,19 +784,30 @@ impl RunEngine {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(key) = misses.get(i) else { break };
                         slots[i]
-                            .set(simulate_cell(key))
+                            .set(self.supervised_simulate(key))
                             .expect("each slot is claimed by exactly one worker");
                     });
                 }
             });
         }
 
-        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        let mut cache = recover(self.cache.lock());
         let mut newly_cached = 0u64;
         for (key, slot) in misses.into_iter().zip(slots) {
-            let (stats, wall) = slot.into_inner().expect("all slots filled");
+            let (stats, wall) = match slot.into_inner().expect("all slots filled") {
+                Ok(outcome) => outcome,
+                Err(error) => {
+                    eprintln!("warning: {error}");
+                    let mut failed = recover(self.failed.lock());
+                    if let std::collections::hash_map::Entry::Vacant(e) = failed.entry(key) {
+                        e.insert(error);
+                        self.failed_cells.fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue;
+                }
+            };
             {
-                let mut timing = self.timing.lock().expect("engine timing poisoned");
+                let mut timing = recover(self.timing.lock());
                 timing.wall += wall;
                 timing.simulated_cycles += stats.cycles;
                 timing.cells.push(CellTiming {
@@ -601,18 +825,54 @@ impl RunEngine {
         self.simulated.fetch_add(newly_cached, Ordering::Relaxed);
         let results = keys
             .iter()
-            .map(|k| cache.get(k).expect("requested cell present").clone())
+            .map(|k| {
+                cache
+                    .get(k)
+                    .cloned()
+                    // A failed cell yields an all-zero record in its slot so
+                    // the batch shape (and every other cell) survives.
+                    .unwrap_or_else(|| RunStats::new(0))
+            })
             .collect();
         drop(cache); // `persist` re-locks the session cache
         self.maybe_persist(newly_cached);
         results
     }
 
+    /// Runs one cell under supervision: panics (including the cycle-budget
+    /// watchdog's) are caught and classified instead of unwinding into the
+    /// batch machinery.
+    fn supervised_simulate(&self, key: &CellKey) -> Result<(RunStats, Duration), CellError> {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(hook) = &self.cell_hook {
+                hook(key);
+            }
+            simulate_cell(key, self.cycle_budget)
+        }));
+        match outcome {
+            Ok(timed) => Ok(timed),
+            Err(payload) => {
+                let message = panic_message(&*payload);
+                let kind = if message.contains(sdv_uarch::CYCLE_BUDGET_EXCEEDED) {
+                    CellFailure::CycleBudget
+                } else {
+                    CellFailure::Panic
+                };
+                Err(CellError {
+                    label: key.config.label(),
+                    workload: key.workload,
+                    kind,
+                    message,
+                })
+            }
+        }
+    }
+
     /// Periodic-persist bookkeeping: flushes the session cache to the store
     /// once enough new results have accumulated (see
     /// [`Self::with_persist_every`]).
     fn maybe_persist(&self, newly_cached: u64) {
-        if self.store.is_none() || self.persist_every == 0 || newly_cached == 0 {
+        if self.store().is_none() || self.persist_every == 0 || newly_cached == 0 {
             return;
         }
         let pending = newly_cached + self.unpersisted.fetch_add(newly_cached, Ordering::Relaxed);
@@ -621,7 +881,7 @@ impl RunEngine {
         }
         self.unpersisted.store(0, Ordering::Relaxed);
         if let Err(e) = self.persist() {
-            eprintln!("warning: periodic persist failed: {e} (will retry at the final flush)");
+            self.degrade_store(&e);
         }
     }
 }
@@ -667,11 +927,13 @@ pub fn preflight_program(program: &Program) -> Result<(), String> {
     }
 }
 
-/// The one place a cell becomes a simulation.
-fn simulate_cell(key: &CellKey) -> (RunStats, Duration) {
+/// The one place a cell becomes a simulation.  The cycle-budget watchdog
+/// panics (with [`sdv_uarch::CYCLE_BUDGET_EXCEEDED`] in the message) when the
+/// budget is exhausted; the supervisor classifies that for the caller.
+fn simulate_cell(key: &CellKey, max_cycles: u64) -> (RunStats, Duration) {
     let start = Instant::now();
     let program = key.workload.build(key.scale);
-    let stats = sdv_uarch::simulate(&key.config, &program, key.max_insts);
+    let stats = sdv_uarch::simulate_bounded(&key.config, &program, key.max_insts, max_cycles);
     (stats, start.elapsed())
 }
 
@@ -856,7 +1118,7 @@ mod tests {
             scale: rc().scale,
             max_insts: rc().max_insts,
         };
-        let stats = super::simulate_cell(&key).0;
+        let stats = super::simulate_cell(&key, u64::MAX).0;
         let mut entries = HashMap::new();
         entries.insert(key, stats.clone());
         cachefile::write_cache(&dir.join("cache.bin"), &entries, &HashMap::new())
@@ -927,5 +1189,141 @@ mod tests {
             assert!(suite.mean(|s| s.ipc()) > 0.0);
         }
         assert_eq!(engine.report().simulated, 4);
+    }
+
+    #[test]
+    fn panicking_cell_fails_typed_and_the_batch_completes() {
+        let engine = RunEngine::new(rc())
+            .with_threads(2)
+            .with_cell_hook(Arc::new(|key: &CellKey| {
+                if key.workload == Workload::Swim {
+                    panic!("injected cell failure");
+                }
+            }));
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+        let cells = vec![
+            (cfg.clone(), Workload::Compress),
+            (cfg.clone(), Workload::Swim),
+            (cfg, Workload::Li),
+        ];
+        let stats = engine.run_cells(&cells);
+        assert_eq!(stats.len(), 3, "the batch keeps its shape");
+        assert!(stats[0].cycles > 0);
+        assert_eq!(
+            stats[1],
+            RunStats::new(0),
+            "failed cell yields a zero record"
+        );
+        assert!(stats[2].cycles > 0);
+        let report = engine.report();
+        assert_eq!(report.failed_cells, 1);
+        assert!(report.to_string().contains("FAILED"), "{report}");
+        let failures = engine.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].kind, CellFailure::Panic);
+        assert_eq!(failures[0].workload, Workload::Swim);
+        assert!(failures[0].message.contains("injected cell failure"));
+        assert!(failures[0].to_string().contains("FAILED"));
+    }
+
+    #[test]
+    fn cycle_budget_exhaustion_is_a_typed_failure() {
+        let engine = RunEngine::new(rc()).with_cycle_budget(4);
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+        let stats = engine.run_cell(&cfg, Workload::Compress);
+        assert_eq!(stats, RunStats::new(0));
+        let failures = engine.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].kind, CellFailure::CycleBudget);
+        assert!(
+            failures[0]
+                .message
+                .contains(sdv_uarch::CYCLE_BUDGET_EXCEEDED),
+            "{}",
+            failures[0].message
+        );
+    }
+
+    #[test]
+    fn failed_cells_are_memoized_and_not_retried() {
+        let attempts = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&attempts);
+        let engine = RunEngine::new(rc()).with_cell_hook(Arc::new(move |_key: &CellKey| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            panic!("always fails");
+        }));
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+        let _ = engine.run_cell(&cfg, Workload::Compress);
+        let _ = engine.run_cell(&cfg, Workload::Compress);
+        assert_eq!(
+            attempts.load(Ordering::SeqCst),
+            1,
+            "a failed cell is never retried within the session"
+        );
+        assert_eq!(engine.report().failed_cells, 1);
+    }
+
+    #[test]
+    fn persist_failure_degrades_to_in_memory_caching() {
+        let dir = std::env::temp_dir().join(format!("sdv-engine-degrade-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let io = Arc::new(sdv_store::FaultPlan::new().with_fault(
+            sdv_store::IoOp::Write,
+            0,
+            sdv_store::Fault::Enospc,
+        ));
+        let store = sdv_store::Store::open_with_io(&dir, 1, io).expect("store opens");
+        let engine = RunEngine::new(rc())
+            .with_store(store)
+            .with_persist_every(1)
+            .with_max_retries(0);
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+        let stats = engine.run_cell(&cfg, Workload::Compress);
+        assert!(stats.cycles > 0, "the simulation itself succeeds");
+        assert!(
+            engine.store_degraded(),
+            "ENOSPC with no retries degrades to in-memory caching"
+        );
+        assert!(engine.store().is_none());
+        assert!(engine.persist().is_ok(), "persist is a no-op once degraded");
+        // Later cells keep working from the in-memory cache.
+        let again = engine.run_cell(&cfg, Workload::Compress);
+        assert_eq!(stats, again);
+        assert_eq!(engine.report().simulated, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_store_errors_are_retried_then_persist() {
+        let dir = std::env::temp_dir().join(format!("sdv-engine-retry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let io = Arc::new(sdv_store::FaultPlan::new().with_fault(
+            sdv_store::IoOp::Write,
+            0,
+            sdv_store::Fault::Eio,
+        ));
+        let store = sdv_store::Store::open_with_io(&dir, 1, io).expect("store opens");
+        let engine = RunEngine::new(rc())
+            .with_store(store)
+            .with_persist_every(1)
+            .with_max_retries(2);
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide);
+        let _ = engine.run_cell(&cfg, Workload::Compress);
+        assert!(
+            !engine.store_degraded(),
+            "a transient EIO is absorbed by the retry loop"
+        );
+        let key = CellKey {
+            config: cfg,
+            workload: Workload::Compress,
+            scale: rc().scale,
+            max_insts: rc().max_insts,
+        };
+        let reopened = sdv_store::Store::open(&dir, 1).expect("store reopens");
+        assert!(
+            reopened.get(cachefile::key_hash(&key)).is_some(),
+            "the retried persist landed on disk"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -21,7 +21,7 @@
 //! assert_eq!(exp.report().simulated, before);
 //! ```
 
-use crate::engine::{EngineReport, EngineTiming, RunEngine};
+use crate::engine::{CellError, EngineReport, EngineTiming, RunEngine};
 use crate::figures::{
     fig1, fig10, fig13, fig14, fig15, fig3, fig7, fig9, headline, port_sweep, Fig1, Fig13, Fig15,
     Fig7, Headline, PortSweep, WorkloadSeries,
@@ -89,6 +89,21 @@ impl Experiment {
         );
         self.workloads = workloads;
         self
+    }
+
+    /// Sets the store-persist retry budget (see
+    /// [`RunEngine::with_max_retries`]).
+    #[must_use]
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.engine = self.engine.with_max_retries(retries);
+        self
+    }
+
+    /// Per-cell failure details for this session, sorted for stable output
+    /// (see [`RunEngine::failures`]).
+    #[must_use]
+    pub fn failures(&self) -> Vec<CellError> {
+        self.engine.failures()
     }
 
     /// The underlying engine (for custom cells next to the stock figures).

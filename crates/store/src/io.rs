@@ -1,0 +1,131 @@
+//! The store's I/O seam: every filesystem touch goes through [`StoreIo`].
+//!
+//! Production code uses [`RealIo`] (a zero-cost veneer over `std::fs`); tests
+//! swap in [`crate::fault::FaultPlan`] to inject crashes, torn writes, bit
+//! flips, and resource-exhaustion errors at named points — deterministically,
+//! so every recovery path is provable by property test rather than waiting
+//! for a real disk to misbehave.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+/// Filesystem operations the store performs, as an injectable trait.
+///
+/// The default implementation is [`RealIo`].  Implementations must be
+/// thread-safe: the store shares one handle across all writer threads.
+pub trait StoreIo: Send + Sync {
+    /// Reads a whole file (`std::fs::read`).
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O failure.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Writes a whole file, creating or truncating it (`std::fs::write`).
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O failure.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically renames `from` onto `to` (`std::fs::rename`).
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O failure.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Deletes a file (`std::fs::remove_file`).
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O failure.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Creates a directory and all parents (`std::fs::create_dir_all`).
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O failure.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Opens (creating if necessary) `path` and takes the OS advisory lock on
+    /// it, blocking until the current holder releases.  The lock is released
+    /// when the returned handle drops — including when the holder crashes,
+    /// which is the property the whole locking scheme rests on.
+    ///
+    /// # Errors
+    /// Propagates the underlying open or lock failure.
+    fn lock(&self, path: &Path) -> io::Result<fs::File>;
+
+    /// Lists the entries of a directory (paths, any order).
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O failure.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// A file's size in bytes.
+    ///
+    /// # Errors
+    /// Propagates the underlying metadata failure.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+
+    /// A file's last-modified time.
+    ///
+    /// # Errors
+    /// Propagates the underlying metadata failure.
+    fn modified(&self, path: &Path) -> io::Result<SystemTime>;
+
+    /// Whether a file exists (default: probes via [`StoreIo::file_len`]).
+    fn exists(&self, path: &Path) -> bool {
+        self.file_len(path).is_ok()
+    }
+}
+
+/// The production [`StoreIo`]: plain `std::fs`, no interposition.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl StoreIo for RealIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn lock(&self, path: &Path) -> io::Result<fs::File> {
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        // Blocks until the current holder releases (or its process dies).
+        file.lock()?;
+        Ok(file)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        fs::read_dir(path)?
+            .map(|item| item.map(|e| e.path()))
+            .collect()
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        fs::metadata(path).map(|m| m.len())
+    }
+
+    fn modified(&self, path: &Path) -> io::Result<SystemTime> {
+        fs::metadata(path)?.modified()
+    }
+}

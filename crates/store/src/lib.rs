@@ -1,4 +1,4 @@
-//! A sharded, mergeable, concurrency-safe result store.
+//! A sharded, mergeable, concurrency-safe, self-healing result store.
 //!
 //! The simulation layer persists `content-hash → serialized result` entries so
 //! repeated experiment runs (and CI jobs seeding developer machines) reuse
@@ -12,11 +12,12 @@
 //!
 //! A store is a directory of up to 256 *shard* files, `shard-00.bin` …
 //! `shard-ff.bin`, where an entry lives in the shard named by the top byte of
-//! its key.  Each shard file is a small versioned binary blob:
+//! its key.  Each shard file is a small versioned binary blob (version 2;
+//! version-1 files, which lack the per-entry `crc32`, are still readable):
 //!
 //! ```text
 //! magic "SDVS" | version u32 | fingerprint u64 | count u64
-//!   count × ( key_lo u64 | key_hi u64 | payload_len u32 | payload bytes )
+//!   count × ( key_lo u64 | key_hi u64 | payload_len u32 | crc32 u32 | payload )
 //! ```
 //!
 //! The `fingerprint` identifies the *producer behaviour* (for the simulator:
@@ -24,6 +25,17 @@
 //! store is always opened for one fingerprint; shard files written by a
 //! different producer are invisible to readers, replaced on write, and
 //! reclaimed by [`Store::gc`].
+//!
+//! # Durability and self-healing
+//!
+//! All file I/O goes through the [`StoreIo`] trait ([`RealIo`] in
+//! production), so every failure path is provable under the deterministic
+//! [`FaultPlan`] injector.  The per-entry CRC32 localizes corruption to the
+//! entry it hit: readers silently serve the intact remainder of a damaged
+//! shard, [`Store::verify`] reports damage at entry granularity, and
+//! [`Store::repair`] salvages the intact entries, quarantines the damaged
+//! bytes under `quarantine/`, and atomically rewrites the shard — losing
+//! only provably-corrupt entries, never the shard.
 //!
 //! # Concurrency
 //!
@@ -50,15 +62,22 @@
 //! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
-use std::collections::HashMap;
-use std::fs;
-use std::io;
-use std::path::{Path, PathBuf};
-use std::sync::RwLock;
+pub mod fault;
+pub mod format;
+pub mod io;
 
-const MAGIC: &[u8; 4] = b"SDVS";
-/// Bump whenever the shard-file layout changes; older files become stale.
-const STORE_VERSION: u32 = 1;
+use std::collections::HashMap;
+use std::io::{self as stdio, ErrorKind};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, PoisonError, RwLock};
+
+pub use fault::{Fault, FaultPlan, IoOp};
+pub use format::{
+    crc32, scan_shard, serialize_shard, serialize_shard_v1, ShardFault, ShardScan,
+    MIN_READ_VERSION, STORE_VERSION,
+};
+pub use io::{RealIo, StoreIo};
+
 /// Number of shard files a store fans out over (keyed by the key's top byte).
 pub const SHARDS: usize = 256;
 /// Age (by file mtime) beyond which a leftover `.tmp.*` file is presumed
@@ -81,122 +100,7 @@ fn shard_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard:02x}.bin"))
 }
 
-// -------------------------------------------------------------- shard files
-
-/// One parsed shard file: who wrote it and what it holds.
-struct ShardFile {
-    fingerprint: u64,
-    entries: HashMap<u128, Vec<u8>>,
-}
-
-/// A bounds-checked little-endian reader over a shard file's bytes.
-struct Cursor<'a> {
-    buf: &'a [u8],
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        let (head, rest) = self
-            .buf
-            .split_at_checked(n)
-            .ok_or_else(|| format!("truncated at a {n}-byte field ({} left)", self.buf.len()))?;
-        self.buf = rest;
-        Ok(head)
-    }
-
-    fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-}
-
-fn parse_shard(bytes: &[u8]) -> Result<ShardFile, String> {
-    let mut c = Cursor { buf: bytes };
-    if c.take(4)? != MAGIC {
-        return Err("bad magic".into());
-    }
-    let version = c.u32()?;
-    if version != STORE_VERSION {
-        return Err(format!("version {version}, expected {STORE_VERSION}"));
-    }
-    let fingerprint = c.u64()?;
-    let count = c.u64()?;
-    let mut entries = HashMap::new();
-    for i in 0..count {
-        let err = |e| format!("entry {i}: {e}");
-        let lo = c.u64().map_err(err)?;
-        let hi = c.u64().map_err(err)?;
-        let len = c.u32().map_err(err)?;
-        let payload = c.take(len as usize).map_err(err)?;
-        let key = (u128::from(hi) << 64) | u128::from(lo);
-        if entries.insert(key, payload.to_vec()).is_some() {
-            return Err(format!("duplicate key {key:#034x}"));
-        }
-    }
-    if !c.buf.is_empty() {
-        return Err(format!(
-            "{} trailing bytes after {count} entries",
-            c.buf.len()
-        ));
-    }
-    Ok(ShardFile {
-        fingerprint,
-        entries,
-    })
-}
-
-fn serialize_shard(fingerprint: u64, entries: &HashMap<u128, Vec<u8>>) -> Vec<u8> {
-    // Deterministic entry order so byte-identical content produces
-    // byte-identical files (useful for CI cache stability and debugging).
-    let mut keys: Vec<&u128> = entries.keys().collect();
-    keys.sort_unstable();
-    let mut out = Vec::new();
-    out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&STORE_VERSION.to_le_bytes());
-    out.extend_from_slice(&fingerprint.to_le_bytes());
-    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
-    for key in keys {
-        let payload = &entries[key];
-        out.extend_from_slice(&(*key as u64).to_le_bytes());
-        out.extend_from_slice(&((key >> 64) as u64).to_le_bytes());
-        out.extend_from_slice(
-            &u32::try_from(payload.len())
-                .expect("payload fits u32")
-                .to_le_bytes(),
-        );
-        out.extend_from_slice(payload);
-    }
-    out
-}
-
-/// Reads a shard file from disk; `Ok(None)` when it does not exist.
-fn read_shard(path: &Path) -> io::Result<Option<Result<ShardFile, String>>> {
-    match fs::read(path) {
-        Ok(bytes) => Ok(Some(parse_shard(&bytes))),
-        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
-        Err(e) => Err(e),
-    }
-}
-
 // -------------------------------------------------------------- write locks
-
-/// Whether a temp file at `path` is old enough (by mtime) to be treated as
-/// abandoned by a crashed writer.  `false` when the file is gone or its age
-/// cannot be determined — never presume abandonment without evidence.
-fn is_stale(path: &Path) -> bool {
-    fs::metadata(path)
-        .and_then(|m| m.modified())
-        .ok()
-        .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
-        .is_some_and(|age| age >= GC_TEMP_MAX_AGE)
-}
 
 /// An exclusive per-shard writer lock: an OS advisory lock on a sibling
 /// `.lock` file, released when the handle drops.  The kernel owns the lock's
@@ -206,18 +110,7 @@ fn is_stale(path: &Path) -> bool {
 /// while another writer holds the inode's lock would let a third writer lock
 /// a fresh inode under the same name and break mutual exclusion.
 struct ShardLock {
-    _file: fs::File,
-}
-
-fn lock_shard(dir: &Path, shard: usize) -> io::Result<ShardLock> {
-    let file = fs::OpenOptions::new()
-        .write(true)
-        .create(true)
-        .truncate(false)
-        .open(dir.join(format!("shard-{shard:02x}.lock")))?;
-    // Blocks until the current holder releases (or its process dies).
-    file.lock()?;
-    Ok(ShardLock { _file: file })
+    _file: std::fs::File,
 }
 
 // ------------------------------------------------------------------ reports
@@ -296,11 +189,18 @@ impl std::fmt::Display for GcReport {
 pub struct VerifyReport {
     /// Shard files parsed with the store's fingerprint.
     pub shards: u64,
-    /// Entries across those shards.
+    /// Intact entries across those shards.
     pub entries: u64,
     /// Structurally valid shard files with a foreign fingerprint (stale but
     /// harmless — [`Store::gc`] reclaims them).
     pub stale_shards: u64,
+    /// Entries lost to localized damage (CRC mismatch, truncation,
+    /// duplicates) across all readable shards — what [`Store::repair`]
+    /// would quarantine.
+    pub corrupt_entries: u64,
+    /// Readable shard files still in the legacy CRC-less format (version 1);
+    /// [`Store::repair`] upgrades them.
+    pub legacy_shards: u64,
     /// Structural problems found; empty for a healthy store.
     pub errors: Vec<String>,
 }
@@ -324,13 +224,77 @@ impl std::fmt::Display for VerifyReport {
             if self.is_ok() {
                 "OK".to_string()
             } else {
-                format!("{} error(s)", self.errors.len())
+                format!(
+                    "{} error(s), {} corrupt entr{}",
+                    self.errors.len(),
+                    self.corrupt_entries,
+                    if self.corrupt_entries == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    }
+                )
             }
         )?;
+        if self.legacy_shards > 0 {
+            write!(
+                f,
+                " ({} legacy v1 shard file(s); run repair to upgrade)",
+                self.legacy_shards
+            )?;
+        }
         for e in &self.errors {
             write!(f, "\n  - {e}")?;
         }
         Ok(())
+    }
+}
+
+/// What [`Store::repair`] salvaged, quarantined, and rewrote.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Shard files examined.
+    pub scanned_shards: u64,
+    /// Shard files that were already clean at the current version.
+    pub clean_shards: u64,
+    /// Damaged or legacy shard files atomically rewritten.
+    pub repaired_shards: u64,
+    /// Intact entries carried over into rewritten shards.
+    pub recovered_entries: u64,
+    /// Entries lost to damage (their bytes are in `quarantine/`).
+    pub quarantined_entries: u64,
+    /// Damaged bytes moved under `quarantine/`.
+    pub quarantined_bytes: u64,
+    /// Files whose header was unreadable, moved whole into `quarantine/`.
+    pub quarantined_files: u64,
+    /// Legacy version-1 shard files upgraded to the current format.
+    pub upgraded_shards: u64,
+}
+
+impl RepairReport {
+    /// `true` when nothing needed repair.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.repaired_shards == 0 && self.quarantined_files == 0
+    }
+}
+
+impl std::fmt::Display for RepairReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scanned {} shard files: {} clean, {} repaired ({} entries recovered, \
+             {} quarantined, {} damaged bytes), {} unreadable file(s) quarantined, \
+             {} legacy shard(s) upgraded",
+            self.scanned_shards,
+            self.clean_shards,
+            self.repaired_shards,
+            self.recovered_entries,
+            self.quarantined_entries,
+            self.quarantined_bytes,
+            self.quarantined_files,
+            self.upgraded_shards
+        )
     }
 }
 
@@ -339,7 +303,7 @@ impl std::fmt::Display for VerifyReport {
 pub struct StoreStats {
     /// Shard files carrying the store's fingerprint.
     pub shards: u64,
-    /// Entries across those shards.
+    /// Intact entries across those shards.
     pub entries: u64,
     /// Total payload bytes across those entries.
     pub payload_bytes: u64,
@@ -380,23 +344,39 @@ impl std::fmt::Display for StoreStats {
 pub struct Store {
     dir: PathBuf,
     fingerprint: u64,
+    io: Arc<dyn StoreIo>,
     /// Per-shard memo of the last loaded disk state (`None` = not loaded).
     shards: Vec<RwLock<Option<ShardEntries>>>,
 }
 
 impl Store {
     /// Opens (creating if necessary) the store directory `dir` for entries
-    /// produced under `fingerprint`.
+    /// produced under `fingerprint`, on the real filesystem.
     ///
     /// # Errors
     ///
     /// Propagates the failure to create the directory.
-    pub fn open(dir: impl Into<PathBuf>, fingerprint: u64) -> io::Result<Self> {
+    pub fn open(dir: impl Into<PathBuf>, fingerprint: u64) -> stdio::Result<Self> {
+        Self::open_with_io(dir, fingerprint, Arc::new(RealIo))
+    }
+
+    /// Opens the store through an explicit [`StoreIo`] implementation —
+    /// the seam fault-injection tests use to prove every recovery path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure to create the directory.
+    pub fn open_with_io(
+        dir: impl Into<PathBuf>,
+        fingerprint: u64,
+        io: Arc<dyn StoreIo>,
+    ) -> stdio::Result<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
+        io.create_dir_all(&dir)?;
         Ok(Store {
             dir,
             fingerprint,
+            io,
             shards: (0..SHARDS).map(|_| RwLock::new(None)).collect(),
         })
     }
@@ -413,20 +393,50 @@ impl Store {
         self.fingerprint
     }
 
+    /// Reads a shard file's raw bytes; `Ok(None)` when it does not exist.
+    fn read_shard_bytes(&self, path: &Path) -> stdio::Result<Option<Vec<u8>>> {
+        match self.io.read(path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Takes the writer lock for `shard` (blocking).
+    fn lock_shard(&self, shard: usize) -> stdio::Result<ShardLock> {
+        let file = self
+            .io
+            .lock(&self.dir.join(format!("shard-{shard:02x}.lock")))?;
+        Ok(ShardLock { _file: file })
+    }
+
+    /// Whether a temp file at `path` is old enough (by mtime) to be treated
+    /// as abandoned by a crashed writer.  `false` when the file is gone or
+    /// its age cannot be determined — never presume abandonment without
+    /// evidence.
+    fn is_stale(&self, path: &Path) -> bool {
+        self.io
+            .modified(path)
+            .ok()
+            .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
+            .is_some_and(|age| age >= GC_TEMP_MAX_AGE)
+    }
+
     /// Loads the shard holding `key` (once) and returns the entry's payload.
     ///
-    /// Shard files written under a different fingerprint, or unparseable ones,
-    /// read as empty — stale or damaged data can only ever cause a miss.
+    /// Shard files written under a different fingerprint, or unreadable ones,
+    /// read as empty; a damaged shard serves its intact entries — stale or
+    /// corrupt data can only ever cause a miss.
     #[must_use]
     pub fn get(&self, key: u128) -> Option<Vec<u8>> {
         let slot = &self.shards[shard_of(key)];
         {
-            let loaded = slot.read().expect("shard memo poisoned");
+            let loaded = slot.read().unwrap_or_else(PoisonError::into_inner);
             if let Some(entries) = loaded.as_ref() {
                 return entries.get(&key).cloned();
             }
         }
-        let mut loaded = slot.write().expect("shard memo poisoned");
+        let mut loaded = slot.write().unwrap_or_else(PoisonError::into_inner);
         if loaded.is_none() {
             *loaded = Some(self.load_shard(shard_of(key)));
         }
@@ -434,10 +444,14 @@ impl Store {
     }
 
     /// Reads a shard's live entries from disk (empty on absence, foreign
-    /// fingerprint, or parse failure).
-    fn load_shard(&self, shard: usize) -> HashMap<u128, Vec<u8>> {
-        match read_shard(&shard_path(&self.dir, shard)) {
-            Ok(Some(Ok(file))) if file.fingerprint == self.fingerprint => file.entries,
+    /// fingerprint, or unreadable header; intact entries of a damaged shard
+    /// are served).
+    fn load_shard(&self, shard: usize) -> ShardEntries {
+        match self.read_shard_bytes(&shard_path(&self.dir, shard)) {
+            Ok(Some(bytes)) => match scan_shard(&bytes) {
+                Ok(scan) if scan.fingerprint == self.fingerprint => scan.entries,
+                _ => HashMap::new(),
+            },
             _ => HashMap::new(),
         }
     }
@@ -445,13 +459,16 @@ impl Store {
     /// Inserts a batch of entries, merging with whatever each touched shard
     /// already holds on disk (a read–merge–write per shard under the shard's
     /// writer lock).  Untouched shards are not rewritten, and a batch that
-    /// adds nothing new to a shard leaves its file untouched.
+    /// adds nothing new to a shard leaves its file untouched.  A damaged
+    /// shard is healed in passing: its damaged bytes are quarantined and its
+    /// intact entries merge with the batch, so writing never silently drops
+    /// salvageable data.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures; on error some shards of the batch may already
     /// have been written (each individual shard stays consistent).
-    pub fn put_batch(&self, entries: &[(u128, Vec<u8>)]) -> io::Result<PutReport> {
+    pub fn put_batch(&self, entries: &[(u128, Vec<u8>)]) -> stdio::Result<PutReport> {
         let mut by_shard: HashMap<usize, Vec<&(u128, Vec<u8>)>> = HashMap::new();
         for entry in entries {
             by_shard.entry(shard_of(entry.0)).or_default().push(entry);
@@ -461,14 +478,26 @@ impl Store {
         shards.sort_unstable(); // deterministic lock order
         for shard in shards {
             let path = shard_path(&self.dir, shard);
-            let _lock = lock_shard(&self.dir, shard)?;
-            let (mut merged, on_disk_fresh) = match read_shard(&path)? {
-                Some(Ok(file)) if file.fingerprint == self.fingerprint => (file.entries, true),
-                Some(Ok(file)) => {
-                    report.discarded_stale += file.entries.len() as u64;
-                    (HashMap::new(), false)
-                }
-                Some(Err(_)) | None => (HashMap::new(), false),
+            let _lock = self.lock_shard(shard)?;
+            let (mut merged, on_disk_fresh) = match self.read_shard_bytes(&path)? {
+                Some(bytes) => match scan_shard(&bytes) {
+                    Ok(scan) if scan.fingerprint == self.fingerprint => {
+                        if !scan.faults.is_empty() {
+                            self.quarantine_ranges(shard, &bytes, &scan.faults)?;
+                        }
+                        let fresh = scan.is_clean();
+                        (scan.entries, fresh)
+                    }
+                    Ok(scan) => {
+                        report.discarded_stale += scan.entries.len() as u64;
+                        (HashMap::new(), false)
+                    }
+                    Err(_) => {
+                        self.quarantine_file(shard, &path)?;
+                        (HashMap::new(), false)
+                    }
+                },
+                None => (HashMap::new(), false),
             };
             let mut changed = !on_disk_fresh;
             for (key, payload) in &by_shard[&shard] {
@@ -484,42 +513,51 @@ impl Store {
                 }
             }
             if changed {
-                let bytes = serialize_shard(self.fingerprint, &merged);
-                let tmp = self
-                    .dir
-                    .join(format!("shard-{shard:02x}.tmp.{}", std::process::id()));
-                fs::write(&tmp, bytes)?;
-                fs::rename(&tmp, &path)?;
+                self.write_shard_atomic(shard, &path, &serialize_shard(self.fingerprint, &merged))?;
             }
-            *self.shards[shard].write().expect("shard memo poisoned") = Some(merged);
+            *self.shards[shard]
+                .write()
+                .unwrap_or_else(PoisonError::into_inner) = Some(merged);
         }
         Ok(report)
+    }
+
+    /// Writes shard bytes via the atomic write-temp + rename protocol.
+    fn write_shard_atomic(&self, shard: usize, path: &Path, bytes: &[u8]) -> stdio::Result<()> {
+        let tmp = self
+            .dir
+            .join(format!("shard-{shard:02x}.tmp.{}", std::process::id()));
+        self.io.write(&tmp, bytes)?;
+        self.io.rename(&tmp, path)
     }
 
     /// Merges every live entry of the store directory `src` into this store.
     ///
     /// Source shards written under a different fingerprint are skipped (their
-    /// results are stale for this producer); unparseable source shards are
-    /// skipped silently.  `merge(A, B)` and `merge(B, A)` into empty stores
-    /// produce the same entry *set* whenever A and B agree on shared keys —
-    /// which content-hashed deterministic results always do.
+    /// results are stale for this producer); unreadable source shards are
+    /// skipped silently, and damaged ones contribute their intact entries.
+    /// `merge(A, B)` and `merge(B, A)` into empty stores produce the same
+    /// entry *set* whenever A and B agree on shared keys — which
+    /// content-hashed deterministic results always do.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures from reading `src` or writing this store.
-    pub fn merge_from(&self, src: &Path) -> io::Result<MergeReport> {
+    pub fn merge_from(&self, src: &Path) -> stdio::Result<MergeReport> {
         let mut report = MergeReport::default();
         for shard in 0..SHARDS {
-            let Some(parsed) = read_shard(&shard_path(src, shard))? else {
+            let Some(bytes) = self.read_shard_bytes(&shard_path(src, shard))? else {
                 continue;
             };
             report.shards_read += 1;
-            let Ok(file) = parsed else { continue };
-            if file.fingerprint != self.fingerprint {
-                report.skipped_stale += file.entries.len() as u64;
+            let Ok(scan) = scan_shard(&bytes) else {
+                continue;
+            };
+            if scan.fingerprint != self.fingerprint {
+                report.skipped_stale += scan.entries.len() as u64;
                 continue;
             }
-            let batch: Vec<(u128, Vec<u8>)> = file.entries.into_iter().collect();
+            let batch: Vec<(u128, Vec<u8>)> = scan.entries.into_iter().collect();
             let put = self.put_batch(&batch)?;
             report.inserted += put.inserted;
             report.updated += put.updated;
@@ -528,17 +566,21 @@ impl Store {
     }
 
     /// Every live entry of the store (the shards carrying this handle's
-    /// fingerprint), read fresh from disk.
+    /// fingerprint), read fresh from disk.  Damaged shards contribute their
+    /// intact entries.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures from reading shard files.
-    pub fn entries(&self) -> io::Result<HashMap<u128, Vec<u8>>> {
+    pub fn entries(&self) -> stdio::Result<HashMap<u128, Vec<u8>>> {
         let mut out = HashMap::new();
         for shard in 0..SHARDS {
-            if let Some(Ok(file)) = read_shard(&shard_path(&self.dir, shard))? {
-                if file.fingerprint == self.fingerprint {
-                    out.extend(file.entries);
+            let Some(bytes) = self.read_shard_bytes(&shard_path(&self.dir, shard))? else {
+                continue;
+            };
+            if let Ok(scan) = scan_shard(&bytes) {
+                if scan.fingerprint == self.fingerprint {
+                    out.extend(scan.entries);
                 }
             }
         }
@@ -546,16 +588,16 @@ impl Store {
     }
 
     /// Deletes shard files whose fingerprint differs from `keep` (plus
-    /// unparseable shards and abandoned temp files; lock files are never
-    /// touched) and reports what was reclaimed.
+    /// unreadable shards and abandoned temp files; lock files and the
+    /// `quarantine/` directory are never touched) and reports what was
+    /// reclaimed.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures from listing or deleting files.
-    pub fn gc(&self, keep: u64) -> io::Result<GcReport> {
+    pub fn gc(&self, keep: u64) -> stdio::Result<GcReport> {
         let mut report = GcReport::default();
-        for item in fs::read_dir(&self.dir)? {
-            let path = item?.path();
+        for path in self.io.read_dir(&self.dir)? {
             let name = path
                 .file_name()
                 .and_then(|n| n.to_str())
@@ -574,55 +616,70 @@ impl Store {
                 // A leftover `.tmp.<pid>` of a crashed writer.  Only reclaim
                 // provably old ones: a concurrent writer's pending temp file
                 // must survive a gc that races it.
-                if is_stale(&path) {
-                    fs::remove_file(&path)?;
+                if self.is_stale(&path) {
+                    self.io.remove_file(&path)?;
                     report.removed_strays += 1;
                 }
                 continue;
             }
-            match read_shard(&path)? {
-                Some(Ok(file)) if file.fingerprint == keep => {
+            let Some(bytes) = self.read_shard_bytes(&path)? else {
+                continue;
+            };
+            match scan_shard(&bytes) {
+                Ok(scan) if scan.fingerprint == keep => {
                     report.kept_shards += 1;
-                    report.kept_entries += file.entries.len() as u64;
+                    report.kept_entries += scan.entries.len() as u64;
                 }
-                Some(Ok(file)) => {
-                    fs::remove_file(&path)?;
+                Ok(scan) => {
+                    self.io.remove_file(&path)?;
                     report.removed_shards += 1;
-                    report.removed_entries += file.entries.len() as u64;
+                    report.removed_entries += scan.entries.len() as u64;
                 }
-                Some(Err(_)) => {
-                    fs::remove_file(&path)?;
+                Err(_) => {
+                    self.io.remove_file(&path)?;
                     report.removed_shards += 1;
                 }
-                None => {}
             }
         }
         for slot in &self.shards {
-            *slot.write().expect("shard memo poisoned") = None;
+            *slot.write().unwrap_or_else(PoisonError::into_inner) = None;
         }
         Ok(report)
     }
 
-    /// Structurally verifies every shard file of the store: magic, version,
-    /// entry framing, no trailing bytes, and every key living in the shard its
-    /// top byte names.  Stale-but-valid shards (foreign fingerprint) are
-    /// counted, not flagged.
+    /// Verifies every shard file of the store at per-entry granularity:
+    /// magic, version, entry framing, per-entry CRC, no trailing bytes, and
+    /// every key living in the shard its top byte names.  Stale-but-valid
+    /// shards (foreign fingerprint) are counted, not flagged.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures; structural problems are *reported*, not
     /// returned as errors.
-    pub fn verify(&self) -> io::Result<VerifyReport> {
+    pub fn verify(&self) -> stdio::Result<VerifyReport> {
         let mut report = VerifyReport::default();
         for shard in 0..SHARDS {
             let path = shard_path(&self.dir, shard);
-            let Some(parsed) = read_shard(&path)? else {
+            let Some(bytes) = self.read_shard_bytes(&path)? else {
                 continue;
             };
-            match parsed {
+            match scan_shard(&bytes) {
                 Err(e) => report.errors.push(format!("{}: {e}", path.display())),
-                Ok(file) => {
-                    for key in file.entries.keys() {
+                Ok(scan) => {
+                    for fault in &scan.faults {
+                        report.errors.push(format!(
+                            "{}: {} [bytes {}..{}]",
+                            path.display(),
+                            fault.what,
+                            fault.range.0,
+                            fault.range.1
+                        ));
+                    }
+                    report.corrupt_entries += scan.corrupt_entries();
+                    if scan.version < STORE_VERSION {
+                        report.legacy_shards += 1;
+                    }
+                    for key in scan.entries.keys() {
                         if shard_of(*key) != shard {
                             report.errors.push(format!(
                                 "{}: key {key:#034x} belongs in shard {:02x}",
@@ -631,9 +688,9 @@ impl Store {
                             ));
                         }
                     }
-                    if file.fingerprint == self.fingerprint {
+                    if scan.fingerprint == self.fingerprint {
                         report.shards += 1;
-                        report.entries += file.entries.len() as u64;
+                        report.entries += scan.entries.len() as u64;
                     } else {
                         report.stale_shards += 1;
                     }
@@ -643,29 +700,134 @@ impl Store {
         Ok(report)
     }
 
+    /// Repairs every damaged or legacy shard file: salvages the intact
+    /// entries, quarantines the damaged bytes under `quarantine/`, and
+    /// atomically rewrites the shard at the current format version — losing
+    /// only provably-corrupt entries, never the shard.  Files whose header is
+    /// unreadable are moved whole into `quarantine/`.  Shards are repaired
+    /// under their writer lock, and each file's own fingerprint is preserved
+    /// (repair heals stale shards without adopting them).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; damage itself is repaired, not reported as
+    /// an error.
+    pub fn repair(&self) -> stdio::Result<RepairReport> {
+        let mut report = RepairReport::default();
+        for shard in 0..SHARDS {
+            let path = shard_path(&self.dir, shard);
+            if !self.io.exists(&path) {
+                continue;
+            }
+            let _lock = self.lock_shard(shard)?;
+            // Re-read under the lock: the pre-lock existence probe may have
+            // raced a writer.
+            let Some(bytes) = self.read_shard_bytes(&path)? else {
+                continue;
+            };
+            report.scanned_shards += 1;
+            match scan_shard(&bytes) {
+                Ok(scan) if scan.is_clean() => report.clean_shards += 1,
+                Ok(scan) => {
+                    report.quarantined_bytes +=
+                        self.quarantine_ranges(shard, &bytes, &scan.faults)?;
+                    report.quarantined_entries += scan.corrupt_entries();
+                    report.recovered_entries += scan.entries.len() as u64;
+                    if scan.version < STORE_VERSION && scan.faults.is_empty() {
+                        report.upgraded_shards += 1;
+                    }
+                    self.write_shard_atomic(
+                        shard,
+                        &path,
+                        &serialize_shard(scan.fingerprint, &scan.entries),
+                    )?;
+                    report.repaired_shards += 1;
+                    *self.shards[shard]
+                        .write()
+                        .unwrap_or_else(PoisonError::into_inner) = None;
+                }
+                Err(_) => {
+                    self.quarantine_file(shard, &path)?;
+                    report.quarantined_files += 1;
+                    report.quarantined_bytes += bytes.len() as u64;
+                    *self.shards[shard]
+                        .write()
+                        .unwrap_or_else(PoisonError::into_inner) = None;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// The first free `quarantine/shard-XX[.N].bad` name.
+    fn quarantine_slot(&self, shard: usize) -> stdio::Result<PathBuf> {
+        let qdir = self.dir.join("quarantine");
+        self.io.create_dir_all(&qdir)?;
+        for n in 0u32.. {
+            let name = if n == 0 {
+                format!("shard-{shard:02x}.bad")
+            } else {
+                format!("shard-{shard:02x}.{n}.bad")
+            };
+            let candidate = qdir.join(name);
+            if !self.io.exists(&candidate) {
+                return Ok(candidate);
+            }
+        }
+        unreachable!("some quarantine slot is free")
+    }
+
+    /// Writes the damaged byte ranges of a shard into `quarantine/`;
+    /// returns how many bytes were preserved.
+    fn quarantine_ranges(
+        &self,
+        shard: usize,
+        bytes: &[u8],
+        faults: &[ShardFault],
+    ) -> stdio::Result<u64> {
+        let mut damaged = Vec::new();
+        for fault in faults {
+            damaged.extend_from_slice(&bytes[fault.range.0..fault.range.1]);
+        }
+        if damaged.is_empty() {
+            return Ok(0);
+        }
+        let slot = self.quarantine_slot(shard)?;
+        self.io.write(&slot, &damaged)?;
+        Ok(damaged.len() as u64)
+    }
+
+    /// Moves a wholly-unreadable shard file into `quarantine/`.
+    fn quarantine_file(&self, shard: usize, path: &Path) -> stdio::Result<()> {
+        let slot = self.quarantine_slot(shard)?;
+        self.io.rename(path, &slot)
+    }
+
     /// Aggregate occupancy statistics (reads every shard file).
     ///
     /// # Errors
     ///
     /// Propagates I/O failures from reading shard files.
-    pub fn stats(&self) -> io::Result<StoreStats> {
+    pub fn stats(&self) -> stdio::Result<StoreStats> {
         let mut stats = StoreStats::default();
         for shard in 0..SHARDS {
             let path = shard_path(&self.dir, shard);
-            let Some(parsed) = read_shard(&path)? else {
+            let Some(bytes) = self.read_shard_bytes(&path)? else {
                 continue;
             };
-            stats.file_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-            let Ok(file) = parsed else { continue };
-            if file.fingerprint == self.fingerprint {
+            stats.file_bytes += bytes.len() as u64;
+            let Ok(scan) = scan_shard(&bytes) else {
+                continue;
+            };
+            if scan.fingerprint == self.fingerprint {
                 stats.shards += 1;
-                stats.entries += file.entries.len() as u64;
-                stats.payload_bytes += file.entries.values().map(|p| p.len() as u64).sum::<u64>();
+                stats.entries += scan.entries.len() as u64;
+                stats.payload_bytes += scan.entries.values().map(|p| p.len() as u64).sum::<u64>();
                 stats.largest_shard_entries =
-                    stats.largest_shard_entries.max(file.entries.len() as u64);
+                    stats.largest_shard_entries.max(scan.entries.len() as u64);
             } else {
                 stats.stale_shards += 1;
-                stats.stale_entries += file.entries.len() as u64;
+                stats.stale_entries += scan.entries.len() as u64;
             }
         }
         Ok(stats)
@@ -684,6 +846,7 @@ impl std::fmt::Debug for Store {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -837,13 +1000,14 @@ mod tests {
         let report = store.verify().unwrap();
         assert!(report.is_ok(), "{report}");
         assert_eq!((report.shards, report.entries), (2, 2));
-        // Truncate one shard: verify must flag it.
+        // Truncate one shard: verify must flag it at entry granularity.
         let victim = shard_path(&dir, 1);
         let bytes = fs::read(&victim).unwrap();
         fs::write(&victim, &bytes[..bytes.len() - 1]).unwrap();
         let report = store.verify().unwrap();
         assert!(!report.is_ok());
         assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.corrupt_entries, 1);
         assert!(report.to_string().contains("error"), "{report}");
         // A key stored in the wrong shard is also flagged.
         let mut wrong = HashMap::new();
@@ -854,6 +1018,121 @@ mod tests {
             .errors
             .iter()
             .any(|e| e.contains("belongs in shard 09")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_shards_serve_their_intact_entries() {
+        let dir = tmp_dir("salvage-read");
+        let store = Store::open(&dir, 1).unwrap();
+        let batch: Vec<(u128, Vec<u8>)> =
+            (0..8u64).map(|i| (key(3, i), vec![i as u8; 4])).collect();
+        store.put_batch(&batch).unwrap();
+        // Flip a payload bit of one entry on disk.
+        let path = shard_path(&dir, 3);
+        let mut bytes = fs::read(&path).unwrap();
+        let len = bytes.len();
+        bytes[len - 2] ^= 0x10; // payload of the last (highest-key) entry
+        fs::write(&path, bytes).unwrap();
+        let fresh = Store::open(&dir, 1).unwrap();
+        assert!(fresh.get(key(3, 7)).is_none(), "the hit entry is gone");
+        for i in 0..7u64 {
+            assert_eq!(fresh.get(key(3, i)), Some(vec![i as u8; 4]), "entry {i}");
+        }
+        assert_eq!(fresh.entries().unwrap().len(), 7);
+        let report = fresh.verify().unwrap();
+        assert_eq!(report.corrupt_entries, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repair_salvages_quarantines_and_rewrites() {
+        let dir = tmp_dir("repair");
+        let store = Store::open(&dir, 1).unwrap();
+        let batch: Vec<(u128, Vec<u8>)> =
+            (0..10u64).map(|i| (key(4, i), vec![i as u8; 5])).collect();
+        store.put_batch(&batch).unwrap();
+        store.put_batch(&[(key(5, 1), vec![42])]).unwrap();
+        // Corrupt two entries of shard 4 and make shard 6 header-unreadable.
+        let path = shard_path(&dir, 4);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[24 + 24 + 1] ^= 0x01; // entry 0 payload
+        bytes[24 + 29 * 3 + 24 + 2] ^= 0x01; // entry 3 payload
+        fs::write(&path, bytes).unwrap();
+        fs::write(shard_path(&dir, 6), b"not a shard at all").unwrap();
+
+        let fresh = Store::open(&dir, 1).unwrap();
+        let report = fresh.repair().unwrap();
+        assert_eq!(report.scanned_shards, 3);
+        assert_eq!(report.clean_shards, 1);
+        assert_eq!(report.repaired_shards, 1);
+        assert_eq!(report.recovered_entries, 8);
+        assert_eq!(report.quarantined_entries, 2);
+        assert_eq!(report.quarantined_files, 1);
+        assert!(report.quarantined_bytes > 0);
+        assert!(!report.is_clean());
+        assert!(report.to_string().contains("2 quarantined"));
+
+        // Post-repair: verify is clean, the survivors read back, the damaged
+        // bytes are preserved under quarantine/.
+        let after = Store::open(&dir, 1).unwrap();
+        let verify = after.verify().unwrap();
+        assert!(verify.is_ok(), "{verify}");
+        assert_eq!(verify.corrupt_entries, 0);
+        assert_eq!(after.entries().unwrap().len(), 9);
+        assert!(after.get(key(4, 0)).is_none());
+        assert!(after.get(key(4, 3)).is_none());
+        assert_eq!(after.get(key(4, 5)), Some(vec![5u8; 5]));
+        assert!(dir.join("quarantine").join("shard-04.bad").exists());
+        assert!(dir.join("quarantine").join("shard-06.bad").exists());
+        // A second repair pass finds nothing to do.
+        assert!(after.repair().unwrap().is_clean());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_shards_read_and_upgrade() {
+        let dir = tmp_dir("v1-upgrade");
+        fs::create_dir_all(&dir).unwrap();
+        let mut entries = HashMap::new();
+        entries.insert(key(2, 1), vec![1, 2, 3]);
+        entries.insert(key(2, 2), vec![4]);
+        fs::write(shard_path(&dir, 2), serialize_shard_v1(1, &entries)).unwrap();
+        let store = Store::open(&dir, 1).unwrap();
+        assert_eq!(store.get(key(2, 1)), Some(vec![1, 2, 3]), "v1 readable");
+        let verify = store.verify().unwrap();
+        assert!(verify.is_ok());
+        assert_eq!(verify.legacy_shards, 1);
+        assert!(verify.to_string().contains("legacy"));
+        let report = store.repair().unwrap();
+        assert_eq!(report.upgraded_shards, 1);
+        assert_eq!(report.recovered_entries, 2);
+        let bytes = fs::read(shard_path(&dir, 2)).unwrap();
+        let scan = scan_shard(&bytes).unwrap();
+        assert!(scan.is_clean(), "upgraded to the current version");
+        assert_eq!(store.verify().unwrap().legacy_shards, 0);
+        assert_eq!(store.get(key(2, 2)), Some(vec![4]), "entries survive");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn put_batch_heals_damaged_shards_instead_of_discarding() {
+        let dir = tmp_dir("put-heal");
+        let store = Store::open(&dir, 1).unwrap();
+        let batch: Vec<(u128, Vec<u8>)> =
+            (0..6u64).map(|i| (key(7, i), vec![i as u8; 3])).collect();
+        store.put_batch(&batch).unwrap();
+        let path = shard_path(&dir, 7);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[24 + 24] ^= 0xff; // corrupt entry 0's payload
+        fs::write(&path, bytes).unwrap();
+        let fresh = Store::open(&dir, 1).unwrap();
+        fresh.put_batch(&[(key(7, 99), vec![9])]).unwrap();
+        // Intact survivors + the new entry; damage quarantined, file healed.
+        let entries = fresh.entries().unwrap();
+        assert_eq!(entries.len(), 6, "5 survivors + 1 new");
+        assert!(fresh.verify().unwrap().is_ok());
+        assert!(dir.join("quarantine").join("shard-07.bad").exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -886,6 +1165,55 @@ mod tests {
         fs::remove_dir_all(&dir).unwrap();
     }
 
+    #[test]
+    fn concurrent_repair_and_writers_lose_no_entries() {
+        let dir = tmp_dir("concurrent-repair");
+        let seed = Store::open(&dir, 1).unwrap();
+        let baseline: Vec<(u128, Vec<u8>)> = (0..40u64)
+            .map(|i| (key((i % 4) as u8, i), vec![7]))
+            .collect();
+        seed.put_batch(&baseline).unwrap();
+        // Corrupt one entry so the repairers have real work.
+        let path = shard_path(&dir, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let len = bytes.len();
+        bytes[len - 1] ^= 0x08;
+        fs::write(&path, bytes).unwrap();
+        let threads = 4u64;
+        let per_thread = 25u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let dir = dir.clone();
+                scope.spawn(move || {
+                    let store = Store::open(&dir, 1).unwrap();
+                    let batch: Vec<(u128, Vec<u8>)> = (0..per_thread)
+                        .map(|i| (key((i % 4) as u8, 1_000 + t * 100 + i), vec![t as u8]))
+                        .collect();
+                    store.put_batch(&batch).unwrap();
+                });
+            }
+            for _ in 0..2 {
+                let dir = dir.clone();
+                scope.spawn(move || {
+                    let store = Store::open(&dir, 1).unwrap();
+                    store.repair().unwrap();
+                });
+            }
+        });
+        let store = Store::open(&dir, 1).unwrap();
+        let entries = store.entries().unwrap();
+        // Exactly one baseline entry was corrupted; whether a writer healed
+        // the shard before or after a repairer quarantined it, every other
+        // entry and all new ones survive.
+        assert!(
+            entries.len() as u64 >= 40 - 1 + threads * per_thread,
+            "lost entries: only the corrupted one may go ({} left)",
+            entries.len()
+        );
+        assert!(store.verify().unwrap().is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
     /// [`GC_TEMP_MAX_AGE`] is the exact staleness threshold: a temp file is
     /// live strictly below it, reclaimable at or beyond it, and a missing
     /// file is never presumed abandoned.
@@ -893,9 +1221,10 @@ mod tests {
     fn gc_temp_max_age_is_the_staleness_threshold() {
         let dir = tmp_dir("gc-threshold");
         fs::create_dir_all(&dir).unwrap();
+        let store = Store::open(&dir, 1).unwrap();
         let path = dir.join("shard-00.tmp.1");
         fs::write(&path, b"half a write").unwrap();
-        assert!(!is_stale(&path), "a fresh temp file is presumed live");
+        assert!(!store.is_stale(&path), "a fresh temp file is presumed live");
 
         let backdate = |by: std::time::Duration| {
             let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
@@ -903,12 +1232,15 @@ mod tests {
                 .unwrap();
         };
         backdate(GC_TEMP_MAX_AGE - std::time::Duration::from_secs(5));
-        assert!(!is_stale(&path), "just under the threshold is still live");
+        assert!(
+            !store.is_stale(&path),
+            "just under the threshold is still live"
+        );
         backdate(GC_TEMP_MAX_AGE + std::time::Duration::from_secs(5));
-        assert!(is_stale(&path), "past the threshold is reclaimable");
+        assert!(store.is_stale(&path), "past the threshold is reclaimable");
 
         assert!(
-            !is_stale(&dir.join("never-existed.tmp.2")),
+            !store.is_stale(&dir.join("never-existed.tmp.2")),
             "absence of evidence is not abandonment"
         );
         fs::remove_dir_all(&dir).unwrap();
@@ -962,7 +1294,7 @@ mod tests {
         assert_eq!(store.get(key(5, 1)), Some(vec![1]));
         // Acquisition is a real OS lock: while one handle holds it, a second
         // try_lock on the same file fails; after release it succeeds.
-        let held = lock_shard(&dir, 6).unwrap();
+        let held = store.lock_shard(6).unwrap();
         let probe = fs::OpenOptions::new()
             .write(true)
             .create(true)
@@ -988,6 +1320,7 @@ mod tests {
         assert!(stats.to_string().contains("0 entries"));
         assert!(store.entries().unwrap().is_empty());
         assert!(format!("{store:?}").contains("Store"));
+        assert!(store.repair().unwrap().is_clean());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

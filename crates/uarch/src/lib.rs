@@ -61,7 +61,9 @@ pub mod vector_dp;
 
 pub use config::{ConfigBuilder, FuClassConfig, FuConfig, UarchConfig, DEFAULT_BUS_WORDS};
 pub use fu::FuPool;
-pub use pipeline::{simulate, BusyPath, Processor, Scheduler, Stepping};
+pub use pipeline::{
+    simulate, simulate_bounded, BusyPath, Processor, Scheduler, Stepping, CYCLE_BUDGET_EXCEEDED,
+};
 pub use rob::WaiterStats;
 pub use stats::RunStats;
 pub use vector_dp::VectorDatapath;

@@ -32,6 +32,22 @@ import json
 import sys
 
 
+def _malformed(path, why):
+    """Fails with a named-file diagnostic (never a Python traceback)."""
+    print(f"timing_diff: {path}: {why}", file=sys.stderr)
+    sys.exit(2)
+
+
+def _require_number(doc, field, path):
+    """The named numeric field, or a named-file diagnostic and exit 2."""
+    if field not in doc:
+        _malformed(path, f"missing required field {field!r}")
+    try:
+        return float(doc[field])
+    except (TypeError, ValueError):
+        _malformed(path, f"field {field!r} is not a number: {doc[field]!r}")
+
+
 def load(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -39,9 +55,24 @@ def load(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"timing_diff: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+    if not isinstance(doc, dict):
+        _malformed(path, f"expected a JSON object, got {type(doc).__name__}")
     if doc.get("schema") != "sdv-engine-timing/1":
-        print(f"timing_diff: {path}: unexpected schema {doc.get('schema')!r}", file=sys.stderr)
-        sys.exit(2)
+        _malformed(path, f"unexpected schema {doc.get('schema')!r}")
+    # Validate every field the gate touches up front, so a half-written or
+    # hand-edited baseline names itself instead of raising KeyError later.
+    _require_number(doc, "cycles_per_second", path)
+    _require_number(doc, "cells", path)
+    per_cell = doc.get("per_cell", [])
+    if not isinstance(per_cell, list):
+        _malformed(path, "'per_cell' must be a list")
+    for i, cell in enumerate(per_cell):
+        if not isinstance(cell, dict):
+            _malformed(path, f"per_cell[{i}] must be an object")
+        for field in ("config", "workload"):
+            if field not in cell:
+                _malformed(path, f"per_cell[{i}] is missing {field!r}")
+        _require_number(cell, "cycles_per_second", path)
     return doc
 
 
@@ -158,6 +189,8 @@ def self_check():
     assert worst is not None and worst[1:3] == ("1pV", "applu")
 
     # End-to-end: the aggregate gate itself, via temp files.
+    import contextlib
+    import io
     import os
     import tempfile
 
@@ -170,6 +203,45 @@ def self_check():
             json.dump(cur, f)
         assert run_gate([b_path], c_path, max_regress=0.20) == 1, "0.7x must fail the 20% gate"
         assert run_gate([b_path], c_path, max_regress=0.50) == 0, "0.7x passes a 50% gate"
+
+        # Missing or malformed baselines fail with a diagnostic that names
+        # the offending file (exit 2), never a Python traceback.
+        def expect_named_rejection(path):
+            err = io.StringIO()
+            with contextlib.redirect_stderr(err):
+                try:
+                    load(path)
+                except SystemExit as e:
+                    assert e.code == 2, f"load({path}) exited {e.code}, not 2"
+                else:
+                    raise AssertionError(f"load({path}) accepted a bad file")
+            text = err.getvalue()
+            assert os.path.basename(path) in text, f"diagnostic does not name the file: {text}"
+
+        expect_named_rejection(os.path.join(tmp, "BENCH_missing.json"))
+
+        bad_cases = {
+            "BENCH_garbage.json": "{this is not json",
+            "BENCH_not_object.json": "[1, 2, 3]",
+            "BENCH_wrong_schema.json": json.dumps({"schema": "something-else/9"}),
+            "BENCH_no_cps.json": json.dumps({"schema": "sdv-engine-timing/1", "cells": 1}),
+            "BENCH_cps_not_number.json": json.dumps(
+                {"schema": "sdv-engine-timing/1", "cells": 1, "cycles_per_second": "fast"}
+            ),
+            "BENCH_bad_cell.json": json.dumps(
+                {
+                    "schema": "sdv-engine-timing/1",
+                    "cells": 1,
+                    "cycles_per_second": 1.0,
+                    "per_cell": [{"workload": "swim"}],
+                }
+            ),
+        }
+        for name, body in bad_cases.items():
+            path = os.path.join(tmp, name)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(body)
+            expect_named_rejection(path)
 
     print("timing_diff: self-check ok")
     return 0
