@@ -4,7 +4,8 @@
 //! repro [--quick|--standard|--thorough] [--threads N]
 //!       [--table1] [--fig N]... [--headline] [--all] [--extended]
 //!       [--vl L1,L2,...] [--vregs R1,R2,...]
-//!       [--csv PATH] [--timing-json PATH] [--store-dir DIR | --no-cache]
+//!       [--csv PATH] [--metrics-json PATH] [--trace PATH]
+//!       [--timing-json PATH] [--store-dir DIR | --no-cache]
 //!       [--fail-fast] [--max-retries N]
 //! ```
 //!
@@ -38,10 +39,24 @@
 //! an unusable `--store-dir` degrades to in-memory caching with a warning
 //! rather than aborting the sweep.
 //!
+//! Observability (`docs/OBSERVABILITY.md`): `--metrics-json PATH` collects
+//! the unified metrics registry — cycle-attribution buckets, cache and store
+//! instrumentation, engine counters and wall-clock accounting — as one
+//! `sdv-obs-metrics/1` document (inspect with `sdv-obs summarize`, compare
+//! runs with `sdv-obs diff`).  `--trace PATH` additionally records
+//! Chrome-trace events (per-cell spans, store I/O waits, retry/degradation
+//! markers) loadable in Perfetto or `chrome://tracing`.  Either flag ends the
+//! run with a one-line observability summary on stderr.  `--timing-json PATH`
+//! (deprecated) still writes the pre-obs `sdv-engine-timing/1` document;
+//! every field it carries also appears in `--metrics-json` under
+//! `engine.timing.*` / `engine.cell.*`.
+//!
 //! The output rows mirror the series plotted in the paper; `EXPERIMENTS.md`
 //! records a paper-vs-measured comparison produced with `--standard`.
 
-use sdv_sim::{report, Experiment, Fig11, Fig12, PortKind, RunConfig, SweepGrid, Table1, Workload};
+use sdv_sim::{
+    report, Experiment, Fig11, Fig12, ObsLevel, PortKind, RunConfig, SweepGrid, Table1, Workload,
+};
 
 #[derive(Debug)]
 struct Options {
@@ -54,6 +69,8 @@ struct Options {
     vector_lengths: Option<Vec<usize>>,
     vector_registers: Option<Vec<usize>>,
     csv: Option<std::path::PathBuf>,
+    metrics_json: Option<std::path::PathBuf>,
+    trace: Option<std::path::PathBuf>,
     timing_json: Option<std::path::PathBuf>,
     cache_dir: Option<std::path::PathBuf>,
     no_cache: bool,
@@ -89,6 +106,8 @@ fn parse_args() -> Options {
         vector_lengths: None,
         vector_registers: None,
         csv: None,
+        metrics_json: None,
+        trace: None,
         timing_json: None,
         cache_dir: None,
         no_cache: false,
@@ -135,6 +154,21 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| panic!("--csv requires a path"));
                 opts.csv = Some(path.into());
             }
+            "--metrics-json" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--metrics-json requires a path"));
+                opts.metrics_json = Some(path.into());
+            }
+            "--trace" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--trace requires a path"));
+                opts.trace = Some(path.into());
+            }
+            // Deprecated: superseded by --metrics-json (every timing field
+            // appears there under engine.timing.* / engine.cell.*).  Kept as
+            // a working alias for existing tooling.
             "--timing-json" => {
                 let path = args
                     .next()
@@ -162,7 +196,8 @@ fn parse_args() -> Options {
                     "unknown argument `{other}` \
                      (try --all, --fig N, --table1, --headline, --threads N, \
                       --extended, --vl L1,L2, --vregs R1,R2, --csv PATH, \
-                      --timing-json PATH, --store-dir DIR, --no-cache, \
+                      --metrics-json PATH, --trace PATH, --timing-json PATH, \
+                      --store-dir DIR, --no-cache, \
                       --fail-fast, --max-retries N)"
                 )
             }
@@ -200,10 +235,26 @@ fn check_fail_fast(exp: &Experiment, fail_fast: bool) {
     }
 }
 
+/// The observability level implied by the requested outputs: tracing when a
+/// trace is wanted, metrics when only the registry is, otherwise `Off`
+/// (branch-cheap — the perf-gated default).
+fn obs_level(opts: &Options) -> ObsLevel {
+    if opts.trace.is_some() {
+        ObsLevel::Trace
+    } else if opts.metrics_json.is_some() {
+        ObsLevel::Metrics
+    } else {
+        ObsLevel::Off
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let rc = opts.run;
     let mut exp = Experiment::new(rc).threads(opts.threads);
+    // Before disk_cache, so the store is born observed (either order works;
+    // this one observes the legacy-import I/O too).
+    exp = exp.obs(obs_level(&opts));
     if opts.extended {
         exp = exp.workloads(Workload::extended().to_vec());
     }
@@ -318,7 +369,49 @@ fn main() {
     println!("{timing}");
     if let Some(path) = &opts.timing_json {
         std::fs::write(path, report::timing_json(&timing)).expect("timing JSON written");
-        println!("engine timing written to {}", path.display());
+        println!(
+            "engine timing written to {} (deprecated; prefer --metrics-json)",
+            path.display()
+        );
+    }
+    if let Some(path) = &opts.metrics_json {
+        std::fs::write(path, report::metrics_json(exp.engine())).expect("metrics JSON written");
+        println!("metrics written to {}", path.display());
+    }
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, exp.engine().obs().trace_json()).expect("trace written");
+        println!(
+            "trace written to {} (load in Perfetto or chrome://tracing)",
+            path.display()
+        );
+    }
+    // One-line observability summary: printed whenever observation was on,
+    // and always when something noteworthy happened (retries, degradation,
+    // failures) so quiet runs stay quiet but trouble is never silent.
+    let engine = exp.engine();
+    let failed = engine.report().failed_cells;
+    if obs_level(&opts) != ObsLevel::Off
+        || engine.persist_retries() > 0
+        || engine.store_degraded()
+        || failed > 0
+    {
+        eprintln!(
+            "repro: obs summary: {} cell(s) failed, {} persist retr{}, store {}, \
+             {} trace event(s) dropped",
+            failed,
+            engine.persist_retries(),
+            if engine.persist_retries() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            if engine.store_degraded() {
+                "DEGRADED"
+            } else {
+                "healthy"
+            },
+            engine.obs().dropped_events(),
+        );
     }
     // The sweep completed (every healthy cell ran); the exit code still
     // reports that some cells failed.

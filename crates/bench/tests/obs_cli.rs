@@ -1,0 +1,115 @@
+//! End-to-end tests for the `sdv-obs` CLI: exit-code contract and golden
+//! output fixtures.
+//!
+//! The exit codes follow the store CLI conventions (0 success, 2 usage or
+//! malformed/wrong-schema document, 3 runtime I/O failure); the golden
+//! `summarize` fixture pins the human-readable format so CI scripts parsing
+//! it cannot be broken silently.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sdv-obs"))
+        .args(args)
+        .output()
+        .expect("sdv-obs runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf-8 stderr")
+}
+
+const BASE: &str = "tests/fixtures/obs/metrics_base.json";
+const CURRENT: &str = "tests/fixtures/obs/metrics_current.json";
+
+/// Golden fixture: `summarize` over a small document, byte-for-byte.
+#[test]
+fn summarize_matches_golden_fixture() {
+    let out = run(&["summarize", BASE]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(
+        stdout(&out),
+        include_str!("fixtures/obs/summarize_base.txt"),
+        "run `sdv-obs summarize {BASE} > crates/bench/tests/fixtures/obs/summarize_base.txt` \
+         after a reviewed format change"
+    );
+}
+
+#[test]
+fn diff_reports_deltas_and_skips_unchanged() {
+    let out = run(&["diff", BASE, CURRENT]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("engine.cells.simulated +2"), "{text}");
+    assert!(text.contains("pipeline.cycles.committing +500"), "{text}");
+    assert!(
+        !text.contains("pipeline.cycles.fetch_blocked"),
+        "zero-delta entries are skipped: {text}"
+    );
+    assert!(text.contains("store.io.lock_wait_micros"), "{text}");
+}
+
+#[test]
+fn diff_of_a_document_with_itself_is_empty() {
+    let out = run(&["diff", BASE, BASE]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("(no changes)"));
+}
+
+/// The exit-code matrix: 2 for operator error and documents we cannot
+/// honestly summarize (malformed, wrong schema), 3 for unreadable files.
+#[test]
+fn usage_errors_exit_two_with_banner() {
+    for args in [
+        &[] as &[&str],
+        &["frobnicate"],
+        &["summarize"],
+        &["summarize", BASE, CURRENT],
+        &["diff", BASE],
+    ] {
+        let out = run(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(stderr(&out).contains("usage:"), "args {args:?}");
+    }
+}
+
+#[test]
+fn wrong_schema_exits_two_naming_the_mismatch() {
+    for cmd in [
+        &["summarize", "tests/fixtures/obs/wrong_schema.json"] as &[&str],
+        &["diff", BASE, "tests/fixtures/obs/wrong_schema.json"],
+        &["diff", "tests/fixtures/obs/wrong_schema.json", CURRENT],
+    ] {
+        let out = run(cmd);
+        assert_eq!(out.status.code(), Some(2), "cmd {cmd:?}");
+        let err = stderr(&out);
+        assert!(err.contains("schema"), "cmd {cmd:?}: {err}");
+        assert!(
+            !err.contains("usage:"),
+            "data errors carry no banner: {err}"
+        );
+    }
+}
+
+#[test]
+fn malformed_documents_exit_two() {
+    let out = run(&["summarize", "tests/fixtures/obs/garbage.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("malformed"), "{}", stderr(&out));
+}
+
+#[test]
+fn unreadable_files_exit_three() {
+    for cmd in [
+        &["summarize", "tests/fixtures/obs/nonexistent.json"] as &[&str],
+        &["diff", "tests/fixtures/obs/nonexistent.json", BASE],
+    ] {
+        let out = run(cmd);
+        assert_eq!(out.status.code(), Some(3), "cmd {cmd:?}");
+        assert!(stderr(&out).contains("cannot read"), "cmd {cmd:?}");
+    }
+}

@@ -1,0 +1,251 @@
+//! Bounded ring-buffer event tracer emitting Chrome trace-event JSON.
+//!
+//! The output loads directly in [Perfetto](https://ui.perfetto.dev) or
+//! `chrome://tracing`: a top-level object with a `traceEvents` array of
+//! complete spans (`ph: "X"`, with `dur`) and instant events (`ph: "i"`),
+//! timestamps in microseconds since the owning [`crate::Obs`] handle was
+//! created.  The buffer is bounded: when full, the *oldest* event is dropped
+//! and an exact drop counter increments, so a long headline run degrades to
+//! "most recent window" rather than unbounded memory.
+
+use crate::json_escape;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Default ring capacity (events), sized so a `--threads 2` headline run
+/// fits comfortably.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// The Chrome trace-event phase of a [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A complete span with a duration (`ph: "X"`).
+    Complete,
+    /// A point-in-time event (`ph: "i"`, thread scope).
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (span label).
+    pub name: String,
+    /// Category, used by trace viewers for filtering (`engine`, `store`…).
+    pub cat: String,
+    /// Phase: span or instant.
+    pub ph: TracePhase,
+    /// Start timestamp, microseconds since the trace epoch.
+    pub ts_micros: u64,
+    /// Duration in microseconds (spans only; 0 for instants).
+    pub dur_micros: u64,
+    /// Small stable thread id (see [`crate::current_tid`]).
+    pub tid: u64,
+    /// Free-form `args` key/value pairs shown in the viewer.
+    pub args: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    /// A complete span.
+    #[must_use]
+    pub fn complete(
+        name: &str,
+        cat: &str,
+        ts_micros: u64,
+        dur_micros: u64,
+        tid: u64,
+        args: &[(&str, String)],
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: TracePhase::Complete,
+            ts_micros,
+            dur_micros,
+            tid,
+            args: args
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// An instant event.
+    #[must_use]
+    pub fn instant(
+        name: &str,
+        cat: &str,
+        ts_micros: u64,
+        tid: u64,
+        args: &[(&str, String)],
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: TracePhase::Instant,
+            ts_micros,
+            dur_micros: 0,
+            tid,
+            args: args
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// The bounded ring buffer.
+#[derive(Debug)]
+pub struct EventTracer {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl EventTracer {
+    /// A tracer keeping at most `capacity` events (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Records `event`, dropping the oldest buffered event when full.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Exact number of events dropped to the ring bound so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Serialises the buffer as a Chrome trace-event JSON document.
+    ///
+    /// All events share `pid` 1 (one trace = one repro session); the drop
+    /// count is recorded in top-level metadata as `sdv.dropped_events`.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n");
+        let _ = writeln!(out, "  \"sdv\": {{\"dropped_events\": {}}},", self.dropped);
+        out.push_str("  \"traceEvents\": [");
+        let mut first = true;
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ph = match e.ph {
+                TracePhase::Complete => "X",
+                TracePhase::Instant => "i",
+            };
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"{ph}\", \
+                 \"ts\": {}, ",
+                json_escape(&e.name),
+                json_escape(&e.cat),
+                e.ts_micros
+            );
+            if e.ph == TracePhase::Complete {
+                let _ = write!(out, "\"dur\": {}, ", e.dur_micros);
+            } else {
+                // Instant events need an explicit scope; thread is the most
+                // useful default for per-worker markers.
+                out.push_str("\"s\": \"t\", ");
+            }
+            let _ = write!(out, "\"pid\": 1, \"tid\": {}", e.tid);
+            if !e.args.is_empty() {
+                out.push_str(", \"args\": {");
+                for (i, (k, v)) in e.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{}\": \"{}\"", json_escape(k), json_escape(v));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent::instant(&format!("e{n}"), "test", n, 1, &[])
+    }
+
+    #[test]
+    fn ring_drops_oldest_with_exact_counter() {
+        let mut t = EventTracer::new(4);
+        for n in 0..10 {
+            t.record(ev(n));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let names: Vec<&str> = t.events().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["e6", "e7", "e8", "e9"]);
+    }
+
+    #[test]
+    fn chrome_json_has_required_fields() {
+        let mut t = EventTracer::new(8);
+        t.record(TraceEvent::complete(
+            "cell",
+            "engine",
+            100,
+            250,
+            3,
+            &[("workload", "swim".into())],
+        ));
+        t.record(ev(1));
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"traceEvents\": ["));
+        assert!(json.contains("\"ph\": \"X\", \"ts\": 100, \"dur\": 250, \"pid\": 1, \"tid\": 3"));
+        assert!(json.contains("\"args\": {\"workload\": \"swim\"}"));
+        assert!(json.contains("\"s\": \"t\""));
+        assert!(json.contains("\"sdv\": {\"dropped_events\": 0}"));
+        // The document must itself be valid JSON (our own parser checks).
+        crate::parse_json(&json).expect("trace JSON parses");
+    }
+
+    #[test]
+    fn empty_tracer_serialises_to_empty_array() {
+        let json = EventTracer::new(1).to_chrome_json();
+        assert!(json.contains("\"traceEvents\": []"));
+        crate::parse_json(&json).expect("parses");
+    }
+}

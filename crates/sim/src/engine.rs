@@ -26,6 +26,7 @@ use crate::cachefile;
 use crate::runner::{RunConfig, SuiteResult};
 use crate::{ProcessorConfig, Workload};
 use sdv_isa::Program;
+use sdv_obs::{Obs, ObsLevel};
 use sdv_uarch::RunStats;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -340,6 +341,16 @@ pub struct RunEngine {
     /// engine then runs on in-memory caching only — a loud warning is printed
     /// exactly once when this trips.
     store_disabled: AtomicBool,
+    /// The session's observability handle (metrics registry + event tracer);
+    /// defaults to [`ObsLevel::Off`], where every recording call is one
+    /// branch.  Shared with the attached store (see [`Self::with_obs`]).
+    obs: Arc<Obs>,
+    /// Total persist-retry attempts this session (all threads).
+    persist_retries: AtomicU64,
+    /// Set once the first persist-retry warning has been printed: the stderr
+    /// warning is emitted exactly once per session even under `--threads N`
+    /// (later retries are counted, traced, and summarised at exit instead).
+    persist_warned: AtomicBool,
     /// Test seam: runs inside the supervised worker before each simulation
     /// (fault injection for the supervision machinery itself).
     cell_hook: Option<CellHook>,
@@ -374,8 +385,44 @@ impl RunEngine {
             failed: Mutex::new(HashMap::new()),
             failed_cells: AtomicU64::new(0),
             store_disabled: AtomicBool::new(false),
+            obs: Arc::new(Obs::default()),
+            persist_retries: AtomicU64::new(0),
+            persist_warned: AtomicBool::new(false),
             cell_hook: None,
         }
+    }
+
+    /// Sets the observability level for this session.  [`ObsLevel::Metrics`]
+    /// records the metrics registry (including the pipeline cycle ledger of
+    /// every simulated cell); [`ObsLevel::Trace`] additionally records
+    /// ring-buffered trace events (per-cell spans, store I/O, supervision
+    /// transitions).  The default, [`ObsLevel::Off`], reduces every
+    /// recording site to one branch.
+    ///
+    /// An attached store is wrapped with the same handle (per-`IoOp`
+    /// counters, lock-wait timing, repair events); attach order does not
+    /// matter — [`Self::with_disk_cache`]/[`Self::with_store`] wire a store
+    /// attached later into the already-configured handle.
+    #[must_use]
+    pub fn with_obs(mut self, level: ObsLevel) -> Self {
+        self.obs = Arc::new(Obs::new(level));
+        if let Some(store) = self.store.as_mut() {
+            store.set_obs(Arc::clone(&self.obs));
+        }
+        self
+    }
+
+    /// The session's observability handle.
+    #[must_use]
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Total store persist-retry attempts this session (the counter behind
+    /// the exactly-once stderr warning; see [`Self::persist`]).
+    #[must_use]
+    pub fn persist_retries(&self) -> u64 {
+        self.persist_retries.load(Ordering::Relaxed)
     }
 
     /// Attaches the sharded persistent result store in `dir`: previously
@@ -403,6 +450,10 @@ impl RunEngine {
                         );
                     }
                 }
+                let mut store = store;
+                if self.obs.level() != ObsLevel::Off {
+                    store.set_obs(Arc::clone(&self.obs));
+                }
                 self.store = Some(store);
             }
             Err(e) => eprintln!(
@@ -421,6 +472,10 @@ impl RunEngine {
     /// legacy-cache import happens here).
     #[must_use]
     pub fn with_store(mut self, store: sdv_store::Store) -> Self {
+        let mut store = store;
+        if self.obs.level() != ObsLevel::Off {
+            store.set_obs(Arc::clone(&self.obs));
+        }
         self.store = Some(store);
         self
     }
@@ -502,6 +557,11 @@ impl RunEngine {
                 .as_ref()
                 .map(|s| s.dir().display().to_string())
                 .unwrap_or_default();
+            self.obs.instant(
+                "store degraded",
+                "store",
+                &[("dir", dir.clone()), ("error", why.to_string())],
+            );
             eprintln!(
                 "warning: result store {dir} is unusable ({why}); \
                  DEGRADING to in-memory caching only — the sweep continues, \
@@ -545,15 +605,37 @@ impl RunEngine {
                 }
                 Err(e) if attempt < self.max_retries => {
                     attempt += 1;
-                    eprintln!(
-                        "warning: store persist failed ({e}); retry {attempt}/{} in {:?}",
-                        self.max_retries, delay
-                    );
+                    self.note_persist_retry(&e, attempt, delay);
                     std::thread::sleep(delay);
                     delay = delay.saturating_mul(2);
                 }
                 Err(e) => return Err(e),
             }
+        }
+    }
+
+    /// Records one persist-retry attempt: counted and traced always, but the
+    /// stderr warning is printed exactly once per session.  The print guard
+    /// is a single atomic swap, so concurrent periodic persists from
+    /// `--threads N` workers cannot race two warnings out (previously each
+    /// attempt printed unconditionally).
+    fn note_persist_retry(&self, e: &std::io::Error, attempt: u32, delay: Duration) {
+        self.persist_retries.fetch_add(1, Ordering::Relaxed);
+        self.obs.instant(
+            "store persist retry",
+            "store",
+            &[
+                ("attempt", format!("{attempt}/{}", self.max_retries)),
+                ("backoff", format!("{delay:?}")),
+                ("error", e.to_string()),
+            ],
+        );
+        if !self.persist_warned.swap(true, Ordering::SeqCst) {
+            eprintln!(
+                "warning: store persist failed ({e}); retry {attempt}/{} in {delay:?} \
+                 (further retries are counted silently — see the end-of-run summary)",
+                self.max_retries
+            );
         }
     }
 
@@ -766,6 +848,14 @@ impl RunEngine {
             }
         }
 
+        // Queue depth of this batch: how many unique cells actually need
+        // simulating after dedup, memo and store probes.
+        self.obs.observe(
+            "engine.batch.queue_depth",
+            &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+            misses.len() as f64,
+        );
+
         // Simulate the misses into index-addressed slots: result order (and
         // content) is identical whatever the thread count.
         type CellOutcome = Result<(RunStats, Duration), CellError>;
@@ -798,6 +888,16 @@ impl RunEngine {
                 Ok(outcome) => outcome,
                 Err(error) => {
                     eprintln!("warning: {error}");
+                    self.obs.counter("engine.cells.errors", 1);
+                    self.obs.instant(
+                        "cell failed",
+                        "engine",
+                        &[
+                            ("label", error.label.clone()),
+                            ("workload", error.workload.to_string()),
+                            ("kind", error.kind.to_string()),
+                        ],
+                    );
                     let mut failed = recover(self.failed.lock());
                     if let std::collections::hash_map::Entry::Vacant(e) = failed.entry(key) {
                         e.insert(error);
@@ -847,7 +947,7 @@ impl RunEngine {
             if let Some(hook) = &self.cell_hook {
                 hook(key);
             }
-            simulate_cell(key, self.cycle_budget)
+            simulate_cell(key, self.cycle_budget, &self.obs)
         }));
         match outcome {
             Ok(timed) => Ok(timed),
@@ -930,10 +1030,34 @@ pub fn preflight_program(program: &Program) -> Result<(), String> {
 /// The one place a cell becomes a simulation.  The cycle-budget watchdog
 /// panics (with [`sdv_uarch::CYCLE_BUDGET_EXCEEDED`] in the message) when the
 /// budget is exhausted; the supervisor classifies that for the caller.
-fn simulate_cell(key: &CellKey, max_cycles: u64) -> (RunStats, Duration) {
+///
+/// With metrics enabled the run records a cycle-attribution ledger and
+/// exports it (plus the memory-hierarchy instrumentation) into the shared
+/// registry; with tracing enabled the whole cell becomes one span.  Both
+/// observe-only paths produce bit-identical [`RunStats`].
+fn simulate_cell(key: &CellKey, max_cycles: u64, obs: &Obs) -> (RunStats, Duration) {
     let start = Instant::now();
+    let t0 = obs.now_micros();
     let program = key.workload.build(key.scale);
-    let stats = sdv_uarch::simulate_bounded(&key.config, &program, key.max_insts, max_cycles);
+    let stats = if obs.metrics_enabled() {
+        let mut proc = sdv_uarch::Processor::new(&key.config, &program);
+        proc.record_cycle_ledger(true);
+        let stats = proc.run_bounded(key.max_insts, max_cycles);
+        obs.with_registry(|registry| proc.obs_metrics(registry));
+        stats
+    } else {
+        sdv_uarch::simulate_bounded(&key.config, &program, key.max_insts, max_cycles)
+    };
+    obs.span(
+        "cell",
+        "engine",
+        t0,
+        &[
+            ("label", key.config.label()),
+            ("workload", key.workload.to_string()),
+            ("cycles", stats.cycles.to_string()),
+        ],
+    );
     (stats, start.elapsed())
 }
 
@@ -1108,6 +1232,36 @@ mod tests {
     }
 
     #[test]
+    fn observed_runs_are_bit_identical_and_recorded() {
+        let cfg = ProcessorConfig::four_way(1, PortKind::Wide).with_vectorization(true);
+        let baseline = RunEngine::new(rc()).run_cell(&cfg, Workload::Compress);
+
+        let observed = RunEngine::new(rc()).with_obs(ObsLevel::Trace);
+        let stats = observed.run_cell(&cfg, Workload::Compress);
+        assert_eq!(baseline, stats, "observation must not perturb results");
+
+        let snap = observed.obs().snapshot();
+        assert!(
+            snap.counter("pipeline.cycles.committing").unwrap_or(0) > 0,
+            "the cycle ledger was exported: {snap:?}"
+        );
+        let attributed: u64 = sdv_obs::CycleBucket::ALL
+            .iter()
+            .filter_map(|b| snap.counter(&format!("pipeline.cycles.{}", b.name())))
+            .sum();
+        assert_eq!(attributed, stats.cycles, "bucket-sum equals total cycles");
+        assert!(
+            snap.histogram("engine.batch.queue_depth").is_some(),
+            "queue depth observed"
+        );
+        assert_eq!(observed.obs().dropped_events(), 0);
+        assert!(
+            observed.obs().trace_json().contains("\"name\": \"cell\""),
+            "the cell span is in the trace"
+        );
+    }
+
+    #[test]
     fn legacy_cache_files_are_imported_on_attach() {
         let dir = std::env::temp_dir().join(format!("sdv-engine-legacy-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -1118,7 +1272,7 @@ mod tests {
             scale: rc().scale,
             max_insts: rc().max_insts,
         };
-        let stats = super::simulate_cell(&key, u64::MAX).0;
+        let stats = super::simulate_cell(&key, u64::MAX, &Obs::default()).0;
         let mut entries = HashMap::new();
         entries.insert(key, stats.clone());
         cachefile::write_cache(&dir.join("cache.bin"), &entries, &HashMap::new())

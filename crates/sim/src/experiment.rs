@@ -56,6 +56,18 @@ impl Experiment {
         self
     }
 
+    /// Sets the observability level (see [`RunEngine::with_obs`]): `Off`
+    /// (default) costs one enum compare per probe, `Metrics` collects the
+    /// registry behind `repro --metrics-json`, `Trace` additionally records
+    /// Chrome-trace events.  Observation only — results are bit-identical at
+    /// every level.  Call before [`Experiment::disk_cache`] or after; the
+    /// handle is propagated to the store either way.
+    #[must_use]
+    pub fn obs(mut self, level: sdv_obs::ObsLevel) -> Self {
+        self.engine = self.engine.with_obs(level);
+        self
+    }
+
     /// Attaches a persistent on-disk result cache in `dir` (see
     /// [`RunEngine::with_disk_cache`]).  Results are identical with or
     /// without the cache; only wall-clock changes.

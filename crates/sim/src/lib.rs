@@ -70,6 +70,7 @@ pub use table1::Table1;
 
 // Re-exported so downstream users (examples, benches) need only this crate.
 pub use sdv_mem::PortKind;
+pub use sdv_obs::{Obs, ObsLevel};
 pub use sdv_uarch::UarchConfig as ProcessorConfig;
 pub use sdv_uarch::{BusyPath, Processor, RunStats};
 pub use sdv_workloads::Workload;

@@ -161,6 +161,56 @@ pub fn timing_json(timing: &crate::EngineTiming) -> String {
     out
 }
 
+/// Machine-readable metrics for a whole engine session — the payload behind
+/// `repro --metrics-json` (schema `sdv-obs-metrics/1`, see
+/// `docs/OBSERVABILITY.md`).  Folds the engine's live observability registry
+/// (pipeline cycle attribution, cache/store instrumentation) together with
+/// the [`crate::EngineReport`] counters and [`crate::EngineTiming`]
+/// wall-clock accounting, so one document carries everything
+/// `sdv-obs summarize` / `sdv-obs diff` need.  This supersedes
+/// [`timing_json`]: every `sdv-engine-timing/1` field appears here under an
+/// `engine.timing.*` or `engine.cell.*` name.
+#[must_use]
+pub fn metrics_json(engine: &crate::RunEngine) -> String {
+    let mut registry = engine.obs().snapshot();
+    let report = engine.report();
+    registry.add_counter("engine.cells.requested", report.requested);
+    registry.add_counter("engine.cells.simulated", report.simulated);
+    registry.add_counter("engine.cells.failed", report.failed_cells);
+    registry.add_counter("engine.store.hits", report.store_hits);
+    registry.add_counter("engine.store.misses", report.store_misses);
+    registry.add_counter("engine.store.inserts", report.store_inserts);
+    registry.add_counter("engine.store.persist_retries", engine.persist_retries());
+    if let Some(rate) = report.store_hit_rate() {
+        registry.set_gauge("engine.store.hit_rate", rate);
+    }
+    registry.set_gauge(
+        "engine.store.degraded",
+        if engine.store_degraded() { 1.0 } else { 0.0 },
+    );
+    let timing = engine.timing();
+    registry.add_counter("engine.timing.simulated_cycles", timing.simulated_cycles);
+    registry.set_gauge("engine.timing.wall_seconds", timing.wall.as_secs_f64());
+    registry.set_gauge(
+        "engine.timing.session_seconds",
+        timing.session.as_secs_f64(),
+    );
+    registry.set_gauge(
+        "engine.timing.cycles_per_second",
+        timing.cycles_per_second(),
+    );
+    for cell in &timing.cells {
+        let stem = format!("engine.cell.{}.{}", cell.label, cell.workload.name());
+        registry.add_counter(&format!("{stem}.cycles"), cell.cycles);
+        registry.set_gauge(&format!("{stem}.wall_seconds"), cell.wall.as_secs_f64());
+        registry.set_gauge(
+            &format!("{stem}.cycles_per_second"),
+            cell.cycles_per_second(),
+        );
+    }
+    registry.to_json()
+}
+
 /// CSV for Figure 13: `workload,used1,used2,used3,used4,unused`.
 #[must_use]
 pub fn fig13_csv(fig: &Fig13) -> String {
@@ -292,6 +342,23 @@ mod tests {
         assert!(csv.starts_with("config,workload,cycles,wall_seconds"));
         assert_eq!(csv.lines().count(), 2, "one simulated cell");
         assert!(csv.contains("compress"));
+    }
+
+    #[test]
+    fn metrics_json_folds_registry_report_and_timing() {
+        let engine = engine().with_obs(sdv_obs::ObsLevel::Metrics);
+        let _ = fig3(&engine, &[Workload::Compress]);
+        let json = metrics_json(&engine);
+        let reg = sdv_obs::MetricsRegistry::from_json(&json).expect("parses back");
+        assert_eq!(reg.counter("engine.cells.simulated"), Some(1));
+        assert!(reg.counter("pipeline.cycles.committing").unwrap_or(0) > 0);
+        assert!(reg.gauge("engine.timing.cycles_per_second").is_some());
+        assert!(
+            reg.counter("engine.cell.1pV.compress.cycles").is_some()
+                || reg.counter("engine.cell.1pnoIM.compress.cycles").is_some(),
+            "per-cell timing is folded in: {json}"
+        );
+        assert_eq!(reg.gauge("engine.store.degraded"), Some(0.0));
     }
 
     #[test]

@@ -9,7 +9,10 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::SystemTime;
+
+use sdv_obs::Obs;
 
 /// Filesystem operations the store performs, as an injectable trait.
 ///
@@ -127,5 +130,91 @@ impl StoreIo for RealIo {
 
     fn modified(&self, path: &Path) -> io::Result<SystemTime> {
         fs::metadata(path)?.modified()
+    }
+}
+
+/// Bucket bounds (µs) for the lock-wait histogram: 100µs, 1ms, 10ms, 100ms,
+/// 1s.  An uncontended advisory lock lands in the first bucket; anything in
+/// the last two means writers are genuinely serializing on a shard.
+pub const LOCK_WAIT_BOUNDS_MICROS: [f64; 5] = [100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0];
+
+/// A counting decorator over any [`StoreIo`]: every call increments
+/// `store.io.<op>.calls` (and `.errors` on failure) in the attached
+/// [`Obs`] registry, and [`StoreIo::lock`] additionally records how long the
+/// advisory lock blocked — a histogram plus, under tracing, a span per wait.
+///
+/// Pure observation: results and errors pass through untouched, so stacking
+/// this over a [`crate::fault::FaultPlan`] observes the injected faults too.
+pub struct ObservedIo {
+    inner: Arc<dyn StoreIo>,
+    obs: Arc<Obs>,
+}
+
+impl ObservedIo {
+    /// Wraps `inner`, reporting into `obs`.
+    #[must_use]
+    pub fn new(inner: Arc<dyn StoreIo>, obs: Arc<Obs>) -> Self {
+        ObservedIo { inner, obs }
+    }
+
+    fn count<T>(&self, op: &str, result: io::Result<T>) -> io::Result<T> {
+        self.obs.counter(&format!("store.io.{op}.calls"), 1);
+        if result.is_err() {
+            self.obs.counter(&format!("store.io.{op}.errors"), 1);
+        }
+        result
+    }
+}
+
+impl StoreIo for ObservedIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.count("read", self.inner.read(path))
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.obs.counter("store.io.write.bytes", bytes.len() as u64);
+        self.count("write", self.inner.write(path, bytes))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.count("rename", self.inner.rename(from, to))
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.count("remove_file", self.inner.remove_file(path))
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.count("create_dir_all", self.inner.create_dir_all(path))
+    }
+
+    fn lock(&self, path: &Path) -> io::Result<fs::File> {
+        let t0 = self.obs.now_micros();
+        let result = self.inner.lock(path);
+        let waited = self.obs.now_micros().saturating_sub(t0);
+        self.obs.observe(
+            "store.io.lock_wait_micros",
+            &LOCK_WAIT_BOUNDS_MICROS,
+            waited as f64,
+        );
+        self.obs.span(
+            "lock wait",
+            "store",
+            t0,
+            &[("path", path.display().to_string())],
+        );
+        self.count("lock", result)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.count("read_dir", self.inner.read_dir(path))
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.count("file_len", self.inner.file_len(path))
+    }
+
+    fn modified(&self, path: &Path) -> io::Result<SystemTime> {
+        self.count("modified", self.inner.modified(path))
     }
 }

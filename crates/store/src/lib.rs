@@ -76,7 +76,8 @@ pub use format::{
     crc32, scan_shard, serialize_shard, serialize_shard_v1, ShardFault, ShardScan,
     MIN_READ_VERSION, STORE_VERSION,
 };
-pub use io::{RealIo, StoreIo};
+pub use io::{ObservedIo, RealIo, StoreIo};
+pub use sdv_obs::{Obs, ObsLevel};
 
 /// Number of shard files a store fans out over (keyed by the key's top byte).
 pub const SHARDS: usize = 256;
@@ -347,6 +348,10 @@ pub struct Store {
     io: Arc<dyn StoreIo>,
     /// Per-shard memo of the last loaded disk state (`None` = not loaded).
     shards: Vec<RwLock<Option<ShardEntries>>>,
+    /// Observability handle; defaults to `Off` (every call is one enum
+    /// compare).  [`Store::set_obs`] swaps in a live handle and wraps the
+    /// I/O seam in [`io::ObservedIo`].
+    obs: Arc<Obs>,
 }
 
 impl Store {
@@ -378,7 +383,18 @@ impl Store {
             fingerprint,
             io,
             shards: (0..SHARDS).map(|_| RwLock::new(None)).collect(),
+            obs: Arc::new(Obs::default()),
         })
+    }
+
+    /// Attaches an observability handle: subsequent filesystem calls are
+    /// counted per operation through an [`io::ObservedIo`] wrapper (lock
+    /// waits get a histogram and, under tracing, spans), and
+    /// [`Store::repair`] reports what it salvaged as events.  Observation
+    /// only — behaviour and on-disk bytes are unchanged.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.io = Arc::new(io::ObservedIo::new(Arc::clone(&self.io), Arc::clone(&obs)));
+        self.obs = obs;
     }
 
     /// The store directory.
@@ -755,6 +771,35 @@ impl Store {
                         .unwrap_or_else(PoisonError::into_inner) = None;
                 }
             }
+        }
+        self.obs.counter("store.repair.runs", 1);
+        self.obs
+            .counter("store.repair.repaired_shards", report.repaired_shards);
+        self.obs
+            .counter("store.repair.recovered_entries", report.recovered_entries);
+        self.obs.counter(
+            "store.repair.quarantined_entries",
+            report.quarantined_entries,
+        );
+        self.obs
+            .counter("store.repair.quarantined_bytes", report.quarantined_bytes);
+        self.obs
+            .counter("store.repair.quarantined_files", report.quarantined_files);
+        if !report.is_clean() {
+            self.obs.instant(
+                "store repair",
+                "store",
+                &[
+                    ("dir", self.dir.display().to_string()),
+                    ("repaired_shards", report.repaired_shards.to_string()),
+                    ("recovered_entries", report.recovered_entries.to_string()),
+                    (
+                        "quarantined_entries",
+                        report.quarantined_entries.to_string(),
+                    ),
+                    ("quarantined_files", report.quarantined_files.to_string()),
+                ],
+            );
         }
         Ok(report)
     }

@@ -65,5 +65,8 @@ pub use pipeline::{
     simulate, simulate_bounded, BusyPath, Processor, Scheduler, Stepping, CYCLE_BUDGET_EXCEEDED,
 };
 pub use rob::WaiterStats;
+// Re-exported so pipeline consumers can read the cycle-attribution ledger
+// without a direct sdv-obs dependency.
+pub use sdv_obs::{CycleBucket, CycleLedger};
 pub use stats::RunStats;
 pub use vector_dp::VectorDatapath;

@@ -105,6 +105,7 @@ use sdv_core::{DecodeContext, DecodeOutcome, VectorizationEngine, VregId};
 use sdv_emu::{EmuError, Emulator, Retired};
 use sdv_isa::{OpClass, Program, NUM_ARCH_REGS};
 use sdv_mem::{DataMemory, InstMemory, PortKind, PortSet, WideBusStats};
+use sdv_obs::{CycleBucket, CycleLedger, MetricsRegistry};
 use sdv_predictor::BranchPredictor;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -143,6 +144,13 @@ fn issue_group_of(class: OpClass) -> u8 {
 
 /// Address granule used by the store-overlap prefilter.
 const STORE_LINE_BYTES: u64 = 64;
+
+/// Cycle-attribution flag: the issue stage masked the load group because an
+/// older store's address was unknown this cycle.
+const FLAG_UNKNOWN_STORE: u8 = 1 << 0;
+/// Cycle-attribution flag: the issue stage hit a structural hazard this cycle
+/// (all units of a group busy, or loads parked without a free port).
+const FLAG_STRUCTURAL: u8 = 1 << 1;
 
 /// Ready-set keys pack the issue group into the low 3 bits of the sequence
 /// number (`seq << 3 | group`).  The group is constant per entry, so the
@@ -353,6 +361,12 @@ pub struct Processor {
     dep_scratch: Vec<u64>,
     /// Optional issue trace `(cycle, seq)` for scheduler-equivalence tests.
     issue_trace: Option<Vec<(u64, u64)>>,
+    /// Optional cycle-attribution ledger (see [`Self::record_cycle_ledger`]).
+    /// Boxed so the disabled default costs one pointer in the hot struct.
+    ledger: Option<Box<CycleLedger>>,
+    /// Hazard flags the issue stage recorded this cycle (ledger enabled
+    /// only); consumed and cleared by [`Self::attribute_cycle`].
+    cycle_flags: u8,
     cycle: u64,
     stepping: Stepping,
     /// Event-driven commit: the earliest cycle at which the ROB head could
@@ -418,6 +432,8 @@ impl Processor {
             edge_scratch: Vec::new(),
             dep_scratch: Vec::new(),
             issue_trace: None,
+            ledger: None,
+            cycle_flags: 0,
             cycle: 0,
             stepping: Stepping::default(),
             commit_gate: 0,
@@ -497,6 +513,64 @@ impl Processor {
         self.issue_trace.take().unwrap_or_default()
     }
 
+    /// Enables (or disables) the cycle-attribution ledger: every simulated
+    /// cycle is charged to exactly one [`CycleBucket`], and macro-step clock
+    /// jumps charge the skipped window to
+    /// [`CycleBucket::MacroStepJumped`] in bulk, folding the
+    /// [`Self::macro_step_telemetry`] side channel into the same substrate.
+    ///
+    /// Like the issue trace, the ledger is deliberately *not* part of
+    /// [`RunStats`]: stats stay bit-identical whether or not attribution is
+    /// on.  Hazard attribution (the unknown-store and structural buckets) is
+    /// recorded by the wakeup scheduler; under [`Scheduler::NaiveScan`] those
+    /// cycles land in the residual bucket, but the bucket-sum invariant
+    /// (`CycleLedger::total()` ≡ [`RunStats`] cycles) holds for every
+    /// scheduler, stepping and busy-path combination.
+    pub fn record_cycle_ledger(&mut self, enable: bool) {
+        self.ledger = enable.then(|| Box::new(CycleLedger::new()));
+        self.cycle_flags = 0;
+    }
+
+    /// The recorded cycle-attribution ledger, if enabled.
+    #[must_use]
+    pub fn cycle_ledger(&self) -> Option<&CycleLedger> {
+        self.ledger.as_deref()
+    }
+
+    /// Takes the recorded ledger (empty if recording was never enabled).
+    pub fn take_cycle_ledger(&mut self) -> CycleLedger {
+        self.ledger.take().map(|b| *b).unwrap_or_default()
+    }
+
+    /// Exports this processor's observability metrics into `registry`:
+    /// the cycle ledger (as `pipeline.cycles.<bucket>` counters), the
+    /// macro-step telemetry, and the memory-hierarchy instrumentation the
+    /// stats struct does not carry (way-predictor hit breakdown, MSHR
+    /// occupancy).  Counters accumulate, so calling this for every cell of
+    /// an engine run aggregates across the whole session.
+    pub fn obs_metrics(&mut self, registry: &mut MetricsRegistry) {
+        if let Some(ledger) = self.ledger.as_deref() {
+            ledger.export_to(registry, "pipeline.cycles");
+        }
+        registry.add_counter("pipeline.macro_step.jumps", self.macro_jumps);
+        registry.add_counter(
+            "pipeline.macro_step.skipped_cycles",
+            self.macro_skipped_cycles,
+        );
+        let wp = self.dmem.way_predict_stats();
+        registry.add_counter("cache.l1d.way_predict.predicted_hits", wp.predicted_hits);
+        registry.add_counter("cache.l1d.way_predict.scan_hits", wp.scan_hits);
+        registry.set_gauge("cache.l1d.way_predict.hit_rate", wp.hit_rate());
+        registry.add_counter("cache.l1d.mshr.full_events", self.dmem.mshr_full_events());
+        let outstanding = self.dmem.outstanding_misses(self.cycle);
+        registry.set_gauge("cache.l1d.mshr.outstanding_at_end", {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                outstanding as f64
+            }
+        });
+    }
+
     /// The configuration this processor was built with.
     #[must_use]
     pub fn config(&self) -> &UarchConfig {
@@ -540,6 +614,10 @@ impl Processor {
                 self.cycle,
                 self.stats.committed
             );
+            // One branch per cycle when attribution is off; the before-value
+            // is only read again inside `attribute_cycle`.
+            let attributing = self.ledger.is_some();
+            let committed_before = if attributing { self.stats.committed } else { 0 };
             self.cycle += 1;
             self.begin_cycle();
             if self.cycle >= self.commit_gate {
@@ -556,6 +634,9 @@ impl Processor {
                 self.rob.len(),
                 self.fetch_queue.len()
             );
+            if attributing {
+                self.attribute_cycle(committed_before);
+            }
             if self.stepping == Stepping::MacroStep {
                 self.try_macro_step(max_insts);
             }
@@ -566,6 +647,36 @@ impl Processor {
 
     fn finished(&self) -> bool {
         self.emulator_done && self.rob.is_empty() && self.fetch_queue.is_empty()
+    }
+
+    /// Charges the cycle that just finished simulating to exactly one
+    /// [`CycleBucket`].  First-match classification, in declaration order:
+    /// commit progress wins, then the recorded hazards, then the front-end
+    /// conditions, with [`CycleBucket::InFlightWait`] as the documented
+    /// residual (in-flight work progressing without commit).  Macro-step
+    /// jumps charge their skipped window separately in
+    /// [`Self::try_macro_step`], so `ledger.total()` equals the final cycle
+    /// count — the invariant the exhaustiveness proptest pins.
+    fn attribute_cycle(&mut self, committed_before: u64) {
+        let bucket = if self.stats.committed > committed_before {
+            CycleBucket::Committing
+        } else if self.vdp.as_ref().is_some_and(|v| v.active_instances() > 0) {
+            CycleBucket::VectorDatapathBusy
+        } else if self.cycle_flags & FLAG_UNKNOWN_STORE != 0 {
+            CycleBucket::UnknownStoreMasked
+        } else if self.cycle_flags & FLAG_STRUCTURAL != 0 {
+            CycleBucket::IssueStructuralHazard
+        } else if self.emulator_done {
+            CycleBucket::Drained
+        } else if self.fetch_blocked_on.is_some() || self.cycle < self.fetch_ready_cycle {
+            CycleBucket::FetchBlocked
+        } else {
+            CycleBucket::InFlightWait
+        };
+        self.cycle_flags = 0;
+        if let Some(ledger) = self.ledger.as_deref_mut() {
+            ledger.record(bucket);
+        }
     }
 
     fn begin_cycle(&mut self) {
@@ -1175,6 +1286,10 @@ impl Processor {
         // younger), so the cursor stays valid.
         let mut pos = 0usize;
         let mut masked: u16 = 0;
+        // Cycle-attribution flags, folded into `cycle_flags` at the end of
+        // the walk (only when the ledger is recording).  Plain register ops
+        // in the loop; the masking semantics are untouched.
+        let mut hazard_flags: u8 = 0;
         let mut issued = 0;
         while issued < self.cfg.issue_width {
             let Some(key) = self.ready_all.get(pos) else {
@@ -1241,6 +1356,7 @@ impl Processor {
                         // whole group is skipped for the cycle.
                         if self.parked_epoch == Some(self.store_epoch) || self.try_park_loads() {
                             masked |= 1 << Q_LOAD;
+                            hazard_flags |= FLAG_STRUCTURAL;
                             continue;
                         }
                     }
@@ -1253,7 +1369,10 @@ impl Processor {
                         // disambiguation check, and no store can issue later in
                         // this walk (stores issue in program order too, so a
                         // still-unknown store is not ready this cycle).
-                        LoadAttempt::BlockedOnUnknownStore => masked |= 1 << Q_LOAD,
+                        LoadAttempt::BlockedOnUnknownStore => {
+                            masked |= 1 << Q_LOAD;
+                            hazard_flags |= FLAG_UNKNOWN_STORE;
+                        }
                     }
                 }
                 _ => {
@@ -1280,9 +1399,13 @@ impl Processor {
                         // Structural hazard: every unit of this group is busy
                         // for the rest of the cycle.
                         masked |= 1 << queue;
+                        hazard_flags |= FLAG_STRUCTURAL;
                     }
                 }
             }
+        }
+        if self.ledger.is_some() {
+            self.cycle_flags = hazard_flags;
         }
     }
 
@@ -2108,6 +2231,13 @@ impl Processor {
         }
         self.macro_jumps += 1;
         self.macro_skipped_cycles += skipped;
+        if let Some(ledger) = self.ledger.as_deref_mut() {
+            // The whole window is provably idle; the per-cycle path would
+            // have classified each of these cycles individually (so the two
+            // stepping modes split buckets differently), but the bucket-sum
+            // invariant holds in both.
+            ledger.record_many(CycleBucket::MacroStepJumped, skipped);
+        }
         self.cycle = bound - 1;
     }
 

@@ -9,6 +9,8 @@
 //! * [`analyze`] — static analysis: CFG, dataflow, resource envelopes.
 //! * [`emu`] — the functional emulator that produces dynamic instruction streams.
 //! * [`mem`] — cache/memory-hierarchy timing models (scalar and wide buses).
+//! * [`obs`] — observability: metrics registry, cycle-attribution ledger,
+//!   Chrome-trace event tracer (see `docs/OBSERVABILITY.md`).
 //! * [`predictor`] — branch prediction (gshare + BTB + RAS).
 //! * [`core`] — the paper's contribution: the speculative dynamic
 //!   vectorization engine (Table of Loads, VRMT, vector register file).
@@ -35,6 +37,7 @@ pub use sdv_core as core;
 pub use sdv_emu as emu;
 pub use sdv_isa as isa;
 pub use sdv_mem as mem;
+pub use sdv_obs as obs;
 pub use sdv_predictor as predictor;
 pub use sdv_sim as sim;
 pub use sdv_store as store;

@@ -3,7 +3,7 @@
 
 Usage:
     timing_diff.py BASELINE.json [BASELINE2.json ...] CURRENT.json \
-        [--max-regress 0.20]
+        [--max-regress 0.20] [--metrics BASE_METRICS.json CUR_METRICS.json]
     timing_diff.py --self-check
 
 All files are `sdv-engine-timing/1` documents.  The last positional argument
@@ -21,8 +21,16 @@ markers (refresh from CI artifacts when hardware or the simulator changes
 deliberately); the gate is meant to catch order-of-magnitude hot-path
 regressions, not CPU-model noise.
 
+`--metrics BASE CURRENT` takes two `sdv-obs-metrics/1` documents
+(`repro --metrics-json`); on gate failure the report additionally prints the
+`pipeline.cycles.*` stall-bucket shares of both runs, so the log says not
+just *which cell* got slower but *which kind of cycle* grew.  Both documents
+are validated up front — malformed or wrong-schema metrics exit 2 with a
+diagnostic naming the file, even when the gate itself would pass.
+
 `--self-check` runs the built-in unit test over synthetic documents (gate
-pass, gate fail, worst-cell attribution) and exits 0 when all pass.
+pass, gate fail, worst-cell attribution, stall-bucket deltas) and exits 0
+when all pass.
 
 Exit codes: 0 ok / improved / self-check passed, 1 regression, 2 usage or
 malformed input.
@@ -76,6 +84,71 @@ def load(path):
     return doc
 
 
+def load_metrics(path):
+    """The counters of an `sdv-obs-metrics/1` document, validated up front."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"timing_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        _malformed(path, f"expected a JSON object, got {type(doc).__name__}")
+    if doc.get("schema") != "sdv-obs-metrics/1":
+        _malformed(path, f"unexpected schema {doc.get('schema')!r}")
+    counters = doc.get("counters", {})
+    if not isinstance(counters, dict):
+        _malformed(path, "'counters' must be an object")
+    for name, value in counters.items():
+        if not isinstance(value, (int, float)):
+            _malformed(path, f"counter {name!r} is not a number: {value!r}")
+    return counters
+
+
+def bucket_shares(counters):
+    """`pipeline.cycles.*` buckets as (name, cycles, share-of-total) rows."""
+    buckets = {
+        name[len("pipeline.cycles.") :]: float(v)
+        for name, v in counters.items()
+        if name.startswith("pipeline.cycles.")
+    }
+    total = sum(buckets.values())
+    if total <= 0:
+        return []
+    return [(name, v, v / total) for name, v in sorted(buckets.items())]
+
+
+def print_bucket_deltas(base_counters, cur_counters):
+    """Prints the stall-bucket share shift from base to current (stderr).
+
+    Shares (fraction of attributed cycles) rather than absolute counts, so
+    two runs of different length stay comparable; sorted by how much the
+    bucket's share grew, biggest growth first — the top line is where the
+    extra time went.
+    """
+    base = {name: share for name, _, share in bucket_shares(base_counters)}
+    cur = {name: share for name, _, share in bucket_shares(cur_counters)}
+    if not base or not cur:
+        print(
+            "timing_diff: no pipeline.cycles.* buckets in the metrics "
+            "documents; skipping stall-bucket report",
+            file=sys.stderr,
+        )
+        return
+    names = sorted(set(base) | set(cur), key=lambda n: base.get(n, 0.0) - cur.get(n, 0.0))
+    print(
+        "timing_diff: stall-bucket shares (pipeline.cycles.*, fraction of "
+        "attributed cycles, base -> current):",
+        file=sys.stderr,
+    )
+    for name in names:
+        b, c = base.get(name, 0.0), cur.get(name, 0.0)
+        print(
+            f"timing_diff:   {name:<24} {b:6.1%} -> {c:6.1%}  ({(c - b) * 100:+.1f}pp)",
+            file=sys.stderr,
+        )
+
+
 def worst_cell_regression(best, cur):
     """The per-cell `config×workload` pair that regressed hardest vs `best`.
 
@@ -102,9 +175,14 @@ def worst_cell_regression(best, cur):
     return worst
 
 
-def run_gate(baseline_paths, current_path, max_regress):
+def run_gate(baseline_paths, current_path, max_regress, metrics=None):
     baselines = [(path, load(path)) for path in baseline_paths]
     cur = load(current_path)
+    # Validate eagerly: a malformed metrics baseline must exit 2 even on a
+    # run where the gate passes and the deltas would never print.
+    metric_counters = None
+    if metrics is not None:
+        metric_counters = (load_metrics(metrics[0]), load_metrics(metrics[1]))
     cur_cps = float(cur["cycles_per_second"])
 
     scored = [(float(doc["cycles_per_second"]), path, doc) for path, doc in baselines]
@@ -135,6 +213,8 @@ def run_gate(baseline_paths, current_path, max_regress):
                 f"{b_cps:,.0f} -> {c_cps:,.0f} cycles/s ({w_ratio:.2f}x)",
                 file=sys.stderr,
             )
+        if metric_counters is not None:
+            print_bucket_deltas(*metric_counters)
         return 1
     print("timing_diff: ok")
     return 0
@@ -243,6 +323,73 @@ def self_check():
                 f.write(body)
             expect_named_rejection(path)
 
+        # ---- stall-bucket deltas (--metrics) -------------------------------
+        def _metrics_doc(buckets):
+            return {
+                "schema": "sdv-obs-metrics/1",
+                "counters": {f"pipeline.cycles.{k}": v for k, v in buckets.items()},
+                "gauges": {},
+                "histograms": {},
+            }
+
+        m_base = _metrics_doc({"committing": 800, "fetch_blocked": 200})
+        m_cur = _metrics_doc({"committing": 800, "fetch_blocked": 1200})
+        mb_path = os.path.join(tmp, "metrics_base.json")
+        mc_path = os.path.join(tmp, "metrics_cur.json")
+        for path, doc in [(mb_path, m_base), (mc_path, m_cur)]:
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+
+        # Share arithmetic: fetch_blocked goes 20% -> 60% of attributed
+        # cycles, and the report sorts it first (biggest growth on top).
+        shares = dict(
+            (name, share) for name, _, share in bucket_shares(m_cur["counters"])
+        )
+        assert abs(shares["fetch_blocked"] - 0.6) < 1e-9, shares
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err):
+            print_bucket_deltas(m_base["counters"], m_cur["counters"])
+        lines = [l for l in err.getvalue().splitlines() if l.endswith("pp)")]
+        assert "fetch_blocked" in lines[0], f"biggest growth first: {lines}"
+        assert "+40.0pp" in lines[0], lines
+        assert "committing" in lines[1] and "-40.0pp" in lines[1], lines
+
+        # A gate failure with --metrics prints the bucket report on stderr.
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err), contextlib.redirect_stdout(io.StringIO()):
+            code = run_gate([b_path], c_path, max_regress=0.20, metrics=(mb_path, mc_path))
+        assert code == 1
+        assert "stall-bucket shares" in err.getvalue(), err.getvalue()
+
+        # Malformed or wrong-schema metrics exit 2 with a named diagnostic,
+        # even though the timing gate itself would have passed.
+        bad_metrics = os.path.join(tmp, "METRICS_wrong_schema.json")
+        with open(bad_metrics, "w", encoding="utf-8") as f:
+            json.dump({"schema": "sdv-engine-timing/1", "counters": {}}, f)
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err), contextlib.redirect_stdout(io.StringIO()):
+            try:
+                run_gate([b_path], c_path, max_regress=0.50, metrics=(bad_metrics, mc_path))
+            except SystemExit as e:
+                assert e.code == 2, f"exited {e.code}, not 2"
+            else:
+                raise AssertionError("wrong-schema metrics were accepted")
+        assert "METRICS_wrong_schema.json" in err.getvalue(), err.getvalue()
+
+        bad_counter = os.path.join(tmp, "METRICS_bad_counter.json")
+        with open(bad_counter, "w", encoding="utf-8") as f:
+            json.dump({"schema": "sdv-obs-metrics/1", "counters": {"x": "NaNish"}}, f)
+        expect_named_rejection_metrics = bad_counter
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err):
+            try:
+                load_metrics(expect_named_rejection_metrics)
+            except SystemExit as e:
+                assert e.code == 2
+            else:
+                raise AssertionError("non-numeric counter was accepted")
+        assert "METRICS_bad_counter.json" in err.getvalue()
+
     print("timing_diff: self-check ok")
     return 0
 
@@ -250,6 +397,7 @@ def self_check():
 def main(argv):
     args = []
     max_regress = 0.20
+    metrics = None
     it = iter(argv[1:])
     for a in it:
         if a == "--max-regress":
@@ -257,6 +405,15 @@ def main(argv):
                 max_regress = float(next(it))
             except (StopIteration, ValueError):
                 print("timing_diff: --max-regress needs a float", file=sys.stderr)
+                return 2
+        elif a == "--metrics":
+            try:
+                metrics = (next(it), next(it))
+            except StopIteration:
+                print(
+                    "timing_diff: --metrics needs two paths (BASE CURRENT)",
+                    file=sys.stderr,
+                )
                 return 2
         elif a == "--self-check":
             return self_check()
@@ -269,7 +426,7 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
 
-    return run_gate(args[:-1], args[-1], max_regress)
+    return run_gate(args[:-1], args[-1], max_regress, metrics=metrics)
 
 
 if __name__ == "__main__":
